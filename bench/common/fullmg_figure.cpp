@@ -1,0 +1,48 @@
+#include "common/fullmg_figure.h"
+
+#include <cmath>
+
+#include "grid/level.h"
+
+namespace pbmg::bench {
+
+int run_fullmg_figure(const Settings& settings, InputDistribution dist,
+                      double target_accuracy, const std::string& name,
+                      const std::string& title) {
+  const rt::MachineProfile profiles[] = {rt::harpertown_profile(),
+                                         rt::barcelona_profile(),
+                                         rt::niagara_profile()};
+  const char* subfig[] = {"a", "b", "c"};
+  for (int p = 0; p < 3; ++p) {
+    const auto& profile = profiles[p];
+    const auto config = get_tuned_config(settings, profile, dist,
+                                         settings.max_level);
+    rt::ScopedProfile scoped(profile);
+    const int acc_index = config.accuracy_index(target_accuracy);
+    TextTable table({"N", "ref V (s)", "ref FMG (rel)", "tuned V (rel)",
+                     "tuned FMG (rel)"});
+    for (int level = 4; level <= settings.max_level; ++level) {
+      const int n = size_of_level(level);
+      const auto inst = eval_instance(settings, n, dist, /*salt=*/10 + p);
+      const double ref_v =
+          run_reference_v(settings, inst, target_accuracy);
+      const double ref_fmg =
+          run_reference_fmg(settings, inst, target_accuracy);
+      const double tuned_v = run_tuned_v(settings, config, inst, acc_index);
+      const double tuned_fmg =
+          run_tuned_fmg(settings, config, inst, acc_index);
+      table.add_row({std::to_string(n), format_double(ref_v),
+                     format_double(ref_fmg / ref_v),
+                     format_double(tuned_v / ref_v),
+                     format_double(tuned_fmg / ref_v)});
+      progress(name + subfig[p] + ": N=" + std::to_string(n) + " done");
+    }
+    emit_table(settings, name + subfig[p],
+               title + " — (" + subfig[p] + ") " + profile.name +
+                   " profile (relative to reference V)",
+               table);
+  }
+  return 0;
+}
+
+}  // namespace pbmg::bench

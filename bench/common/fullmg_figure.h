@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "common/harness.h"
+
+/// \file fullmg_figure.h
+/// Shared driver for Figures 10-13: relative performance of Reference-V,
+/// Reference-FMG, Autotuned-V and Autotuned-FMG against the reference
+/// V-cycle algorithm, across problem sizes, on the three machine profiles.
+/// The four figures differ only in input distribution and accuracy target.
+
+namespace pbmg::bench {
+
+/// Runs one full figure (three sub-tables, one per machine profile) and
+/// emits "<name>a/b/c" tables.  Returns 0 (main-compatible).
+int run_fullmg_figure(const Settings& settings, InputDistribution dist,
+                      double target_accuracy, const std::string& name,
+                      const std::string& title);
+
+}  // namespace pbmg::bench

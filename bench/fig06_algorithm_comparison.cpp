@@ -1,0 +1,63 @@
+// Reproduces Figure 6: time to solve Poisson to accuracy 10^9 on unbiased
+// uniform random data, 8 worker threads, comparing the basic Direct and
+// SOR solvers and the standard V-cycle multigrid against the autotuned
+// algorithm.  Expected shape: direct wins only at the smallest sizes, SOR
+// falls behind quickly, the autotuned algorithm is never worse than the
+// reference multigrid and strictly better at small sizes.
+
+#include <cmath>
+#include <string>
+
+#include "common/harness.h"
+#include "grid/level.h"
+
+namespace {
+
+using namespace pbmg;
+using namespace pbmg::bench;
+
+int main_impl(int argc, const char* const* argv) {
+  auto maybe = parse_settings(
+      argc, argv, "fig06_algorithm_comparison",
+      "Fig 6: direct/SOR/multigrid/autotuned to accuracy 10^9 (unbiased)");
+  if (!maybe) return 0;
+  const Settings settings = *maybe;
+  constexpr double kTarget = 1e9;
+
+  const auto profile = rt::harpertown_profile();
+  const auto config = get_tuned_config(settings, profile,
+                                       InputDistribution::kUnbiased,
+                                       settings.max_level);
+  rt::ScopedProfile scoped(profile);
+  const int acc_index = config.accuracy_index(kTarget);
+
+  const int direct_max_level = std::min(settings.max_level, 8);  // N <= 257
+  const int sor_max_level = std::min(settings.max_level, 10);    // N <= 1025
+
+  TextTable table(
+      {"N", "direct (s)", "sor (s)", "multigrid (s)", "autotuned (s)"});
+  for (int level = 2; level <= settings.max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto inst =
+        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/6);
+    const double direct =
+        level <= direct_max_level ? run_direct(settings, inst) : std::nan("");
+    const double sor = level <= sor_max_level
+                           ? run_sor(settings, inst, kTarget, 16 * n + 2000)
+                           : std::nan("");
+    const double mg = run_reference_v(settings, inst, kTarget);
+    const double tuned = run_tuned_v(settings, config, inst, acc_index);
+    table.add_row({std::to_string(n), format_double(direct),
+                   format_double(sor), format_double(mg),
+                   format_double(tuned)});
+    progress("fig06: N=" + std::to_string(n) + " done");
+  }
+  emit_table(settings, "fig06_algorithm_comparison",
+             "Figure 6: time to accuracy 10^9, unbiased data, 8 threads",
+             table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

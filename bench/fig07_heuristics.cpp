@@ -1,0 +1,64 @@
+// Reproduces Figure 7: time to solve Poisson to accuracy 10^9 on biased
+// uniform random data for the fixed-accuracy heuristics
+// ("Strategy 10^9" and "Strategy 10^x/10^9") against the autotuned
+// algorithm.  Expected shape: every heuristic is at best tied with the
+// autotuner, and the best heuristic changes with problem size.
+
+#include <cmath>
+#include <vector>
+
+#include "common/harness.h"
+#include "grid/level.h"
+
+namespace {
+
+using namespace pbmg;
+using namespace pbmg::bench;
+
+int main_impl(int argc, const char* const* argv) {
+  auto maybe = parse_settings(
+      argc, argv, "fig07_heuristics",
+      "Fig 7: heuristic strategies vs autotuned, biased data, 10^9");
+  if (!maybe) return 0;
+  const Settings settings = *maybe;
+  constexpr double kTarget = 1e9;
+  const auto profile = rt::harpertown_profile();
+  const auto dist = InputDistribution::kBiased;
+
+  // Heuristic j fixes sub-accuracy 10^(2j+1); j = 4 is "Strategy 10^9",
+  // lower j are "Strategy 10^x/10^9" (paper Fig. 7 legend order).
+  std::vector<tune::TunedConfig> heuristics;
+  for (int j = 0; j < 5; ++j) {
+    heuristics.push_back(
+        get_heuristic_config(settings, profile, dist, settings.max_level, j));
+  }
+  const auto autotuned =
+      get_tuned_config(settings, profile, dist, settings.max_level);
+
+  rt::ScopedProfile scoped(profile);
+  const int acc_index = autotuned.accuracy_index(kTarget);
+  TextTable table({"N", "10^9 (s)", "10^7/10^9 (s)", "10^5/10^9 (s)",
+                   "10^3/10^9 (s)", "10^1/10^9 (s)", "autotuned (s)"});
+  for (int level = 6; level <= settings.max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto inst = eval_instance(settings, n, dist, /*salt=*/7);
+    std::vector<std::string> row{std::to_string(n)};
+    for (int j = 4; j >= 0; --j) {
+      row.push_back(format_double(
+          run_tuned_v(settings, heuristics[static_cast<std::size_t>(j)],
+                      inst, acc_index)));
+    }
+    row.push_back(
+        format_double(run_tuned_v(settings, autotuned, inst, acc_index)));
+    table.add_row(std::move(row));
+    progress("fig07: N=" + std::to_string(n) + " done");
+  }
+  emit_table(settings, "fig07_heuristics",
+             "Figure 7: heuristics vs autotuned, biased data, accuracy 10^9",
+             table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

@@ -1,0 +1,61 @@
+// Reproduces Figure 8: the Figure 7 data expressed as slowdown ratios
+// versus the autotuned algorithm.  Expected shape: ratios >= ~1
+// everywhere, and the identity of the best heuristic shifting from
+// 10^1/10^9 toward higher-accuracy heuristics as N grows.
+
+#include <cmath>
+#include <vector>
+
+#include "common/harness.h"
+#include "grid/level.h"
+
+namespace {
+
+using namespace pbmg;
+using namespace pbmg::bench;
+
+int main_impl(int argc, const char* const* argv) {
+  auto maybe = parse_settings(
+      argc, argv, "fig08_heuristic_ratios",
+      "Fig 8: heuristic slowdown ratios vs autotuned, biased data, 10^9");
+  if (!maybe) return 0;
+  const Settings settings = *maybe;
+  constexpr double kTarget = 1e9;
+  const auto profile = rt::harpertown_profile();
+  const auto dist = InputDistribution::kBiased;
+
+  std::vector<tune::TunedConfig> heuristics;
+  for (int j = 0; j < 5; ++j) {
+    heuristics.push_back(
+        get_heuristic_config(settings, profile, dist, settings.max_level, j));
+  }
+  const auto autotuned =
+      get_tuned_config(settings, profile, dist, settings.max_level);
+
+  rt::ScopedProfile scoped(profile);
+  const int acc_index = autotuned.accuracy_index(kTarget);
+  TextTable table({"N", "10^9", "10^7/10^9", "10^5/10^9", "10^3/10^9",
+                   "10^1/10^9", "autotuned"});
+  for (int level = 6; level <= settings.max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto inst = eval_instance(settings, n, dist, /*salt=*/7);
+    const double tuned_time =
+        run_tuned_v(settings, autotuned, inst, acc_index);
+    std::vector<std::string> row{std::to_string(n)};
+    for (int j = 4; j >= 0; --j) {
+      const double t = run_tuned_v(
+          settings, heuristics[static_cast<std::size_t>(j)], inst, acc_index);
+      row.push_back(format_double(t / tuned_time, 3));
+    }
+    row.push_back("1");
+    table.add_row(std::move(row));
+    progress("fig08: N=" + std::to_string(n) + " done");
+  }
+  emit_table(settings, "fig08_heuristic_ratios",
+             "Figure 8: slowdown vs autotuned (ratio of times)", table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

@@ -1,0 +1,55 @@
+// Reproduces Figure 9: parallel speedup of the autotuned Poisson solver as
+// worker threads are added (1..8), at the largest benchmarked size, to
+// accuracy 10^9 on unbiased data.  Expected shape: near-linear speedup at
+// low thread counts, flattening as memory bandwidth saturates.
+
+#include <cmath>
+
+#include "common/harness.h"
+#include "grid/level.h"
+
+namespace {
+
+using namespace pbmg;
+using namespace pbmg::bench;
+
+int main_impl(int argc, const char* const* argv) {
+  auto maybe = parse_settings(argc, argv, "fig09_scalability",
+                              "Fig 9: speedup vs worker threads (1-8)");
+  if (!maybe) return 0;
+  const Settings settings = *maybe;
+  constexpr double kTarget = 1e9;
+  const auto base_profile = rt::harpertown_profile();
+  const auto config = get_tuned_config(settings, base_profile,
+                                       InputDistribution::kUnbiased,
+                                       settings.max_level);
+  const int acc_index = config.accuracy_index(kTarget);
+  const int n = size_of_level(settings.max_level);
+
+  TextTable table({"threads", "time (s)", "speedup"});
+  double t1 = std::nan("");
+  for (int threads = 1; threads <= 8; ++threads) {
+    rt::MachineProfile profile = base_profile;
+    profile.threads = threads;
+    rt::ScopedProfile scoped(profile);
+    const auto inst =
+        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/9);
+    // Repeat the solve a few times and keep the fastest run.
+    Settings timing = settings;
+    timing.trials = std::max(settings.trials, 3);
+    const double t = run_tuned_v(timing, config, inst, acc_index);
+    if (threads == 1) t1 = t;
+    table.add_row({std::to_string(threads), format_double(t),
+                   format_double(t1 / t, 3)});
+    progress("fig09: threads=" + std::to_string(threads) + " done");
+  }
+  emit_table(settings, "fig09_scalability",
+             "Figure 9: autotuned solver speedup vs threads (N=" +
+                 std::to_string(n) + ", accuracy 10^9)",
+             table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

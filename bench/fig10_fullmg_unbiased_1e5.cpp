@@ -1,0 +1,17 @@
+// Reproduces Figure 10: relative performance of multigrid algorithms
+// versus the reference V-cycle for unbiased uniform random data to an
+// accuracy of 10^5, on the three machine profiles.  Expected shape:
+// autotuned curves below the references everywhere, with the largest gaps
+// at small sizes.
+
+#include "common/fullmg_figure.h"
+
+int main(int argc, char** argv) {
+  auto maybe = pbmg::bench::parse_settings(
+      argc, argv, "fig10_fullmg_unbiased_1e5",
+      "Fig 10: relative time vs reference V, unbiased data, accuracy 10^5");
+  if (!maybe) return 0;
+  return pbmg::bench::run_fullmg_figure(
+      *maybe, pbmg::InputDistribution::kUnbiased, 1e5, "fig10",
+      "Figure 10: unbiased data, accuracy 10^5");
+}

@@ -1,0 +1,15 @@
+// Reproduces Figure 11: relative performance of multigrid algorithms
+// versus the reference V-cycle for biased uniform random data to an
+// accuracy of 10^5, on the three machine profiles.
+
+#include "common/fullmg_figure.h"
+
+int main(int argc, char** argv) {
+  auto maybe = pbmg::bench::parse_settings(
+      argc, argv, "fig11_fullmg_biased_1e5",
+      "Fig 11: relative time vs reference V, biased data, accuracy 10^5");
+  if (!maybe) return 0;
+  return pbmg::bench::run_fullmg_figure(
+      *maybe, pbmg::InputDistribution::kBiased, 1e5, "fig11",
+      "Figure 11: biased data, accuracy 10^5");
+}

@@ -1,0 +1,16 @@
+// Reproduces Figure 12: as Figure 10 but to an accuracy of 10^9.  The
+// paper reports the tuned advantage shrinking at high accuracy and large
+// size (most time is unavoidable fine-grid relaxation); expect tuned
+// curves near 1.0 at the largest sizes.
+
+#include "common/fullmg_figure.h"
+
+int main(int argc, char** argv) {
+  auto maybe = pbmg::bench::parse_settings(
+      argc, argv, "fig12_fullmg_unbiased_1e9",
+      "Fig 12: relative time vs reference V, unbiased data, accuracy 10^9");
+  if (!maybe) return 0;
+  return pbmg::bench::run_fullmg_figure(
+      *maybe, pbmg::InputDistribution::kUnbiased, 1e9, "fig12",
+      "Figure 12: unbiased data, accuracy 10^9");
+}

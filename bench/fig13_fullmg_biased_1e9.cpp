@@ -1,0 +1,13 @@
+// Reproduces Figure 13: as Figure 11 but to an accuracy of 10^9.
+
+#include "common/fullmg_figure.h"
+
+int main(int argc, char** argv) {
+  auto maybe = pbmg::bench::parse_settings(
+      argc, argv, "fig13_fullmg_biased_1e9",
+      "Fig 13: relative time vs reference V, biased data, accuracy 10^9");
+  if (!maybe) return 0;
+  return pbmg::bench::run_fullmg_figure(
+      *maybe, pbmg::InputDistribution::kBiased, 1e9, "fig13",
+      "Figure 13: biased data, accuracy 10^9");
+}

@@ -1,0 +1,74 @@
+// Reproduces the §4.3 cross-tuning experiment (reported in prose in the
+// paper): running a configuration tuned on machine A under machine B is
+// slower than the natively tuned configuration (the paper reports 29% and
+// 79% slowdowns between the Intel and Sun machines).  We run every
+// (trained-on, run-on) profile pair for the tuned FULL-MULTIGRID at
+// accuracy 10^5 and report the slowdown relative to the native config.
+
+#include <cmath>
+
+#include "common/harness.h"
+#include "grid/level.h"
+
+namespace {
+
+using namespace pbmg;
+using namespace pbmg::bench;
+
+int main_impl(int argc, const char* const* argv) {
+  auto maybe = parse_settings(
+      argc, argv, "fig15_cross_tuning",
+      "§4.3: cross-machine penalty of tuned configurations");
+  if (!maybe) return 0;
+  const Settings settings = *maybe;
+  const rt::MachineProfile profiles[] = {rt::harpertown_profile(),
+                                         rt::barcelona_profile(),
+                                         rt::niagara_profile()};
+  const int n = size_of_level(settings.max_level);
+
+  // Train all three configs first (cache-friendly order).
+  std::vector<tune::TunedConfig> configs;
+  for (const auto& profile : profiles) {
+    configs.push_back(get_tuned_config(settings, profile,
+                                       InputDistribution::kUnbiased,
+                                       settings.max_level));
+  }
+
+  Settings timing = settings;
+  timing.trials = std::max(settings.trials, 3);
+  TextTable table({"run on \\ trained on", "harpertown", "barcelona",
+                   "niagara", "cross-tuned slowdown"});
+  for (int run = 0; run < 3; ++run) {
+    rt::ScopedProfile scoped(profiles[run]);
+    const auto inst =
+        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/15);
+    double native = std::nan("");
+    double worst_ratio = 1.0;
+    std::vector<double> times(3);
+    for (int trained = 0; trained < 3; ++trained) {
+      const auto& config = configs[static_cast<std::size_t>(trained)];
+      times[static_cast<std::size_t>(trained)] = run_tuned_fmg(
+          timing, config, inst, config.accuracy_index(1e5));
+    }
+    native = times[static_cast<std::size_t>(run)];
+    for (int trained = 0; trained < 3; ++trained) {
+      if (trained != run && std::isfinite(times[static_cast<std::size_t>(trained)])) {
+        worst_ratio = std::max(
+            worst_ratio, times[static_cast<std::size_t>(trained)] / native);
+      }
+    }
+    table.add_row({profiles[run].name, format_double(times[0]),
+                   format_double(times[1]), format_double(times[2]),
+                   format_double((worst_ratio - 1.0) * 100.0, 3) + "%"});
+    progress("fig15: run-on " + profiles[run].name + " done");
+  }
+  emit_table(settings, "fig15_cross_tuning",
+             "§4.3 cross-tuning: tuned-FMG time (s) by (run-on, trained-on) "
+             "profile, N=" + std::to_string(n) + ", accuracy 10^5",
+             table);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

@@ -1,0 +1,88 @@
+// Reproduces the paper's §2 complexity table:
+//
+//   Algorithm    Direct      SOR        Multigrid
+//   Complexity   n^2 (N^4)   n^1.5 (N^3)  n (N^2)
+//
+// by measuring time-to-solution (accuracy 10^9) for each algorithm across
+// grid sizes on a single thread and fitting the empirical exponent of N.
+
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "common/harness.h"
+#include "grid/level.h"
+#include "support/stats.h"
+
+namespace {
+
+using namespace pbmg;
+using namespace pbmg::bench;
+
+int main_impl(int argc, const char* const* argv) {
+  auto maybe = parse_settings(argc, argv, "table1_complexity",
+                              "empirical complexity exponents (paper §2)");
+  if (!maybe) return 0;
+  const Settings settings = *maybe;
+  constexpr double kTarget = 1e9;
+
+  rt::ScopedProfile scoped(rt::serial_profile());
+
+  const int direct_max_level = std::min(settings.max_level, 8);  // N <= 257
+  const int sor_max_level = std::min(settings.max_level, 9);     // N <= 513
+
+  TextTable table({"N", "direct (s)", "sor (s)", "multigrid (s)"});
+  std::vector<double> ns_direct, t_direct, ns_sor, t_sor, ns_mg, t_mg;
+  for (int level = 2; level <= settings.max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto inst = eval_instance(settings, n, InputDistribution::kUnbiased,
+                                    /*salt=*/1);
+    double direct = std::nan("");
+    if (level <= direct_max_level) {
+      direct = run_direct(settings, inst);
+      // Exclude the two smallest levels from the fit: fixed overheads
+      // dominate there.
+      if (level >= 4) {
+        ns_direct.push_back(n);
+        t_direct.push_back(direct);
+      }
+    }
+    double sor = std::nan("");
+    if (level <= sor_max_level) {
+      sor = run_sor(settings, inst, kTarget, 16 * n + 2000);
+      if (level >= 4 && std::isfinite(sor)) {
+        ns_sor.push_back(n);
+        t_sor.push_back(sor);
+      }
+    }
+    const double mg = run_reference_v(settings, inst, kTarget);
+    if (level >= 4 && std::isfinite(mg)) {
+      ns_mg.push_back(n);
+      t_mg.push_back(mg);
+    }
+    table.add_row({std::to_string(n), format_double(direct),
+                   format_double(sor), format_double(mg)});
+    progress("table1: N=" + std::to_string(n) + " done");
+  }
+  emit_table(settings, "table1_complexity",
+             "Table 1: time to accuracy 10^9, single thread", table);
+
+  TextTable fit({"algorithm", "measured exponent (time ~ N^e)",
+                 "paper exponent"});
+  const auto fit_row = [&](const char* name, const std::vector<double>& xs,
+                           const std::vector<double>& ys, const char* paper) {
+    const std::string measured =
+        xs.size() >= 2 ? format_double(log_log_slope(xs, ys), 3) : "n/a";
+    fit.add_row({name, measured, paper});
+  };
+  fit_row("direct (band Cholesky)", ns_direct, t_direct, "4 (n^2)");
+  fit_row("SOR (omega_opt)", ns_sor, t_sor, "3 (n^1.5)");
+  fit_row("multigrid (V cycles)", ns_mg, t_mg, "2 (n)");
+  emit_table(settings, "table1_exponents",
+             "Table 1 (fit): empirical scaling exponents", fit);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return main_impl(argc, argv); }

@@ -1,0 +1,149 @@
+#include "fft/fast_poisson.h"
+
+#include <cmath>
+#include <vector>
+
+#include "fft/fft.h"
+#include "grid/level.h"
+#include "runtime/global.h"
+
+namespace pbmg::fft {
+
+namespace {
+
+/// Applies DST-I to every row of the m×m row-major matrix `data`.
+void dst_rows(std::vector<double>& data, int m, rt::Scheduler& sched) {
+  sched.parallel_for(0, m, sched.grain_for(m, m),
+                     [&](std::int64_t ib, std::int64_t ie) {
+                       std::vector<std::complex<double>> work(
+                           2 * static_cast<std::size_t>(m + 1));
+                       for (int i = static_cast<int>(ib);
+                            i < static_cast<int>(ie); ++i) {
+                         dst1_inplace(
+                             data.data() +
+                                 static_cast<std::size_t>(i) *
+                                     static_cast<std::size_t>(m),
+                             m, work);
+                       }
+                     });
+}
+
+/// Transposes the m×m row-major matrix in place (blocked for locality).
+void transpose(std::vector<double>& data, int m, rt::Scheduler& sched) {
+  constexpr int kBlock = 32;
+  sched.parallel_for(
+      0, (m + kBlock - 1) / kBlock, 1,
+      [&](std::int64_t bb, std::int64_t be) {
+        for (int bi = static_cast<int>(bb); bi < static_cast<int>(be); ++bi) {
+          const int i0 = bi * kBlock;
+          const int i1 = std::min(i0 + kBlock, m);
+          // Only process blocks on or above the diagonal; swap with mirror.
+          for (int j0 = i0; j0 < m; j0 += kBlock) {
+            const int j1 = std::min(j0 + kBlock, m);
+            for (int i = i0; i < i1; ++i) {
+              const int jstart = (j0 == i0) ? std::max(j0, i + 1) : j0;
+              for (int j = jstart; j < j1; ++j) {
+                std::swap(data[static_cast<std::size_t>(i) * m + j],
+                          data[static_cast<std::size_t>(j) * m + i]);
+              }
+            }
+          }
+        }
+      });
+}
+
+}  // namespace
+
+FastPoissonSolver::FastPoissonSolver(int n) : n_(n) {
+  PBMG_CHECK(is_valid_grid_size(n), "FastPoissonSolver: n must be 2^k + 1");
+  const int m = n - 2;
+  lambda_1d_.resize(static_cast<std::size_t>(m));
+  for (int k = 1; k <= m; ++k) {
+    lambda_1d_[static_cast<std::size_t>(k - 1)] =
+        2.0 - 2.0 * std::cos(M_PI * k / (m + 1));
+  }
+}
+
+void FastPoissonSolver::solve(const Grid2D& b, const Grid2D& x_boundary,
+                              Grid2D& out, rt::Scheduler& sched) const {
+  PBMG_CHECK(b.n() == n_ && x_boundary.n() == n_ && out.n() == n_,
+             "FastPoissonSolver::solve: grid size mismatch");
+  const int m = n_ - 2;
+  const double inv_h2 =
+      static_cast<double>(n_ - 1) * static_cast<double>(n_ - 1);
+
+  // Gather the interior RHS with the Dirichlet lift.
+  std::vector<double> f(static_cast<std::size_t>(m) *
+                        static_cast<std::size_t>(m));
+  sched.parallel_for(
+      1, n_ - 1, sched.grain_for(n_ - 2, n_ - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          double* dst = f.data() + static_cast<std::size_t>(i - 1) * m;
+          const double* src = b.row(i);
+          for (int j = 1; j <= m; ++j) dst[j - 1] = src[j];
+          if (i == 1) {
+            for (int j = 1; j <= m; ++j) dst[j - 1] += inv_h2 * x_boundary(0, j);
+          }
+          if (i == m) {
+            for (int j = 1; j <= m; ++j) {
+              dst[j - 1] += inv_h2 * x_boundary(n_ - 1, j);
+            }
+          }
+          dst[0] += inv_h2 * x_boundary(i, 0);
+          dst[m - 1] += inv_h2 * x_boundary(i, n_ - 1);
+        }
+      });
+
+  // Forward transform along both dimensions (λ is symmetric in (k,l), so
+  // the transposed orientation between the two passes is harmless).
+  dst_rows(f, m, sched);
+  transpose(f, m, sched);
+  dst_rows(f, m, sched);
+
+  // Divide by eigenvalues; fold in the DST-I inverse normalisation
+  // (2/(m+1)) per dimension.
+  const double norm = 2.0 / (m + 1);
+  const double scale = norm * norm;
+  sched.parallel_for(0, m, sched.grain_for(m, m),
+                     [&](std::int64_t kb, std::int64_t ke) {
+                       for (int k = static_cast<int>(kb);
+                            k < static_cast<int>(ke); ++k) {
+                         double* row = f.data() + static_cast<std::size_t>(k) * m;
+                         const double mu_k = lambda_1d_[static_cast<std::size_t>(k)];
+                         for (int l = 0; l < m; ++l) {
+                           const double lambda =
+                               inv_h2 *
+                               (mu_k + lambda_1d_[static_cast<std::size_t>(l)]);
+                           row[l] *= scale / lambda;
+                         }
+                       }
+                     });
+
+  // Inverse = forward transforms again (self-inverse basis).
+  dst_rows(f, m, sched);
+  transpose(f, m, sched);
+  dst_rows(f, m, sched);
+
+  // Scatter: interior from f, ring from x_boundary.
+  out.copy_boundary_from(x_boundary);
+  sched.parallel_for(1, n_ - 1, sched.grain_for(n_ - 2, n_ - 2),
+                     [&](std::int64_t ib, std::int64_t ie) {
+                       for (int i = static_cast<int>(ib);
+                            i < static_cast<int>(ie); ++i) {
+                         const double* src =
+                             f.data() + static_cast<std::size_t>(i - 1) * m;
+                         double* dst = out.row(i);
+                         for (int j = 1; j <= m; ++j) dst[j] = src[j - 1];
+                       }
+                     });
+}
+
+Grid2D exact_solution(const PoissonProblem& p) {
+  FastPoissonSolver solver(p.n());
+  Grid2D out(p.n(), 0.0);
+  solver.solve(p.b, p.x0, out, rt::global_scheduler());
+  return out;
+}
+
+}  // namespace pbmg::fft

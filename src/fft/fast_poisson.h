@@ -1,0 +1,43 @@
+#pragma once
+
+#include "grid/grid2d.h"
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+
+/// \file fast_poisson.h
+/// Exact O(N² log N) Poisson solver via 2-D sine-transform diagonalisation.
+///
+/// The discrete 5-point Laplacian with Dirichlet boundaries is diagonal in
+/// the DST-I basis with eigenvalues
+///   λ(k,l) = (4 − 2cos(πk/(M+1)) − 2cos(πl/(M+1))) / h²,  M = N−2.
+/// Solving in that basis yields the exact solution of the *discrete* system
+/// to machine precision, which the tuner uses as the `x_opt` of the paper's
+/// accuracy metric.
+
+namespace pbmg::fft {
+
+/// Direct spectral solver for the n×n Poisson problem (n = 2^k + 1).
+class FastPoissonSolver {
+ public:
+  /// Prepares eigenvalue tables for grid side n.
+  explicit FastPoissonSolver(int n);
+
+  /// Grid side this solver was built for.
+  int n() const { return n_; }
+
+  /// Solves A·x = b with the Dirichlet ring taken from `x_boundary` and
+  /// writes the full solution (ring included) into `out`.  All grids must
+  /// have side n().
+  void solve(const Grid2D& b, const Grid2D& x_boundary, Grid2D& out,
+             rt::Scheduler& sched) const;
+
+ private:
+  int n_;
+  std::vector<double> lambda_1d_;  // 1-D eigenvalues (4−2cos(πk/(M+1)))·... split
+};
+
+/// Convenience oracle: exact solution of a problem instance on the global
+/// scheduler.
+Grid2D exact_solution(const PoissonProblem& p);
+
+}  // namespace pbmg::fft

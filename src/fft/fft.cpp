@@ -1,0 +1,56 @@
+#include "fft/fft.h"
+
+#include <cmath>
+
+#include "support/error.h"
+
+namespace pbmg::fft {
+
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse) {
+  const std::size_t n = a.size();
+  PBMG_CHECK(is_power_of_two(static_cast<int>(n)),
+             "fft_inplace: length must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  // Butterflies.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void dst1_inplace(double* v, int m, std::vector<std::complex<double>>& work) {
+  PBMG_CHECK(m >= 1, "dst1_inplace: m must be >= 1");
+  PBMG_CHECK(is_power_of_two(m + 1), "dst1_inplace: m + 1 must be 2^k");
+  const std::size_t len = 2 * static_cast<std::size_t>(m + 1);
+  PBMG_CHECK(work.size() == len, "dst1_inplace: workspace size mismatch");
+  // Odd extension: y_0 = y_{m+1} = 0, y_j = v_j, y_{L−j} = −v_j.
+  work[0] = 0.0;
+  work[static_cast<std::size_t>(m + 1)] = 0.0;
+  for (int j = 1; j <= m; ++j) {
+    work[static_cast<std::size_t>(j)] = v[j - 1];
+    work[len - static_cast<std::size_t>(j)] = -v[j - 1];
+  }
+  fft_inplace(work, /*inverse=*/false);
+  // Y_k = −2i·X_k  ⇒  X_k = −Im(Y_k)/2.
+  for (int k = 1; k <= m; ++k) {
+    v[k - 1] = -0.5 * work[static_cast<std::size_t>(k)].imag();
+  }
+}
+
+}  // namespace pbmg::fft

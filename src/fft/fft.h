@@ -1,0 +1,30 @@
+#pragma once
+
+#include <complex>
+#include <vector>
+
+/// \file fft.h
+/// Radix-2 complex FFT and the type-I discrete sine transform built on it.
+///
+/// These power the fast Poisson solver (fft/fast_poisson.h) that serves as
+/// the accuracy oracle `x_opt` for the tuner: the paper's accuracy metric
+/// compares every candidate against the optimal solution, so the oracle
+/// must be exact to machine precision and cheap (O(N² log N)).
+
+namespace pbmg::fft {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.  `a.size()` must be a
+/// power of two (throws InvalidArgument otherwise).  When `inverse` is
+/// true computes the unnormalised inverse transform (caller divides by n).
+void fft_inplace(std::vector<std::complex<double>>& a, bool inverse);
+
+/// Type-I discrete sine transform of length m:
+///   X[k] = Σ_{j=1..m} v[j−1]·sin(π·j·k/(m+1)),  k = 1..m  (unnormalised).
+/// Requires m + 1 to be a power of two.  `work` must have size 2(m+1) and
+/// is clobbered.  DST-I is self-inverse up to the factor 2/(m+1).
+void dst1_inplace(double* v, int m, std::vector<std::complex<double>>& work);
+
+/// True when x is a power of two (x >= 1).
+constexpr bool is_power_of_two(int x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+}  // namespace pbmg::fft

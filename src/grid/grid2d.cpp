@@ -1,0 +1,53 @@
+#include "grid/grid2d.h"
+
+#include <algorithm>
+
+namespace pbmg {
+
+double& Grid2D::at(int i, int j) {
+  PBMG_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_,
+             "Grid2D::at index out of range");
+  return (*this)(i, j);
+}
+
+double Grid2D::at(int i, int j) const {
+  PBMG_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_,
+             "Grid2D::at index out of range");
+  return (*this)(i, j);
+}
+
+void Grid2D::fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Grid2D::fill_interior(double value) {
+  for (int i = 1; i + 1 < n_; ++i) {
+    double* r = row(i);
+    std::fill(r + 1, r + n_ - 1, value);
+  }
+}
+
+void Grid2D::copy_boundary_from(const Grid2D& src) {
+  PBMG_CHECK(src.n() == n_, "copy_boundary_from: size mismatch");
+  if (n_ == 0) return;
+  for (int j = 0; j < n_; ++j) {
+    (*this)(0, j) = src(0, j);
+    (*this)(n_ - 1, j) = src(n_ - 1, j);
+  }
+  for (int i = 0; i < n_; ++i) {
+    (*this)(i, 0) = src(i, 0);
+    (*this)(i, n_ - 1) = src(i, n_ - 1);
+  }
+}
+
+void Grid2D::copy_from(const Grid2D& src) {
+  PBMG_CHECK(src.n() == n_, "copy_from: size mismatch");
+  data_ = src.data_;
+}
+
+void Grid2D::swap(Grid2D& other) noexcept {
+  std::swap(n_, other.n_);
+  data_.swap(other.data_);
+}
+
+}  // namespace pbmg

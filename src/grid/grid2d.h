@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/error.h"
+
+/// \file grid2d.h
+/// Dense square grid of doubles — the basic state object of the solver.
+///
+/// Grids are row-major and sized N×N where N = 2^k + 1 (one layer of
+/// boundary cells around (N−2)² interior unknowns).  The class is a plain
+/// value type with move semantics; all numerical kernels live in
+/// grid_ops.h as free functions so they can be scheduled by the runtime.
+
+namespace pbmg {
+
+/// Square 2-D array of doubles with value semantics.
+class Grid2D {
+ public:
+  /// Creates an empty (0×0) grid.
+  Grid2D() = default;
+
+  /// Creates an n×n grid initialised to `fill_value`.
+  explicit Grid2D(int n, double fill_value = 0.0)
+      : n_(n), data_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                     fill_value) {
+    PBMG_CHECK(n >= 0, "Grid2D size must be non-negative");
+  }
+
+  /// Side length.
+  int n() const { return n_; }
+
+  /// Total number of cells (n²).
+  std::size_t size() const { return data_.size(); }
+
+  /// Element access (row i, column j); unchecked in release-path loops.
+  double& operator()(int i, int j) {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(j)];
+  }
+  double operator()(int i, int j) const {
+    return data_[static_cast<std::size_t>(i) * static_cast<std::size_t>(n_) +
+                 static_cast<std::size_t>(j)];
+  }
+
+  /// Checked element access for tests and cold paths.
+  double& at(int i, int j);
+  double at(int i, int j) const;
+
+  /// Raw row pointer (row-major).
+  double* row(int i) {
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+  }
+  const double* row(int i) const {
+    return data_.data() +
+           static_cast<std::size_t>(i) * static_cast<std::size_t>(n_);
+  }
+
+  /// Raw storage access.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Sets every cell to `value`.
+  void fill(double value);
+
+  /// Sets interior cells (excluding the boundary ring) to `value`.
+  void fill_interior(double value);
+
+  /// Copies the boundary ring (first/last row and column) from `src`.
+  /// Requires matching sizes.
+  void copy_boundary_from(const Grid2D& src);
+
+  /// Copies everything from `src`.  Requires matching sizes.
+  void copy_from(const Grid2D& src);
+
+  /// Swaps contents with another grid.
+  void swap(Grid2D& other) noexcept;
+
+ private:
+  int n_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace pbmg

@@ -1,0 +1,46 @@
+#pragma once
+
+#include "support/error.h"
+
+/// \file level.h
+/// Level arithmetic for the multigrid hierarchy.
+///
+/// Following the paper, grids at recursion level k have side
+/// N = 2^k + 1; level 1 is the 3×3 base case solved directly.
+
+namespace pbmg {
+
+/// Returns 2^k + 1.  Requires 0 <= k <= 30.
+constexpr int size_of_level(int k) {
+  return (k >= 0 && k <= 30)
+             ? (1 << k) + 1
+             : throw InvalidArgument("size_of_level: level out of range");
+}
+
+/// Returns k such that n = 2^k + 1; throws InvalidArgument when n is not of
+/// that form.
+constexpr int level_of_size(int n) {
+  if (n < 3) throw InvalidArgument("level_of_size: grid too small (n < 3)");
+  const int m = n - 1;
+  if ((m & (m - 1)) != 0) {
+    throw InvalidArgument("level_of_size: n must be 2^k + 1");
+  }
+  int k = 0;
+  for (int v = m; v > 1; v >>= 1) ++k;
+  return k;
+}
+
+/// True when n = 2^k + 1 for some k >= 1.
+constexpr bool is_valid_grid_size(int n) {
+  if (n < 3) return false;
+  const int m = n - 1;
+  return (m & (m - 1)) == 0;
+}
+
+/// Mesh width of an n×n grid over the unit square.
+constexpr double mesh_width(int n) { return 1.0 / (n - 1); }
+
+/// Side length of the next-coarser grid: (n + 1) / 2.
+constexpr int coarse_size(int n) { return (n + 1) / 2; }
+
+}  // namespace pbmg

@@ -1,0 +1,109 @@
+#include "grid/problem.h"
+
+#include <cmath>
+
+#include "grid/level.h"
+#include "runtime/global.h"
+#include "grid/grid_ops.h"
+
+namespace pbmg {
+
+namespace {
+
+constexpr double kTwo32 = 4294967296.0;  // 2^32
+constexpr double kTwo31 = 2147483648.0;  // 2^31
+
+}  // namespace
+
+std::string to_string(InputDistribution dist) {
+  switch (dist) {
+    case InputDistribution::kUnbiased: return "unbiased";
+    case InputDistribution::kBiased: return "biased";
+    case InputDistribution::kPointSources: return "point-sources";
+  }
+  throw InvalidArgument("to_string: invalid InputDistribution");
+}
+
+InputDistribution parse_distribution(const std::string& name) {
+  if (name == "unbiased") return InputDistribution::kUnbiased;
+  if (name == "biased") return InputDistribution::kBiased;
+  if (name == "point-sources") return InputDistribution::kPointSources;
+  throw InvalidArgument("unknown input distribution '" + name +
+                        "' (expected unbiased|biased|point-sources)");
+}
+
+PoissonProblem make_problem(int n, InputDistribution dist, Rng& rng) {
+  PBMG_CHECK(is_valid_grid_size(n), "make_problem: n must be 2^k + 1");
+  PoissonProblem p;
+  p.b = Grid2D(n, 0.0);
+  p.x0 = Grid2D(n, 0.0);
+
+  const auto draw = [&](double shift) {
+    return rng.uniform(-kTwo32, kTwo32) + shift;
+  };
+
+  switch (dist) {
+    case InputDistribution::kUnbiased:
+    case InputDistribution::kBiased: {
+      const double shift =
+          dist == InputDistribution::kBiased ? kTwo31 : 0.0;
+      for (int i = 1; i < n - 1; ++i) {
+        for (int j = 1; j < n - 1; ++j) {
+          p.b(i, j) = draw(shift);
+        }
+      }
+      // Dirichlet boundary values on the ring of x0.
+      for (int j = 0; j < n; ++j) {
+        p.x0(0, j) = draw(shift);
+        p.x0(n - 1, j) = draw(shift);
+      }
+      for (int i = 1; i < n - 1; ++i) {
+        p.x0(i, 0) = draw(shift);
+        p.x0(i, n - 1) = draw(shift);
+      }
+      break;
+    }
+    case InputDistribution::kPointSources: {
+      // A handful of strong sources/sinks in an otherwise zero RHS with a
+      // grounded (zero) boundary.
+      const int sources = 5;
+      for (int s = 0; s < sources; ++s) {
+        const int i =
+            1 + static_cast<int>(rng.uniform_index(
+                    static_cast<std::uint64_t>(n - 2)));
+        const int j =
+            1 + static_cast<int>(rng.uniform_index(
+                    static_cast<std::uint64_t>(n - 2)));
+        p.b(i, j) += (rng.uniform01() < 0.5 ? -kTwo32 : kTwo32);
+      }
+      break;
+    }
+  }
+  return p;
+}
+
+ManufacturedProblem make_manufactured_problem(int n) {
+  PBMG_CHECK(is_valid_grid_size(n),
+             "make_manufactured_problem: n must be 2^k + 1");
+  ManufacturedProblem mp;
+  mp.exact = Grid2D(n, 0.0);
+  const double h = mesh_width(n);
+  for (int i = 0; i < n; ++i) {
+    const double y = i * h;
+    for (int j = 0; j < n; ++j) {
+      const double x = j * h;
+      mp.exact(i, j) =
+          std::sin(M_PI * x) * std::sinh(M_PI * y) / std::sinh(M_PI) +
+          x * x - y * y;
+    }
+  }
+  mp.problem.b = Grid2D(n, 0.0);
+  mp.problem.x0 = Grid2D(n, 0.0);
+  // b = A·exact computed with the *discrete* operator, so `exact` is the
+  // exact solution of the discrete system (not just of the PDE).
+  grid::apply_poisson(mp.exact, mp.problem.b, rt::global_scheduler());
+  mp.problem.x0.copy_boundary_from(mp.exact);
+  return mp;
+}
+
+}  // namespace pbmg

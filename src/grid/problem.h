@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+
+#include "grid/grid2d.h"
+#include "support/rng.h"
+
+/// \file problem.h
+/// Poisson problem instances and the training/benchmark input
+/// distributions used in the paper (§4): right-hand sides and Dirichlet
+/// boundary values drawn uniformly from [−2³², 2³²] ("unbiased"), the same
+/// distribution shifted by +2³¹ ("biased"), and the point-source variant
+/// the paper mentions alongside them.
+
+namespace pbmg {
+
+/// Input distributions from §4 of the paper.
+enum class InputDistribution {
+  /// Uniform over [−2³², 2³²].
+  kUnbiased,
+  /// Uniform over [−2³² + 2³¹, 2³² + 2³¹].
+  kBiased,
+  /// Sparse right-hand side: a handful of random ±2³² point sources/sinks,
+  /// zero Dirichlet boundary.
+  kPointSources,
+};
+
+/// Human-readable name ("unbiased", "biased", "point-sources").
+std::string to_string(InputDistribution dist);
+
+/// Parses the names produced by to_string.  Throws InvalidArgument for
+/// anything else.
+InputDistribution parse_distribution(const std::string& name);
+
+/// One instance of the discrete Poisson problem A·x = b with Dirichlet
+/// boundary data.  `x0` carries the boundary values on its ring and a zero
+/// interior (the canonical starting guess); solvers update its interior.
+struct PoissonProblem {
+  Grid2D b;   ///< right-hand side (interior entries are meaningful)
+  Grid2D x0;  ///< initial guess: Dirichlet ring + zero interior
+
+  int n() const { return b.n(); }
+};
+
+/// Draws a problem of side n from the given distribution.  Deterministic in
+/// (n, dist, rng state).
+PoissonProblem make_problem(int n, InputDistribution dist, Rng& rng);
+
+/// A problem whose exact *discrete* solution is known: `exact` sampled from
+/// a smooth function, b = A·exact, boundary of x0 = exact's boundary.
+/// Solvers can be validated against `exact` to machine precision.
+struct ManufacturedProblem {
+  PoissonProblem problem;
+  Grid2D exact;
+};
+
+/// Builds a manufactured problem from u(x,y) = sin(πx)·sinh(πy) + x² − y²
+/// scaled to O(1) magnitudes.
+ManufacturedProblem make_manufactured_problem(int n);
+
+}  // namespace pbmg

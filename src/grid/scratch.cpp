@@ -1,0 +1,10 @@
+#include "grid/scratch.h"
+
+namespace pbmg::grid {
+
+ScratchPool& ScratchPool::global() {
+  static ScratchPool instance;
+  return instance;
+}
+
+}  // namespace pbmg::grid

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "grid/grid2d.h"
+
+/// \file scratch.h
+/// Recycling pool for temporary grids.
+///
+/// Every multigrid cycle needs residual/restricted/error temporaries at
+/// each level.  Allocating them per call puts multi-megabyte zero-fills on
+/// the serial path between parallel regions, which both wastes time and
+/// lets workers fall asleep mid-cycle; recycling keeps the glue between
+/// parallel regions near zero.  Leased grids come back with *unspecified
+/// contents* — callers must fully overwrite (or explicitly fill) them.
+
+namespace pbmg::grid {
+
+/// Thread-safe free-list of grids keyed by side length.
+class ScratchPool {
+ public:
+  /// RAII lease: returns the grid to the pool on destruction.
+  class Lease {
+   public:
+    Lease(Grid2D grid, ScratchPool* pool)
+        : grid_(std::move(grid)), pool_(pool) {}
+    ~Lease() {
+      if (pool_ != nullptr) pool_->release(std::move(grid_));
+    }
+    Lease(Lease&& other) noexcept
+        : grid_(std::move(other.grid_)), pool_(other.pool_) {
+      other.pool_ = nullptr;
+    }
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+    Lease& operator=(Lease&&) = delete;
+
+    /// The leased grid.  Contents are unspecified on acquisition.
+    Grid2D& get() { return grid_; }
+
+   private:
+    Grid2D grid_;
+    ScratchPool* pool_;
+  };
+
+  /// Leases an n×n grid with unspecified contents.
+  Lease acquire(int n) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = free_.find(n);
+      if (it != free_.end() && !it->second.empty()) {
+        Grid2D grid = std::move(it->second.back());
+        it->second.pop_back();
+        return Lease(std::move(grid), this);
+      }
+    }
+    return Lease(Grid2D(n, 0.0), this);
+  }
+
+  /// Drops all pooled grids (tests / memory pressure).
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_.clear();
+  }
+
+  /// Number of grids currently pooled (observability).
+  std::size_t pooled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    for (const auto& [n, grids] : free_) count += grids.size();
+    return count;
+  }
+
+  /// Process-wide pool shared by all solvers.
+  static ScratchPool& global();
+
+ private:
+  void release(Grid2D grid) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_[grid.n()].push_back(std::move(grid));
+  }
+
+  mutable std::mutex mutex_;
+  std::map<int, std::vector<Grid2D>> free_;
+};
+
+}  // namespace pbmg::grid

@@ -1,0 +1,147 @@
+#include "linalg/band_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pbmg::linalg {
+
+BandMatrix::BandMatrix(int dim, int bandwidth)
+    : dim_(dim), bandwidth_(bandwidth) {
+  PBMG_CHECK(dim >= 1, "BandMatrix dimension must be >= 1");
+  PBMG_CHECK(bandwidth >= 0 && bandwidth < dim,
+             "BandMatrix bandwidth must be in [0, dim)");
+  storage_.assign(static_cast<std::size_t>(dim) *
+                      static_cast<std::size_t>(bandwidth + 1),
+                  0.0);
+}
+
+double BandMatrix::get(int i, int j) const {
+  PBMG_CHECK(i >= 0 && i < dim_ && j >= 0 && j < dim_,
+             "BandMatrix::get index out of range");
+  if (i < j) std::swap(i, j);  // symmetric read
+  const int d = i - j;
+  if (d > bandwidth_) return 0.0;
+  return band(j, d);
+}
+
+void BandMatrix::set(int i, int j, double value) {
+  PBMG_CHECK(i >= 0 && i < dim_ && j >= 0 && j < dim_,
+             "BandMatrix::set index out of range");
+  PBMG_CHECK(i >= j, "BandMatrix::set expects lower-triangle indices");
+  const int d = i - j;
+  PBMG_CHECK(d <= bandwidth_, "BandMatrix::set outside the band");
+  band(j, d) = value;
+}
+
+std::vector<double> BandMatrix::to_dense() const {
+  std::vector<double> dense(static_cast<std::size_t>(dim_) *
+                                static_cast<std::size_t>(dim_),
+                            0.0);
+  for (int j = 0; j < dim_; ++j) {
+    for (int d = 0; d <= bandwidth_ && j + d < dim_; ++d) {
+      const double v = band(j, d);
+      dense[static_cast<std::size_t>(j + d) * dim_ + j] = v;
+      dense[static_cast<std::size_t>(j) * dim_ + (j + d)] = v;
+    }
+  }
+  return dense;
+}
+
+void band_cholesky_factor(BandMatrix& a) {
+  const int m = a.dim();
+  const int kd = a.bandwidth();
+  for (int j = 0; j < m; ++j) {
+    double ajj = a.band(j, 0);
+    if (!(ajj > 0.0) || !std::isfinite(ajj)) {
+      throw NumericalError(
+          "band_cholesky_factor: non-positive pivot at column " +
+          std::to_string(j) + " (matrix is not positive definite)");
+    }
+    ajj = std::sqrt(ajj);
+    a.band(j, 0) = ajj;
+    const int kn = std::min(kd, m - 1 - j);
+    if (kn == 0) continue;
+    const double inv = 1.0 / ajj;
+    for (int d = 1; d <= kn; ++d) a.band(j, d) *= inv;
+    // Rank-1 update of the trailing band: for columns j+c, subtract
+    // x(c) * x(c..kn) from the stored lower band.
+    for (int c = 1; c <= kn; ++c) {
+      const double xc = a.band(j, c);
+      if (xc == 0.0) continue;
+      for (int r = c; r <= kn; ++r) {
+        a.band(j + c, r - c) -= a.band(j, r) * xc;
+      }
+    }
+  }
+}
+
+void band_cholesky_solve(const BandMatrix& chol, std::vector<double>& rhs) {
+  const int m = chol.dim();
+  const int kd = chol.bandwidth();
+  PBMG_CHECK(static_cast<int>(rhs.size()) == m,
+             "band_cholesky_solve: rhs size mismatch");
+  // Forward substitution L·y = rhs.
+  for (int j = 0; j < m; ++j) {
+    const double yj = rhs[static_cast<std::size_t>(j)] / chol.band(j, 0);
+    rhs[static_cast<std::size_t>(j)] = yj;
+    const int kn = std::min(kd, m - 1 - j);
+    for (int d = 1; d <= kn; ++d) {
+      rhs[static_cast<std::size_t>(j + d)] -= chol.band(j, d) * yj;
+    }
+  }
+  // Back substitution Lᵀ·x = y.
+  for (int j = m - 1; j >= 0; --j) {
+    double s = rhs[static_cast<std::size_t>(j)];
+    const int kn = std::min(kd, m - 1 - j);
+    for (int d = 1; d <= kn; ++d) {
+      s -= chol.band(j, d) * rhs[static_cast<std::size_t>(j + d)];
+    }
+    rhs[static_cast<std::size_t>(j)] = s / chol.band(j, 0);
+  }
+}
+
+void band_spd_solve(BandMatrix& a, std::vector<double>& rhs) {
+  band_cholesky_factor(a);
+  band_cholesky_solve(a, rhs);
+}
+
+void dense_spd_solve(std::vector<double>& a, int m, std::vector<double>& rhs) {
+  PBMG_CHECK(static_cast<int>(a.size()) == m * m,
+             "dense_spd_solve: matrix size mismatch");
+  PBMG_CHECK(static_cast<int>(rhs.size()) == m,
+             "dense_spd_solve: rhs size mismatch");
+  const auto idx = [m](int i, int j) {
+    return static_cast<std::size_t>(i) * static_cast<std::size_t>(m) +
+           static_cast<std::size_t>(j);
+  };
+  // Unblocked dense Cholesky (lower).
+  for (int j = 0; j < m; ++j) {
+    double d = a[idx(j, j)];
+    for (int k = 0; k < j; ++k) d -= a[idx(j, k)] * a[idx(j, k)];
+    if (!(d > 0.0) || !std::isfinite(d)) {
+      throw NumericalError("dense_spd_solve: matrix is not positive definite");
+    }
+    const double ljj = std::sqrt(d);
+    a[idx(j, j)] = ljj;
+    for (int i = j + 1; i < m; ++i) {
+      double s = a[idx(i, j)];
+      for (int k = 0; k < j; ++k) s -= a[idx(i, k)] * a[idx(j, k)];
+      a[idx(i, j)] = s / ljj;
+    }
+  }
+  // Forward then backward substitution.
+  for (int i = 0; i < m; ++i) {
+    double s = rhs[static_cast<std::size_t>(i)];
+    for (int k = 0; k < i; ++k) s -= a[idx(i, k)] * rhs[static_cast<std::size_t>(k)];
+    rhs[static_cast<std::size_t>(i)] = s / a[idx(i, i)];
+  }
+  for (int i = m - 1; i >= 0; --i) {
+    double s = rhs[static_cast<std::size_t>(i)];
+    for (int k = i + 1; k < m; ++k) {
+      s -= a[idx(k, i)] * rhs[static_cast<std::size_t>(k)];
+    }
+    rhs[static_cast<std::size_t>(i)] = s / a[idx(i, i)];
+  }
+}
+
+}  // namespace pbmg::linalg

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <vector>
+
+#include "support/error.h"
+
+/// \file band_matrix.h
+/// Symmetric positive-definite band matrix in lower-band storage.
+///
+/// This mirrors LAPACK's 'L' band layout used by DPBSV, the routine the
+/// paper employs for its Direct method: entry A(j+d, j) of the lower
+/// triangle lives at band(j, d) for diagonal offset d in [0, bandwidth].
+/// Columns are stored contiguously, which matches the access pattern of
+/// the banded Cholesky factorization.
+
+namespace pbmg::linalg {
+
+/// SPD band matrix (lower storage).  Only the lower band is stored; the
+/// symmetric upper part is implicit.
+class BandMatrix {
+ public:
+  /// Creates a dim×dim zero matrix with `bandwidth` sub-diagonals.
+  BandMatrix(int dim, int bandwidth);
+
+  /// Matrix dimension.
+  int dim() const { return dim_; }
+
+  /// Number of stored sub-diagonals.
+  int bandwidth() const { return bandwidth_; }
+
+  /// Entry A(j+d, j): column j, diagonal offset d in [0, bandwidth].
+  /// Unchecked hot-path accessor.
+  double& band(int j, int d) {
+    return storage_[static_cast<std::size_t>(j) *
+                        static_cast<std::size_t>(bandwidth_ + 1) +
+                    static_cast<std::size_t>(d)];
+  }
+  double band(int j, int d) const {
+    return storage_[static_cast<std::size_t>(j) *
+                        static_cast<std::size_t>(bandwidth_ + 1) +
+                    static_cast<std::size_t>(d)];
+  }
+
+  /// Checked general accessor A(i, j) for i >= j (lower triangle).  Entries
+  /// outside the band read as zero; writing outside the band (or the lower
+  /// triangle) throws InvalidArgument.
+  double get(int i, int j) const;
+  void set(int i, int j, double value);
+
+  /// Reconstructs the full dense symmetric matrix (row-major dim×dim);
+  /// for tests and small-problem verification only.
+  std::vector<double> to_dense() const;
+
+ private:
+  int dim_;
+  int bandwidth_;
+  std::vector<double> storage_;
+};
+
+/// In-place banded Cholesky factorization A = L·Lᵀ (lower band layout,
+/// LAPACK DPBTRF-style unblocked algorithm).  Throws pbmg::NumericalError
+/// when a non-positive pivot is met (matrix not positive definite).
+void band_cholesky_factor(BandMatrix& a);
+
+/// Solves L·Lᵀ·x = rhs in place given the factor produced by
+/// band_cholesky_factor.  rhs.size() must equal a.dim().
+void band_cholesky_solve(const BandMatrix& chol, std::vector<double>& rhs);
+
+/// Convenience: factor + solve (the DPBSV equivalent).  Destroys `a`.
+void band_spd_solve(BandMatrix& a, std::vector<double>& rhs);
+
+/// Dense Cholesky solve for verification: `a` is a row-major m×m SPD
+/// matrix (destroyed), `rhs` is overwritten with the solution.  O(m³).
+void dense_spd_solve(std::vector<double>& a, int m, std::vector<double>& rhs);
+
+}  // namespace pbmg::linalg

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/grid2d.h"
+#include "linalg/band_matrix.h"
+
+/// \file poisson_assembly.h
+/// Assembly of the 2-D Poisson system as a band matrix.
+///
+/// Interior unknowns of an n×n grid are ordered lexicographically
+/// (idx = (i−1)·(n−2) + (j−1)), giving an SPD band matrix of dimension
+/// (n−2)² with bandwidth n−2 — exactly the system the paper hands to
+/// LAPACK's DPBSV in its Direct method.  Dirichlet boundary values are
+/// lifted into the right-hand side.
+
+namespace pbmg::linalg {
+
+/// Assembles A (with the 1/h² scaling of DESIGN.md §4) for grid side n.
+/// Requires n = 2^k + 1, n >= 3.
+BandMatrix assemble_poisson_band(int n);
+
+/// Builds the right-hand-side vector for interior unknowns from the grid
+/// RHS `b` and the Dirichlet ring carried by `x_boundary` (only its ring is
+/// read).  Requires matching valid sizes.
+std::vector<double> gather_poisson_rhs(const Grid2D& b,
+                                       const Grid2D& x_boundary);
+
+/// Writes a solution vector (interior, lexicographic) into the interior of
+/// `out`.  Requires out.n() consistent with x.size() == (n−2)².
+void scatter_interior(const std::vector<double>& x, Grid2D& out);
+
+}  // namespace pbmg::linalg

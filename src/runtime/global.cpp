@@ -1,0 +1,39 @@
+#include "runtime/global.h"
+
+#include <mutex>
+
+namespace pbmg::rt {
+
+namespace {
+
+std::mutex g_mutex;
+std::unique_ptr<Scheduler> g_scheduler;
+
+}  // namespace
+
+Scheduler& global_scheduler() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (!g_scheduler) {
+    g_scheduler = std::make_unique<Scheduler>(MachineProfile{});
+  }
+  return *g_scheduler;
+}
+
+void set_global_profile(const MachineProfile& profile) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_scheduler.reset();  // join old workers before spawning new ones
+  g_scheduler = std::make_unique<Scheduler>(profile);
+}
+
+MachineProfile global_profile() {
+  return global_scheduler().profile();
+}
+
+ScopedProfile::ScopedProfile(const MachineProfile& profile)
+    : previous_(global_profile()) {
+  set_global_profile(profile);
+}
+
+ScopedProfile::~ScopedProfile() { set_global_profile(previous_); }
+
+}  // namespace pbmg::rt

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <memory>
+
+#include "runtime/machine_profile.h"
+#include "runtime/scheduler.h"
+
+/// \file global.h
+/// Process-wide scheduler instance.
+///
+/// Solvers and the tuner run against one active scheduler so that tuned
+/// timings reflect the machine profile under test (the paper tunes per
+/// machine; we tune per profile).  Benchmarks switch profiles between runs
+/// via set_global_profile or the RAII ScopedProfile.
+
+namespace pbmg::rt {
+
+/// Returns the active global scheduler, creating it with the default
+/// profile on first use.
+Scheduler& global_scheduler();
+
+/// Replaces the global scheduler with one built from `profile`.  Must not
+/// be called while tasks are in flight (callers sequence configuration
+/// between solves; this is a setup-path API).
+void set_global_profile(const MachineProfile& profile);
+
+/// Profile of the currently active global scheduler.
+MachineProfile global_profile();
+
+/// RAII helper: swaps the global profile in, restores the previous profile
+/// on destruction.  Used by tests and the per-architecture benchmarks.
+class ScopedProfile {
+ public:
+  explicit ScopedProfile(const MachineProfile& profile);
+  ~ScopedProfile();
+
+  ScopedProfile(const ScopedProfile&) = delete;
+  ScopedProfile& operator=(const ScopedProfile&) = delete;
+
+ private:
+  MachineProfile previous_;
+};
+
+}  // namespace pbmg::rt

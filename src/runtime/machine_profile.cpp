@@ -1,0 +1,74 @@
+#include "runtime/machine_profile.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "support/error.h"
+
+namespace pbmg::rt {
+
+namespace {
+
+int hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 8 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+MachineProfile harpertown_profile() {
+  MachineProfile p;
+  p.name = "harpertown";
+  p.threads = std::min(8, hardware_threads());
+  p.grain_rows = 8;
+  p.spawn_overhead_ns = 0;
+  p.sequential_cutoff_cells = 16384;
+  return p;
+}
+
+MachineProfile barcelona_profile() {
+  MachineProfile p;
+  p.name = "barcelona";
+  p.threads = std::min(8, hardware_threads());
+  p.grain_rows = 32;
+  p.spawn_overhead_ns = 500;
+  p.sequential_cutoff_cells = 32768;
+  return p;
+}
+
+MachineProfile niagara_profile() {
+  MachineProfile p;
+  p.name = "niagara";
+  p.threads = std::min(24, hardware_threads());
+  p.grain_rows = 4;
+  p.spawn_overhead_ns = 4000;
+  p.sequential_cutoff_cells = 8192;
+  return p;
+}
+
+MachineProfile serial_profile() {
+  MachineProfile p;
+  p.name = "serial";
+  p.threads = 1;
+  p.grain_rows = 1 << 30;  // never split
+  p.spawn_overhead_ns = 0;
+  p.sequential_cutoff_cells = std::int64_t{1} << 62;
+  return p;
+}
+
+MachineProfile profile_by_name(const std::string& name) {
+  if (name == "harpertown") return harpertown_profile();
+  if (name == "barcelona") return barcelona_profile();
+  if (name == "niagara") return niagara_profile();
+  if (name == "serial") return serial_profile();
+  if (name == "default") return MachineProfile{};
+  throw InvalidArgument("unknown machine profile '" + name +
+                        "' (expected harpertown|barcelona|niagara|serial|"
+                        "default)");
+}
+
+std::vector<std::string> profile_names() {
+  return {"harpertown", "barcelona", "niagara", "serial", "default"};
+}
+
+}  // namespace pbmg::rt

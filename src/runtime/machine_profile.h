@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file machine_profile.h
+/// Machine profiles stand in for the paper's three physical testbeds.
+///
+/// The paper (§4.3) shows that the optimal tuned cycle shape depends on the
+/// machine: Intel Xeon E7340 (Harpertown), AMD Opteron 2356 (Barcelona) and
+/// Sun Fire T200 (Niagara) each produce different cycles.  We cannot ship
+/// that silicon, so a profile captures the *mechanism* through which the
+/// architecture influences tuning: how many workers run, how finely work is
+/// sliced, and how expensive task creation is (Niagara's many slow threads
+/// are modelled as high per-spawn overhead).  Profiles change the relative
+/// cost of the sequential direct solver versus parallel relaxations, which
+/// is exactly what moves the tuner's decisions.
+
+namespace pbmg::rt {
+
+/// Execution-environment description used to configure the scheduler.
+struct MachineProfile {
+  /// Identifier used in configs, tables and figure labels.
+  std::string name = "default";
+
+  /// Number of worker threads (>= 1).
+  int threads = 8;
+
+  /// Minimum rows per leaf task when slicing grid sweeps; larger values
+  /// model architectures where fine-grained tasks are not profitable.
+  int grain_rows = 8;
+
+  /// Busy-wait injected on every task spawn, in nanoseconds.  Models
+  /// scheduling cost on architectures with slow scalar cores.
+  int spawn_overhead_ns = 0;
+
+  /// Parallel/sequential cutoff: grid kernels whose total work (in cells)
+  /// is at most this bound run inline instead of forking tasks.  This is
+  /// the "parallel-sequential cutoff point" PetaBricks tunes per machine
+  /// (§3.2.2); profiles carry representative values.
+  std::int64_t sequential_cutoff_cells = 16384;
+};
+
+/// Profile modelled on the paper's Intel Xeon E7340 testbed: 8 fast cores,
+/// cheap task spawns, fine grain.
+MachineProfile harpertown_profile();
+
+/// Profile modelled on the paper's AMD Opteron 2356 testbed: 8 cores,
+/// moderate spawn cost, coarser grain.
+MachineProfile barcelona_profile();
+
+/// Profile modelled on the paper's Sun Fire T200 testbed: many hardware
+/// threads with weak scalar performance (modelled as high spawn overhead and
+/// fine grain).
+MachineProfile niagara_profile();
+
+/// Single-threaded profile (reference measurements, deterministic tests).
+MachineProfile serial_profile();
+
+/// Looks up a profile by name: "harpertown", "barcelona", "niagara",
+/// "serial", or "default".  Throws pbmg::InvalidArgument for unknown names.
+MachineProfile profile_by_name(const std::string& name);
+
+/// Names accepted by profile_by_name, in presentation order.
+std::vector<std::string> profile_names();
+
+}  // namespace pbmg::rt

@@ -1,0 +1,189 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/machine_profile.h"
+#include "support/rng.h"
+
+/// \file scheduler.h
+/// Work-stealing task scheduler.
+///
+/// This reproduces the PetaBricks runtime library described in §3.2.3 of
+/// the paper: dynamic task scheduling over per-worker deques with a task
+/// stealing protocol in the style of Cilk-5.  Owners push and pop at the
+/// bottom of their own deque (depth-first, locality-friendly); idle workers
+/// steal from the top of a random victim (breadth-first, load balancing).
+///
+/// Tasks are grouped into TaskGroups; `Scheduler::wait` blocks until a
+/// group drains, and a worker that waits keeps executing tasks instead of
+/// blocking, so nested parallelism (relaxations inside recursive multigrid
+/// calls) composes without thread explosion.
+
+namespace pbmg::rt {
+
+class Scheduler;
+
+/// Test-and-test-and-set spinlock for the worker deques.  Deque critical
+/// sections are tens of nanoseconds; a futex-based std::mutex turns every
+/// contended access into a syscall, which measures at hundreds of
+/// microseconds of fork/join latency per parallel region.
+class Spinlock {
+ public:
+  void lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      while (flag_.test(std::memory_order_relaxed)) {
+#if defined(__x86_64__) || defined(__i386__)
+        __builtin_ia32_pause();
+#endif
+      }
+    }
+  }
+  bool try_lock() { return !flag_.test_and_set(std::memory_order_acquire); }
+  void unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// Completion tracker for a set of spawned tasks.  A group may be waited on
+/// exactly once per drain and can be reused after the wait returns.  The
+/// first exception thrown by a task is captured and rethrown from wait().
+class TaskGroup {
+ public:
+  TaskGroup() = default;
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+ private:
+  friend class Scheduler;
+
+  void record_exception(std::exception_ptr e);
+
+  std::atomic<std::int64_t> pending_{0};
+  std::mutex exception_mutex_;
+  std::exception_ptr first_exception_;
+};
+
+/// Work-stealing scheduler with a fixed worker pool.
+class Scheduler {
+ public:
+  /// Chunk body for parallel loops: invoked as body(chunk_begin, chunk_end).
+  using RangeBody = std::function<void(std::int64_t, std::int64_t)>;
+
+  /// Chunk function for reductions: returns the partial sum of a chunk.
+  using RangeSum = std::function<double(std::int64_t, std::int64_t)>;
+
+  /// Creates `profile.threads` workers.  Throws InvalidArgument for a
+  /// non-positive thread count.
+  explicit Scheduler(const MachineProfile& profile);
+  ~Scheduler();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Number of worker threads.
+  int thread_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Profile this scheduler was built from.
+  const MachineProfile& profile() const { return profile_; }
+
+  /// Spawns a task into `group`.  Called from a worker thread the task goes
+  /// to that worker's deque; from an external thread it is distributed
+  /// round-robin.
+  void spawn(TaskGroup& group, std::function<void()> fn);
+
+  /// Waits for all tasks in `group` to complete.  A worker thread helps by
+  /// executing tasks while waiting; an external thread blocks.  Rethrows
+  /// the first task exception.
+  void wait(TaskGroup& group);
+
+  /// Parallel loop over [begin, end): splits recursively until chunks are
+  /// at most `grain` long and invokes body(chunk_begin, chunk_end) on each.
+  /// Runs inline when the range is small or the pool has a single worker.
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const RangeBody& body);
+
+  /// Parallel sum-reduction over [begin, end): chunk_fn returns each chunk's
+  /// partial sum.  Result ordering is non-deterministic (floating-point
+  /// sums may differ across runs by rounding).
+  double parallel_reduce_sum(std::int64_t begin, std::int64_t end,
+                             std::int64_t grain, const RangeSum& chunk_fn);
+
+  /// True when the calling thread is one of this scheduler's workers.
+  bool on_worker_thread() const;
+
+  /// Grain for a row-sliced kernel over `rows` rows of `cells_per_row`
+  /// cells: applies the profile's parallel/sequential cutoff (small kernels
+  /// return a grain spanning the whole range, i.e. run inline) and its
+  /// grain_rows otherwise.
+  std::int64_t grain_for(std::int64_t rows, std::int64_t cells_per_row) const {
+    if (rows * cells_per_row <= profile_.sequential_cutoff_cells) {
+      return rows > 0 ? rows : 1;
+    }
+    return profile_.grain_rows;
+  }
+
+  /// Total number of successful steals since construction (observability;
+  /// used by tests to verify stealing actually happens).
+  std::int64_t steal_count() const {
+    return steal_count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Task {
+    /// Allocation-free fast path used by parallel_for's range splitting:
+    /// a plain function pointer plus context, avoiding one heap-allocated
+    /// std::function per split (which would be freed cross-thread and
+    /// serialise on the allocator).
+    using RangeFn = void (*)(void* context, std::int64_t begin,
+                             std::int64_t end);
+    RangeFn range_fn = nullptr;
+    void* context = nullptr;
+    std::int64_t begin = 0;
+    std::int64_t end = 0;
+    /// General path for Scheduler::spawn.
+    std::function<void()> fn;
+    TaskGroup* group = nullptr;
+  };
+
+  struct Worker {
+    std::deque<Task> deque;
+    Spinlock lock;
+    /// Lock-free occupancy hint: lets idle thieves skip empty victims
+    /// without touching `lock`, so spinning workers do not contend with
+    /// the owner's push/pop traffic.
+    std::atomic<int> approx_size{0};
+  };
+
+  void worker_main(int index);
+  bool try_pop_local(int index, Task& out);
+  bool try_steal(int thief_index, Task& out);
+  bool try_acquire_task(int index, Task& out);
+  void execute(Task task);
+  void push_task(int worker_index, Task task);
+  void spawn_range(TaskGroup& group, Task::RangeFn fn, void* context,
+                   std::int64_t begin, std::int64_t end);
+  void inject_spawn_overhead() const;
+
+  MachineProfile profile_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::int64_t> ready_tasks_{0};
+  std::atomic<std::int64_t> steal_count_{0};
+  std::atomic<std::uint64_t> external_round_robin_{0};
+  std::atomic<int> sleeper_count_{0};
+  std::mutex sleep_mutex_;
+  std::condition_variable sleep_cv_;
+};
+
+}  // namespace pbmg::rt

@@ -1,0 +1,152 @@
+#include "solvers/multigrid.h"
+
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "grid/scratch.h"
+#include "solvers/relax.h"
+
+namespace pbmg::solvers {
+
+namespace {
+
+void smooth(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
+            int sweeps, rt::Scheduler& sched) {
+  if (options.relaxation == RelaxKind::kSor) {
+    for (int s = 0; s < sweeps; ++s) {
+      sor_sweep(x, b, options.omega, sched);
+    }
+  } else {
+    auto scratch_lease = grid::ScratchPool::global().acquire(x.n());
+    for (int s = 0; s < sweeps; ++s) {
+      jacobi_sweep(x, b, kJacobiOmega, scratch_lease.get(), sched);
+    }
+  }
+}
+
+void vcycle_impl(Grid2D& x, const Grid2D& b, int level,
+                 const VCycleOptions& options, rt::Scheduler& sched,
+                 DirectSolver& direct) {
+  if (level <= options.direct_level) {
+    direct.solve(b, x);
+    return;
+  }
+  smooth(x, b, options, options.pre_relax, sched);
+  const int n = x.n();
+  auto& pool = grid::ScratchPool::global();
+  auto r_lease = pool.acquire(n);
+  Grid2D& r = r_lease.get();  // residual() writes every cell
+  grid::residual(x, b, r, sched);
+  const int nc = coarse_size(n);
+  auto rc_lease = pool.acquire(nc);
+  Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
+  grid::restrict_full_weighting(r, rc, sched);
+  // Error equation on the coarse grid: zero initial guess, zero Dirichlet
+  // ring (the error of a Dirichlet problem vanishes on the boundary).
+  auto e_lease = pool.acquire(nc);
+  Grid2D& e = e_lease.get();
+  e.fill(0.0);
+  vcycle_impl(e, rc, level - 1, options, sched, direct);
+  grid::interpolate_add(e, x, sched);
+  smooth(x, b, options, options.post_relax, sched);
+}
+
+void fmg_impl(Grid2D& x, const Grid2D& b, int level,
+              const VCycleOptions& options, rt::Scheduler& sched,
+              DirectSolver& direct) {
+  if (level <= options.direct_level) {
+    direct.solve(b, x);
+    return;
+  }
+  // Coarsen the *problem*: boundary ring travels by injection, the RHS by
+  // full weighting.
+  const int nc = coarse_size(x.n());
+  auto& pool = grid::ScratchPool::global();
+  auto xc_lease = pool.acquire(nc);
+  Grid2D& xc = xc_lease.get();  // injection writes every cell
+  grid::restrict_inject(x, xc, sched);
+  auto bc_lease = pool.acquire(nc);
+  Grid2D& bc = bc_lease.get();
+  grid::restrict_full_weighting(b, bc, sched);
+  fmg_impl(xc, bc, level - 1, options, sched, direct);
+  // Lift the coarse solution as the fine initial guess, then polish with
+  // one V-cycle (classical FMG ramp).
+  grid::interpolate_assign(xc, x, sched);
+  vcycle_impl(x, b, level, options, sched, direct);
+}
+
+}  // namespace
+
+void vcycle(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
+            rt::Scheduler& sched, DirectSolver& direct) {
+  PBMG_CHECK(x.n() == b.n(), "vcycle: grid size mismatch");
+  const int level = level_of_size(x.n());
+  PBMG_CHECK(options.direct_level >= 1,
+             "vcycle: direct_level must be >= 1 (N = 3 base case)");
+  vcycle_impl(x, b, level, options, sched, direct);
+}
+
+void full_multigrid(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
+                    rt::Scheduler& sched, DirectSolver& direct) {
+  PBMG_CHECK(x.n() == b.n(), "full_multigrid: grid size mismatch");
+  const int level = level_of_size(x.n());
+  PBMG_CHECK(options.direct_level >= 1,
+             "full_multigrid: direct_level must be >= 1");
+  fmg_impl(x, b, level, options, sched, direct);
+}
+
+IterationOutcome solve_iterated_sor(Grid2D& x, const Grid2D& b, double omega,
+                                    int max_iterations, const StopFn& stop,
+                                    rt::Scheduler& sched) {
+  IterationOutcome out;
+  for (int it = 1; it <= max_iterations; ++it) {
+    sor_sweep(x, b, omega, sched);
+    out.iterations = it;
+    if (stop && stop(x, it)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+IterationOutcome solve_reference_v(Grid2D& x, const Grid2D& b,
+                                   const VCycleOptions& options,
+                                   int max_iterations, const StopFn& stop,
+                                   rt::Scheduler& sched,
+                                   DirectSolver& direct) {
+  IterationOutcome out;
+  for (int it = 1; it <= max_iterations; ++it) {
+    vcycle(x, b, options, sched, direct);
+    out.iterations = it;
+    if (stop && stop(x, it)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+IterationOutcome solve_reference_fmg(Grid2D& x, const Grid2D& b,
+                                     const VCycleOptions& options,
+                                     int max_iterations, const StopFn& stop,
+                                     rt::Scheduler& sched,
+                                     DirectSolver& direct) {
+  IterationOutcome out;
+  full_multigrid(x, b, options, sched, direct);
+  out.iterations = 1;
+  if (stop && stop(x, 1)) {
+    out.converged = true;
+    return out;
+  }
+  for (int it = 2; it <= max_iterations; ++it) {
+    vcycle(x, b, options, sched, direct);
+    out.iterations = it;
+    if (stop && stop(x, it)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace pbmg::solvers

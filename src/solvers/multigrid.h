@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+
+#include "grid/grid2d.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "solvers/relax.h"
+
+/// \file multigrid.h
+/// Classical multigrid building blocks and the paper's reference
+/// algorithms (§2.1 MULTIGRID-V-SIMPLE, §4.2.2 reference iterated-V and
+/// reference full-multigrid).
+///
+/// All routines solve A·x = b in place: `x` enters holding the Dirichlet
+/// ring plus the current interior guess and leaves holding the improved
+/// solution.
+
+namespace pbmg::solvers {
+
+/// Smoother selection for the classical cycles.  The paper restricted its
+/// search to Red-Black SOR after finding it beat weighted Jacobi on its
+/// training data (§2.3); Jacobi is kept for the ablation that verifies
+/// that finding (bench/ablation_smoother).
+enum class RelaxKind { kSor, kJacobi };
+
+/// Parameters of a classical V-cycle.
+struct VCycleOptions {
+  int pre_relax = 1;             ///< smoothing sweeps before coarsening
+  int post_relax = 1;            ///< smoothing sweeps after the correction
+  double omega = kRecurseOmega;  ///< relaxation weight (paper: 1.15)
+  int direct_level = 1;          ///< recursion level solved directly (1 ⇒ N=3)
+  RelaxKind relaxation = RelaxKind::kSor;  ///< smoother (paper: SOR)
+};
+
+/// One V-cycle on A·x = b (recursion down to options.direct_level).
+/// This is the body of the paper's MULTIGRID-V-SIMPLE when options are the
+/// defaults.
+void vcycle(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
+            rt::Scheduler& sched, DirectSolver& direct);
+
+/// One full-multigrid pass: recursively solves the restricted *problem*
+/// to seed the fine-grid initial guess, then runs one V-cycle per level on
+/// the way up (the classical FMG ramp of the paper's Figure 3).
+void full_multigrid(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
+                    rt::Scheduler& sched, DirectSolver& direct);
+
+/// Stop predicate for the iterate-until-converged reference drivers; called
+/// after each iteration with the current iterate and 1-based iteration
+/// index.  Return true to stop.
+using StopFn = std::function<bool(const Grid2D& x, int iteration)>;
+
+/// Result of an iterate-until-converged run.
+struct IterationOutcome {
+  int iterations = 0;     ///< iterations actually executed
+  bool converged = false; ///< true when the stop predicate fired
+};
+
+/// Iterated Red-Black SOR: sweeps with the given ω until stop() or
+/// max_iterations.  The paper's "SOR" baseline (Fig. 6) uses ω_opt(n).
+IterationOutcome solve_iterated_sor(Grid2D& x, const Grid2D& b, double omega,
+                                    int max_iterations, const StopFn& stop,
+                                    rt::Scheduler& sched);
+
+/// The paper's "Multigrid" baseline: MULTIGRID-V-SIMPLE iterated until
+/// stop() or max_iterations (reference V-cycle algorithm of §4.2.2).
+IterationOutcome solve_reference_v(Grid2D& x, const Grid2D& b,
+                                   const VCycleOptions& options,
+                                   int max_iterations, const StopFn& stop,
+                                   rt::Scheduler& sched, DirectSolver& direct);
+
+/// The paper's reference full-multigrid algorithm (§4.2.2): one standard
+/// full-multigrid ramp, then standard V-cycles until stop().
+IterationOutcome solve_reference_fmg(Grid2D& x, const Grid2D& b,
+                                     const VCycleOptions& options,
+                                     int max_iterations, const StopFn& stop,
+                                     rt::Scheduler& sched,
+                                     DirectSolver& direct);
+
+}  // namespace pbmg::solvers

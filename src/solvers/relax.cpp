@@ -1,0 +1,75 @@
+#include "solvers/relax.h"
+
+#include <cmath>
+
+#include "grid/level.h"
+
+namespace pbmg::solvers {
+
+double omega_opt(int n) {
+  PBMG_CHECK(n >= 3, "omega_opt: n must be >= 3");
+  const double h = mesh_width(n);
+  return 2.0 / (1.0 + std::sin(M_PI * h));
+}
+
+void sor_sweep(Grid2D& x, const Grid2D& b, double omega,
+               rt::Scheduler& sched) {
+  PBMG_CHECK(is_valid_grid_size(x.n()), "sor_sweep: grid size must be 2^k+1");
+  PBMG_CHECK(x.n() == b.n(), "sor_sweep: grid size mismatch");
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double quarter_omega = 0.25 * omega;
+  const double keep = 1.0 - omega;
+  // parity 0 = "red" cells ((i + j) even), parity 1 = "black".
+  for (int parity = 0; parity <= 1; ++parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            const int j0 = 1 + ((i + 1 + parity) & 1);
+            for (int j = j0; j < n - 1; j += 2) {
+              mid[j] = keep * mid[j] +
+                       quarter_omega * (h2 * rhs[j] + up[j] + down[j] +
+                                        mid[j - 1] + mid[j + 1]);
+            }
+          }
+        });
+  }
+}
+
+void jacobi_sweep(Grid2D& x, const Grid2D& b, double omega, Grid2D& scratch,
+                  rt::Scheduler& sched) {
+  PBMG_CHECK(is_valid_grid_size(x.n()), "jacobi_sweep: grid size must be 2^k+1");
+  PBMG_CHECK(x.n() == b.n() && x.n() == scratch.n(),
+             "jacobi_sweep: grid size mismatch");
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double quarter_omega = 0.25 * omega;
+  const double keep = 1.0 - omega;
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const double* rhs = b.row(i);
+          double* out = scratch.row(i);
+          for (int j = 1; j < n - 1; ++j) {
+            out[j] = keep * mid[j] +
+                     quarter_omega * (h2 * rhs[j] + up[j] + down[j] +
+                                      mid[j - 1] + mid[j + 1]);
+          }
+        }
+      });
+  // The sweep only wrote scratch's interior; carry the ring over before the
+  // swap so boundary data survives.
+  scratch.copy_boundary_from(x);
+  x.swap(scratch);
+}
+
+}  // namespace pbmg::solvers

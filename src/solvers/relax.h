@@ -1,0 +1,41 @@
+#pragma once
+
+#include "grid/grid2d.h"
+#include "runtime/scheduler.h"
+
+/// \file relax.h
+/// Relaxation kernels: Red-Black Successive Over-Relaxation and weighted
+/// Jacobi.
+///
+/// The paper restricts its search space to Red-Black SOR (§2.3): the
+/// iterative shortcut uses ω_opt(N) — the optimal SOR weight for the 2-D
+/// Poisson problem with Dirichlet boundaries — while the relaxations inside
+/// RECURSE use the fixed weight 1.15 chosen by the authors.  Weighted
+/// Jacobi is provided as the alternative the paper measured and rejected.
+
+namespace pbmg::solvers {
+
+/// Optimal SOR relaxation parameter for the 2-D discrete Poisson problem
+/// with Dirichlet boundaries on an n×n grid:  ω = 2 / (1 + sin(π·h)),
+/// h = 1/(n−1)   [Demmel, Applied Numerical Linear Algebra].
+double omega_opt(int n);
+
+/// SOR weight used inside RECURSE by the paper (§2.3).
+inline constexpr double kRecurseOmega = 1.15;
+
+/// Damping factor commonly used for weighted Jacobi smoothing.
+inline constexpr double kJacobiOmega = 2.0 / 3.0;
+
+/// One full red-black SOR sweep (red half-sweep then black half-sweep) on
+/// A·x = b.  Cells of one colour depend only on the other colour, so each
+/// half-sweep is row-parallel.  The boundary ring of x is read, not
+/// written.
+void sor_sweep(Grid2D& x, const Grid2D& b, double omega,
+               rt::Scheduler& sched);
+
+/// One weighted-Jacobi sweep.  `scratch` must match x's size; on return x
+/// holds the new iterate (contents are swapped, scratch holds the old).
+void jacobi_sweep(Grid2D& x, const Grid2D& b, double omega, Grid2D& scratch,
+                  rt::Scheduler& sched);
+
+}  // namespace pbmg::solvers

@@ -1,0 +1,167 @@
+#include "support/argparse.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pbmg {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_string(const std::string& name, std::string default_value,
+                           std::string help) {
+  Spec spec;
+  spec.kind = Kind::String;
+  spec.help = std::move(help);
+  spec.default_repr = default_value;
+  spec.string_value = std::move(default_value);
+  specs_[name] = std::move(spec);
+  order_.push_back(name);
+}
+
+void ArgParser::add_int(const std::string& name, std::int64_t default_value,
+                        std::string help) {
+  Spec spec;
+  spec.kind = Kind::Int;
+  spec.help = std::move(help);
+  spec.default_repr = std::to_string(default_value);
+  spec.int_value = default_value;
+  specs_[name] = std::move(spec);
+  order_.push_back(name);
+}
+
+void ArgParser::add_double(const std::string& name, double default_value,
+                           std::string help) {
+  Spec spec;
+  spec.kind = Kind::Double;
+  spec.help = std::move(help);
+  spec.default_repr = std::to_string(default_value);
+  spec.double_value = default_value;
+  specs_[name] = std::move(spec);
+  order_.push_back(name);
+}
+
+void ArgParser::add_flag(const std::string& name, std::string help) {
+  Spec spec;
+  spec.kind = Kind::Flag;
+  spec.help = std::move(help);
+  spec.default_repr = "false";
+  spec.flag_value = false;
+  specs_[name] = std::move(spec);
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") return false;
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::optional<std::string> value;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+    }
+    auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      throw InvalidArgument("unknown flag --" + name + " (try --help)");
+    }
+    Spec& spec = it->second;
+    if (spec.kind == Kind::Flag) {
+      spec.flag_value = !value || *value == "true" || *value == "1";
+      continue;
+    }
+    if (!value) {
+      if (i + 1 >= argc) {
+        throw InvalidArgument("flag --" + name + " expects a value");
+      }
+      value = argv[++i];
+    }
+    try {
+      switch (spec.kind) {
+        case Kind::String:
+          spec.string_value = *value;
+          break;
+        case Kind::Int:
+          spec.int_value = std::stoll(*value);
+          break;
+        case Kind::Double:
+          spec.double_value = std::stod(*value);
+          break;
+        case Kind::Flag:
+          break;  // handled above
+      }
+    } catch (const std::exception&) {
+      throw InvalidArgument("invalid value '" + *value + "' for flag --" +
+                            name);
+    }
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::find(const std::string& name,
+                                       Kind kind) const {
+  auto it = specs_.find(name);
+  if (it == specs_.end() || it->second.kind != kind) {
+    throw InvalidArgument("flag --" + name +
+                          " was not registered with the requested type");
+  }
+  return it->second;
+}
+
+const std::string& ArgParser::get_string(const std::string& name) const {
+  return find(name, Kind::String).string_value;
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  return find(name, Kind::Int).int_value;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  return find(name, Kind::Double).double_value;
+}
+
+bool ArgParser::get_flag(const std::string& name) const {
+  return find(name, Kind::Flag).flag_value;
+}
+
+std::string ArgParser::help_text() const {
+  std::ostringstream oss;
+  oss << program_ << " — " << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const Spec& spec = specs_.at(name);
+    oss << "  --" << name;
+    switch (spec.kind) {
+      case Kind::String: oss << " <string>"; break;
+      case Kind::Int: oss << " <int>"; break;
+      case Kind::Double: oss << " <float>"; break;
+      case Kind::Flag: break;
+    }
+    oss << "  (default: " << spec.default_repr << ")\n      " << spec.help
+        << "\n";
+  }
+  return oss.str();
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  try {
+    return std::stoll(raw);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw == nullptr ? fallback : std::string(raw);
+}
+
+}  // namespace pbmg

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+/// \file argparse.h
+/// A small command-line flag parser shared by benchmark binaries and
+/// examples.  Supports `--name value`, `--name=value`, and boolean
+/// `--flag` switches, plus `--help` text generation.
+
+namespace pbmg {
+
+/// Declarative command-line parser.  Register flags, then parse().
+class ArgParser {
+ public:
+  /// \param program     argv[0]-style name used in help text.
+  /// \param description one-line summary printed at the top of --help.
+  ArgParser(std::string program, std::string description);
+
+  /// Registers a string-valued flag with a default.
+  void add_string(const std::string& name, std::string default_value,
+                  std::string help);
+
+  /// Registers an integer-valued flag with a default.
+  void add_int(const std::string& name, std::int64_t default_value,
+               std::string help);
+
+  /// Registers a double-valued flag with a default.
+  void add_double(const std::string& name, double default_value,
+                  std::string help);
+
+  /// Registers a boolean switch (defaults to false; presence sets true,
+  /// `--name=false` clears).
+  void add_flag(const std::string& name, std::string help);
+
+  /// Parses argv.  Throws pbmg::InvalidArgument on unknown flags or
+  /// malformed values.  Returns false if --help was requested (help text is
+  /// then available via help_text(); callers should exit 0).
+  bool parse(int argc, const char* const* argv);
+
+  /// Typed accessors; throw InvalidArgument if the flag was not registered
+  /// with a matching type.
+  const std::string& get_string(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_flag(const std::string& name) const;
+
+  /// Leftover positional arguments in order of appearance.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Rendered help text.
+  std::string help_text() const;
+
+ private:
+  enum class Kind { String, Int, Double, Flag };
+  struct Spec {
+    Kind kind;
+    std::string help;
+    std::string string_value;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    bool flag_value = false;
+    std::string default_repr;
+  };
+
+  const Spec& find(const std::string& name, Kind kind) const;
+  Spec& find_mutable(const std::string& name);
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Spec> specs_;
+  std::vector<std::string> order_;
+  std::vector<std::string> positional_;
+};
+
+/// Reads an environment variable as int64; returns fallback when unset or
+/// unparseable.  Used for knobs like PBMG_MAX_N that scale benchmark sizes.
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Reads an environment variable as string; returns fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace pbmg

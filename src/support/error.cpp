@@ -1,0 +1,15 @@
+#include "support/error.h"
+
+#include <sstream>
+
+namespace pbmg::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& message) {
+  std::ostringstream oss;
+  oss << message << " [check `" << expr << "` failed at " << file << ':'
+      << line << ']';
+  throw InvalidArgument(oss.str());
+}
+
+}  // namespace pbmg::detail

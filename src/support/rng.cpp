@@ -1,0 +1,66 @@
+#include "support/rng.h"
+
+#include "support/error.h"
+
+namespace pbmg {
+
+namespace {
+
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform01() {
+  // 53 high bits -> double in [0, 1) with full mantissa resolution.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  PBMG_CHECK(lo <= hi, "uniform(lo, hi) requires lo <= hi");
+  return lo + (hi - lo) * uniform01();
+}
+
+std::uint64_t Rng::uniform_index(std::uint64_t n) {
+  PBMG_CHECK(n > 0, "uniform_index requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = n * ((~std::uint64_t{0}) / n);
+  std::uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return x % n;
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  // Derive a new seed by mixing the parent seed with the stream id through
+  // SplitMix64; streams are decorrelated because SplitMix64 is a bijective
+  // mixing of its 64-bit counter.
+  SplitMix64 sm(seed_ ^ (0x6a09e667f3bcc909ull + stream * 0x3c6ef372fe94f82bull));
+  return Rng(sm.next());
+}
+
+}  // namespace pbmg

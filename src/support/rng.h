@@ -1,0 +1,63 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+/// \file rng.h
+/// Deterministic pseudo-random number generation.
+///
+/// The paper's experiments draw right-hand sides and boundary conditions
+/// from uniform distributions over [-2^32, 2^32] (unbiased) and the same
+/// distribution shifted by +2^31 (biased).  Reproducing tuned cycle shapes
+/// requires bit-reproducible training data, so we ship our own generator
+/// (xoshiro256++) instead of relying on unspecified standard-library
+/// engines.  Streams can be split so that independent training instances
+/// stay decorrelated.
+
+namespace pbmg {
+
+/// SplitMix64 generator, used for seeding xoshiro state.
+/// Reference: Steele, Lea, Flood, "Fast splittable pseudorandom number
+/// generators", OOPSLA 2014.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  /// Returns the next 64-bit value in the stream.
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256++ generator: fast, high-quality, 2^256-1 period.
+/// Reference: Blackman & Vigna, "Scrambled linear pseudorandom number
+/// generators", ACM TOMS 2021.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from a single user seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Returns the next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Returns a double uniform in [0, 1).
+  double uniform01();
+
+  /// Returns a double uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Returns an integer uniform in [0, n).  Requires n > 0.
+  std::uint64_t uniform_index(std::uint64_t n);
+
+  /// Returns an independent generator for a named substream.  The same
+  /// (seed, stream) pair always produces the same stream, and distinct
+  /// stream ids produce decorrelated sequences.
+  Rng split(std::uint64_t stream) const;
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+  std::uint64_t seed_;
+};
+
+}  // namespace pbmg

@@ -1,0 +1,89 @@
+#include "support/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "support/error.h"
+
+namespace pbmg {
+
+void SampleStats::add(double x) { samples_.push_back(x); }
+
+std::vector<double> SampleStats::sorted() const {
+  std::vector<double> copy = samples_;
+  std::sort(copy.begin(), copy.end());
+  return copy;
+}
+
+double SampleStats::mean() const {
+  PBMG_CHECK(!samples_.empty(), "mean of empty sample set");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  PBMG_CHECK(!samples_.empty(), "min of empty sample set");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  PBMG_CHECK(!samples_.empty(), "max of empty sample set");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::median() const { return percentile(50.0); }
+
+double SampleStats::stddev() const {
+  PBMG_CHECK(!samples_.empty(), "stddev of empty sample set");
+  if (samples_.size() == 1) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (double x : samples_) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::geomean() const {
+  PBMG_CHECK(!samples_.empty(), "geomean of empty sample set");
+  double log_sum = 0.0;
+  for (double x : samples_) {
+    PBMG_CHECK(x > 0.0, "geomean requires positive samples");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(samples_.size()));
+}
+
+double SampleStats::percentile(double p) const {
+  PBMG_CHECK(!samples_.empty(), "percentile of empty sample set");
+  PBMG_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0, 100]");
+  const std::vector<double> s = sorted();
+  if (s.size() == 1) return s.front();
+  const double rank = p / 100.0 * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return s[lo] + frac * (s[hi] - s[lo]);
+}
+
+double log_log_slope(const std::vector<double>& xs,
+                     const std::vector<double>& ys) {
+  PBMG_CHECK(xs.size() == ys.size(), "log_log_slope: size mismatch");
+  PBMG_CHECK(xs.size() >= 2, "log_log_slope: need at least two points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    PBMG_CHECK(xs[i] > 0.0 && ys[i] > 0.0,
+               "log_log_slope requires positive data");
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = n * sxx - sx * sx;
+  PBMG_CHECK(denom != 0.0, "log_log_slope: degenerate x values");
+  return (n * sxy - sx * sy) / denom;
+}
+
+}  // namespace pbmg

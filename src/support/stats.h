@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+/// \file stats.h
+/// Small statistics helpers for timing measurements and benchmark tables.
+
+namespace pbmg {
+
+/// Accumulates samples and answers summary queries.  Storage is O(n) so the
+/// exact median/percentiles can be reported; benchmark sample counts are
+/// tiny.
+class SampleStats {
+ public:
+  /// Adds one sample.
+  void add(double x);
+
+  /// Number of samples added.
+  std::size_t count() const { return samples_.size(); }
+
+  /// Arithmetic mean.  Requires count() > 0.
+  double mean() const;
+
+  /// Smallest sample.  Requires count() > 0.
+  double min() const;
+
+  /// Largest sample.  Requires count() > 0.
+  double max() const;
+
+  /// Median (average of the two middle samples for even counts).
+  /// Requires count() > 0.
+  double median() const;
+
+  /// Sample standard deviation (n-1 denominator); 0 for a single sample.
+  double stddev() const;
+
+  /// Geometric mean.  Requires count() > 0 and all samples > 0.
+  double geomean() const;
+
+  /// p-th percentile via linear interpolation, p in [0, 100].
+  /// Requires count() > 0.
+  double percentile(double p) const;
+
+  /// All samples in insertion order.
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> sorted() const;
+  std::vector<double> samples_;
+};
+
+/// Ordinary least squares fit of log(y) = a + b * log(x); returns the
+/// exponent b.  Used to report empirical complexity exponents (paper's
+/// Direct = N^4, SOR = N^3, Multigrid = N^2 table).  Requires xs and ys to
+/// have equal size >= 2 and strictly positive entries.
+double log_log_slope(const std::vector<double>& xs,
+                     const std::vector<double>& ys);
+
+}  // namespace pbmg

@@ -1,0 +1,111 @@
+#include "support/table.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pbmg {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  PBMG_CHECK(!headers_.empty(), "TextTable requires at least one column");
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PBMG_CHECK(row.size() == headers_.size(),
+             "TextTable row arity does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream oss;
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "" : "  ");
+      oss << row[c];
+      oss << std::string(widths[c] - row[c].size(), ' ');
+    }
+    oss << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  oss << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return oss.str();
+}
+
+std::string TextTable::to_csv() const {
+  const auto quote = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+      if (c == '"') out += "\"\"";
+      else out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+  };
+  std::ostringstream oss;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    oss << (c == 0 ? "" : ",") << quote(headers_[c]);
+  }
+  oss << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      oss << (c == 0 ? "" : ",") << quote(row[c]);
+    }
+    oss << '\n';
+  }
+  return oss.str();
+}
+
+std::string format_double(double value, int digits) {
+  if (std::isnan(value)) return "n/a";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+  return buf;
+}
+
+std::string format_seconds(double seconds) {
+  if (std::isnan(seconds)) return "n/a";
+  if (std::isinf(seconds)) return "inf";
+  char buf[64];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", seconds);
+  } else if (seconds >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", seconds * 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f us", seconds * 1e6);
+  }
+  return buf;
+}
+
+std::string format_accuracy(double accuracy) {
+  const double exponent = std::log10(accuracy);
+  const double rounded = std::round(exponent);
+  char buf[32];
+  if (std::abs(exponent - rounded) < 1e-9) {
+    std::snprintf(buf, sizeof buf, "10^%d", static_cast<int>(rounded));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.3g", accuracy);
+  }
+  return buf;
+}
+
+}  // namespace pbmg

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file table.h
+/// Text-table and CSV rendering used by the benchmark harness so every
+/// figure/table binary prints the same rows/series the paper reports, in a
+/// form that is both human-readable and machine-parsable.
+
+namespace pbmg {
+
+/// Column-aligned text table with a header row.  Cells are free-form
+/// strings; numeric formatting helpers are provided.
+class TextTable {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a data row.  Must match the header arity.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders the table with aligned columns and a separator rule.
+  std::string render() const;
+
+  /// Renders the table as CSV (RFC-4180 quoting for cells containing
+  /// commas or quotes).
+  std::string to_csv() const;
+
+  /// Number of data rows.
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` significant digits (trailing zeros
+/// trimmed); "n/a" for NaN, "inf" for infinities.
+std::string format_double(double value, int digits = 4);
+
+/// Formats seconds adaptively (e.g. "1.23 s", "4.56 ms", "789 us").
+std::string format_seconds(double seconds);
+
+/// Formats an accuracy level like 1e9 as "10^9" to match the paper's
+/// notation.
+std::string format_accuracy(double accuracy);
+
+}  // namespace pbmg

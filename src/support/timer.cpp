@@ -1,0 +1,26 @@
+#include "support/timer.h"
+
+#include <limits>
+
+namespace pbmg {
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch())
+      .count();
+}
+
+Deadline::Deadline(double budget_seconds)
+    : deadline_seconds_(now_seconds() + budget_seconds) {}
+
+Deadline Deadline::unlimited() {
+  Deadline d(0.0);
+  d.deadline_seconds_ = std::numeric_limits<double>::infinity();
+  return d;
+}
+
+bool Deadline::expired() const { return now_seconds() >= deadline_seconds_; }
+
+double Deadline::remaining() const { return deadline_seconds_ - now_seconds(); }
+
+}  // namespace pbmg

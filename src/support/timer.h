@@ -1,0 +1,54 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file timer.h
+/// Wall-clock measurement used by the autotuner and the benchmark harness.
+
+namespace pbmg {
+
+/// Returns a monotonic wall-clock timestamp in seconds.
+double now_seconds();
+
+/// Simple RAII-free stopwatch.  `elapsed()` may be called repeatedly;
+/// `restart()` resets the origin.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Resets the stopwatch origin to now.
+  void restart() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Budgeted deadline: lets long-running measurement loops bail out early
+/// once they can no longer beat the best candidate seen so far.  A budget
+/// of infinity never expires.
+class Deadline {
+ public:
+  /// Creates a deadline `budget_seconds` from now.
+  explicit Deadline(double budget_seconds);
+
+  /// Creates a deadline that never expires.
+  static Deadline unlimited();
+
+  /// True once the budget is exhausted.
+  bool expired() const;
+
+  /// Seconds remaining (negative once expired, +inf for unlimited).
+  double remaining() const;
+
+ private:
+  double deadline_seconds_;  // absolute time in now_seconds() units
+};
+
+}  // namespace pbmg

@@ -1,0 +1,106 @@
+#include "trace/cycle_trace.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pbmg::trace {
+
+namespace {
+
+/// Simple growable character canvas with (row, col) addressing.
+class Canvas {
+ public:
+  explicit Canvas(int rows) : lines_(static_cast<std::size_t>(rows)) {}
+
+  void put(int row, int col, char c) {
+    auto& line = lines_[static_cast<std::size_t>(row)];
+    if (static_cast<int>(line.size()) <= col) {
+      line.resize(static_cast<std::size_t>(col) + 1, ' ');
+    }
+    line[static_cast<std::size_t>(col)] = c;
+  }
+
+  int put_string(int row, int col, const std::string& s) {
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      put(row, col + static_cast<int>(i), s[i]);
+    }
+    return col + static_cast<int>(s.size());
+  }
+
+  const std::vector<std::string>& lines() const { return lines_; }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+}  // namespace
+
+std::string render_cycle(const std::vector<Event>& events) {
+  if (events.empty()) return "(empty trace)\n";
+  int top = events.front().level;
+  int bottom = events.front().level;
+  for (const Event& e : events) {
+    top = std::max(top, e.level);
+    // Restriction touches level − 1 implicitly.
+    bottom = std::min(bottom, e.op == Op::kRestrict ? e.level - 1 : e.level);
+  }
+  // Two text rows per level gap: level k sits at row 2·(top−k), the
+  // between-row below it holds the restriction/interpolation slashes.
+  const int rows = 2 * (top - bottom) + 1;
+  Canvas canvas(rows);
+  const auto level_row = [top](int level) { return 2 * (top - level); };
+  int col = 0;
+  for (const Event& e : events) {
+    switch (e.op) {
+      case Op::kRelax:
+        canvas.put(level_row(e.level), col, '*');
+        col += 1;
+        break;
+      case Op::kRestrict:
+        canvas.put(level_row(e.level) + 1, col, '\\');
+        col += 1;
+        break;
+      case Op::kInterpolate:
+        canvas.put(level_row(e.level) + 1, col, '/');
+        col += 1;
+        break;
+      case Op::kDirect:
+        col = canvas.put_string(level_row(e.level), col, "D");
+        break;
+      case Op::kIterative: {
+        std::ostringstream token;
+        token << 'S' << e.detail;
+        col = canvas.put_string(level_row(e.level), col, token.str());
+        break;
+      }
+    }
+  }
+  std::ostringstream out;
+  for (int r = 0; r < rows; ++r) {
+    if (r % 2 == 0) {
+      const int level = top - r / 2;
+      out << "level " << (level < 10 ? " " : "") << level << " | ";
+    } else {
+      out << "         | ";
+    }
+    out << canvas.lines()[static_cast<std::size_t>(r)] << '\n';
+  }
+  return out.str();
+}
+
+std::string summarize(const std::vector<Event>& events) {
+  std::map<Op, int> counts;
+  for (const Event& e : events) counts[e.op]++;
+  std::ostringstream oss;
+  oss << "relax=" << counts[Op::kRelax]
+      << " restrict=" << counts[Op::kRestrict]
+      << " interpolate=" << counts[Op::kInterpolate]
+      << " direct=" << counts[Op::kDirect]
+      << " iterative=" << counts[Op::kIterative];
+  return oss.str();
+}
+
+}  // namespace pbmg::trace

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+/// \file cycle_trace.h
+/// Event-level tracing of multigrid executions and ASCII rendering of the
+/// resulting cycle shapes, reproducing the paper's cycle diagrams
+/// (Figures 5 and 14) in extended multigrid notation: time flows left to
+/// right, downward moves are restrictions, upward moves interpolations,
+/// dots are relaxations, `D` is a direct solve and `S` an iterative (SOR)
+/// solve.
+
+namespace pbmg::trace {
+
+/// Kinds of events a solver emits.
+enum class Op {
+  kRelax,        ///< one relaxation sweep at `level`
+  kRestrict,     ///< residual restriction from `level` to `level − 1`
+  kInterpolate,  ///< correction interpolation from `level − 1` to `level`
+  kDirect,       ///< direct solve at `level`
+  kIterative,    ///< iterative (SOR) solve at `level`; detail = sweeps
+};
+
+/// One trace event.  `level` is the multigrid recursion level
+/// (grid side 2^level + 1); `detail` carries op-specific data.
+struct Event {
+  Op op;
+  int level;
+  int detail = 0;
+};
+
+/// Collects events during a traced execution.  Not thread-safe by design:
+/// traced runs are diagnostic, single-flow executions.
+class CycleTracer {
+ public:
+  /// Appends an event.
+  void record(Op op, int level, int detail = 0) {
+    events_.push_back(Event{op, level, detail});
+  }
+
+  /// All recorded events in order.
+  const std::vector<Event>& events() const { return events_; }
+
+  /// Discards recorded events.
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<Event> events_;
+};
+
+/// Renders an event sequence as an ASCII cycle diagram.  Levels label the
+/// rows (finest at the top); every event advances one column.
+///   *  relaxation      \\  restriction      /  interpolation
+///   D  direct solve    S<n>  iterative solve of n sweeps
+std::string render_cycle(const std::vector<Event>& events);
+
+/// One-line summary: counts of each op kind (useful in tests and logs).
+std::string summarize(const std::vector<Event>& events);
+
+}  // namespace pbmg::trace

@@ -1,0 +1,46 @@
+#include "tune/accuracy.h"
+
+#include <limits>
+
+#include "grid/grid_ops.h"
+
+namespace pbmg::tune {
+
+TrainingInstance make_training_instance(int n, InputDistribution dist,
+                                        Rng& rng, rt::Scheduler& sched) {
+  TrainingInstance inst;
+  inst.problem = make_problem(n, dist, rng);
+  inst.x_opt = Grid2D(n, 0.0);
+  fft::FastPoissonSolver oracle(n);
+  oracle.solve(inst.problem.b, inst.problem.x0, inst.x_opt, sched);
+  inst.initial_error =
+      grid::norm2_diff_interior(inst.problem.x0, inst.x_opt, sched);
+  return inst;
+}
+
+std::vector<TrainingInstance> make_training_set(int n, InputDistribution dist,
+                                                const Rng& base_rng, int count,
+                                                rt::Scheduler& sched) {
+  PBMG_CHECK(count >= 1, "make_training_set: count must be >= 1");
+  std::vector<TrainingInstance> set;
+  set.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Rng rng = base_rng.split(static_cast<std::uint64_t>(i) + 1);
+    set.push_back(make_training_instance(n, dist, rng, sched));
+  }
+  return set;
+}
+
+double error_against(const TrainingInstance& inst, const Grid2D& x,
+                     rt::Scheduler& sched) {
+  return grid::norm2_diff_interior(x, inst.x_opt, sched);
+}
+
+double accuracy_of(const TrainingInstance& inst, const Grid2D& x,
+                   rt::Scheduler& sched) {
+  const double err = error_against(inst, x, sched);
+  if (err == 0.0) return std::numeric_limits<double>::infinity();
+  return inst.initial_error / err;
+}
+
+}  // namespace pbmg::tune

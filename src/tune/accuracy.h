@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "fft/fast_poisson.h"
+#include "grid/grid2d.h"
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+#include "support/rng.h"
+
+/// \file accuracy.h
+/// The paper's accuracy metric (§2.2) and training instances.
+///
+/// An algorithm's *accuracy level* on an input is
+///     acc = ||x_in − x_opt||₂ / ||x_out − x_opt||₂
+/// — the factor by which it reduces the error against the optimal solution
+/// (higher is better).  Measuring it requires x_opt, which we obtain to
+/// machine precision from the DST-based fast Poisson solver.
+
+namespace pbmg::tune {
+
+/// One training (or evaluation) instance: a problem plus its exact discrete
+/// solution and the error norm of the canonical zero-interior start.
+struct TrainingInstance {
+  PoissonProblem problem;
+  Grid2D x_opt;
+  double initial_error = 0.0;  ///< ||x0 − x_opt||₂ over the interior
+};
+
+/// Draws an instance of side n from `dist` and solves it exactly.
+TrainingInstance make_training_instance(int n, InputDistribution dist,
+                                        Rng& rng, rt::Scheduler& sched);
+
+/// Draws `count` instances from independent RNG substreams.
+std::vector<TrainingInstance> make_training_set(int n, InputDistribution dist,
+                                                const Rng& base_rng, int count,
+                                                rt::Scheduler& sched);
+
+/// Error of an iterate against the instance's exact solution.
+double error_against(const TrainingInstance& inst, const Grid2D& x,
+                     rt::Scheduler& sched);
+
+/// Accuracy level achieved by an iterate (paper §2.2); +inf when the error
+/// reaches exactly zero.
+double accuracy_of(const TrainingInstance& inst, const Grid2D& x,
+                   rt::Scheduler& sched);
+
+}  // namespace pbmg::tune

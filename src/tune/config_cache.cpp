@@ -1,0 +1,63 @@
+#include "tune/config_cache.h"
+
+#include <cmath>
+#include <filesystem>
+#include <sstream>
+
+#include "support/argparse.h"
+
+namespace pbmg::tune {
+
+std::string default_cache_dir() {
+  return env_string("PBMG_CACHE_DIR", "pbmg_tuned_cache");
+}
+
+std::string config_cache_key(const TrainerOptions& options,
+                             const std::string& profile_name,
+                             const std::string& strategy) {
+  std::ostringstream oss;
+  // "v2": bump when runtime characteristics change enough to invalidate
+  // previously tuned tables (e.g. the sequential-cutoff addition).
+  oss << "v2_" << strategy << "_" << profile_name << "_"
+      << to_string(options.distribution) << "_L" << options.max_level << "_m"
+      << options.accuracies.size() << "_p"
+      << static_cast<int>(std::lround(std::log10(options.accuracies.back())))
+      << "_i" << options.training_instances << "_s" << options.seed;
+  return oss.str();
+}
+
+TunedConfig load_or_train(const TrainerOptions& options, rt::Scheduler& sched,
+                          solvers::DirectSolver& direct,
+                          const std::string& cache_dir,
+                          int heuristic_sub_accuracy, bool* from_cache) {
+  const std::string strategy =
+      heuristic_sub_accuracy < 0
+          ? "autotuned"
+          : "heuristic" + std::to_string(heuristic_sub_accuracy);
+  const std::string key =
+      config_cache_key(options, sched.profile().name, strategy);
+  const std::filesystem::path path =
+      std::filesystem::path(cache_dir) / (key + ".json");
+
+  if (std::filesystem::exists(path)) {
+    try {
+      TunedConfig config = TunedConfig::load(path.string());
+      if (from_cache != nullptr) *from_cache = true;
+      return config;
+    } catch (const Error&) {
+      // Corrupt or stale cache entry: retrain below and overwrite.
+    }
+  }
+
+  Trainer trainer(options, sched, direct);
+  TunedConfig config = heuristic_sub_accuracy < 0
+                           ? trainer.train()
+                           : trainer.train_heuristic(heuristic_sub_accuracy);
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (!ec) config.save(path.string());
+  if (from_cache != nullptr) *from_cache = false;
+  return config;
+}
+
+}  // namespace pbmg::tune

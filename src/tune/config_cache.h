@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "tune/table.h"
+#include "tune/trainer.h"
+
+/// \file config_cache.h
+/// Disk cache of tuned configurations.
+///
+/// PetaBricks writes an optimised configuration file after tuning and
+/// reuses it on subsequent runs (§3.2.1).  We reproduce that workflow: a
+/// tuned config is stored as JSON under a cache directory, keyed by
+/// everything that determines the tuning outcome (strategy, machine
+/// profile, distribution, ladder, level range, seed, instance count).
+/// Benchmark binaries share one cache so that, e.g., Figures 10–13 train
+/// each (profile, distribution) combination once.
+
+namespace pbmg::tune {
+
+/// Default cache directory: $PBMG_CACHE_DIR or "./pbmg_tuned_cache".
+std::string default_cache_dir();
+
+/// Filename-safe cache key for a (options, profile, strategy) combination.
+/// `strategy` is "autotuned" or "heuristic-<index>".
+std::string config_cache_key(const TrainerOptions& options,
+                             const std::string& profile_name,
+                             const std::string& strategy);
+
+/// Loads the cached config if present and valid, otherwise trains and
+/// saves it.  `heuristic_sub_accuracy` < 0 selects full autotuning; >= 0
+/// trains the Figure-7 heuristic with that fixed sub-accuracy index.
+/// `from_cache`, when non-null, reports whether a disk hit occurred.
+TunedConfig load_or_train(const TrainerOptions& options,
+                          rt::Scheduler& sched,
+                          solvers::DirectSolver& direct,
+                          const std::string& cache_dir,
+                          int heuristic_sub_accuracy = -1,
+                          bool* from_cache = nullptr);
+
+}  // namespace pbmg::tune

@@ -1,0 +1,67 @@
+#include "tune/dynamic.h"
+
+#include <cmath>
+
+#include "grid/grid_ops.h"
+#include "grid/scratch.h"
+
+namespace pbmg::tune {
+
+DynamicSolver::DynamicSolver(const TunedConfig& config, rt::Scheduler& sched,
+                             solvers::DirectSolver& direct)
+    : config_(config), sched_(sched), direct_(direct) {}
+
+double DynamicSolver::residual_norm(const Grid2D& x, const Grid2D& b) const {
+  auto lease = grid::ScratchPool::global().acquire(x.n());
+  grid::residual(x, b, lease.get(), sched_);
+  return grid::norm2_interior(lease.get(), sched_);
+}
+
+DynamicResult DynamicSolver::solve(Grid2D& x, const Grid2D& b,
+                                   double target_reduction,
+                                   int max_iterations) const {
+  PBMG_CHECK(target_reduction >= 1.0,
+             "DynamicSolver: target_reduction must be >= 1");
+  PBMG_CHECK(x.n() == b.n(), "DynamicSolver: grid size mismatch");
+  TunedExecutor executor(config_, sched_, direct_);
+
+  DynamicResult result;
+  const double r0 = residual_norm(x, b);
+  if (r0 == 0.0) {
+    result.converged = true;
+    result.residual_reduction = std::numeric_limits<double>::infinity();
+    return result;
+  }
+  const double r_target = r0 / target_reduction;
+
+  int index = 0;  // start with the cheapest tuned variant
+  double r_prev = r0;
+  for (int it = 1; it <= max_iterations; ++it) {
+    executor.run_v(x, b, index);
+    result.iterations = it;
+    const double r_now = residual_norm(x, b);
+    result.residual_reduction = r0 / r_now;
+    if (r_now <= r_target) {
+      result.converged = true;
+      break;
+    }
+    // Feature of the intermediate state (paper §6): the per-invocation
+    // residual reduction.  A variant of accuracy class p_i should shrink
+    // the residual by roughly p_i on in-distribution inputs; demand a
+    // conservative slice of that and escalate when the input responds
+    // worse than its class promises.
+    const double measured = r_prev > 0.0 ? r_prev / r_now : 1.0;
+    const double promised =
+        config_.accuracies()[static_cast<std::size_t>(index)];
+    if (measured < std::sqrt(promised) &&
+        index + 1 < config_.accuracy_count()) {
+      ++index;
+      ++result.escalations;
+    }
+    r_prev = r_now;
+  }
+  result.final_accuracy_index = index;
+  return result;
+}
+
+}  // namespace pbmg::tune

@@ -1,0 +1,60 @@
+#pragma once
+
+#include "grid/grid2d.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "tune/executor.h"
+#include "tune/table.h"
+
+/// \file dynamic.h
+/// Dynamic tuning — the paper's §6 future-work extension.
+///
+/// "Another direction we plan to explore is the use of dynamic tuning
+///  where an algorithm has the ability to adapt during execution based on
+///  some features of the intermediate state … switch between tuned
+///  versions of itself, providing better performance across a broader
+///  range of inputs."
+///
+/// DynamicSolver drives the statically tuned MULTIGRID-V_i family with a
+/// runtime feedback loop: it starts from the cheapest accuracy variant
+/// and watches the *residual norm* (the only convergence signal available
+/// without an oracle).  When a variant underperforms its trained
+/// error-reduction class — e.g. because the input comes from a different
+/// distribution than the training data — the solver escalates to a
+/// higher-accuracy variant mid-run.  Iteration stops once the residual has
+/// dropped by the requested factor.
+
+namespace pbmg::tune {
+
+/// Outcome of a dynamic solve.
+struct DynamicResult {
+  int iterations = 0;          ///< tuned-variant invocations performed
+  int escalations = 0;         ///< times the solver moved up the ladder
+  int final_accuracy_index = 0;  ///< ladder index in use when stopping
+  double residual_reduction = 1.0;  ///< ||r_0|| / ||r_final||
+  bool converged = false;      ///< reached the requested reduction
+};
+
+/// Runtime-adaptive driver over a statically tuned configuration.
+class DynamicSolver {
+ public:
+  /// Binds to a trained config (must cover x's level) and resources.
+  DynamicSolver(const TunedConfig& config, rt::Scheduler& sched,
+                solvers::DirectSolver& direct);
+
+  /// Solves A·x = b until the residual norm has dropped by
+  /// `target_reduction` (≥ 1), invoking tuned variants at most
+  /// `max_iterations` times.  `x` carries the Dirichlet ring and initial
+  /// guess, and is updated in place.
+  DynamicResult solve(Grid2D& x, const Grid2D& b, double target_reduction,
+                      int max_iterations = 64) const;
+
+ private:
+  double residual_norm(const Grid2D& x, const Grid2D& b) const;
+
+  const TunedConfig& config_;
+  rt::Scheduler& sched_;
+  solvers::DirectSolver& direct_;
+};
+
+}  // namespace pbmg::tune

@@ -1,0 +1,155 @@
+#include "tune/executor.h"
+
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "grid/scratch.h"
+#include "solvers/relax.h"
+
+namespace pbmg::tune {
+
+TunedExecutor::TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
+                             solvers::DirectSolver& direct,
+                             trace::CycleTracer* tracer)
+    : config_(config), sched_(sched), direct_(direct), tracer_(tracer) {}
+
+void TunedExecutor::trace(trace::Op op, int level, int detail) const {
+  if (tracer_ != nullptr) tracer_->record(op, level, detail);
+}
+
+void TunedExecutor::run_v(Grid2D& x, const Grid2D& b,
+                          int accuracy_index) const {
+  PBMG_CHECK(x.n() == b.n(), "run_v: grid size mismatch");
+  run_v_at(x, b, level_of_size(x.n()), accuracy_index);
+}
+
+void TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b,
+                            int accuracy_index) const {
+  PBMG_CHECK(x.n() == b.n(), "run_fmg: grid size mismatch");
+  run_fmg_at(x, b, level_of_size(x.n()), accuracy_index);
+}
+
+void TunedExecutor::recurse_body(Grid2D& x, const Grid2D& b,
+                                 int sub_accuracy_index) const {
+  PBMG_CHECK(x.n() == b.n(), "recurse_body: grid size mismatch");
+  recurse_body_at(x, b, level_of_size(x.n()), sub_accuracy_index);
+}
+
+void TunedExecutor::estimate(Grid2D& x, const Grid2D& b,
+                             int estimate_accuracy_index) const {
+  PBMG_CHECK(x.n() == b.n(), "estimate: grid size mismatch");
+  estimate_at(x, b, level_of_size(x.n()), estimate_accuracy_index);
+}
+
+void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
+                             int accuracy_index) const {
+  const VEntry& entry = config_.v_entry(level, accuracy_index);
+  PBMG_CHECK(entry.trained, "run_v: cell (" + std::to_string(level) + "," +
+                                std::to_string(accuracy_index) +
+                                ") was never trained");
+  switch (entry.choice.kind) {
+    case VKind::kDirect:
+      direct_.solve(b, x);
+      trace(trace::Op::kDirect, level);
+      break;
+    case VKind::kIterSor: {
+      const double omega = solvers::omega_opt(x.n());
+      for (int it = 0; it < entry.choice.iterations; ++it) {
+        solvers::sor_sweep(x, b, omega, sched_);
+      }
+      trace(trace::Op::kIterative, level, entry.choice.iterations);
+      break;
+    }
+    case VKind::kRecurse:
+      for (int it = 0; it < entry.choice.iterations; ++it) {
+        recurse_body_at(x, b, level, entry.choice.sub_accuracy);
+      }
+      break;
+  }
+}
+
+void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
+                                    int sub_accuracy_index) const {
+  PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
+  // Paper §2.3 RECURSE_i: one SOR(1.15) sweep, coarse-grid correction via
+  // MULTIGRID-V_j, one SOR(1.15) sweep.
+  solvers::sor_sweep(x, b, solvers::kRecurseOmega, sched_);
+  trace(trace::Op::kRelax, level);
+
+  const int n = x.n();
+  auto& pool = grid::ScratchPool::global();
+  auto r_lease = pool.acquire(n);
+  Grid2D& r = r_lease.get();  // residual() writes every cell
+  grid::residual(x, b, r, sched_);
+  const int nc = coarse_size(n);
+  auto rc_lease = pool.acquire(nc);
+  Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
+  grid::restrict_full_weighting(r, rc, sched_);
+  trace(trace::Op::kRestrict, level);
+
+  auto e_lease = pool.acquire(nc);
+  Grid2D& e = e_lease.get();
+  e.fill(0.0);  // zero guess, zero Dirichlet ring (error equation)
+  run_v_at(e, rc, level - 1, sub_accuracy_index);
+
+  grid::interpolate_add(e, x, sched_);
+  trace(trace::Op::kInterpolate, level);
+
+  solvers::sor_sweep(x, b, solvers::kRecurseOmega, sched_);
+  trace(trace::Op::kRelax, level);
+}
+
+void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
+                               int accuracy_index) const {
+  const FmgEntry& entry = config_.fmg_entry(level, accuracy_index);
+  PBMG_CHECK(entry.trained, "run_fmg: cell (" + std::to_string(level) + "," +
+                                std::to_string(accuracy_index) +
+                                ") was never trained");
+  switch (entry.choice.kind) {
+    case FmgKind::kDirect:
+      direct_.solve(b, x);
+      trace(trace::Op::kDirect, level);
+      break;
+    case FmgKind::kEstimateThenSor: {
+      estimate_at(x, b, level, entry.choice.estimate_accuracy);
+      const double omega = solvers::omega_opt(x.n());
+      for (int it = 0; it < entry.choice.iterations; ++it) {
+        solvers::sor_sweep(x, b, omega, sched_);
+      }
+      trace(trace::Op::kIterative, level, entry.choice.iterations);
+      break;
+    }
+    case FmgKind::kEstimateThenRecurse:
+      estimate_at(x, b, level, entry.choice.estimate_accuracy);
+      for (int it = 0; it < entry.choice.iterations; ++it) {
+        recurse_body_at(x, b, level, entry.choice.solve_accuracy);
+      }
+      break;
+  }
+}
+
+void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
+                                int estimate_accuracy_index) const {
+  PBMG_CHECK(level >= 2, "estimate: cannot restrict below level 2");
+  // Paper §2.4 ESTIMATE_i: coarse-grid correction whose coarse solve is
+  // FULL-MULTIGRID_i one level down (no relaxations of its own).
+  const int n = x.n();
+  auto& pool = grid::ScratchPool::global();
+  auto r_lease = pool.acquire(n);
+  Grid2D& r = r_lease.get();
+  grid::residual(x, b, r, sched_);
+  const int nc = coarse_size(n);
+  auto rc_lease = pool.acquire(nc);
+  Grid2D& rc = rc_lease.get();
+  grid::restrict_full_weighting(r, rc, sched_);
+  trace(trace::Op::kRestrict, level);
+
+  auto e_lease = pool.acquire(nc);
+  Grid2D& e = e_lease.get();
+  e.fill(0.0);
+  run_fmg_at(e, rc, level - 1, estimate_accuracy_index);
+
+  grid::interpolate_add(e, x, sched_);
+  trace(trace::Op::kInterpolate, level);
+}
+
+}  // namespace pbmg::tune

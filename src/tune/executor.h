@@ -1,0 +1,72 @@
+#pragma once
+
+#include "grid/grid2d.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "trace/cycle_trace.h"
+#include "tune/table.h"
+
+/// \file executor.h
+/// Interpreters for tuned configurations.
+///
+/// A TunedConfig is the data equivalent of the specialised program a
+/// PetaBricks binary would run after autotuning; TunedExecutor walks the
+/// tables and performs the selected algorithms:
+///
+///   MULTIGRID-V_i  (paper §2.3)        FULL-MULTIGRID_i  (paper §2.4)
+///   ─ direct solve                      ─ direct solve
+///   ─ SOR(ω_opt) × iterations           ─ ESTIMATE_j, then SOR × iters
+///   ─ RECURSE_j × iterations            ─ ESTIMATE_j, then RECURSE_m × iters
+///
+/// where RECURSE (one pre-SOR(1.15), residual restriction, coarse call to
+/// MULTIGRID-V_j, correction, one post-SOR(1.15)) and ESTIMATE (residual
+/// restriction, coarse FULL-MULTIGRID_j, correction) recurse through the
+/// same tables one level down.
+
+namespace pbmg::tune {
+
+/// Executes tuned algorithms described by a TunedConfig.
+class TunedExecutor {
+ public:
+  /// Binds the executor to a config and execution resources.  The config
+  /// must outlive the executor.  `tracer` may be null; when set, every
+  /// operation is recorded for cycle-shape rendering.
+  TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
+                solvers::DirectSolver& direct,
+                trace::CycleTracer* tracer = nullptr);
+
+  /// Runs MULTIGRID-V at `accuracy_index` on x (ring = Dirichlet data,
+  /// interior = current guess).  The level is derived from x.n(), which
+  /// must be a trained level of the config.
+  void run_v(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+
+  /// Runs FULL-MULTIGRID at `accuracy_index`; same contract as run_v.
+  void run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+
+  /// One application of the RECURSE_j body at x's level (exposed for the
+  /// trainer, which needs to iterate it while measuring accuracy).
+  void recurse_body(Grid2D& x, const Grid2D& b, int sub_accuracy_index) const;
+
+  /// One application of ESTIMATE_j at x's level (exposed for the trainer).
+  void estimate(Grid2D& x, const Grid2D& b, int estimate_accuracy_index) const;
+
+  const TunedConfig& config() const { return config_; }
+
+ private:
+  void run_v_at(Grid2D& x, const Grid2D& b, int level,
+                int accuracy_index) const;
+  void run_fmg_at(Grid2D& x, const Grid2D& b, int level,
+                  int accuracy_index) const;
+  void recurse_body_at(Grid2D& x, const Grid2D& b, int level,
+                       int sub_accuracy_index) const;
+  void estimate_at(Grid2D& x, const Grid2D& b, int level,
+                   int estimate_accuracy_index) const;
+  void trace(trace::Op op, int level, int detail = 0) const;
+
+  const TunedConfig& config_;
+  rt::Scheduler& sched_;
+  solvers::DirectSolver& direct_;
+  trace::CycleTracer* tracer_;
+};
+
+}  // namespace pbmg::tune

@@ -1,0 +1,350 @@
+#include "tune/table.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "grid/level.h"
+#include "support/error.h"
+
+namespace pbmg::tune {
+
+namespace {
+
+const char* v_kind_name(VKind kind) {
+  switch (kind) {
+    case VKind::kDirect: return "direct";
+    case VKind::kIterSor: return "sor";
+    case VKind::kRecurse: return "recurse";
+  }
+  throw InvalidArgument("invalid VKind");
+}
+
+VKind parse_v_kind(const std::string& name) {
+  if (name == "direct") return VKind::kDirect;
+  if (name == "sor") return VKind::kIterSor;
+  if (name == "recurse") return VKind::kRecurse;
+  throw ConfigError("unknown V choice kind '" + name + "'");
+}
+
+const char* fmg_kind_name(FmgKind kind) {
+  switch (kind) {
+    case FmgKind::kDirect: return "direct";
+    case FmgKind::kEstimateThenSor: return "estimate+sor";
+    case FmgKind::kEstimateThenRecurse: return "estimate+recurse";
+  }
+  throw InvalidArgument("invalid FmgKind");
+}
+
+FmgKind parse_fmg_kind(const std::string& name) {
+  if (name == "direct") return FmgKind::kDirect;
+  if (name == "estimate+sor") return FmgKind::kEstimateThenSor;
+  if (name == "estimate+recurse") return FmgKind::kEstimateThenRecurse;
+  throw ConfigError("unknown FMG choice kind '" + name + "'");
+}
+
+/// JSON cannot represent infinities; exact solves report infinite accuracy,
+/// which we clamp to a huge finite sentinel for serialization.
+double finite_cap(double v) {
+  if (std::isnan(v)) return 0.0;
+  return std::isfinite(v) ? v : 1e300;
+}
+
+Json v_entry_to_json(const VEntry& e) {
+  Json j = Json::object();
+  j.set("kind", v_kind_name(e.choice.kind));
+  j.set("sub_accuracy", e.choice.sub_accuracy);
+  j.set("iterations", e.choice.iterations);
+  j.set("expected_time", finite_cap(e.expected_time));
+  j.set("measured_accuracy", finite_cap(e.measured_accuracy));
+  j.set("trained", e.trained);
+  return j;
+}
+
+VEntry v_entry_from_json(const Json& j) {
+  VEntry e;
+  e.choice.kind = parse_v_kind(j.at("kind").as_string());
+  e.choice.sub_accuracy = static_cast<int>(j.at("sub_accuracy").as_int());
+  e.choice.iterations = static_cast<int>(j.at("iterations").as_int());
+  e.expected_time = j.at("expected_time").as_double();
+  e.measured_accuracy = j.at("measured_accuracy").as_double();
+  e.trained = j.at("trained").as_bool();
+  return e;
+}
+
+Json fmg_entry_to_json(const FmgEntry& e) {
+  Json j = Json::object();
+  j.set("kind", fmg_kind_name(e.choice.kind));
+  j.set("estimate_accuracy", e.choice.estimate_accuracy);
+  j.set("solve_accuracy", e.choice.solve_accuracy);
+  j.set("iterations", e.choice.iterations);
+  j.set("expected_time", finite_cap(e.expected_time));
+  j.set("measured_accuracy", finite_cap(e.measured_accuracy));
+  j.set("trained", e.trained);
+  return j;
+}
+
+FmgEntry fmg_entry_from_json(const Json& j) {
+  FmgEntry e;
+  e.choice.kind = parse_fmg_kind(j.at("kind").as_string());
+  e.choice.estimate_accuracy =
+      static_cast<int>(j.at("estimate_accuracy").as_int());
+  e.choice.solve_accuracy = static_cast<int>(j.at("solve_accuracy").as_int());
+  e.choice.iterations = static_cast<int>(j.at("iterations").as_int());
+  e.expected_time = j.at("expected_time").as_double();
+  e.measured_accuracy = j.at("measured_accuracy").as_double();
+  e.trained = j.at("trained").as_bool();
+  return e;
+}
+
+}  // namespace
+
+TunedConfig::TunedConfig(std::vector<double> accuracies, int max_level)
+    : accuracies_(std::move(accuracies)), max_level_(max_level) {
+  PBMG_CHECK(!accuracies_.empty(), "TunedConfig: empty accuracy ladder");
+  for (std::size_t i = 1; i < accuracies_.size(); ++i) {
+    PBMG_CHECK(accuracies_[i] > accuracies_[i - 1],
+               "TunedConfig: accuracies must be strictly ascending");
+  }
+  PBMG_CHECK(accuracies_.front() > 1.0,
+             "TunedConfig: accuracy levels must exceed 1 (no-op ratio)");
+  PBMG_CHECK(max_level_ >= 1 && max_level_ <= 20,
+             "TunedConfig: max_level must be in [1, 20]");
+  v_.assign(static_cast<std::size_t>(max_level_) + 1,
+            std::vector<VEntry>(accuracies_.size()));
+  fmg_.assign(static_cast<std::size_t>(max_level_) + 1,
+              std::vector<FmgEntry>(accuracies_.size()));
+  // Level 1 (N = 3) is the base case: solved directly at every accuracy.
+  for (std::size_t i = 0; i < accuracies_.size(); ++i) {
+    VEntry& ve = v_[1][i];
+    ve.choice.kind = VKind::kDirect;
+    ve.trained = true;
+    ve.measured_accuracy = std::numeric_limits<double>::infinity();
+    FmgEntry& fe = fmg_[1][i];
+    fe.choice.kind = FmgKind::kDirect;
+    fe.trained = true;
+    fe.measured_accuracy = std::numeric_limits<double>::infinity();
+  }
+}
+
+int TunedConfig::accuracy_index(double accuracy) const {
+  for (std::size_t i = 0; i < accuracies_.size(); ++i) {
+    if (std::abs(std::log10(accuracies_[i]) - std::log10(accuracy)) < 1e-9) {
+      return static_cast<int>(i);
+    }
+  }
+  throw InvalidArgument("accuracy " + std::to_string(accuracy) +
+                        " is not in this config's ladder");
+}
+
+void TunedConfig::check_cell(int level, int accuracy_index) const {
+  PBMG_CHECK(level >= 1 && level <= max_level_,
+             "TunedConfig: level out of range");
+  PBMG_CHECK(accuracy_index >= 0 &&
+                 accuracy_index < static_cast<int>(accuracies_.size()),
+             "TunedConfig: accuracy index out of range");
+}
+
+VEntry& TunedConfig::v_entry(int level, int accuracy_index) {
+  check_cell(level, accuracy_index);
+  return v_[static_cast<std::size_t>(level)]
+           [static_cast<std::size_t>(accuracy_index)];
+}
+
+const VEntry& TunedConfig::v_entry(int level, int accuracy_index) const {
+  check_cell(level, accuracy_index);
+  return v_[static_cast<std::size_t>(level)]
+           [static_cast<std::size_t>(accuracy_index)];
+}
+
+FmgEntry& TunedConfig::fmg_entry(int level, int accuracy_index) {
+  check_cell(level, accuracy_index);
+  return fmg_[static_cast<std::size_t>(level)]
+             [static_cast<std::size_t>(accuracy_index)];
+}
+
+const FmgEntry& TunedConfig::fmg_entry(int level, int accuracy_index) const {
+  check_cell(level, accuracy_index);
+  return fmg_[static_cast<std::size_t>(level)]
+             [static_cast<std::size_t>(accuracy_index)];
+}
+
+Json TunedConfig::to_json() const {
+  Json root = Json::object();
+  root.set("format", "pbmg-tuned-config-v1");
+  Json acc = Json::array();
+  for (double a : accuracies_) acc.push_back(a);
+  root.set("accuracies", std::move(acc));
+  root.set("max_level", max_level_);
+  root.set("profile", profile_name);
+  root.set("distribution", distribution);
+  root.set("seed", static_cast<std::int64_t>(seed));
+  root.set("strategy", strategy);
+  Json v_levels = Json::array();
+  Json fmg_levels = Json::array();
+  for (int level = 1; level <= max_level_; ++level) {
+    Json v_row = Json::array();
+    Json fmg_row = Json::array();
+    for (int i = 0; i < accuracy_count(); ++i) {
+      v_row.push_back(v_entry_to_json(v_entry(level, i)));
+      fmg_row.push_back(fmg_entry_to_json(fmg_entry(level, i)));
+    }
+    v_levels.push_back(std::move(v_row));
+    fmg_levels.push_back(std::move(fmg_row));
+  }
+  root.set("multigrid_v", std::move(v_levels));
+  root.set("full_multigrid", std::move(fmg_levels));
+  return root;
+}
+
+TunedConfig TunedConfig::from_json(const Json& json) {
+  const std::string format = json.get("format", std::string());
+  if (format != "pbmg-tuned-config-v1") {
+    throw ConfigError("unsupported tuned-config format '" + format + "'");
+  }
+  std::vector<double> accuracies;
+  for (const Json& a : json.at("accuracies").as_array()) {
+    accuracies.push_back(a.as_double());
+  }
+  const int max_level = static_cast<int>(json.at("max_level").as_int());
+  TunedConfig config(std::move(accuracies), max_level);
+  config.profile_name = json.get("profile", std::string());
+  config.distribution = json.get("distribution", std::string());
+  config.seed = static_cast<std::uint64_t>(json.get("seed", std::int64_t{0}));
+  config.strategy = json.get("strategy", std::string("autotuned"));
+  const auto& v_levels = json.at("multigrid_v").as_array();
+  const auto& fmg_levels = json.at("full_multigrid").as_array();
+  if (static_cast<int>(v_levels.size()) != max_level ||
+      static_cast<int>(fmg_levels.size()) != max_level) {
+    throw ConfigError("tuned-config level tables have wrong size");
+  }
+  for (int level = 1; level <= max_level; ++level) {
+    const auto& v_row = v_levels[static_cast<std::size_t>(level - 1)].as_array();
+    const auto& fmg_row =
+        fmg_levels[static_cast<std::size_t>(level - 1)].as_array();
+    if (static_cast<int>(v_row.size()) != config.accuracy_count() ||
+        static_cast<int>(fmg_row.size()) != config.accuracy_count()) {
+      throw ConfigError("tuned-config accuracy rows have wrong size");
+    }
+    for (int i = 0; i < config.accuracy_count(); ++i) {
+      config.v_entry(level, i) =
+          v_entry_from_json(v_row[static_cast<std::size_t>(i)]);
+      config.fmg_entry(level, i) =
+          fmg_entry_from_json(fmg_row[static_cast<std::size_t>(i)]);
+    }
+  }
+  // Semantic validation: recursion must reference valid accuracy indices.
+  for (int level = 1; level <= max_level; ++level) {
+    for (int i = 0; i < config.accuracy_count(); ++i) {
+      const VChoice& vc = config.v_entry(level, i).choice;
+      if (vc.kind == VKind::kRecurse) {
+        if (vc.sub_accuracy < 0 || vc.sub_accuracy >= config.accuracy_count()) {
+          throw ConfigError("tuned-config: recurse sub_accuracy out of range");
+        }
+        if (level <= 1) {
+          throw ConfigError("tuned-config: level 1 cannot recurse");
+        }
+      }
+      const FmgChoice& fc = config.fmg_entry(level, i).choice;
+      if (fc.kind != FmgKind::kDirect) {
+        if (fc.estimate_accuracy < 0 ||
+            fc.estimate_accuracy >= config.accuracy_count()) {
+          throw ConfigError(
+              "tuned-config: estimate_accuracy out of range");
+        }
+        if (level <= 1) {
+          throw ConfigError("tuned-config: level 1 cannot estimate");
+        }
+      }
+      if (fc.kind == FmgKind::kEstimateThenRecurse &&
+          (fc.solve_accuracy < 0 ||
+           fc.solve_accuracy >= config.accuracy_count())) {
+        throw ConfigError("tuned-config: solve_accuracy out of range");
+      }
+    }
+  }
+  return config;
+}
+
+void TunedConfig::save(const std::string& path) const {
+  write_text_file(path, to_json().dump(2) + "\n");
+}
+
+TunedConfig TunedConfig::load(const std::string& path) {
+  return from_json(Json::parse(read_text_file(path)));
+}
+
+std::vector<double> paper_accuracies() {
+  return {1e1, 1e3, 1e5, 1e7, 1e9};
+}
+
+namespace {
+
+std::string accuracy_label(const TunedConfig& config, int index) {
+  const double a = config.accuracies()[static_cast<std::size_t>(index)];
+  const int exp = static_cast<int>(std::lround(std::log10(a)));
+  std::ostringstream oss;
+  oss << "10^" << exp;
+  return oss.str();
+}
+
+}  // namespace
+
+std::string render_call_stack(const TunedConfig& config, int level,
+                              int accuracy_index) {
+  std::ostringstream out;
+  int k = level;
+  int i = accuracy_index;
+  while (k >= 1) {
+    const VEntry& entry = config.v_entry(k, i);
+    out << "level " << (k < 10 ? " " : "") << k << " (N=" << size_of_level(k)
+        << "): MULTIGRID-V[" << accuracy_label(config, i) << "] -> ";
+    switch (entry.choice.kind) {
+      case VKind::kDirect:
+        out << "DIRECT\n";
+        return out.str();
+      case VKind::kIterSor:
+        out << "SOR(w_opt) x" << entry.choice.iterations << "\n";
+        return out.str();
+      case VKind::kRecurse:
+        out << "RECURSE[" << accuracy_label(config, entry.choice.sub_accuracy)
+            << "] x" << entry.choice.iterations << "\n";
+        i = entry.choice.sub_accuracy;
+        k -= 1;
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string render_fmg_call_stack(const TunedConfig& config, int level,
+                                  int accuracy_index) {
+  std::ostringstream out;
+  int k = level;
+  int i = accuracy_index;
+  while (k >= 1) {
+    const FmgEntry& entry = config.fmg_entry(k, i);
+    out << "level " << (k < 10 ? " " : "") << k << " (N=" << size_of_level(k)
+        << "): FULL-MG[" << accuracy_label(config, i) << "] -> ";
+    switch (entry.choice.kind) {
+      case FmgKind::kDirect:
+        out << "DIRECT\n";
+        return out.str();
+      case FmgKind::kEstimateThenSor:
+        out << "ESTIMATE[" << accuracy_label(config, entry.choice.estimate_accuracy)
+            << "] + SOR(w_opt) x" << entry.choice.iterations << "\n";
+        i = entry.choice.estimate_accuracy;
+        k -= 1;
+        break;
+      case FmgKind::kEstimateThenRecurse:
+        out << "ESTIMATE[" << accuracy_label(config, entry.choice.estimate_accuracy)
+            << "] + RECURSE[" << accuracy_label(config, entry.choice.solve_accuracy)
+            << "] x" << entry.choice.iterations << "\n";
+        i = entry.choice.estimate_accuracy;
+        k -= 1;
+        break;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace pbmg::tune

@@ -1,0 +1,128 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+/// \file table.h
+/// The tuned-algorithm representation: the data a PetaBricks configuration
+/// file would hold after autotuning (§3.2.1).
+///
+/// For each recursion level k (grid side 2^k + 1) and each discrete
+/// accuracy index i, the tables record which choice the dynamic program
+/// selected for MULTIGRID-V_i (paper §2.3) and FULL-MULTIGRID_i (§2.4),
+/// together with the iteration counts the trainer measured.  Executors
+/// (tune/executor.h) interpret these tables; they are the reified
+/// equivalent of the code paths a PetaBricks binary would specialise.
+
+namespace pbmg::tune {
+
+/// The three algorithmic choices of MULTIGRID-V_i (paper §2.3, line 1-5).
+enum class VKind {
+  kDirect,   ///< banded Cholesky solve
+  kIterSor,  ///< SOR(ω_opt) iterated `iterations` times
+  kRecurse,  ///< RECURSE body iterated `iterations` times with coarse call
+             ///< MULTIGRID-V_{sub_accuracy}
+};
+
+/// One tuned decision for MULTIGRID-V_i at a level.
+struct VChoice {
+  VKind kind = VKind::kDirect;
+  int sub_accuracy = -1;  ///< j of the coarse MULTIGRID-V_j (kRecurse only)
+  int iterations = 0;     ///< SOR sweeps or RECURSE iterations (non-direct)
+};
+
+/// The choices of FULL-MULTIGRID_i (paper §2.4): direct, or an ESTIMATE_j
+/// phase followed by either SOR or RECURSE_m iteration.
+enum class FmgKind {
+  kDirect,
+  kEstimateThenSor,
+  kEstimateThenRecurse,
+};
+
+/// One tuned decision for FULL-MULTIGRID_i at a level.
+struct FmgChoice {
+  FmgKind kind = FmgKind::kDirect;
+  int estimate_accuracy = -1;  ///< j of ESTIMATE_j (non-direct kinds)
+  int solve_accuracy = -1;     ///< m of RECURSE_m (kEstimateThenRecurse)
+  int iterations = 0;          ///< SOR sweeps or RECURSE iterations
+};
+
+/// A tuned table cell together with the measurements that selected it.
+template <typename Choice>
+struct TunedEntry {
+  Choice choice;
+  double expected_time = 0.0;      ///< trainer's time estimate (seconds)
+  double measured_accuracy = 0.0;  ///< worst accuracy over training inputs
+  bool trained = false;            ///< false for never-trained cells
+};
+
+using VEntry = TunedEntry<VChoice>;
+using FmgEntry = TunedEntry<FmgChoice>;
+
+/// Complete autotuned configuration: both tables plus provenance.
+class TunedConfig {
+ public:
+  TunedConfig() = default;
+
+  /// Creates an untrained config covering levels [1, max_level] with the
+  /// given discrete accuracy ladder (ascending, e.g. {10,1e3,...,1e9}).
+  /// Level-1 (N = 3) cells are pre-set to the direct solve, the base case
+  /// of every algorithm in the paper.
+  TunedConfig(std::vector<double> accuracies, int max_level);
+
+  int max_level() const { return max_level_; }
+  int accuracy_count() const { return static_cast<int>(accuracies_.size()); }
+  const std::vector<double>& accuracies() const { return accuracies_; }
+
+  /// Index of the given accuracy value in the ladder; throws
+  /// InvalidArgument when absent.
+  int accuracy_index(double accuracy) const;
+
+  /// Cell accessors; level in [1, max_level], index in [0, accuracy_count).
+  VEntry& v_entry(int level, int accuracy_index);
+  const VEntry& v_entry(int level, int accuracy_index) const;
+  FmgEntry& fmg_entry(int level, int accuracy_index);
+  const FmgEntry& fmg_entry(int level, int accuracy_index) const;
+
+  /// Provenance (stored in the config file for reproducibility).
+  std::string profile_name;   ///< machine profile tuned on
+  std::string distribution;   ///< training distribution name
+  std::uint64_t seed = 0;     ///< training RNG seed
+  std::string strategy;       ///< "autotuned" or a heuristic label
+
+  /// Serialization (see config file format in README).
+  Json to_json() const;
+  static TunedConfig from_json(const Json& json);
+
+  /// File convenience wrappers.
+  void save(const std::string& path) const;
+  static TunedConfig load(const std::string& path);
+
+ private:
+  void check_cell(int level, int accuracy_index) const;
+
+  std::vector<double> accuracies_;
+  int max_level_ = 0;
+  // Indexed [level][accuracy]; level 0 is unused padding so that
+  // tables_[k] corresponds to recursion level k.
+  std::vector<std::vector<VEntry>> v_;
+  std::vector<std::vector<FmgEntry>> fmg_;
+};
+
+/// The accuracy ladder used throughout the paper's evaluation:
+/// {10, 10³, 10⁵, 10⁷, 10⁹}.
+std::vector<double> paper_accuracies();
+
+/// Renders the call-stack view of a tuned MULTIGRID-V_i (paper Figure 4):
+/// one line per recursion level showing which accuracy variant the tuned
+/// algorithm invokes and what it does there.
+std::string render_call_stack(const TunedConfig& config, int level,
+                              int accuracy_index);
+
+/// Same for FULL-MULTIGRID_i.
+std::string render_fmg_call_stack(const TunedConfig& config, int level,
+                                  int accuracy_index);
+
+}  // namespace pbmg::tune

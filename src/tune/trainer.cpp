@@ -1,0 +1,473 @@
+#include "tune/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "solvers/relax.h"
+#include "support/timer.h"
+#include "tune/executor.h"
+
+namespace pbmg::tune {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Floor added to every pruning budget so that microsecond-scale timing
+/// noise at small levels cannot reject viable candidates.
+constexpr double kBudgetFloorSeconds = 1e-3;
+
+std::string accuracy_tag(double a) {
+  std::ostringstream oss;
+  oss << "10^" << static_cast<int>(std::lround(std::log10(a)));
+  return oss.str();
+}
+
+}  // namespace
+
+Trainer::Trainer(TrainerOptions options, rt::Scheduler& sched,
+                 solvers::DirectSolver& direct)
+    : options_(std::move(options)), sched_(sched), direct_(direct) {
+  PBMG_CHECK(options_.max_level >= 2, "Trainer: max_level must be >= 2");
+  PBMG_CHECK(options_.training_instances >= 1,
+             "Trainer: need at least one training instance");
+  PBMG_CHECK(options_.prune_factor >= 1.0,
+             "Trainer: prune_factor must be >= 1");
+  PBMG_CHECK(!options_.accuracies.empty(), "Trainer: empty accuracy ladder");
+}
+
+void Trainer::log_line(const std::string& line) const {
+  if (options_.log) options_.log(line);
+}
+
+Trainer::Measurement Trainer::measure_iterative(
+    const std::vector<TrainingInstance>& set, const GridFn& setup,
+    const GridFn& step, int max_iterations, double time_budget) {
+  const int m = static_cast<int>(options_.accuracies.size());
+  Measurement out;
+  out.needed.assign(static_cast<std::size_t>(m), -1);
+  out.accuracy.assign(static_cast<std::size_t>(m), kInf);
+
+  double total_step_time = 0.0;
+  std::int64_t total_steps = 0;
+  double total_setup_time = 0.0;
+  bool feasible = true;
+
+  std::vector<std::vector<int>> cross(
+      set.size(), std::vector<int>(static_cast<std::size_t>(m), -1));
+  std::vector<std::vector<double>> cross_acc(
+      set.size(), std::vector<double>(static_cast<std::size_t>(m), 0.0));
+
+  for (std::size_t s = 0; s < set.size() && feasible; ++s) {
+    const TrainingInstance& inst = set[s];
+    Grid2D x(inst.problem.x0.n(), 0.0);
+    x.copy_from(inst.problem.x0);
+
+    if (setup) {
+      const double t0 = now_seconds();
+      setup(x, inst.problem.b);
+      total_setup_time += now_seconds() - t0;
+    }
+
+    const auto note_crossings = [&](int iteration) {
+      const double acc = accuracy_of(inst, x, sched_);
+      for (int i = 0; i < m; ++i) {
+        if (cross[s][static_cast<std::size_t>(i)] < 0 &&
+            acc >= options_.accuracies[static_cast<std::size_t>(i)]) {
+          cross[s][static_cast<std::size_t>(i)] = iteration;
+          cross_acc[s][static_cast<std::size_t>(i)] = acc;
+        }
+      }
+      return cross[s][static_cast<std::size_t>(m - 1)] >= 0;
+    };
+
+    bool done = note_crossings(0);  // a setup phase may already suffice
+    for (int it = 1; it <= max_iterations && !done; ++it) {
+      const double t0 = now_seconds();
+      step(x, inst.problem.b);
+      total_step_time += now_seconds() - t0;
+      ++total_steps;
+      done = note_crossings(it);
+      if (total_setup_time + total_step_time > time_budget) break;
+    }
+  }
+
+  for (int i = 0; i < m; ++i) {
+    int worst = -1;
+    double worst_acc = kInf;
+    for (std::size_t s = 0; s < set.size(); ++s) {
+      const int c = cross[s][static_cast<std::size_t>(i)];
+      if (c < 0) {
+        worst = -1;
+        break;
+      }
+      worst = std::max(worst, c);
+      worst_acc = std::min(worst_acc, cross_acc[s][static_cast<std::size_t>(i)]);
+    }
+    out.needed[static_cast<std::size_t>(i)] = worst;
+    out.accuracy[static_cast<std::size_t>(i)] = worst < 0 ? 0.0 : worst_acc;
+  }
+  out.time_per_step =
+      total_steps > 0 ? total_step_time / static_cast<double>(total_steps)
+                      : 0.0;
+  out.setup_time =
+      set.empty() ? 0.0 : total_setup_time / static_cast<double>(set.size());
+  return out;
+}
+
+double Trainer::measure_direct(const std::vector<TrainingInstance>& set,
+                               double& worst_accuracy) {
+  double total = 0.0;
+  worst_accuracy = kInf;
+  for (const TrainingInstance& inst : set) {
+    Grid2D x(inst.problem.x0.n(), 0.0);
+    x.copy_from(inst.problem.x0);
+    const double t0 = now_seconds();
+    direct_.solve(inst.problem.b, x);
+    total += now_seconds() - t0;
+    worst_accuracy = std::min(worst_accuracy, accuracy_of(inst, x, sched_));
+  }
+  return total / static_cast<double>(set.size());
+}
+
+double Trainer::predicted_direct_time(int level) const {
+  auto it = direct_time_by_level_.find(level - 1);
+  if (it == direct_time_by_level_.end()) return kInf;
+  // Banded Cholesky is O(N⁴): one level up costs ~16×.
+  return it->second * 16.0;
+}
+
+void Trainer::train_v_level(TunedConfig& config, int level,
+                            const std::vector<TrainingInstance>& set,
+                            const std::vector<int>& allowed_sub_accuracies,
+                            bool allow_sor) {
+  const int m = config.accuracy_count();
+  const int n = size_of_level(level);
+  TunedExecutor executor(config, sched_, direct_);
+
+  struct CandidateResult {
+    VChoice choice;      // iterations filled per accuracy at selection time
+    Measurement meas;
+    double direct_time = kInf;  // for the direct candidate
+    double direct_acc = 0.0;
+    bool is_direct = false;
+  };
+  std::vector<CandidateResult> candidates;
+
+  // Best known time to the *top* accuracy so far — the pruning yardstick.
+  double best_top_time = kInf;
+  const auto budget = [&] {
+    return best_top_time == kInf
+               ? kInf
+               : options_.prune_factor * best_top_time *
+                         static_cast<double>(set.size()) +
+                     kBudgetFloorSeconds;
+  };
+
+  // 1. RECURSE_j candidates, highest sub-accuracy first (converges in the
+  //    fewest iterations, establishing a tight pruning budget early).
+  for (auto it = allowed_sub_accuracies.rbegin();
+       it != allowed_sub_accuracies.rend(); ++it) {
+    const int j = *it;
+    CandidateResult cand;
+    cand.choice.kind = VKind::kRecurse;
+    cand.choice.sub_accuracy = j;
+    cand.meas = measure_iterative(
+        set, nullptr,
+        [&](Grid2D& x, const Grid2D& b) { executor.recurse_body(x, b, j); },
+        options_.max_recurse_iterations, budget());
+    const int top_needed = cand.meas.needed.back();
+    if (top_needed > 0) {
+      best_top_time =
+          std::min(best_top_time, cand.meas.time_per_step * top_needed);
+    }
+    candidates.push_back(std::move(cand));
+  }
+
+  // 2. Direct candidate, with O(N⁴) extrapolation pruning.
+  if (n <= options_.direct_max_n) {
+    const double predicted = predicted_direct_time(level);
+    if (predicted <= options_.prune_factor * best_top_time ||
+        predicted == kInf || best_top_time == kInf) {
+      CandidateResult cand;
+      cand.is_direct = true;
+      cand.choice.kind = VKind::kDirect;
+      cand.direct_time = measure_direct(set, cand.direct_acc);
+      direct_time_by_level_[level] = cand.direct_time;
+      best_top_time = std::min(best_top_time, cand.direct_time);
+      candidates.push_back(std::move(cand));
+    } else {
+      // Too slow to ever win here; remember the extrapolation so the next
+      // level can keep pruning.
+      direct_time_by_level_[level] = predicted;
+    }
+  }
+
+  // 3. Iterated SOR(ω_opt) candidate (excluded from the restricted
+  //    heuristic search spaces, which only combine Direct and RECURSE).
+  if (allow_sor) {
+    CandidateResult cand;
+    cand.choice.kind = VKind::kIterSor;
+    const double omega = solvers::omega_opt(n);
+    cand.meas = measure_iterative(
+        set, nullptr,
+        [&](Grid2D& x, const Grid2D& b) {
+          solvers::sor_sweep(x, b, omega, sched_);
+        },
+        options_.max_sor_iterations, budget());
+    candidates.push_back(std::move(cand));
+  }
+
+  // Selection: per accuracy, the fastest feasible candidate.
+  for (int i = 0; i < m; ++i) {
+    VEntry best;
+    best.expected_time = kInf;
+    for (const CandidateResult& cand : candidates) {
+      double time = kInf;
+      double acc = 0.0;
+      VChoice choice = cand.choice;
+      if (cand.is_direct) {
+        time = cand.direct_time;
+        acc = cand.direct_acc;
+      } else {
+        const int needed = cand.meas.needed[static_cast<std::size_t>(i)];
+        if (needed < 0) continue;
+        // A V-type choice must do work to claim an accuracy level.
+        choice.iterations = std::max(needed, 1);
+        time = cand.meas.time_per_step * choice.iterations;
+        acc = cand.meas.accuracy[static_cast<std::size_t>(i)];
+      }
+      if (time < best.expected_time) {
+        best.choice = choice;
+        best.expected_time = time;
+        best.measured_accuracy = acc;
+        best.trained = true;
+      }
+    }
+    PBMG_CHECK(best.trained,
+               "autotuner found no feasible MULTIGRID-V candidate at level " +
+                   std::to_string(level) + " accuracy " +
+                   accuracy_tag(config.accuracies()[static_cast<std::size_t>(i)]));
+    config.v_entry(level, i) = best;
+    std::ostringstream line;
+    line << "[V  ] level " << level << " (N=" << n << ") acc "
+         << accuracy_tag(config.accuracies()[static_cast<std::size_t>(i)])
+         << " -> ";
+    switch (best.choice.kind) {
+      case VKind::kDirect: line << "DIRECT"; break;
+      case VKind::kIterSor: line << "SOR x" << best.choice.iterations; break;
+      case VKind::kRecurse:
+        line << "RECURSE["
+             << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
+                    best.choice.sub_accuracy)])
+             << "] x" << best.choice.iterations;
+        break;
+    }
+    line << "  (" << best.expected_time * 1e3 << " ms)";
+    log_line(line.str());
+  }
+}
+
+void Trainer::train_fmg_level(TunedConfig& config, int level,
+                              const std::vector<TrainingInstance>& set) {
+  const int m = config.accuracy_count();
+  const int n = size_of_level(level);
+  TunedExecutor executor(config, sched_, direct_);
+
+  struct CandidateResult {
+    FmgChoice choice;
+    Measurement meas;
+    double direct_time = kInf;
+    double direct_acc = 0.0;
+    bool is_direct = false;
+  };
+  std::vector<CandidateResult> candidates;
+
+  double best_top_time = kInf;
+  const auto budget = [&] {
+    return best_top_time == kInf
+               ? kInf
+               : options_.prune_factor * best_top_time *
+                         static_cast<double>(set.size()) +
+                     kBudgetFloorSeconds;
+  };
+
+  // Direct candidate first.  The V pass at this level already produced a
+  // time for the direct solver (measured, or extrapolated when it pruned);
+  // reuse it rather than re-running an expensive factorization, but
+  // re-measure cheap systems to keep the accuracy figure honest.
+  if (n <= options_.direct_max_n) {
+    auto it = direct_time_by_level_.find(level);
+    const double known = it == direct_time_by_level_.end()
+                             ? predicted_direct_time(level)
+                             : it->second;
+    CandidateResult cand;
+    cand.is_direct = true;
+    cand.choice.kind = FmgKind::kDirect;
+    if (known == kInf || known < 0.05) {
+      cand.direct_time = measure_direct(set, cand.direct_acc);
+      direct_time_by_level_[level] = cand.direct_time;
+    } else {
+      cand.direct_time = known;
+      cand.direct_acc = kInf;  // the direct solve is exact by construction
+    }
+    best_top_time = std::min(best_top_time, cand.direct_time);
+    candidates.push_back(std::move(cand));
+  }
+
+  // ESTIMATE_j followed by RECURSE_m or SOR.  Estimate phases are shared
+  // across the solve alternatives via the setup callback.
+  for (int j = m - 1; j >= 0; --j) {
+    const auto setup = [&executor, j](Grid2D& x, const Grid2D& b) {
+      executor.estimate(x, b, j);
+    };
+    // RECURSE solves first (tight budgets), plain SOR last (solve == -1).
+    for (int solve = m - 1; solve >= -1; --solve) {
+      CandidateResult cand;
+      GridFn step;
+      int max_iterations = 0;
+      if (solve == -1) {
+        cand.choice.kind = FmgKind::kEstimateThenSor;
+        cand.choice.estimate_accuracy = j;
+        const double omega = solvers::omega_opt(n);
+        step = [this, omega](Grid2D& x, const Grid2D& b) {
+          solvers::sor_sweep(x, b, omega, sched_);
+        };
+        max_iterations = options_.max_sor_iterations;
+      } else {
+        cand.choice.kind = FmgKind::kEstimateThenRecurse;
+        cand.choice.estimate_accuracy = j;
+        cand.choice.solve_accuracy = solve;
+        step = [&executor, solve](Grid2D& x, const Grid2D& b) {
+          executor.recurse_body(x, b, solve);
+        };
+        max_iterations = options_.max_recurse_iterations;
+      }
+      cand.meas =
+          measure_iterative(set, setup, step, max_iterations, budget());
+      const int top_needed = cand.meas.needed.back();
+      if (top_needed >= 0) {
+        best_top_time = std::min(
+            best_top_time,
+            cand.meas.setup_time + cand.meas.time_per_step * top_needed);
+      }
+      candidates.push_back(std::move(cand));
+    }
+  }
+
+  for (int i = 0; i < m; ++i) {
+    FmgEntry best;
+    best.expected_time = kInf;
+    for (const CandidateResult& cand : candidates) {
+      double time = kInf;
+      double acc = 0.0;
+      FmgChoice choice = cand.choice;
+      if (cand.is_direct) {
+        time = cand.direct_time;
+        acc = cand.direct_acc;
+      } else {
+        const int needed = cand.meas.needed[static_cast<std::size_t>(i)];
+        if (needed < 0) continue;
+        choice.iterations = needed;  // 0 is valid: the estimate sufficed
+        time = cand.meas.setup_time + cand.meas.time_per_step * needed;
+        acc = cand.meas.accuracy[static_cast<std::size_t>(i)];
+      }
+      if (time < best.expected_time) {
+        best.choice = choice;
+        best.expected_time = time;
+        best.measured_accuracy = acc;
+        best.trained = true;
+      }
+    }
+    PBMG_CHECK(best.trained,
+               "autotuner found no feasible FULL-MULTIGRID candidate at level " +
+                   std::to_string(level));
+    config.fmg_entry(level, i) = best;
+    std::ostringstream line;
+    line << "[FMG] level " << level << " (N=" << n << ") acc "
+         << accuracy_tag(config.accuracies()[static_cast<std::size_t>(i)])
+         << " -> ";
+    switch (best.choice.kind) {
+      case FmgKind::kDirect:
+        line << "DIRECT";
+        break;
+      case FmgKind::kEstimateThenSor:
+        line << "EST["
+             << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
+                    best.choice.estimate_accuracy)])
+             << "]+SOR x" << best.choice.iterations;
+        break;
+      case FmgKind::kEstimateThenRecurse:
+        line << "EST["
+             << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
+                    best.choice.estimate_accuracy)])
+             << "]+RECURSE["
+             << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
+                    best.choice.solve_accuracy)])
+             << "] x" << best.choice.iterations;
+        break;
+    }
+    line << "  (" << best.expected_time * 1e3 << " ms)";
+    log_line(line.str());
+  }
+}
+
+TunedConfig Trainer::train() {
+  TunedConfig config(options_.accuracies, options_.max_level);
+  config.profile_name = sched_.profile().name;
+  config.distribution = to_string(options_.distribution);
+  config.seed = options_.seed;
+  config.strategy = "autotuned";
+  direct_time_by_level_.clear();
+
+  std::vector<int> all_sub(static_cast<std::size_t>(config.accuracy_count()));
+  for (int i = 0; i < config.accuracy_count(); ++i) {
+    all_sub[static_cast<std::size_t>(i)] = i;
+  }
+
+  Rng rng(options_.seed);
+  for (int level = 2; level <= options_.max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto set =
+        make_training_set(n, options_.distribution,
+                          rng.split(static_cast<std::uint64_t>(level)),
+                          options_.training_instances, sched_);
+    train_v_level(config, level, set, all_sub, /*allow_sor=*/true);
+    if (options_.train_fmg) train_fmg_level(config, level, set);
+  }
+  return config;
+}
+
+TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {
+  TunedConfig config(options_.accuracies, options_.max_level);
+  PBMG_CHECK(fixed_sub_accuracy >= 0 &&
+                 fixed_sub_accuracy < config.accuracy_count(),
+             "train_heuristic: sub-accuracy index out of range");
+  config.profile_name = sched_.profile().name;
+  config.distribution = to_string(options_.distribution);
+  config.seed = options_.seed;
+  config.strategy =
+      "heuristic-" +
+      accuracy_tag(
+          options_.accuracies[static_cast<std::size_t>(fixed_sub_accuracy)]) +
+      "/" + accuracy_tag(options_.accuracies.back());
+  direct_time_by_level_.clear();
+
+  const std::vector<int> only_fixed{fixed_sub_accuracy};
+  Rng rng(options_.seed);
+  for (int level = 2; level <= options_.max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto set =
+        make_training_set(n, options_.distribution,
+                          rng.split(static_cast<std::uint64_t>(level)),
+                          options_.training_instances, sched_);
+    train_v_level(config, level, set, only_fixed, /*allow_sor=*/false);
+  }
+  return config;
+}
+
+}  // namespace pbmg::tune

@@ -1,0 +1,135 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "tune/accuracy.h"
+#include "tune/table.h"
+
+/// \file trainer.h
+/// The discrete dynamic-programming autotuner of paper §2.3–2.4.
+///
+/// Levels are tuned bottom-up.  At level k every candidate choice is run on
+/// training instances drawn from the target input distribution; following
+/// §4.1, the trainer "first computes the number of iterations needed for
+/// the SOR and RECURSE_j choices before determining which is the fastest
+/// option to attain accuracy p_i": one pass per candidate records the
+/// iteration at which each accuracy threshold is crossed, then per-accuracy
+/// expected times are compared and the fastest feasible candidate wins the
+/// cell.  Candidates that fall hopelessly behind the best known time are
+/// abandoned early (time-budget pruning), and the direct solver is skipped
+/// outright once its extrapolated O(N⁴) cost cannot win.
+///
+/// The same machinery trains the restricted candidate sets of the paper's
+/// Figure 7/8 heuristics ("Strategy 10^x/10^9": only Direct and
+/// RECURSE_{10^x} may be used below the top level).
+
+namespace pbmg::tune {
+
+/// Tuning hyper-parameters.  Defaults mirror the paper where specified and
+/// stay laptop-friendly elsewhere.
+struct TrainerOptions {
+  /// Discrete accuracy ladder p_1 < ... < p_m (paper: 10 … 10⁹).
+  std::vector<double> accuracies = paper_accuracies();
+
+  /// Highest recursion level to tune (grid side 2^max_level + 1).
+  int max_level = 8;
+
+  /// Training input distribution (paper §4).
+  InputDistribution distribution = InputDistribution::kUnbiased;
+
+  /// RNG seed for the training set; same seed ⇒ same tuned tables on a
+  /// given machine state.
+  std::uint64_t seed = 20091114;  // SC'09 opening day
+
+  /// Training instances per level.
+  int training_instances = 2;
+
+  /// Iteration cap for the RECURSE-style candidates.
+  int max_recurse_iterations = 100;
+
+  /// Iteration cap for plain SOR candidates.
+  int max_sor_iterations = 100000;
+
+  /// Largest grid side for which the direct solver is ever *attempted* as
+  /// a candidate (memory/time guard; its O(N⁴) cost is extrapolated and
+  /// pruned before this bound is hit on sane inputs).
+  int direct_max_n = 513;
+
+  /// A candidate is abandoned once it has spent more than
+  /// prune_factor × (best known time to the top accuracy) summed over the
+  /// training instances.
+  double prune_factor = 2.0;
+
+  /// Train the FULL-MULTIGRID table as well (paper §2.4).
+  bool train_fmg = true;
+
+  /// Optional progress sink (one line per tuned cell).
+  std::function<void(const std::string&)> log;
+};
+
+/// Bottom-up dynamic-programming tuner.
+class Trainer {
+ public:
+  /// The scheduler decides the machine profile the tuning is performed
+  /// under; the direct solver supplies the Direct candidates.
+  Trainer(TrainerOptions options, rt::Scheduler& sched,
+          solvers::DirectSolver& direct);
+
+  /// Runs the full autotuning of §2.3 (and §2.4 when options.train_fmg):
+  /// all accuracies at level k are tuned before level k+1.
+  TunedConfig train();
+
+  /// Trains a Figure-7 heuristic: below the top level only Direct and
+  /// RECURSE with the fixed sub-accuracy index are allowed.  The returned
+  /// config's V-table implements "Strategy 10^x/10⁹" where
+  /// 10^x = accuracies[fixed_sub_accuracy].  FMG cells are not trained.
+  TunedConfig train_heuristic(int fixed_sub_accuracy);
+
+  const TrainerOptions& options() const { return options_; }
+
+ private:
+  /// Per-candidate single-pass measurement (see file comment).
+  struct Measurement {
+    std::vector<int> needed;        ///< per accuracy: iterations, -1 unreached
+    std::vector<double> accuracy;   ///< worst accuracy at the crossing
+    double time_per_step = 0.0;     ///< average seconds per iteration
+    double setup_time = 0.0;        ///< average seconds of setup (estimate)
+  };
+
+  using GridFn = std::function<void(Grid2D&, const Grid2D&)>;
+
+  Measurement measure_iterative(const std::vector<TrainingInstance>& set,
+                                const GridFn& setup, const GridFn& step,
+                                int max_iterations, double time_budget);
+
+  /// Measures a direct solve on the training set; returns seconds and the
+  /// worst achieved accuracy via out-param.
+  double measure_direct(const std::vector<TrainingInstance>& set,
+                        double& worst_accuracy);
+
+  void train_v_level(TunedConfig& config, int level,
+                     const std::vector<TrainingInstance>& set,
+                     const std::vector<int>& allowed_sub_accuracies,
+                     bool allow_sor);
+  void train_fmg_level(TunedConfig& config, int level,
+                       const std::vector<TrainingInstance>& set);
+
+  /// Extrapolated direct-solve time at `level` from lower-level
+  /// measurements (O(N⁴) ⇒ ×16 per level); +inf when unknown.
+  double predicted_direct_time(int level) const;
+
+  void log_line(const std::string& line) const;
+
+  TrainerOptions options_;
+  rt::Scheduler& sched_;
+  solvers::DirectSolver& direct_;
+  std::map<int, double> direct_time_by_level_;
+};
+
+}  // namespace pbmg::tune

@@ -1,0 +1,150 @@
+// Tests for the dynamic-tuning extension (paper §6 future work): the
+// runtime-adaptive driver over statically tuned variants must converge on
+// in-distribution inputs without escalating much, escalate on inputs that
+// respond worse than the trained class promises, and respect its
+// iteration budget.
+
+#include <gtest/gtest.h>
+
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "support/rng.h"
+#include "tune/accuracy.h"
+#include "tune/dynamic.h"
+#include "tune/trainer.h"
+
+namespace pbmg::tune {
+namespace {
+
+rt::Scheduler& sched() {
+  static rt::Scheduler instance([] {
+    rt::MachineProfile p;
+    p.name = "dynamic-test";
+    p.threads = 4;
+    p.grain_rows = 4;
+    return p;
+  }());
+  return instance;
+}
+
+solvers::DirectSolver& direct() {
+  static solvers::DirectSolver instance;
+  return instance;
+}
+
+const TunedConfig& trained() {
+  static const TunedConfig config = [] {
+    TrainerOptions options;
+    options.max_level = 5;
+    options.train_fmg = false;
+    options.seed = 1717;
+    Trainer trainer(options, sched(), direct());
+    return trainer.train();
+  }();
+  return config;
+}
+
+double residual_norm(const Grid2D& x, const Grid2D& b) {
+  Grid2D r(x.n(), 0.0);
+  grid::residual(x, b, r, sched());
+  return grid::norm2_interior(r, sched());
+}
+
+TEST(DynamicSolver, ConvergesToResidualTargetInDistribution) {
+  DynamicSolver solver(trained(), sched(), direct());
+  const int n = size_of_level(5);
+  Rng rng(42);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  Grid2D x = problem.x0;
+  const double r0 = residual_norm(x, problem.b);
+  const auto result = solver.solve(x, problem.b, 1e8);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(residual_norm(x, problem.b), r0 / 1e8 * 1.0001);
+  EXPECT_GE(result.residual_reduction, 1e8);
+}
+
+TEST(DynamicSolver, ConvergesAcrossDistributions) {
+  // The point of dynamic tuning: one config, robust behaviour on inputs
+  // from other distribution classes.
+  DynamicSolver solver(trained(), sched(), direct());
+  const int n = size_of_level(5);
+  for (auto dist :
+       {InputDistribution::kBiased, InputDistribution::kPointSources}) {
+    Rng rng(43);
+    auto problem = make_problem(n, dist, rng);
+    Grid2D x = problem.x0;
+    const auto result = solver.solve(x, problem.b, 1e6);
+    EXPECT_TRUE(result.converged) << to_string(dist);
+  }
+}
+
+TEST(DynamicSolver, TrivialTargetNeedsNoEscalation) {
+  DynamicSolver solver(trained(), sched(), direct());
+  const int n = size_of_level(4);
+  Rng rng(44);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  Grid2D x = problem.x0;
+  const auto result = solver.solve(x, problem.b, 2.0);
+  EXPECT_TRUE(result.converged);
+  EXPECT_EQ(result.escalations, 0);
+  EXPECT_LE(result.iterations, 2);
+}
+
+TEST(DynamicSolver, DeepTargetsClimbTheLadder) {
+  // Demanding far more reduction than the cheapest variant delivers per
+  // call forces the driver up the accuracy ladder.
+  DynamicSolver solver(trained(), sched(), direct());
+  const int n = size_of_level(5);
+  Rng rng(45);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  Grid2D x = problem.x0;
+  const auto result = solver.solve(x, problem.b, 1e12, 64);
+  EXPECT_GE(result.final_accuracy_index, 0);
+  EXPECT_LE(result.final_accuracy_index, trained().accuracy_count() - 1);
+  // Either converged, or honestly reported non-convergence within budget.
+  if (!result.converged) {
+    EXPECT_EQ(result.iterations, 64);
+  }
+}
+
+TEST(DynamicSolver, RespectsIterationBudget) {
+  DynamicSolver solver(trained(), sched(), direct());
+  const int n = size_of_level(5);
+  Rng rng(46);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  Grid2D x = problem.x0;
+  const auto result = solver.solve(x, problem.b, 1e30, 3);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3);
+}
+
+TEST(DynamicSolver, AlreadyConvergedInputReturnsImmediately) {
+  DynamicSolver solver(trained(), sched(), direct());
+  const int n = size_of_level(4);
+  // x solves A·x = b exactly when b = A·x by construction.
+  Rng rng(47);
+  Grid2D x(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) x(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Grid2D b(n, 0.0);
+  grid::apply_poisson(x, b, sched());
+  Grid2D guess = x;  // start at the exact solution
+  const auto result = solver.solve(guess, b, 1e6);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.iterations, 1);
+}
+
+TEST(DynamicSolver, ValidatesArguments) {
+  DynamicSolver solver(trained(), sched(), direct());
+  Grid2D x(17, 0.0), b(33, 0.0);
+  EXPECT_THROW(solver.solve(x, b, 10.0), InvalidArgument);
+  Grid2D b17(17, 0.0);
+  EXPECT_THROW(solver.solve(x, b17, 0.5), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pbmg::tune

@@ -1,0 +1,270 @@
+// Tests for the linear-algebra substrate: band storage, banded Cholesky
+// (the DPBSV equivalent), dense Cholesky cross-checks, and the Poisson
+// assembly with boundary lifting.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "grid/grid2d.h"
+#include "grid/level.h"
+#include "linalg/band_matrix.h"
+#include "linalg/poisson_assembly.h"
+#include "support/error.h"
+#include "support/rng.h"
+
+namespace pbmg::linalg {
+namespace {
+
+/// Builds a random SPD band matrix: A = Bᵀ·B restricted to the band plus a
+/// diagonal boost that keeps it well-conditioned and definite.
+BandMatrix random_spd_band(int dim, int bandwidth, std::uint64_t seed) {
+  Rng rng(seed);
+  BandMatrix a(dim, bandwidth);
+  for (int j = 0; j < dim; ++j) {
+    a.band(j, 0) = 4.0 + 2.0 * bandwidth + rng.uniform01();
+    for (int d = 1; d <= bandwidth && j + d < dim; ++d) {
+      a.band(j, d) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return a;
+}
+
+std::vector<double> random_vector(int dim, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(static_cast<std::size_t>(dim));
+  for (auto& x : v) x = rng.uniform(-5.0, 5.0);
+  return v;
+}
+
+std::vector<double> dense_matvec(const std::vector<double>& a, int m,
+                                 const std::vector<double>& x) {
+  std::vector<double> y(static_cast<std::size_t>(m), 0.0);
+  for (int i = 0; i < m; ++i) {
+    for (int j = 0; j < m; ++j) {
+      y[static_cast<std::size_t>(i)] +=
+          a[static_cast<std::size_t>(i) * m + j] * x[static_cast<std::size_t>(j)];
+    }
+  }
+  return y;
+}
+
+// ---------------------------------------------------------- BandMatrix --
+
+TEST(BandMatrix, StorageAndSymmetricGet) {
+  BandMatrix a(4, 1);
+  a.set(0, 0, 2.0);
+  a.set(1, 0, -1.0);
+  a.set(1, 1, 2.0);
+  EXPECT_DOUBLE_EQ(a.get(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.get(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(a.get(0, 1), -1.0);  // symmetric read
+  EXPECT_DOUBLE_EQ(a.get(0, 2), 0.0);   // outside band reads zero
+  EXPECT_THROW(a.set(0, 1, 1.0), InvalidArgument);  // upper triangle write
+  EXPECT_THROW(a.set(3, 0, 1.0), InvalidArgument);  // outside band write
+  EXPECT_THROW(a.get(4, 0), InvalidArgument);
+}
+
+TEST(BandMatrix, InvalidShapesThrow) {
+  EXPECT_THROW(BandMatrix(0, 0), InvalidArgument);
+  EXPECT_THROW(BandMatrix(3, 3), InvalidArgument);
+  EXPECT_THROW(BandMatrix(3, -1), InvalidArgument);
+}
+
+TEST(BandMatrix, ToDenseReconstructsSymmetry) {
+  const BandMatrix a = random_spd_band(6, 2, 17);
+  const auto dense = a.to_dense();
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i) * 6 + j],
+                       dense[static_cast<std::size_t>(j) * 6 + i]);
+      EXPECT_DOUBLE_EQ(dense[static_cast<std::size_t>(i) * 6 + j], a.get(i, j));
+    }
+  }
+}
+
+// ------------------------------------------------------- band Cholesky --
+
+TEST(BandCholesky, SolvesKnownTridiagonalSystem) {
+  // 1-D Poisson matrix [2,-1] of dim 3 with rhs = (1,0,1): solution (1,1,1).
+  BandMatrix a(3, 1);
+  for (int j = 0; j < 3; ++j) a.band(j, 0) = 2.0;
+  a.band(0, 1) = -1.0;
+  a.band(1, 1) = -1.0;
+  std::vector<double> rhs{1.0, 0.0, 1.0};
+  band_spd_solve(a, rhs);
+  EXPECT_NEAR(rhs[0], 1.0, 1e-14);
+  EXPECT_NEAR(rhs[1], 1.0, 1e-14);
+  EXPECT_NEAR(rhs[2], 1.0, 1e-14);
+}
+
+TEST(BandCholesky, MatchesDenseCholeskyOnRandomSystems) {
+  for (int dim : {1, 2, 5, 12, 40}) {
+    for (int bw : {0, 1, 3, 7}) {
+      if (bw >= dim) continue;
+      BandMatrix a = random_spd_band(dim, bw, 1000u + static_cast<std::uint64_t>(dim * 10 + bw));
+      auto dense = a.to_dense();
+      const auto b = random_vector(dim, 55);
+      std::vector<double> band_solution = b;
+      band_spd_solve(a, band_solution);
+      std::vector<double> dense_solution = b;
+      dense_spd_solve(dense, dim, dense_solution);
+      for (int i = 0; i < dim; ++i) {
+        ASSERT_NEAR(band_solution[static_cast<std::size_t>(i)],
+                    dense_solution[static_cast<std::size_t>(i)], 1e-9)
+            << "dim=" << dim << " bw=" << bw << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(BandCholesky, ResidualIsTiny) {
+  const int dim = 30, bw = 5;
+  BandMatrix a = random_spd_band(dim, bw, 77);
+  const auto dense = a.to_dense();
+  const auto b = random_vector(dim, 78);
+  std::vector<double> x = b;
+  band_spd_solve(a, x);
+  const auto ax = dense_matvec(dense, dim, x);
+  for (int i = 0; i < dim; ++i) {
+    ASSERT_NEAR(ax[static_cast<std::size_t>(i)], b[static_cast<std::size_t>(i)],
+                1e-9);
+  }
+}
+
+TEST(BandCholesky, RejectsIndefiniteMatrix) {
+  BandMatrix a(3, 1);
+  a.band(0, 0) = 1.0;
+  a.band(1, 0) = -2.0;  // negative pivot
+  a.band(2, 0) = 1.0;
+  EXPECT_THROW(band_cholesky_factor(a), NumericalError);
+}
+
+TEST(BandCholesky, RejectsSemidefiniteMatrix) {
+  // [1 1; 1 1] is singular.
+  BandMatrix a(2, 1);
+  a.band(0, 0) = 1.0;
+  a.band(1, 0) = 1.0;
+  a.band(0, 1) = 1.0;
+  EXPECT_THROW(band_cholesky_factor(a), NumericalError);
+}
+
+TEST(BandCholesky, SolveValidatesRhsSize) {
+  BandMatrix a = random_spd_band(4, 1, 5);
+  band_cholesky_factor(a);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_THROW(band_cholesky_solve(a, wrong), InvalidArgument);
+}
+
+TEST(DenseCholesky, ValidatesInputs) {
+  std::vector<double> a(4, 1.0);  // singular 2x2 of ones
+  std::vector<double> b{1.0, 1.0};
+  EXPECT_THROW(dense_spd_solve(a, 2, b), NumericalError);
+  std::vector<double> bad(3, 1.0);
+  EXPECT_THROW(dense_spd_solve(bad, 2, b), InvalidArgument);
+}
+
+// ------------------------------------------------------ Poisson assembly --
+
+TEST(PoissonAssembly, MatrixMatchesStencil) {
+  const int n = 5;  // interior 3x3, dim 9, bandwidth 3
+  const BandMatrix a = assemble_poisson_band(n);
+  EXPECT_EQ(a.dim(), 9);
+  EXPECT_EQ(a.bandwidth(), 3);
+  const double inv_h2 = 16.0;  // h = 1/4
+  for (int idx = 0; idx < 9; ++idx) {
+    EXPECT_DOUBLE_EQ(a.get(idx, idx), 4.0 * inv_h2);
+  }
+  // East neighbour present except across row boundaries.
+  EXPECT_DOUBLE_EQ(a.get(1, 0), -inv_h2);
+  EXPECT_DOUBLE_EQ(a.get(3, 2), 0.0);  // (row 1, col 0)-(row 0, col 2) break
+  // South neighbour (offset 3).
+  EXPECT_DOUBLE_EQ(a.get(3, 0), -inv_h2);
+  EXPECT_DOUBLE_EQ(a.get(8, 5), -inv_h2);
+}
+
+TEST(PoissonAssembly, BaseCaseIsOneByOne) {
+  const BandMatrix a = assemble_poisson_band(3);
+  EXPECT_EQ(a.dim(), 1);
+  EXPECT_EQ(a.bandwidth(), 0);
+  EXPECT_DOUBLE_EQ(a.get(0, 0), 16.0);  // 4 / h², h = 1/2
+}
+
+TEST(PoissonAssembly, GatherLiftsBoundaryScatterRoundTrips) {
+  const int n = 5;
+  Grid2D b(n, 0.0), x(n, 0.0);
+  Rng rng(3);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      b(i, j) = rng.uniform(-1.0, 1.0);
+      x(i, j) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const auto rhs = gather_poisson_rhs(b, x);
+  ASSERT_EQ(rhs.size(), 9u);
+  const double inv_h2 = 16.0;
+  // Corner interior cell (1,1) receives north and west boundary lift.
+  EXPECT_NEAR(rhs[0], b(1, 1) + inv_h2 * (x(0, 1) + x(1, 0)), 1e-12);
+  // Centre cell (2,2) receives no lift.
+  EXPECT_NEAR(rhs[4], b(2, 2), 1e-12);
+  // Scatter writes only the interior.
+  Grid2D out(n, -7.0);
+  scatter_interior(rhs, out);
+  EXPECT_DOUBLE_EQ(out(0, 0), -7.0);
+  EXPECT_NEAR(out(2, 2), rhs[4], 1e-12);
+  std::vector<double> wrong(4, 0.0);
+  EXPECT_THROW(scatter_interior(wrong, out), InvalidArgument);
+}
+
+TEST(PoissonAssembly, DirectBandSolveReproducesManufacturedSolution) {
+  // Solve A x = gather(b, boundary) for a problem built from a known
+  // discrete solution and compare.
+  for (int n : {3, 5, 9, 17}) {
+    Grid2D exact(n, 0.0);
+    Rng rng(200 + static_cast<std::uint64_t>(n));
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) exact(i, j) = rng.uniform(-1.0, 1.0);
+    }
+    // b = A·exact computed by the band matrix itself (dense check path).
+    BandMatrix a = assemble_poisson_band(n);
+    const auto dense = a.to_dense();
+    const int m = (n - 2) * (n - 2);
+    std::vector<double> xe(static_cast<std::size_t>(m));
+    for (int i = 1; i < n - 1; ++i) {
+      for (int j = 1; j < n - 1; ++j) {
+        xe[static_cast<std::size_t>((i - 1) * (n - 2) + (j - 1))] = exact(i, j);
+      }
+    }
+    auto rhs_vec = dense_matvec(dense, m, xe);
+    // Convert to grid RHS by removing the boundary lift that gather adds.
+    Grid2D b(n, 0.0);
+    scatter_interior(rhs_vec, b);
+    const double inv_h2 =
+        static_cast<double>(n - 1) * static_cast<double>(n - 1);
+    for (int j = 1; j < n - 1; ++j) {
+      b(1, j) -= inv_h2 * exact(0, j);
+      b(n - 2, j) -= inv_h2 * exact(n - 1, j);
+    }
+    for (int i = 1; i < n - 1; ++i) {
+      b(i, 1) -= inv_h2 * exact(i, 0);
+      b(i, n - 2) -= inv_h2 * exact(i, n - 1);
+    }
+    auto rhs = gather_poisson_rhs(b, exact);
+    band_spd_solve(a, rhs);
+    for (int i = 0; i < m; ++i) {
+      ASSERT_NEAR(rhs[static_cast<std::size_t>(i)],
+                  xe[static_cast<std::size_t>(i)], 1e-8)
+          << "n=" << n;
+    }
+  }
+}
+
+TEST(PoissonAssembly, RejectsInvalidSizes) {
+  EXPECT_THROW(assemble_poisson_band(4), InvalidArgument);
+  Grid2D b(6, 0.0), x(6, 0.0);
+  EXPECT_THROW(gather_poisson_rhs(b, x), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace pbmg::linalg

@@ -1,0 +1,242 @@
+// Property-based (parameterized) tests for the grid substrate: algebraic
+// identities of the discrete operator and the transfer operators, swept
+// across grid sizes and random inputs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "grid/grid2d.h"
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+#include "support/rng.h"
+
+namespace pbmg {
+namespace {
+
+rt::Scheduler& sched() {
+  static rt::Scheduler instance([] {
+    rt::MachineProfile p;
+    p.name = "prop-grid";
+    p.threads = 4;
+    p.grain_rows = 2;
+    p.sequential_cutoff_cells = 64;  // force the parallel paths even at n=5
+    return p;
+  }());
+  return instance;
+}
+
+inline std::string dist_label(int index) {
+  switch (index) {
+    case 0: return "unbiased";
+    case 1: return "biased";
+    default: return "pointsources";
+  }
+}
+
+Grid2D random_interior(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Grid2D g(n, 0.0);
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) g(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return g;
+}
+
+double dot_interior(const Grid2D& a, const Grid2D& b) {
+  double acc = 0.0;
+  for (int i = 1; i < a.n() - 1; ++i) {
+    for (int j = 1; j < a.n() - 1; ++j) acc += a(i, j) * b(i, j);
+  }
+  return acc;
+}
+
+class GridProperty : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridProperty,
+                         ::testing::Values(5, 9, 17, 33, 65, 129),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST_P(GridProperty, OperatorIsSymmetricOnZeroRingGrids) {
+  // <A u, v> == <u, A v> for grids with zero Dirichlet rings.
+  const int n = GetParam();
+  const Grid2D u = random_interior(n, 11u + static_cast<std::uint64_t>(n));
+  const Grid2D v = random_interior(n, 23u + static_cast<std::uint64_t>(n));
+  Grid2D au(n, 0.0), av(n, 0.0);
+  grid::apply_poisson(u, au, sched());
+  grid::apply_poisson(v, av, sched());
+  const double lhs = dot_interior(au, v);
+  const double rhs = dot_interior(u, av);
+  EXPECT_NEAR(lhs, rhs, 1e-9 * (std::abs(lhs) + 1.0));
+}
+
+TEST_P(GridProperty, OperatorIsPositiveDefinite) {
+  // <A u, u> > 0 for u != 0 with zero ring.
+  const int n = GetParam();
+  const Grid2D u = random_interior(n, 37u + static_cast<std::uint64_t>(n));
+  Grid2D au(n, 0.0);
+  grid::apply_poisson(u, au, sched());
+  EXPECT_GT(dot_interior(au, u), 0.0);
+}
+
+TEST_P(GridProperty, OperatorAnnihilatesConstantsUpToBoundary) {
+  // A applied to a constant grid is zero strictly inside (only cells
+  // adjacent to the ring see the boundary).
+  const int n = GetParam();
+  Grid2D u(n, 2.5);
+  Grid2D au(n, 0.0);
+  grid::apply_poisson(u, au, sched());
+  for (int i = 2; i < n - 2; ++i) {
+    for (int j = 2; j < n - 2; ++j) {
+      ASSERT_NEAR(au(i, j), 0.0, 1e-7) << i << "," << j;
+    }
+  }
+}
+
+TEST_P(GridProperty, ResidualIsLinearInX) {
+  // r(x1 + x2, b) + A·0 == r(x1, b) + r(x2, 0): residual affine structure.
+  const int n = GetParam();
+  const Grid2D x1 = random_interior(n, 41u + static_cast<std::uint64_t>(n));
+  const Grid2D x2 = random_interior(n, 43u + static_cast<std::uint64_t>(n));
+  const Grid2D b = random_interior(n, 47u + static_cast<std::uint64_t>(n));
+  Grid2D sum(n, 0.0);
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) sum(i, j) = x1(i, j) + x2(i, j);
+  }
+  Grid2D r_sum(n, 0.0), r1(n, 0.0), r2_zero(n, 0.0);
+  Grid2D zero_b(n, 0.0);
+  grid::residual(sum, b, r_sum, sched());
+  grid::residual(x1, b, r1, sched());
+  grid::residual(x2, zero_b, r2_zero, sched());
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) {
+      ASSERT_NEAR(r_sum(i, j), r1(i, j) + r2_zero(i, j),
+                  1e-6 * (std::abs(r1(i, j)) + std::abs(r2_zero(i, j)) + 1.0));
+    }
+  }
+}
+
+TEST_P(GridProperty, RestrictionThenInterpolationIsBoundedContraction) {
+  // P·R has operator norm <= 1 on smooth data: applying it to a sampled
+  // smooth function changes it only slightly (classic two-grid sanity).
+  const int n = GetParam();
+  if (n < 9) GTEST_SKIP() << "too coarse for smoothness arguments";
+  Grid2D u(n, 0.0);
+  const double h = mesh_width(n);
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) {
+      u(i, j) = std::sin(M_PI * i * h) * std::sin(M_PI * j * h);
+    }
+  }
+  Grid2D coarse(coarse_size(n), 0.0);
+  grid::restrict_full_weighting(u, coarse, sched());
+  Grid2D back(n, 0.0);
+  grid::interpolate_assign(coarse, back, sched());
+  const double diff = grid::norm2_diff_interior(u, back, sched());
+  const double norm = grid::norm2_interior(u, sched());
+  EXPECT_LT(diff, 0.2 * norm);  // smooth modes survive the round trip
+}
+
+TEST_P(GridProperty, RestrictionNeverAmplifies) {
+  // Full weighting averages: ||R f||_inf <= ||f||_inf.
+  const int n = GetParam();
+  const Grid2D f = random_interior(n, 53u + static_cast<std::uint64_t>(n));
+  Grid2D coarse(coarse_size(n), 0.0);
+  grid::restrict_full_weighting(f, coarse, sched());
+  EXPECT_LE(grid::max_abs_interior(coarse, sched()),
+            grid::max_abs_interior(f, sched()) + 1e-12);
+}
+
+TEST_P(GridProperty, InterpolationNeverAmplifies) {
+  // Bilinear interpolation is a convex combination: max preserved.
+  const int n = GetParam();
+  const int nc = coarse_size(n);
+  const Grid2D c = random_interior(nc, 59u + static_cast<std::uint64_t>(n));
+  Grid2D fine(n, 0.0);
+  grid::interpolate_assign(c, fine, sched());
+  EXPECT_LE(grid::max_abs_interior(fine, sched()),
+            grid::max_abs_interior(c, sched()) + 1e-12);
+}
+
+TEST_P(GridProperty, NormTriangleInequality) {
+  const int n = GetParam();
+  const Grid2D a = random_interior(n, 61u + static_cast<std::uint64_t>(n));
+  const Grid2D b = random_interior(n, 67u + static_cast<std::uint64_t>(n));
+  Grid2D zero(n, 0.0);
+  const double na = grid::norm2_diff_interior(a, zero, sched());
+  const double nb = grid::norm2_diff_interior(b, zero, sched());
+  const double nab = grid::norm2_diff_interior(a, b, sched());
+  EXPECT_LE(nab, na + nb + 1e-12);
+  EXPECT_GE(nab, std::abs(na - nb) - 1e-12);
+}
+
+TEST_P(GridProperty, InjectionIsLeftInverseOfInterpolationOnCoarsePoints) {
+  // (R_inject ∘ P) c == c: bilinear interpolation is exact at coarse
+  // points.
+  const int n = GetParam();
+  const int nc = coarse_size(n);
+  const Grid2D c = random_interior(nc, 71u + static_cast<std::uint64_t>(n));
+  Grid2D fine(n, 0.0);
+  grid::interpolate_assign(c, fine, sched());
+  Grid2D back(nc, 0.0);
+  grid::restrict_inject(fine, back, sched());
+  for (int i = 1; i < nc - 1; ++i) {
+    for (int j = 1; j < nc - 1; ++j) {
+      ASSERT_NEAR(back(i, j), c(i, j), 1e-12);
+    }
+  }
+}
+
+// ------------------------------------------------------- distributions --
+
+struct DistCase {
+  InputDistribution dist;
+  int n;
+};
+
+class ProblemProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ProblemProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(9, 33, 129)),
+    [](const auto& info) {
+      return dist_label(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(ProblemProperty, InstancesAreFiniteAndSeedDeterministic) {
+  const auto dist = static_cast<InputDistribution>(std::get<0>(GetParam()));
+  const int n = std::get<1>(GetParam());
+  Rng a(321), b(321);
+  const auto p1 = make_problem(n, dist, a);
+  const auto p2 = make_problem(n, dist, b);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(p1.b(i, j), p2.b(i, j));
+      ASSERT_EQ(p1.x0(i, j), p2.x0(i, j));
+      ASSERT_TRUE(std::isfinite(p1.b(i, j)));
+      ASSERT_TRUE(std::isfinite(p1.x0(i, j)));
+    }
+  }
+}
+
+TEST_P(ProblemProperty, InteriorGuessIsAlwaysZero) {
+  const auto dist = static_cast<InputDistribution>(std::get<0>(GetParam()));
+  const int n = std::get<1>(GetParam());
+  Rng rng(654);
+  const auto p = make_problem(n, dist, rng);
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) {
+      ASSERT_EQ(p.x0(i, j), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbmg

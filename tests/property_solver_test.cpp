@@ -1,0 +1,249 @@
+// Parameterized convergence sweeps across solvers, sizes, and input
+// distributions: every solver must converge on every distribution, V-cycle
+// contraction factors must be size-independent (the defining property of
+// multigrid), and relaxation behaviour must respond to ω as theory says.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fft/fast_poisson.h"
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "solvers/multigrid.h"
+#include "solvers/relax.h"
+#include "support/rng.h"
+
+namespace pbmg::solvers {
+namespace {
+
+rt::Scheduler& sched() {
+  static rt::Scheduler instance([] {
+    rt::MachineProfile p;
+    p.name = "prop-solver";
+    p.threads = 4;
+    p.grain_rows = 4;
+    return p;
+  }());
+  return instance;
+}
+
+inline std::string dist_label(int index) {
+  switch (index) {
+    case 0: return "unbiased";
+    case 1: return "biased";
+    default: return "pointsources";
+  }
+}
+
+struct Instance {
+  PoissonProblem problem;
+  Grid2D exact;
+  double e0;
+};
+
+Instance make_instance(int n, InputDistribution dist, std::uint64_t seed) {
+  Rng rng(seed);
+  Instance inst;
+  inst.problem = make_problem(n, dist, rng);
+  inst.exact = fft::exact_solution(inst.problem);
+  inst.e0 = grid::norm2_diff_interior(inst.problem.x0, inst.exact, sched());
+  return inst;
+}
+
+double error_of(const Instance& inst, const Grid2D& x) {
+  return grid::norm2_diff_interior(x, inst.exact, sched());
+}
+
+class SolverSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SolverSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Values(17, 33, 65)),
+    [](const auto& info) {
+      return dist_label(std::get<0>(info.param)) + "_N" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(SolverSweep, DirectSolvesEveryDistributionExactly) {
+  const auto dist = static_cast<InputDistribution>(std::get<0>(GetParam()));
+  const int n = std::get<1>(GetParam());
+  const auto inst = make_instance(n, dist, 100);
+  DirectSolver direct;
+  Grid2D x = inst.problem.x0;
+  direct.solve(inst.problem.b, x);
+  EXPECT_LE(error_of(inst, x), 1e-9 * (inst.e0 + 1.0));
+}
+
+TEST_P(SolverSweep, SorConvergesOnEveryDistribution) {
+  const auto dist = static_cast<InputDistribution>(std::get<0>(GetParam()));
+  const int n = std::get<1>(GetParam());
+  const auto inst = make_instance(n, dist, 200);
+  if (inst.e0 == 0.0) GTEST_SKIP() << "degenerate zero instance";
+  Grid2D x = inst.problem.x0;
+  for (int s = 0; s < 12 * n; ++s) {
+    sor_sweep(x, inst.problem.b, omega_opt(n), sched());
+  }
+  EXPECT_LE(error_of(inst, x), 1e-6 * inst.e0);
+}
+
+TEST_P(SolverSweep, VCycleConvergesOnEveryDistribution) {
+  const auto dist = static_cast<InputDistribution>(std::get<0>(GetParam()));
+  const int n = std::get<1>(GetParam());
+  const auto inst = make_instance(n, dist, 300);
+  if (inst.e0 == 0.0) GTEST_SKIP() << "degenerate zero instance";
+  DirectSolver direct;
+  Grid2D x = inst.problem.x0;
+  for (int c = 0; c < 25; ++c) {
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+  }
+  EXPECT_LE(error_of(inst, x), 1e-8 * inst.e0);
+}
+
+TEST_P(SolverSweep, FullMultigridConvergesOnEveryDistribution) {
+  const auto dist = static_cast<InputDistribution>(std::get<0>(GetParam()));
+  const int n = std::get<1>(GetParam());
+  const auto inst = make_instance(n, dist, 400);
+  if (inst.e0 == 0.0) GTEST_SKIP() << "degenerate zero instance";
+  DirectSolver direct;
+  Grid2D x = inst.problem.x0;
+  full_multigrid(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+  for (int c = 0; c < 24; ++c) {
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+  }
+  EXPECT_LE(error_of(inst, x), 1e-8 * inst.e0);
+}
+
+// ------------------------------------------------- contraction factors --
+
+class ContractionSweep : public ::testing::TestWithParam<int> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ContractionSweep,
+                         ::testing::Values(33, 65, 129, 257),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param);
+                         });
+
+TEST_P(ContractionSweep, VCycleContractionIsSizeIndependent) {
+  // The defining multigrid property: the per-cycle error contraction
+  // factor stays bounded away from 1 uniformly in N.
+  const int n = GetParam();
+  const auto inst = make_instance(n, InputDistribution::kUnbiased, 500);
+  DirectSolver direct;
+  Grid2D x = inst.problem.x0;
+  // Skip the first cycles (transient), then measure the asymptotic rate.
+  for (int c = 0; c < 3; ++c) {
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+  }
+  const double e_before = error_of(inst, x);
+  for (int c = 0; c < 3; ++c) {
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+  }
+  const double e_after = error_of(inst, x);
+  const double rate = std::cbrt(e_after / e_before);
+  EXPECT_LT(rate, 0.5) << "V-cycle contraction degraded at N=" << n;
+}
+
+TEST_P(ContractionSweep, SorContractionDegradesWithSize) {
+  // Counterpoint: SOR's per-sweep contraction approaches 1 as N grows
+  // (the O(N) iteration count the paper's complexity table quotes).
+  const int n = GetParam();
+  if (n > 129) GTEST_SKIP() << "slow; covered by smaller sizes";
+  const auto inst = make_instance(n, InputDistribution::kUnbiased, 600);
+  Grid2D x = inst.problem.x0;
+  for (int s = 0; s < n; ++s) {
+    sor_sweep(x, inst.problem.b, omega_opt(n), sched());
+  }
+  const double e_mid = error_of(inst, x);
+  for (int s = 0; s < n; ++s) {
+    sor_sweep(x, inst.problem.b, omega_opt(n), sched());
+  }
+  const double e_end = error_of(inst, x);
+  const double per_sweep = std::pow(e_end / e_mid, 1.0 / n);
+  // Must still converge, but noticeably slower than the V-cycle's rate.
+  EXPECT_LT(per_sweep, 1.0);
+  EXPECT_GT(per_sweep, 0.5);
+}
+
+// ------------------------------------------------------------- omegas --
+
+class OmegaSweep : public ::testing::TestWithParam<double> {};
+
+INSTANTIATE_TEST_SUITE_P(Weights, OmegaSweep,
+                         ::testing::Values(0.8, 1.0, 1.15, 1.5),
+                         [](const auto& info) {
+                           return "w" + std::to_string(static_cast<int>(
+                                            info.param * 100));
+                         });
+
+TEST_P(OmegaSweep, SorConvergesForStableWeights) {
+  // SOR converges for 0 < ω < 2 on SPD systems; all tested weights must
+  // reduce the error.
+  const double omega = GetParam();
+  const auto inst = make_instance(33, InputDistribution::kUnbiased, 700);
+  Grid2D x = inst.problem.x0;
+  for (int s = 0; s < 200; ++s) {
+    sor_sweep(x, inst.problem.b, omega, sched());
+  }
+  EXPECT_LT(error_of(inst, x), 0.5 * inst.e0) << "omega=" << omega;
+}
+
+TEST(OmegaOptimality, OptimalOmegaBeatsNeighbours) {
+  // ω_opt minimises the SOR spectral radius: at a fixed sweep budget it
+  // should beat clearly smaller and clearly larger weights.
+  const int n = 65;
+  const auto inst = make_instance(n, InputDistribution::kUnbiased, 800);
+  const double w_opt = omega_opt(n);
+  const auto error_after = [&](double omega) {
+    Grid2D x = inst.problem.x0;
+    for (int s = 0; s < 2 * n; ++s) {
+      sor_sweep(x, inst.problem.b, omega, sched());
+    }
+    return error_of(inst, x);
+  };
+  const double at_opt = error_after(w_opt);
+  EXPECT_LT(at_opt, error_after(1.0));
+  EXPECT_LT(at_opt, error_after(std::min(1.99, w_opt + 0.15)));
+}
+
+// ----------------------------------------------- V-cycle option sweeps --
+
+class CycleOptionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(PrePost, CycleOptionSweep,
+                         ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                                            ::testing::Values(0, 1, 2)),
+                         [](const auto& info) {
+                           return "pre" +
+                                  std::to_string(std::get<0>(info.param)) +
+                                  "_post" +
+                                  std::to_string(std::get<1>(info.param));
+                         });
+
+TEST_P(CycleOptionSweep, AnySmoothingCombinationConverges) {
+  const int pre = std::get<0>(GetParam());
+  const int post = std::get<1>(GetParam());
+  if (pre == 0 && post == 0) {
+    GTEST_SKIP() << "no smoothing: coarse-grid correction alone need not "
+                    "converge";
+  }
+  const auto inst = make_instance(33, InputDistribution::kUnbiased, 900);
+  DirectSolver direct;
+  VCycleOptions options;
+  options.pre_relax = pre;
+  options.post_relax = post;
+  Grid2D x = inst.problem.x0;
+  for (int c = 0; c < 30; ++c) {
+    vcycle(x, inst.problem.b, options, sched(), direct);
+  }
+  EXPECT_LT(error_of(inst, x), 1e-4 * inst.e0);
+}
+
+}  // namespace
+}  // namespace pbmg::solvers

@@ -1,0 +1,215 @@
+// Tests for the work-stealing scheduler: coverage of parallel_for and
+// parallel_reduce, nested parallelism, exception propagation, stealing,
+// machine profiles, and the global-scheduler plumbing.
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/global.h"
+#include "runtime/machine_profile.h"
+#include "runtime/scheduler.h"
+#include "support/error.h"
+
+namespace pbmg::rt {
+namespace {
+
+MachineProfile test_profile(int threads, int grain = 1) {
+  MachineProfile p;
+  p.name = "test";
+  p.threads = threads;
+  p.grain_rows = grain;
+  return p;
+}
+
+TEST(Scheduler, RejectsNonPositiveThreadCount) {
+  MachineProfile p = test_profile(0);
+  EXPECT_THROW(Scheduler s(p), InvalidArgument);
+}
+
+TEST(Scheduler, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    Scheduler sched(test_profile(threads));
+    constexpr std::int64_t kN = 10007;
+    std::vector<std::atomic<int>> hits(kN);
+    sched.parallel_for(0, kN, 16, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(Scheduler, ParallelForHandlesEmptyAndTinyRanges) {
+  Scheduler sched(test_profile(4));
+  int calls = 0;
+  sched.parallel_for(5, 5, 1, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<std::int64_t> sum{0};
+  sched.parallel_for(3, 4, 10, [&](std::int64_t b, std::int64_t e) {
+    sum.fetch_add(e - b);
+  });
+  EXPECT_EQ(sum.load(), 1);
+}
+
+TEST(Scheduler, ParallelForRespectsGrainAsLeafUpperBound) {
+  Scheduler sched(test_profile(4));
+  std::atomic<bool> oversized{false};
+  sched.parallel_for(0, 1000, 32, [&](std::int64_t b, std::int64_t e) {
+    if (e - b > 32) oversized.store(true);
+  });
+  EXPECT_FALSE(oversized.load());
+}
+
+TEST(Scheduler, ParallelReduceSumMatchesSerial) {
+  Scheduler sched(test_profile(8));
+  constexpr std::int64_t kN = 100000;
+  const double parallel = sched.parallel_reduce_sum(
+      0, kN, 64, [](std::int64_t b, std::int64_t e) {
+        double acc = 0.0;
+        for (std::int64_t i = b; i < e; ++i) acc += static_cast<double>(i);
+        return acc;
+      });
+  const double expected =
+      static_cast<double>(kN - 1) * static_cast<double>(kN) / 2.0;
+  EXPECT_DOUBLE_EQ(parallel, expected);
+}
+
+TEST(Scheduler, NestedParallelForDoesNotDeadlock) {
+  Scheduler sched(test_profile(4));
+  std::atomic<std::int64_t> total{0};
+  sched.parallel_for(0, 16, 1, [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t o = ob; o < oe; ++o) {
+      sched.parallel_for(0, 64, 4, [&](std::int64_t b, std::int64_t e) {
+        total.fetch_add(e - b);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 16 * 64);
+}
+
+TEST(Scheduler, TaskExceptionPropagatesToWaiter) {
+  Scheduler sched(test_profile(4));
+  EXPECT_THROW(
+      sched.parallel_for(0, 100, 1,
+                         [&](std::int64_t b, std::int64_t) {
+                           if (b == 50) throw NumericalError("boom");
+                         }),
+      NumericalError);
+  // The scheduler must stay usable afterwards.
+  std::atomic<std::int64_t> sum{0};
+  sched.parallel_for(0, 10, 1,
+                     [&](std::int64_t b, std::int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum.load(), 10);
+}
+
+TEST(Scheduler, SpawnAndWaitRunsEveryTask) {
+  Scheduler sched(test_profile(4));
+  TaskGroup group;
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    sched.spawn(group, [&] { count.fetch_add(1); });
+  }
+  sched.wait(group);
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(Scheduler, TaskGroupIsReusableAfterWait) {
+  Scheduler sched(test_profile(2));
+  TaskGroup group;
+  std::atomic<int> count{0};
+  sched.spawn(group, [&] { count.fetch_add(1); });
+  sched.wait(group);
+  sched.spawn(group, [&] { count.fetch_add(1); });
+  sched.wait(group);
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(Scheduler, StealsHappenUnderImbalance) {
+  Scheduler sched(test_profile(4));
+  // One external submission chain creates deep imbalance; with multiple
+  // workers the only way other threads obtain work is stealing.
+  std::atomic<std::int64_t> sum{0};
+  sched.parallel_for(0, 1 << 14, 1, [&](std::int64_t b, std::int64_t e) {
+    volatile double sink = 0.0;
+    for (std::int64_t i = b; i < e; ++i) {
+      sink = sink + static_cast<double>(i);
+    }
+    sum.fetch_add(e - b);
+  });
+  EXPECT_EQ(sum.load(), 1 << 14);
+  EXPECT_GT(sched.steal_count(), 0);
+}
+
+TEST(Scheduler, OnWorkerThreadDetection) {
+  Scheduler sched(test_profile(2));
+  EXPECT_FALSE(sched.on_worker_thread());
+  std::atomic<bool> inside{false};
+  TaskGroup group;
+  sched.spawn(group, [&] { inside.store(sched.on_worker_thread()); });
+  sched.wait(group);
+  EXPECT_TRUE(inside.load());
+}
+
+TEST(Scheduler, SingleThreadRunsInline) {
+  Scheduler sched(test_profile(1));
+  std::int64_t sum = 0;  // no atomics needed: everything runs inline
+  sched.parallel_for(0, 1000, 10,
+                     [&](std::int64_t b, std::int64_t e) { sum += e - b; });
+  EXPECT_EQ(sum, 1000);
+}
+
+TEST(Scheduler, SpawnOverheadInjectionSlowsSpawns) {
+  MachineProfile slow = test_profile(2);
+  slow.spawn_overhead_ns = 200000;  // 0.2 ms per spawn, easily measurable
+  Scheduler sched(slow);
+  TaskGroup group;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < 20; ++i) sched.spawn(group, [] {});
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  sched.wait(group);
+  EXPECT_GE(std::chrono::duration<double>(elapsed).count(), 20 * 0.0002 * 0.5);
+}
+
+// ------------------------------------------------------------ profiles --
+
+TEST(MachineProfile, PresetsAreDistinctAndValid) {
+  const auto names = profile_names();
+  EXPECT_GE(names.size(), 4u);
+  for (const auto& name : names) {
+    const MachineProfile p = profile_by_name(name);
+    EXPECT_GE(p.threads, 1) << name;
+    EXPECT_GE(p.grain_rows, 1) << name;
+  }
+  EXPECT_THROW(profile_by_name("cray-1"), InvalidArgument);
+  // The three paper testbeds must differ in scheduling character.
+  const MachineProfile a = harpertown_profile();
+  const MachineProfile b = barcelona_profile();
+  const MachineProfile c = niagara_profile();
+  EXPECT_NE(a.grain_rows, b.grain_rows);
+  EXPECT_NE(b.spawn_overhead_ns, c.spawn_overhead_ns);
+}
+
+TEST(MachineProfile, SerialProfileNeverSplits) {
+  Scheduler sched(serial_profile());
+  EXPECT_EQ(sched.thread_count(), 1);
+}
+
+TEST(GlobalScheduler, SetProfileSwapsAndScopedProfileRestores) {
+  const MachineProfile original = global_profile();
+  {
+    ScopedProfile scoped(serial_profile());
+    EXPECT_EQ(global_profile().name, "serial");
+    EXPECT_EQ(global_scheduler().thread_count(), 1);
+  }
+  EXPECT_EQ(global_profile().name, original.name);
+}
+
+}  // namespace
+}  // namespace pbmg::rt

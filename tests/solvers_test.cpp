@@ -1,0 +1,354 @@
+// Tests for the solver layer: relaxation kernels, the cached/uncached
+// direct solver, V-cycles, full multigrid, and the reference
+// iterate-until-converged drivers the paper benchmarks against.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "fft/fast_poisson.h"
+#include "grid/grid_ops.h"
+#include "grid/level.h"
+#include "grid/problem.h"
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "solvers/multigrid.h"
+#include "solvers/relax.h"
+#include "support/rng.h"
+
+namespace pbmg::solvers {
+namespace {
+
+rt::Scheduler& sched() {
+  static rt::Scheduler instance([] {
+    rt::MachineProfile p;
+    p.name = "solver-test";
+    p.threads = 4;
+    p.grain_rows = 4;
+    return p;
+  }());
+  return instance;
+}
+
+/// Error of x against the exact discrete solution of (b, boundary-of-x0).
+double solution_error(const PoissonProblem& problem, const Grid2D& x) {
+  fft::FastPoissonSolver oracle(problem.n());
+  Grid2D x_opt(problem.n(), 0.0);
+  oracle.solve(problem.b, problem.x0, x_opt, sched());
+  return grid::norm2_diff_interior(x, x_opt, sched());
+}
+
+PoissonProblem test_problem(int n, std::uint64_t seed,
+                            InputDistribution dist = InputDistribution::kUnbiased) {
+  Rng rng(seed);
+  return make_problem(n, dist, rng);
+}
+
+// ---------------------------------------------------------------- relax --
+
+TEST(Relax, OmegaOptFormula) {
+  // ω = 2/(1 + sin(πh)).
+  EXPECT_NEAR(omega_opt(3), 2.0 / (1.0 + std::sin(M_PI / 2)), 1e-12);
+  EXPECT_NEAR(omega_opt(65), 2.0 / (1.0 + std::sin(M_PI / 64)), 1e-12);
+  EXPECT_GT(omega_opt(1025), 1.9);  // approaches 2 as h → 0
+  EXPECT_THROW(omega_opt(2), InvalidArgument);
+}
+
+TEST(Relax, SorSweepReducesError) {
+  auto problem = test_problem(33, 11);
+  Grid2D x = problem.x0;
+  const double e0 = solution_error(problem, x);
+  for (int s = 0; s < 10; ++s) sor_sweep(x, problem.b, omega_opt(33), sched());
+  EXPECT_LT(solution_error(problem, x), e0);
+}
+
+TEST(Relax, SorConvergesToExactSolution) {
+  auto problem = test_problem(9, 12);
+  Grid2D x = problem.x0;
+  const double e0 = solution_error(problem, x);
+  for (int s = 0; s < 300; ++s) sor_sweep(x, problem.b, omega_opt(9), sched());
+  EXPECT_LT(solution_error(problem, x), 1e-9 * e0);
+}
+
+TEST(Relax, SorWithOptimalOmegaBeatsGaussSeidel) {
+  auto problem = test_problem(33, 13);
+  Grid2D x_opt_w = problem.x0;
+  Grid2D x_gs = problem.x0;
+  for (int s = 0; s < 60; ++s) {
+    sor_sweep(x_opt_w, problem.b, omega_opt(33), sched());
+    sor_sweep(x_gs, problem.b, 1.0, sched());
+  }
+  EXPECT_LT(solution_error(problem, x_opt_w), solution_error(problem, x_gs));
+}
+
+TEST(Relax, SorPreservesBoundary) {
+  auto problem = test_problem(17, 14);
+  Grid2D x = problem.x0;
+  sor_sweep(x, problem.b, 1.15, sched());
+  for (int j = 0; j < 17; ++j) {
+    ASSERT_EQ(x(0, j), problem.x0(0, j));
+    ASSERT_EQ(x(16, j), problem.x0(16, j));
+  }
+}
+
+TEST(Relax, JacobiSweepReducesErrorAndPreservesBoundary) {
+  auto problem = test_problem(17, 15);
+  Grid2D x = problem.x0;
+  Grid2D scratch(17, 0.0);
+  const double e0 = solution_error(problem, x);
+  for (int s = 0; s < 40; ++s) {
+    jacobi_sweep(x, problem.b, kJacobiOmega, scratch, sched());
+  }
+  EXPECT_LT(solution_error(problem, x), e0);
+  for (int i = 0; i < 17; ++i) {
+    ASSERT_EQ(x(i, 0), problem.x0(i, 0));
+    ASSERT_EQ(x(i, 16), problem.x0(i, 16));
+  }
+}
+
+TEST(Relax, SorBeatsJacobiPerSweep) {
+  // The paper picked SOR over weighted Jacobi on its training data; verify
+  // the same ordering here for equal sweep counts.
+  auto problem = test_problem(33, 16);
+  Grid2D x_sor = problem.x0;
+  Grid2D x_jac = problem.x0;
+  Grid2D scratch(33, 0.0);
+  for (int s = 0; s < 30; ++s) {
+    sor_sweep(x_sor, problem.b, omega_opt(33), sched());
+    jacobi_sweep(x_jac, problem.b, kJacobiOmega, scratch, sched());
+  }
+  EXPECT_LT(solution_error(problem, x_sor), solution_error(problem, x_jac));
+}
+
+TEST(Relax, InputValidation) {
+  Grid2D x(9, 0.0), b(17, 0.0), scratch(9, 0.0);
+  EXPECT_THROW(sor_sweep(x, b, 1.0, sched()), InvalidArgument);
+  EXPECT_THROW(jacobi_sweep(x, b, 1.0, scratch, sched()), InvalidArgument);
+  Grid2D bad(8, 0.0);
+  EXPECT_THROW(sor_sweep(bad, bad, 1.0, sched()), InvalidArgument);
+}
+
+// --------------------------------------------------------------- direct --
+
+TEST(Direct, SolvesExactlyAtAllSmallSizes) {
+  DirectSolver direct;
+  for (int n : {3, 5, 9, 17, 33, 65}) {
+    auto problem = test_problem(n, 20 + static_cast<std::uint64_t>(n));
+    Grid2D x = problem.x0;
+    direct.solve(problem.b, x);
+    const double e0 = grid::norm2_interior(problem.b, sched()) + 1.0;
+    EXPECT_LE(solution_error(problem, x) / e0, 1e-10) << "n=" << n;
+  }
+}
+
+TEST(Direct, CacheModesBothCorrectAndCacheObservable) {
+  DirectSolver uncached(0);
+  DirectSolver cached(64);
+  auto problem = test_problem(17, 33);
+  Grid2D xa = problem.x0;
+  Grid2D xb = problem.x0;
+  uncached.solve(problem.b, xa);
+  cached.solve(problem.b, xb);
+  EXPECT_EQ(uncached.cached_sizes(), 0u);
+  EXPECT_EQ(cached.cached_sizes(), 1u);
+  for (int i = 0; i < 17; ++i) {
+    for (int j = 0; j < 17; ++j) {
+      ASSERT_DOUBLE_EQ(xa(i, j), xb(i, j));
+    }
+  }
+  cached.clear_cache();
+  EXPECT_EQ(cached.cached_sizes(), 0u);
+}
+
+TEST(Direct, CacheRespectsSizeLimit) {
+  DirectSolver solver(16);  // caches n <= 16 only
+  auto small = test_problem(9, 41);
+  auto large = test_problem(33, 42);
+  Grid2D xs = small.x0;
+  Grid2D xl = large.x0;
+  solver.solve(small.b, xs);
+  solver.solve(large.b, xl);
+  EXPECT_EQ(solver.cached_sizes(), 1u);
+}
+
+TEST(Direct, ValidatesInputSizes) {
+  DirectSolver direct;
+  Grid2D b(9, 0.0), x(17, 0.0);
+  EXPECT_THROW(direct.solve(b, x), InvalidArgument);
+  Grid2D bad(6, 0.0);
+  EXPECT_THROW(direct.solve(bad, bad), InvalidArgument);
+}
+
+// ------------------------------------------------------------- multigrid --
+
+TEST(Multigrid, VCycleContractsErrorQuickly) {
+  auto problem = test_problem(65, 50);
+  Grid2D x = problem.x0;
+  DirectSolver direct;
+  const double e0 = solution_error(problem, x);
+  vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  const double e1 = solution_error(problem, x);
+  // A 1-pre/1-post SOR(1.15) V-cycle contracts 2-D Poisson error by well
+  // over 2× per cycle; typical factors are ~10×.
+  EXPECT_LT(e1, 0.5 * e0);
+  vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  EXPECT_LT(solution_error(problem, x), 0.5 * e1);
+}
+
+TEST(Multigrid, VCycleConvergesToHighAccuracy) {
+  auto problem = test_problem(33, 51, InputDistribution::kBiased);
+  Grid2D x = problem.x0;
+  DirectSolver direct;
+  const double e0 = solution_error(problem, x);
+  for (int c = 0; c < 30; ++c) {
+    vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  }
+  EXPECT_LT(solution_error(problem, x), 1e-9 * e0);
+}
+
+TEST(Multigrid, DeeperDirectLevelStillConverges) {
+  auto problem = test_problem(33, 52);
+  DirectSolver direct;
+  for (int direct_level : {1, 2, 3}) {
+    Grid2D x = problem.x0;
+    VCycleOptions options;
+    options.direct_level = direct_level;
+    const double e0 = solution_error(problem, x);
+    for (int c = 0; c < 10; ++c) {
+      vcycle(x, problem.b, options, sched(), direct);
+    }
+    EXPECT_LT(solution_error(problem, x), 1e-4 * e0)
+        << "direct_level=" << direct_level;
+  }
+}
+
+TEST(Multigrid, MorePreSmoothingContractsFasterPerCycle) {
+  auto problem = test_problem(65, 53);
+  DirectSolver direct;
+  VCycleOptions one;
+  VCycleOptions three;
+  three.pre_relax = 3;
+  three.post_relax = 3;
+  Grid2D x1 = problem.x0;
+  Grid2D x3 = problem.x0;
+  vcycle(x1, problem.b, one, sched(), direct);
+  vcycle(x3, problem.b, three, sched(), direct);
+  EXPECT_LT(solution_error(problem, x3), solution_error(problem, x1));
+}
+
+TEST(Multigrid, FullMultigridPassContractsStrongly) {
+  // A single FMG pass (coarse estimate + one V-cycle per level) must
+  // contract the initial error substantially on both input distributions.
+  for (auto dist :
+       {InputDistribution::kUnbiased, InputDistribution::kBiased}) {
+    auto problem = test_problem(65, 54, dist);
+    DirectSolver direct;
+    Grid2D x = problem.x0;
+    const double e0 = solution_error(problem, x);
+    full_multigrid(x, problem.b, VCycleOptions{}, sched(), direct);
+    EXPECT_LT(solution_error(problem, x), 0.2 * e0)
+        << "distribution " << to_string(dist);
+  }
+}
+
+TEST(Multigrid, FullMultigridReachesTruncationLevelAccuracy) {
+  // One FMG pass classically reduces the algebraic error to the order of
+  // discretisation error; for our metric expect a large reduction factor.
+  auto problem = test_problem(129, 55);
+  DirectSolver direct;
+  Grid2D x = problem.x0;
+  const double e0 = solution_error(problem, x);
+  full_multigrid(x, problem.b, VCycleOptions{}, sched(), direct);
+  EXPECT_LT(solution_error(problem, x), 0.05 * e0);
+}
+
+TEST(Multigrid, BaseCaseGridIsSolvedDirectly) {
+  auto problem = test_problem(3, 56);
+  DirectSolver direct;
+  Grid2D x = problem.x0;
+  vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  EXPECT_LE(solution_error(problem, x),
+            1e-10 * (grid::norm2_interior(problem.b, sched()) + 1.0));
+}
+
+TEST(Multigrid, SizeMismatchThrows) {
+  Grid2D x(9, 0.0), b(17, 0.0);
+  DirectSolver direct;
+  EXPECT_THROW(vcycle(x, b, VCycleOptions{}, sched(), direct),
+               InvalidArgument);
+  EXPECT_THROW(full_multigrid(x, b, VCycleOptions{}, sched(), direct),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------ reference --
+
+TEST(Reference, IteratedSorStopsAtPredicate) {
+  auto problem = test_problem(17, 60);
+  fft::FastPoissonSolver oracle(17);
+  Grid2D x_opt(17, 0.0);
+  oracle.solve(problem.b, problem.x0, x_opt, sched());
+  const double e0 = grid::norm2_diff_interior(problem.x0, x_opt, sched());
+
+  Grid2D x = problem.x0;
+  const auto outcome = solve_iterated_sor(
+      x, problem.b, omega_opt(17), 100000,
+      [&](const Grid2D& state, int) {
+        return e0 / grid::norm2_diff_interior(state, x_opt, sched()) >= 1e3;
+      },
+      sched());
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_GT(outcome.iterations, 1);
+  EXPECT_GE(e0 / grid::norm2_diff_interior(x, x_opt, sched()), 1e3);
+}
+
+TEST(Reference, IteratedSorReportsNonConvergence) {
+  auto problem = test_problem(33, 61);
+  Grid2D x = problem.x0;
+  const auto outcome = solve_iterated_sor(
+      x, problem.b, omega_opt(33), 3,
+      [](const Grid2D&, int) { return false; }, sched());
+  EXPECT_FALSE(outcome.converged);
+  EXPECT_EQ(outcome.iterations, 3);
+}
+
+TEST(Reference, VCycleDriverConvergesToTarget) {
+  auto problem = test_problem(65, 62);
+  fft::FastPoissonSolver oracle(65);
+  Grid2D x_opt(65, 0.0);
+  oracle.solve(problem.b, problem.x0, x_opt, sched());
+  const double e0 = grid::norm2_diff_interior(problem.x0, x_opt, sched());
+  DirectSolver direct;
+  Grid2D x = problem.x0;
+  const auto outcome = solve_reference_v(
+      x, problem.b, VCycleOptions{}, 200,
+      [&](const Grid2D& state, int) {
+        return e0 / grid::norm2_diff_interior(state, x_opt, sched()) >= 1e9;
+      },
+      sched(), direct);
+  EXPECT_TRUE(outcome.converged);
+  EXPECT_LT(outcome.iterations, 40);
+}
+
+TEST(Reference, FmgDriverNeedsNoMoreCyclesThanV) {
+  auto problem = test_problem(65, 63, InputDistribution::kBiased);
+  fft::FastPoissonSolver oracle(65);
+  Grid2D x_opt(65, 0.0);
+  oracle.solve(problem.b, problem.x0, x_opt, sched());
+  const double e0 = grid::norm2_diff_interior(problem.x0, x_opt, sched());
+  DirectSolver direct;
+  const auto stop = [&](const Grid2D& state, int) {
+    return e0 / grid::norm2_diff_interior(state, x_opt, sched()) >= 1e5;
+  };
+  Grid2D xv = problem.x0;
+  const auto v = solve_reference_v(xv, problem.b, VCycleOptions{}, 200, stop,
+                                   sched(), direct);
+  Grid2D xf = problem.x0;
+  const auto f = solve_reference_fmg(xf, problem.b, VCycleOptions{}, 200,
+                                     stop, sched(), direct);
+  EXPECT_TRUE(v.converged);
+  EXPECT_TRUE(f.converged);
+  EXPECT_LE(f.iterations, v.iterations);
+}
+
+}  // namespace
+}  // namespace pbmg::solvers

@@ -1,0 +1,90 @@
+// Tests for the cycle tracer and ASCII renderer (the machinery behind the
+// paper's Figure 5/14 cycle diagrams).
+
+#include <gtest/gtest.h>
+
+#include "trace/cycle_trace.h"
+
+namespace pbmg::trace {
+namespace {
+
+TEST(CycleTracer, RecordsEventsInOrder) {
+  CycleTracer tracer;
+  tracer.record(Op::kRelax, 5);
+  tracer.record(Op::kRestrict, 5);
+  tracer.record(Op::kDirect, 4);
+  tracer.record(Op::kInterpolate, 5);
+  ASSERT_EQ(tracer.events().size(), 4u);
+  EXPECT_EQ(tracer.events()[0].op, Op::kRelax);
+  EXPECT_EQ(tracer.events()[2].op, Op::kDirect);
+  EXPECT_EQ(tracer.events()[2].level, 4);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Render, EmptyTraceHasPlaceholder) {
+  EXPECT_EQ(render_cycle({}), "(empty trace)\n");
+}
+
+TEST(Render, SimpleVCycleShape) {
+  // relax(2) \ direct(1) / relax(2): the classic smallest V.
+  std::vector<Event> events{
+      {Op::kRelax, 2, 0},    {Op::kRestrict, 2, 0}, {Op::kDirect, 1, 0},
+      {Op::kInterpolate, 2, 0}, {Op::kRelax, 2, 0},
+  };
+  const std::string art = render_cycle(events);
+  // Level rows are labelled.
+  EXPECT_NE(art.find("level  2 |"), std::string::npos);
+  EXPECT_NE(art.find("level  1 |"), std::string::npos);
+  // The coarse row contains the direct marker, the fine row two stars.
+  EXPECT_NE(art.find('D'), std::string::npos);
+  EXPECT_NE(art.find('\\'), std::string::npos);
+  EXPECT_NE(art.find('/'), std::string::npos);
+  // Star appears before the backslash column-wise on the fine row.
+  const auto fine_row = art.substr(0, art.find('\n'));
+  EXPECT_NE(fine_row.find('*'), std::string::npos);
+}
+
+TEST(Render, IterativeSolveShowsSweepCount) {
+  std::vector<Event> events{{Op::kIterative, 3, 17}};
+  const std::string art = render_cycle(events);
+  EXPECT_NE(art.find("S17"), std::string::npos);
+}
+
+TEST(Render, LevelsSpanFinestToCoarsest) {
+  std::vector<Event> events{
+      {Op::kRestrict, 10, 0}, {Op::kRestrict, 9, 0}, {Op::kDirect, 8, 0},
+      {Op::kInterpolate, 9, 0}, {Op::kInterpolate, 10, 0},
+  };
+  const std::string art = render_cycle(events);
+  EXPECT_NE(art.find("level 10"), std::string::npos);
+  EXPECT_NE(art.find("level  8"), std::string::npos);
+  // No level 7 row (nothing descended below 8).
+  EXPECT_EQ(art.find("level  7"), std::string::npos);
+}
+
+TEST(Render, ColumnsAdvanceMonotonically) {
+  // Two relaxations at the same level must occupy different columns.
+  std::vector<Event> events{{Op::kRelax, 4, 0}, {Op::kRelax, 4, 0}};
+  const std::string art = render_cycle(events);
+  const std::string row = art.substr(0, art.find('\n'));
+  const auto first = row.find('*');
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(row.find('*', first + 1), std::string::npos);
+}
+
+TEST(Summarize, CountsAllOps) {
+  std::vector<Event> events{
+      {Op::kRelax, 2, 0},   {Op::kRelax, 2, 0},    {Op::kRestrict, 2, 0},
+      {Op::kDirect, 1, 0},  {Op::kInterpolate, 2, 0}, {Op::kIterative, 2, 9},
+  };
+  const std::string s = summarize(events);
+  EXPECT_NE(s.find("relax=2"), std::string::npos);
+  EXPECT_NE(s.find("restrict=1"), std::string::npos);
+  EXPECT_NE(s.find("interpolate=1"), std::string::npos);
+  EXPECT_NE(s.find("direct=1"), std::string::npos);
+  EXPECT_NE(s.find("iterative=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbmg::trace
