@@ -1,0 +1,113 @@
+// "Figure 16" (beyond the paper): default-profile autotuning versus
+// search-then-train — the population search over runtime parameters
+// (src/search/) followed by the paper's DP autotuner on the searched
+// profile.  One binary reports both solve times side by side, plus the
+// searched parameter values and the cache behaviour of the combined
+// artifact (tuned tables + searched profile in one JSON document).
+
+#include <algorithm>
+#include <iostream>
+
+#include "common/harness.h"
+#include "grid/level.h"
+#include "runtime/global.h"
+#include "solvers/relax.h"
+#include "support/table.h"
+#include "support/timer.h"
+#include "tune/config_cache.h"
+
+int main(int argc, char** argv) {
+  using namespace pbmg;
+  const auto maybe_settings = bench::parse_settings(
+      argc, argv, "fig16_profile_search",
+      "autotuned solve times: default machine profile vs searched profile");
+  if (!maybe_settings) return 0;
+  const bench::Settings settings = *maybe_settings;
+
+  // Search + training cost grows quickly with level; cap the tuned range
+  // below the full benchmark ceiling so the default invocation stays
+  // laptop-friendly (override with --max-n).
+  const int max_level = std::min(settings.max_level, 7);
+  const rt::MachineProfile base;  // the "default" profile
+
+  // Arm 1: the paper's flow — DP autotuning on the default profile.
+  const tune::TunedConfig default_config = bench::get_tuned_config(
+      settings, base, InputDistribution::kUnbiased, max_level);
+
+  // Arm 2: search-then-train through the disk cache.
+  const tune::TrainerOptions trainer_options = bench::trainer_options(
+      settings, InputDistribution::kUnbiased, max_level);
+  search::ProfileSearchOptions search_options;
+  search_options.base = base;
+  search_options.level = std::min(max_level, 6);
+  search_options.instances = settings.training_instances;
+  search_options.seed = settings.train_seed;
+  search_options.population.generations = 4;
+  search_options.population.population = 4;
+  if (settings.verbose) {
+    search_options.log = [](const std::string& line) {
+      std::cerr << "  " << line << '\n';
+    };
+  }
+
+  bool from_cache = false;
+  const double t0 = now_seconds();
+  const tune::SearchTrainResult searched = tune::load_or_search_train(
+      trainer_options, search_options, solvers::shared_direct_solver(),
+      settings.cache_dir, &from_cache);
+  bench::progress(
+      "searched config " +
+      std::string(from_cache ? "loaded from cache"
+                             : "searched+trained in " +
+                                   format_seconds(now_seconds() - t0)));
+
+  // Round-trip check: a second acquisition must be a disk hit.
+  bool second_from_cache = false;
+  (void)tune::load_or_search_train(trainer_options, search_options,
+                                   solvers::shared_direct_solver(),
+                                   settings.cache_dir, &second_from_cache);
+  bench::progress(std::string("searched-profile cache round trip: ") +
+                  (second_from_cache ? "hit" : "MISS (unexpected)"));
+
+  std::cout << "Searched runtime parameters (profile '"
+            << searched.searched.profile.name << "'):\n"
+            << "  threads " << base.threads << " -> "
+            << searched.searched.profile.threads << ", grain_rows "
+            << base.grain_rows << " -> " << searched.searched.profile.grain_rows
+            << ", cutoff " << base.sequential_cutoff_cells << " -> "
+            << searched.searched.profile.sequential_cutoff_cells
+            << ", recurse_omega " << solvers::kRecurseOmega << " -> "
+            << format_double(searched.searched.relax.recurse_omega, 4)
+            << ", omega_scale 1 -> "
+            << format_double(searched.searched.relax.omega_scale, 4) << "\n";
+
+  // Timed comparison on held-out instances at the top accuracy.
+  const int top = default_config.accuracy_count() - 1;
+  const double target = default_config.accuracies().back();
+  TextTable table({"N", "default profile", "searched profile", "speedup"});
+  for (int level = std::max(4, max_level - 2); level <= max_level; ++level) {
+    const int n = size_of_level(level);
+    const auto inst = bench::eval_instance(settings, n,
+                                           InputDistribution::kUnbiased, 16);
+    double default_seconds = 0.0;
+    {
+      rt::ScopedProfile scoped(base);
+      default_seconds = bench::run_tuned_v(settings, default_config, inst, top);
+    }
+    double searched_seconds = 0.0;
+    {
+      rt::ScopedProfile scoped(searched.searched.profile);
+      solvers::ScopedRelaxTunables relax(searched.searched.relax);
+      searched_seconds =
+          bench::run_tuned_v(settings, searched.config, inst, top);
+    }
+    table.add_row({std::to_string(n), format_seconds(default_seconds),
+                   format_seconds(searched_seconds),
+                   format_double(default_seconds / searched_seconds, 3)});
+  }
+  bench::emit_table(settings, "fig16_profile_search",
+                    "Autotuned MULTIGRID-V to " + format_accuracy(target) +
+                        ": default vs searched machine profile",
+                    table);
+  return second_from_cache ? 0 : 1;
+}

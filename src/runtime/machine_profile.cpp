@@ -71,4 +71,69 @@ std::vector<std::string> profile_names() {
   return {"harpertown", "barcelona", "niagara", "serial", "default"};
 }
 
+std::vector<ProfileTunable> profile_tunables(const MachineProfile& profile) {
+  const auto clamp64 = [](std::int64_t v, std::int64_t lo, std::int64_t hi) {
+    return std::min(std::max(v, lo), hi);
+  };
+  // Thread count may range over the actual hardware, not the profile's
+  // modelled testbed, so a search can exploit bigger machines.
+  const std::int64_t max_threads =
+      std::max<std::int64_t>(hardware_threads(), profile.threads);
+  std::vector<ProfileTunable> tunables;
+  tunables.push_back({"threads", 1, max_threads,
+                      clamp64(profile.threads, 1, max_threads), false});
+  tunables.push_back({"grain_rows", 1, 512,
+                      clamp64(profile.grain_rows, 1, 512), true});
+  tunables.push_back(
+      {"sequential_cutoff_cells", 64, std::int64_t{1} << 21,
+       clamp64(profile.sequential_cutoff_cells, 64, std::int64_t{1} << 21),
+       true});
+  return tunables;
+}
+
+MachineProfile with_tunable(const MachineProfile& base, const std::string& name,
+                            std::int64_t value) {
+  MachineProfile p = base;
+  for (const ProfileTunable& t : profile_tunables(base)) {
+    if (t.name != name) continue;
+    const std::int64_t v = std::min(std::max(value, t.lo), t.hi);
+    if (name == "threads") {
+      p.threads = static_cast<int>(v);
+    } else if (name == "grain_rows") {
+      p.grain_rows = static_cast<int>(v);
+    } else {
+      p.sequential_cutoff_cells = v;
+    }
+    return p;
+  }
+  throw InvalidArgument("with_tunable: unknown tunable '" + name + "'");
+}
+
+Json profile_to_json(const MachineProfile& profile) {
+  Json j = Json::object();
+  j.set("name", profile.name);
+  j.set("threads", std::int64_t{profile.threads});
+  j.set("grain_rows", std::int64_t{profile.grain_rows});
+  j.set("spawn_overhead_ns", std::int64_t{profile.spawn_overhead_ns});
+  j.set("sequential_cutoff_cells", profile.sequential_cutoff_cells);
+  return j;
+}
+
+MachineProfile profile_from_json(const Json& json) {
+  MachineProfile p;
+  p.name = json.get("name", p.name);
+  p.threads = static_cast<int>(json.get("threads", std::int64_t{p.threads}));
+  p.grain_rows =
+      static_cast<int>(json.get("grain_rows", std::int64_t{p.grain_rows}));
+  p.spawn_overhead_ns = static_cast<int>(
+      json.get("spawn_overhead_ns", std::int64_t{p.spawn_overhead_ns}));
+  p.sequential_cutoff_cells =
+      json.get("sequential_cutoff_cells", p.sequential_cutoff_cells);
+  if (p.threads < 1 || p.grain_rows < 1 || p.spawn_overhead_ns < 0 ||
+      p.sequential_cutoff_cells < 0) {
+    throw ConfigError("machine profile JSON has out-of-range fields");
+  }
+  return p;
+}
+
 }  // namespace pbmg::rt

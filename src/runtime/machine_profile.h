@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "support/json.h"
+
 /// \file machine_profile.h
 /// Machine profiles stand in for the paper's three physical testbeds.
 ///
@@ -64,5 +66,32 @@ MachineProfile profile_by_name(const std::string& name);
 
 /// Names accepted by profile_by_name, in presentation order.
 std::vector<std::string> profile_names();
+
+/// One runtime parameter a search may vary, with its admissible range.
+/// This is the profile's side of the src/search contract: the search
+/// subsystem turns these into ParamSpace dimensions without knowing what
+/// the fields mean.
+struct ProfileTunable {
+  std::string name;         ///< "threads", "grain_rows", ...
+  std::int64_t lo = 0;      ///< inclusive lower bound
+  std::int64_t hi = 0;      ///< inclusive upper bound
+  std::int64_t value = 0;   ///< the profile's current value (search default)
+  bool log_scale = false;   ///< explore multiplicatively (grains, cutoffs)
+};
+
+/// The searchable runtime parameters of a profile: worker count, grain
+/// rows, and the parallel/sequential cutoff.  spawn_overhead_ns is *not*
+/// tunable — it models the machine, it does not configure it.
+std::vector<ProfileTunable> profile_tunables(const MachineProfile& profile);
+
+/// Returns a copy of `base` with the named tunable set to `value` (clamped
+/// into the tunable's range).  Throws InvalidArgument for unknown names.
+MachineProfile with_tunable(const MachineProfile& base,
+                            const std::string& name, std::int64_t value);
+
+/// JSON round trip, used by the tuned-config disk cache to persist searched
+/// profiles alongside tuned tables.
+Json profile_to_json(const MachineProfile& profile);
+MachineProfile profile_from_json(const Json& json);
 
 }  // namespace pbmg::rt

@@ -1,0 +1,317 @@
+#include "search/param_space.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pbmg::search {
+
+namespace {
+
+bool is_integral_kind(DimKind kind) {
+  return kind == DimKind::kInt || kind == DimKind::kLogInt ||
+         kind == DimKind::kCategorical;
+}
+
+}  // namespace
+
+ParamSpace& ParamSpace::add_int(const std::string& name, std::int64_t lo,
+                                std::int64_t hi, std::int64_t def) {
+  PBMG_CHECK(lo <= hi, "ParamSpace: empty range for '" + name + "'");
+  PBMG_CHECK(def >= lo && def <= hi,
+             "ParamSpace: default out of range for '" + name + "'");
+  for (const Dimension& d : dims_) {
+    PBMG_CHECK(d.name != name, "ParamSpace: duplicate dimension '" + name + "'");
+  }
+  Dimension dim;
+  dim.name = name;
+  dim.kind = DimKind::kInt;
+  dim.lo = static_cast<double>(lo);
+  dim.hi = static_cast<double>(hi);
+  dim.def = static_cast<double>(def);
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+ParamSpace& ParamSpace::add_log_int(const std::string& name, std::int64_t lo,
+                                    std::int64_t hi, std::int64_t def) {
+  PBMG_CHECK(lo >= 1, "ParamSpace: log-int '" + name + "' requires lo >= 1");
+  add_int(name, lo, hi, def);
+  dims_.back().kind = DimKind::kLogInt;
+  return *this;
+}
+
+ParamSpace& ParamSpace::add_float(const std::string& name, double lo,
+                                  double hi, double def) {
+  PBMG_CHECK(lo <= hi, "ParamSpace: empty range for '" + name + "'");
+  PBMG_CHECK(def >= lo && def <= hi,
+             "ParamSpace: default out of range for '" + name + "'");
+  for (const Dimension& d : dims_) {
+    PBMG_CHECK(d.name != name, "ParamSpace: duplicate dimension '" + name + "'");
+  }
+  Dimension dim;
+  dim.name = name;
+  dim.kind = DimKind::kFloat;
+  dim.lo = lo;
+  dim.hi = hi;
+  dim.def = def;
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+ParamSpace& ParamSpace::add_categorical(const std::string& name,
+                                        std::vector<std::string> options,
+                                        std::size_t default_index) {
+  PBMG_CHECK(!options.empty(), "ParamSpace: categorical '" + name +
+                                   "' needs at least one option");
+  PBMG_CHECK(default_index < options.size(),
+             "ParamSpace: default index out of range for '" + name + "'");
+  for (const Dimension& d : dims_) {
+    PBMG_CHECK(d.name != name, "ParamSpace: duplicate dimension '" + name + "'");
+  }
+  Dimension dim;
+  dim.name = name;
+  dim.kind = DimKind::kCategorical;
+  dim.lo = 0.0;
+  dim.hi = static_cast<double>(options.size() - 1);
+  dim.def = static_cast<double>(default_index);
+  dim.options = std::move(options);
+  dims_.push_back(std::move(dim));
+  return *this;
+}
+
+int ParamSpace::index_of(const std::string& name) const {
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (dims_[i].name == name) return static_cast<int>(i);
+  }
+  throw InvalidArgument("ParamSpace: unknown dimension '" + name + "'");
+}
+
+const Dimension& ParamSpace::named(const std::string& name) const {
+  return dims_[static_cast<std::size_t>(index_of(name))];
+}
+
+void ParamSpace::check_candidate(const Candidate& candidate) const {
+  PBMG_CHECK(candidate.values.size() == dims_.size(),
+             "ParamSpace: candidate arity mismatch");
+}
+
+double ParamSpace::clamp_dim(const Dimension& dim, double value) const {
+  double v = std::clamp(value, dim.lo, dim.hi);
+  if (is_integral_kind(dim.kind)) v = std::round(v);
+  return std::clamp(v, dim.lo, dim.hi);
+}
+
+void ParamSpace::clamp(Candidate& candidate) const {
+  check_candidate(candidate);
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    candidate.values[i] = clamp_dim(dims_[i], candidate.values[i]);
+  }
+}
+
+Candidate ParamSpace::default_candidate() const {
+  Candidate c;
+  c.values.reserve(dims_.size());
+  for (const Dimension& dim : dims_) c.values.push_back(dim.def);
+  return c;
+}
+
+Candidate ParamSpace::random_candidate(Rng& rng) const {
+  Candidate c;
+  c.values.reserve(dims_.size());
+  for (const Dimension& dim : dims_) {
+    double v = 0.0;
+    switch (dim.kind) {
+      case DimKind::kInt:
+        v = dim.lo + static_cast<double>(rng.uniform_index(
+                         static_cast<std::uint64_t>(dim.hi - dim.lo) + 1));
+        break;
+      case DimKind::kLogInt:
+        // Log-uniform: uniform in log space so 1..8 is as likely as
+        // 64..512; this matches how grain sizes and cutoffs behave.
+        v = std::exp(rng.uniform(std::log(dim.lo), std::log(dim.hi + 1.0)));
+        break;
+      case DimKind::kFloat:
+        v = rng.uniform(dim.lo, dim.hi);
+        break;
+      case DimKind::kCategorical:
+        v = static_cast<double>(rng.uniform_index(
+            static_cast<std::uint64_t>(dim.options.size())));
+        break;
+    }
+    c.values.push_back(clamp_dim(dim, v));
+  }
+  return c;
+}
+
+Candidate ParamSpace::mutated(const Candidate& base, Rng& rng) const {
+  check_candidate(base);
+  PBMG_CHECK(!dims_.empty(), "ParamSpace: cannot mutate an empty space");
+  Candidate c = base;
+  const std::size_t i = static_cast<std::size_t>(
+      rng.uniform_index(static_cast<std::uint64_t>(dims_.size())));
+  const Dimension& dim = dims_[i];
+  const double v = c.values[i];
+  double next = v;
+  switch (dim.kind) {
+    case DimKind::kInt: {
+      const double u = rng.uniform01();
+      if (u < 0.25) {
+        // Occasional uniform restart keeps the search ergodic.
+        next = dim.lo + static_cast<double>(rng.uniform_index(
+                            static_cast<std::uint64_t>(dim.hi - dim.lo) + 1));
+      } else {
+        const double range = dim.hi - dim.lo;
+        const double step =
+            1.0 + std::floor(rng.uniform01() * std::max(0.0, range / 8.0));
+        next = v + (rng.uniform01() < 0.5 ? -step : step);
+      }
+      break;
+    }
+    case DimKind::kLogInt: {
+      // Multiplicative step, the sgatuner idiom for power-of-two-ish knobs.
+      const double factor = std::exp2(rng.uniform(0.5, 1.5));
+      next = rng.uniform01() < 0.5 ? v / factor : v * factor;
+      if (std::round(next) == std::round(v)) {
+        next = v + (next > v ? 1.0 : -1.0);  // guarantee movement
+      }
+      break;
+    }
+    case DimKind::kFloat: {
+      if (rng.uniform01() < 0.2) {
+        next = rng.uniform(dim.lo, dim.hi);
+      } else {
+        next = v + rng.uniform(-1.0, 1.0) * 0.15 * (dim.hi - dim.lo);
+      }
+      break;
+    }
+    case DimKind::kCategorical: {
+      const std::size_t count = dim.options.size();
+      if (count > 1) {
+        // Uniform over the *other* labels so mutation always moves.
+        std::uint64_t pick = rng.uniform_index(count - 1);
+        if (static_cast<double>(pick) >= v) ++pick;
+        next = static_cast<double>(pick);
+      }
+      break;
+    }
+  }
+  c.values[i] = clamp_dim(dim, next);
+  return c;
+}
+
+std::int64_t ParamSpace::int_value(const Candidate& candidate,
+                                   const std::string& name) const {
+  check_candidate(candidate);
+  const int i = index_of(name);
+  const Dimension& dim = dims_[static_cast<std::size_t>(i)];
+  PBMG_CHECK(dim.kind == DimKind::kInt || dim.kind == DimKind::kLogInt,
+             "ParamSpace: '" + name + "' is not an integer dimension");
+  return static_cast<std::int64_t>(
+      std::llround(candidate.values[static_cast<std::size_t>(i)]));
+}
+
+double ParamSpace::float_value(const Candidate& candidate,
+                               const std::string& name) const {
+  check_candidate(candidate);
+  const int i = index_of(name);
+  PBMG_CHECK(dims_[static_cast<std::size_t>(i)].kind == DimKind::kFloat,
+             "ParamSpace: '" + name + "' is not a float dimension");
+  return candidate.values[static_cast<std::size_t>(i)];
+}
+
+const std::string& ParamSpace::categorical_value(
+    const Candidate& candidate, const std::string& name) const {
+  check_candidate(candidate);
+  const int i = index_of(name);
+  const Dimension& dim = dims_[static_cast<std::size_t>(i)];
+  PBMG_CHECK(dim.kind == DimKind::kCategorical,
+             "ParamSpace: '" + name + "' is not a categorical dimension");
+  const auto idx = static_cast<std::size_t>(
+      std::llround(candidate.values[static_cast<std::size_t>(i)]));
+  PBMG_CHECK(idx < dim.options.size(),
+             "ParamSpace: categorical index out of range for '" + name + "'");
+  return dim.options[idx];
+}
+
+Json ParamSpace::to_json(const Candidate& candidate) const {
+  check_candidate(candidate);
+  Json obj = Json::object();
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const Dimension& dim = dims_[i];
+    switch (dim.kind) {
+      case DimKind::kInt:
+      case DimKind::kLogInt:
+        obj.set(dim.name,
+                static_cast<std::int64_t>(std::llround(candidate.values[i])));
+        break;
+      case DimKind::kFloat:
+        obj.set(dim.name, candidate.values[i]);
+        break;
+      case DimKind::kCategorical:
+        obj.set(dim.name,
+                dim.options[static_cast<std::size_t>(
+                    std::llround(candidate.values[i]))]);
+        break;
+    }
+  }
+  return obj;
+}
+
+Candidate ParamSpace::from_json(const Json& json) const {
+  PBMG_CHECK(json.is_object(), "ParamSpace: candidate JSON must be an object");
+  Candidate c = default_candidate();
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    const Dimension& dim = dims_[i];
+    if (!json.contains(dim.name)) continue;
+    const Json& field = json.at(dim.name);
+    if (dim.kind == DimKind::kCategorical) {
+      const std::string& label = field.as_string();
+      const auto it =
+          std::find(dim.options.begin(), dim.options.end(), label);
+      if (it == dim.options.end()) {
+        throw ConfigError("ParamSpace: unknown label '" + label + "' for '" +
+                          dim.name + "'");
+      }
+      c.values[i] = static_cast<double>(it - dim.options.begin());
+    } else {
+      c.values[i] = field.as_double();
+    }
+  }
+  clamp(c);
+  return c;
+}
+
+std::string ParamSpace::describe(const Candidate& candidate) const {
+  check_candidate(candidate);
+  std::ostringstream oss;
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) oss << ' ';
+    const Dimension& dim = dims_[i];
+    oss << dim.name << '=';
+    if (dim.kind == DimKind::kCategorical) {
+      oss << dim.options[static_cast<std::size_t>(
+          std::llround(candidate.values[i]))];
+    } else if (is_integral_kind(dim.kind)) {
+      oss << static_cast<std::int64_t>(std::llround(candidate.values[i]));
+    } else {
+      oss << candidate.values[i];
+    }
+  }
+  return oss.str();
+}
+
+std::string ParamSpace::fingerprint(const Candidate& candidate) const {
+  check_candidate(candidate);
+  std::ostringstream oss;
+  oss.precision(17);
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) oss << '|';
+    oss << candidate.values[i];
+  }
+  return oss.str();
+}
+
+}  // namespace pbmg::search

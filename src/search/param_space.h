@@ -1,0 +1,114 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+#include "support/rng.h"
+
+/// \file param_space.h
+/// Generic description of a runtime-parameter search space.
+///
+/// The paper's dynamic program (tune/trainer.h) optimizes over *algorithmic*
+/// choices; PetaBricks pairs it with a stochastic search over the remaining
+/// runtime parameters — grain sizes, cutoffs, worker counts, relaxation
+/// weights (§3.2.2).  This module is the substrate of that second search: a
+/// named list of dimensions (integer, log-scaled integer, float, or
+/// categorical), each with a range, a default, and a mutation operator.
+/// Candidates are flat value vectors, cheap to copy, mutate, and persist.
+
+namespace pbmg::search {
+
+/// How a dimension's values are distributed and mutated.
+enum class DimKind {
+  kInt,          ///< uniform integer in [lo, hi]
+  kLogInt,       ///< integer in [lo, hi] explored multiplicatively
+  kFloat,        ///< uniform float in [lo, hi]
+  kCategorical,  ///< index into a fixed label set
+};
+
+/// One searchable dimension.
+struct Dimension {
+  std::string name;
+  DimKind kind = DimKind::kInt;
+  double lo = 0.0;   ///< inclusive lower bound (categorical: always 0)
+  double hi = 0.0;   ///< inclusive upper bound (categorical: #options − 1)
+  double def = 0.0;  ///< default value (what the un-searched system uses)
+  std::vector<std::string> options;  ///< categorical labels (else empty)
+};
+
+/// A point in a ParamSpace: one value per dimension, in dimension order.
+/// Integer and categorical dimensions store exact integral doubles.
+struct Candidate {
+  std::vector<double> values;
+};
+
+/// An ordered collection of dimensions with candidate construction,
+/// mutation, typed access, and JSON round-tripping.
+class ParamSpace {
+ public:
+  /// Builders (chainable).  All throw InvalidArgument on malformed ranges
+  /// or duplicate names.
+  ParamSpace& add_int(const std::string& name, std::int64_t lo,
+                      std::int64_t hi, std::int64_t def);
+  ParamSpace& add_log_int(const std::string& name, std::int64_t lo,
+                          std::int64_t hi, std::int64_t def);
+  ParamSpace& add_float(const std::string& name, double lo, double hi,
+                        double def);
+  ParamSpace& add_categorical(const std::string& name,
+                              std::vector<std::string> options,
+                              std::size_t default_index);
+
+  int size() const { return static_cast<int>(dims_.size()); }
+  const std::vector<Dimension>& dimensions() const { return dims_; }
+
+  /// Index of the named dimension; throws InvalidArgument when absent.
+  int index_of(const std::string& name) const;
+
+  /// The candidate holding every dimension's default value.
+  Candidate default_candidate() const;
+
+  /// A candidate drawn uniformly (log-uniformly for kLogInt) per dimension.
+  Candidate random_candidate(Rng& rng) const;
+
+  /// Returns a copy of `base` with one randomly chosen dimension mutated:
+  /// integers step or resample, log-integers scale by a factor, floats
+  /// perturb by a fraction of the range, categoricals switch label.  The
+  /// result is always in-bounds.  Deterministic in (base, rng state).
+  Candidate mutated(const Candidate& base, Rng& rng) const;
+
+  /// Clamps every value into its dimension's range and snaps integral
+  /// dimensions to whole numbers.
+  void clamp(Candidate& candidate) const;
+
+  /// Typed accessors; throw InvalidArgument on name/kind mismatch.
+  std::int64_t int_value(const Candidate& candidate,
+                         const std::string& name) const;
+  double float_value(const Candidate& candidate,
+                     const std::string& name) const;
+  const std::string& categorical_value(const Candidate& candidate,
+                                       const std::string& name) const;
+
+  /// Serialization: an object keyed by dimension name (categoricals by
+  /// label).  from_json accepts missing keys (default used) so spaces can
+  /// gain dimensions without invalidating stored candidates; unknown keys
+  /// are ignored for the same reason.
+  Json to_json(const Candidate& candidate) const;
+  Candidate from_json(const Json& json) const;
+
+  /// Human-readable "name=value name=value ..." rendering.
+  std::string describe(const Candidate& candidate) const;
+
+  /// Canonical compact key for deduplication within a search run.
+  std::string fingerprint(const Candidate& candidate) const;
+
+ private:
+  void check_candidate(const Candidate& candidate) const;
+  double clamp_dim(const Dimension& dim, double value) const;
+  const Dimension& named(const std::string& name) const;
+
+  std::vector<Dimension> dims_;
+};
+
+}  // namespace pbmg::search

@@ -1,0 +1,208 @@
+#include "search/profile_search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+#include "grid/level.h"
+#include "runtime/scheduler.h"
+#include "solvers/multigrid.h"
+#include "support/error.h"
+#include "support/timer.h"
+#include "tune/accuracy.h"
+
+namespace pbmg::search {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// First accuracy rung the SOR phase of the workload must reach; matches
+/// the bottom of the paper's ladder.
+constexpr double kSorPhaseAccuracy = 10.0;
+
+}  // namespace
+
+ParamSpace make_profile_space(const rt::MachineProfile& base) {
+  ParamSpace space;
+  for (const rt::ProfileTunable& t : rt::profile_tunables(base)) {
+    if (t.log_scale) {
+      space.add_log_int(t.name, t.lo, t.hi, t.value);
+    } else {
+      space.add_int(t.name, t.lo, t.hi, t.value);
+    }
+  }
+  // Relaxation weights from solvers/relax: RECURSE's ω (paper: 1.15) and
+  // the scale on ω_opt(N) used by the iterative shortcut.  Ranges stay
+  // inside SOR's (0, 2) stability interval and set_relax_tunables' bounds.
+  space.add_float("recurse_omega", 0.6, 1.9, solvers::kRecurseOmega);
+  space.add_float("omega_scale", 0.7, 1.3, 1.0);
+  return space;
+}
+
+RuntimeParams decode_runtime_params(const ParamSpace& space,
+                                    const Candidate& candidate,
+                                    const rt::MachineProfile& base) {
+  RuntimeParams params;
+  params.profile = base;
+  for (const rt::ProfileTunable& t : rt::profile_tunables(base)) {
+    params.profile =
+        rt::with_tunable(params.profile, t.name,
+                         space.int_value(candidate, t.name));
+  }
+  params.relax.recurse_omega = space.float_value(candidate, "recurse_omega");
+  params.relax.omega_scale = space.float_value(candidate, "omega_scale");
+  return params;
+}
+
+Json SearchedProfile::to_json() const {
+  // JSON cannot represent infinities (a failed default candidate reports
+  // +inf); clamp to a huge finite sentinel so the document stays loadable.
+  const auto finite_cap = [](double v) {
+    if (std::isnan(v)) return 0.0;
+    return std::isfinite(v) ? v : 1e300;
+  };
+  Json j = Json::object();
+  j.set("profile", rt::profile_to_json(profile));
+  j.set("recurse_omega", relax.recurse_omega);
+  j.set("omega_scale", relax.omega_scale);
+  j.set("default_seconds", finite_cap(default_seconds));
+  j.set("searched_seconds", finite_cap(searched_seconds));
+  j.set("evaluations", std::int64_t{evaluations});
+  j.set("seed", static_cast<std::int64_t>(seed));
+  j.set("generations", std::int64_t{generations});
+  j.set("population", std::int64_t{population});
+  return j;
+}
+
+SearchedProfile SearchedProfile::from_json(const Json& json) {
+  SearchedProfile out;
+  out.profile = rt::profile_from_json(json.at("profile"));
+  out.relax.recurse_omega = json.at("recurse_omega").as_double();
+  out.relax.omega_scale = json.at("omega_scale").as_double();
+  try {
+    solvers::validate_relax_tunables(out.relax);
+  } catch (const InvalidArgument& e) {
+    throw ConfigError(std::string("searched profile: ") + e.what());
+  }
+  out.default_seconds = json.get("default_seconds", 0.0);
+  out.searched_seconds = json.get("searched_seconds", 0.0);
+  out.evaluations =
+      static_cast<int>(json.get("evaluations", std::int64_t{0}));
+  out.seed = static_cast<std::uint64_t>(json.get("seed", std::int64_t{0}));
+  out.generations = static_cast<int>(json.get("generations", std::int64_t{0}));
+  out.population = static_cast<int>(json.get("population", std::int64_t{0}));
+  return out;
+}
+
+SearchedProfile search_profile(const ProfileSearchOptions& options,
+                               solvers::DirectSolver& direct) {
+  PBMG_CHECK(options.level >= 2 && options.level <= 14,
+             "search_profile: level out of range");
+  PBMG_CHECK(options.instances >= 1,
+             "search_profile: need at least one instance");
+  PBMG_CHECK(options.target_accuracy > 1.0,
+             "search_profile: target accuracy must exceed 1");
+
+  const ParamSpace space = make_profile_space(options.base);
+  const int n = size_of_level(options.level);
+
+  // The base scheduler serves instance construction and the (untimed)
+  // accuracy oracle; candidate schedulers are built per evaluation.
+  rt::Scheduler base_sched(options.base);
+  Rng rng(options.seed);
+  auto instances =
+      tune::make_training_set(n, options.distribution, rng.split(0x5EA7C4),
+                              options.instances, base_sched);
+
+  // Workload: what a tuned binary actually spends time in — (a) iterated
+  // SOR at the scaled ω_opt to the ladder's first rung, exercising the
+  // ω_opt scale and the scheduler's slicing of row sweeps, then (b)
+  // reference V-cycles at the candidate's RECURSE ω to target_accuracy,
+  // exercising the recursion's fork/join behaviour.  Accuracy checks are
+  // oracle lookups and stay untimed, mirroring bench/common's
+  // probe-then-time discipline.
+  const int max_sweeps = std::max(4 * n, 200);
+  // The tester runs every instance of one candidate back to back; reuse
+  // the candidate's scheduler across them instead of paying a thread-pool
+  // spawn/teardown per (candidate, instance) pair.
+  std::string cached_fingerprint;
+  std::unique_ptr<rt::Scheduler> cached_sched;
+  const auto objective = [&](const Candidate& candidate,
+                             const tune::TrainingInstance& inst,
+                             const Deadline& deadline) -> double {
+    const RuntimeParams params =
+        decode_runtime_params(space, candidate, options.base);
+    const std::string fingerprint = space.fingerprint(candidate);
+    if (!cached_sched || fingerprint != cached_fingerprint) {
+      cached_sched = std::make_unique<rt::Scheduler>(params.profile);
+      cached_fingerprint = fingerprint;
+    }
+    rt::Scheduler& sched = *cached_sched;
+    const double sor_omega =
+        solvers::scaled_omega_opt(n, params.relax.omega_scale);
+    Grid2D x(n, 0.0);
+    x.copy_from(inst.problem.x0);
+    double elapsed = 0.0;
+
+    bool reached = false;
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+      const double t0 = now_seconds();
+      solvers::sor_sweep(x, inst.problem.b, sor_omega, sched);
+      elapsed += now_seconds() - t0;
+      if (deadline.expired()) return kInf;
+      if (tune::accuracy_of(inst, x, base_sched) >= kSorPhaseAccuracy) {
+        reached = true;
+        break;
+      }
+    }
+    if (!reached) return kInf;
+
+    solvers::VCycleOptions vopts;
+    vopts.omega = params.relax.recurse_omega;
+    for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
+      const double t0 = now_seconds();
+      solvers::vcycle(x, inst.problem.b, vopts, sched, direct);
+      elapsed += now_seconds() - t0;
+      if (deadline.expired()) return kInf;
+      if (tune::accuracy_of(inst, x, base_sched) >=
+          options.target_accuracy) {
+        return elapsed;
+      }
+    }
+    return kInf;  // never converged: the candidate is unusable
+  };
+
+  CandidateTester tester(space, objective, std::move(instances),
+                         options.tester);
+  PopulationOptions popts = options.population;
+  popts.seed = options.seed;
+  if (!popts.log && options.log) popts.log = options.log;
+  PopulationSearch engine(space, tester, popts);
+  const SearchResult result = engine.run();
+
+  const RuntimeParams best =
+      decode_runtime_params(space, result.best.candidate, options.base);
+  SearchedProfile out;
+  out.profile = best.profile;
+  out.profile.name = options.base.name + "+searched";
+  out.relax = best.relax;
+  out.default_seconds = result.default_total_seconds;
+  out.searched_seconds = result.best.total_seconds;
+  out.evaluations = result.evaluations;
+  out.seed = options.seed;
+  out.generations = popts.generations;
+  out.population = popts.population;
+  if (options.log) {
+    std::ostringstream oss;
+    oss << "[search] done: " << space.describe(result.best.candidate)
+        << "  workload " << out.default_seconds * 1e3 << " -> "
+        << out.searched_seconds * 1e3 << " ms over " << out.evaluations
+        << " evaluations";
+    options.log(oss.str());
+  }
+  return out;
+}
+
+}  // namespace pbmg::search

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "grid/problem.h"
+#include "runtime/machine_profile.h"
+#include "search/population.h"
+#include "solvers/direct.h"
+#include "solvers/relax.h"
+
+/// \file profile_search.h
+/// The concrete runtime-parameter search: machine profile + relaxation
+/// weights.
+///
+/// The DP trainer (tune/trainer.h) takes the machine profile as a fixed
+/// input.  This module closes the loop the way PetaBricks' sgatuner does:
+/// expose the profile's tunables (rt::profile_tunables) and the relaxation
+/// weights (solvers::RelaxTunables) as one ParamSpace, race candidates on
+/// a representative multigrid workload, and hand back a SearchedProfile the
+/// trainer and executors can run under.  tune::search_then_train composes
+/// the two tuners; tune::load_or_search_train persists the result.
+
+namespace pbmg::search {
+
+/// Builds the searchable space over `base`: the profile's tunables
+/// (threads, grain_rows, sequential_cutoff_cells) plus RECURSE ω and the
+/// ω_opt scale from solvers/relax.  Defaults reproduce `base` exactly.
+ParamSpace make_profile_space(const rt::MachineProfile& base);
+
+/// A candidate decoded into concrete runtime parameters.
+struct RuntimeParams {
+  rt::MachineProfile profile;
+  solvers::RelaxTunables relax;
+};
+
+/// Decodes a candidate of make_profile_space(base).
+RuntimeParams decode_runtime_params(const ParamSpace& space,
+                                    const Candidate& candidate,
+                                    const rt::MachineProfile& base);
+
+/// Hyper-parameters of the profile search.
+struct ProfileSearchOptions {
+  /// Profile the search starts from (and whose tunable ranges apply).
+  rt::MachineProfile base;
+
+  /// Workload grid level: candidates are raced on N = 2^level + 1 grids.
+  int level = 6;
+
+  /// Accuracy the workload's V-cycle phase must reach (see objective note
+  /// in profile_search.cpp).
+  double target_accuracy = 1e5;
+
+  /// V-cycle cap before a candidate is declared non-convergent.
+  int max_cycles = 80;
+
+  /// Training instances raced per candidate.
+  int instances = 2;
+
+  InputDistribution distribution = InputDistribution::kUnbiased;
+
+  /// Seed for both the training set and the population RNG (overrides
+  /// population.seed).  Part of the cache key.
+  std::uint64_t seed = 20091114;
+
+  PopulationOptions population;  ///< engine knobs (budget: generations etc.)
+  TesterOptions tester;          ///< pruning knobs
+
+  std::function<void(const std::string&)> log;
+};
+
+/// Search outcome: concrete runtime parameters plus the provenance needed
+/// to persist and reproduce them.
+struct SearchedProfile {
+  rt::MachineProfile profile;     ///< name gains a "+searched" suffix
+  solvers::RelaxTunables relax;
+
+  double default_seconds = 0.0;   ///< workload total under `base`
+  double searched_seconds = 0.0;  ///< workload total under the winner
+  int evaluations = 0;            ///< objective invocations spent
+
+  std::uint64_t seed = 0;         ///< ProfileSearchOptions::seed
+  int generations = 0;            ///< population budget actually configured
+  int population = 0;
+
+  /// Serialization for the config cache's "searched_profile" section.
+  Json to_json() const;
+  static SearchedProfile from_json(const Json& json);
+};
+
+/// Runs the population search over runtime parameters.  Deterministic in
+/// options.seed up to wall-clock measurement noise (candidate *scores* are
+/// real timings; the candidate *stream* is seeded).
+SearchedProfile search_profile(const ProfileSearchOptions& options,
+                               solvers::DirectSolver& direct);
+
+}  // namespace pbmg::search

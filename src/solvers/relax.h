@@ -26,6 +26,54 @@ inline constexpr double kRecurseOmega = 1.15;
 /// Damping factor commonly used for weighted Jacobi smoothing.
 inline constexpr double kJacobiOmega = 2.0 / 3.0;
 
+/// Relaxation weights exposed to the runtime-parameter search
+/// (src/search/): the paper fixes RECURSE's ω at 1.15 and the iterative
+/// shortcut at ω_opt(N), but both are machine- and workload-sensitive, so
+/// the population tuner may override them process-wide.  Tuned executors
+/// and the trainer read these through tuned_recurse_omega() /
+/// tuned_omega_opt(); the reference algorithms keep the paper's constants.
+struct RelaxTunables {
+  double recurse_omega = kRecurseOmega;  ///< ω of RECURSE's pre/post sweeps
+  double omega_scale = 1.0;              ///< multiplier applied to ω_opt(N)
+};
+
+/// Currently active tunables (defaults reproduce the paper exactly).
+const RelaxTunables& relax_tunables();
+
+/// Throws InvalidArgument unless 0 < recurse_omega < 2 and
+/// 0.1 <= omega_scale <= 1.5 (SOR diverges outside (0, 2)).  Shared by
+/// set_relax_tunables and the search subsystem's deserializers so the two
+/// can never drift apart.
+void validate_relax_tunables(const RelaxTunables& tunables);
+
+/// ω_opt(n) × scale, clamped into SOR's stability interval.  The search
+/// objective and tuned_omega_opt both use this, so candidates are measured
+/// under exactly the ω the tuned executor later runs with.
+double scaled_omega_opt(int n, double scale);
+
+/// Installs new tunables after validate_relax_tunables.  Setup-path API:
+/// not thread-safe against running sweeps.
+void set_relax_tunables(const RelaxTunables& tunables);
+
+/// ω_opt(n) × the active omega_scale, clamped into (0, 2).
+double tuned_omega_opt(int n);
+
+/// The active RECURSE relaxation weight.
+double tuned_recurse_omega();
+
+/// RAII: swaps tunables in, restores the previous values on destruction.
+class ScopedRelaxTunables {
+ public:
+  explicit ScopedRelaxTunables(const RelaxTunables& tunables);
+  ~ScopedRelaxTunables();
+
+  ScopedRelaxTunables(const ScopedRelaxTunables&) = delete;
+  ScopedRelaxTunables& operator=(const ScopedRelaxTunables&) = delete;
+
+ private:
+  RelaxTunables previous_;
+};
+
 /// One full red-black SOR sweep (red half-sweep then black half-sweep) on
 /// A·x = b.  Cells of one colour depend only on the other colour, so each
 /// half-sweep is row-parallel.  The boundary ring of x is read, not

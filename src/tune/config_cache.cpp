@@ -44,8 +44,11 @@ TunedConfig load_or_train(const TrainerOptions& options, rt::Scheduler& sched,
       TunedConfig config = TunedConfig::load(path.string());
       if (from_cache != nullptr) *from_cache = true;
       return config;
-    } catch (const Error&) {
-      // Corrupt or stale cache entry: retrain below and overwrite.
+    } catch (const std::exception&) {
+      // Corrupt or stale cache entry: retrain below and overwrite.  The
+      // wide catch is deliberate — a truncated file surfaces as ConfigError,
+      // but a damaged number literal can escape the JSON layer as
+      // std::out_of_range, and both must count as cache misses.
     }
   }
 
@@ -58,6 +61,62 @@ TunedConfig load_or_train(const TrainerOptions& options, rt::Scheduler& sched,
   if (!ec) config.save(path.string());
   if (from_cache != nullptr) *from_cache = false;
   return config;
+}
+
+std::string searched_config_cache_key(
+    const TrainerOptions& options,
+    const search::ProfileSearchOptions& search_options) {
+  const search::PopulationOptions& pop = search_options.population;
+  std::ostringstream oss;
+  // Everything that changes the candidate stream or its scores must be in
+  // the key: search seed and budget (generations/population/offspring mix
+  // — mutants and immigrants separately, they consume RNG differently),
+  // plus the workload (level, distribution, accuracy to two decimals of
+  // its exponent, cycle cap, instance count).
+  oss << config_cache_key(options, search_options.base.name, "searched")
+      << "_ss" << search_options.seed << "_g" << pop.generations << "_p"
+      << pop.population << "_mu" << pop.mutants_per_elite << "_im"
+      << pop.immigrants << "_wL" << search_options.level << "_wd"
+      << to_string(search_options.distribution) << "_wa"
+      << std::lround(100.0 * std::log10(search_options.target_accuracy))
+      << "_wc" << search_options.max_cycles << "_wi"
+      << search_options.instances;
+  return oss.str();
+}
+
+SearchTrainResult load_or_search_train(
+    const TrainerOptions& options,
+    const search::ProfileSearchOptions& search_options,
+    solvers::DirectSolver& direct, const std::string& cache_dir,
+    bool* from_cache) {
+  const std::string key = searched_config_cache_key(options, search_options);
+  const std::filesystem::path path =
+      std::filesystem::path(cache_dir) / (key + ".json");
+
+  if (std::filesystem::exists(path)) {
+    try {
+      const Json doc = Json::parse(read_text_file(path.string()));
+      SearchTrainResult result;
+      // The tuned tables and the searched profile live in one document so
+      // they cannot drift apart; from_json ignores the extra section.
+      result.config = TunedConfig::from_json(doc);
+      result.searched =
+          search::SearchedProfile::from_json(doc.at("searched_profile"));
+      if (from_cache != nullptr) *from_cache = true;
+      return result;
+    } catch (const std::exception&) {
+      // Corrupt or stale entry: redo the search and training below.
+    }
+  }
+
+  SearchTrainResult result = search_then_train(options, search_options, direct);
+  Json doc = result.config.to_json();
+  doc.set("searched_profile", result.searched.to_json());
+  std::error_code ec;
+  std::filesystem::create_directories(cache_dir, ec);
+  if (!ec) write_text_file(path.string(), doc.dump(2) + "\n");
+  if (from_cache != nullptr) *from_cache = false;
+  return result;
 }
 
 }  // namespace pbmg::tune

@@ -30,14 +30,35 @@ std::string config_cache_key(const TrainerOptions& options,
                              const std::string& strategy);
 
 /// Loads the cached config if present and valid, otherwise trains and
-/// saves it.  `heuristic_sub_accuracy` < 0 selects full autotuning; >= 0
-/// trains the Figure-7 heuristic with that fixed sub-accuracy index.
-/// `from_cache`, when non-null, reports whether a disk hit occurred.
+/// saves it.  A corrupt or truncated cache file (unparseable JSON, schema
+/// violations, even out-of-range number literals) is treated as a cache
+/// miss: the config is retrained and the entry overwritten.
+/// `heuristic_sub_accuracy` < 0 selects full autotuning; >= 0 trains the
+/// Figure-7 heuristic with that fixed sub-accuracy index.  `from_cache`,
+/// when non-null, reports whether a disk hit occurred.
 TunedConfig load_or_train(const TrainerOptions& options,
                           rt::Scheduler& sched,
                           solvers::DirectSolver& direct,
                           const std::string& cache_dir,
                           int heuristic_sub_accuracy = -1,
                           bool* from_cache = nullptr);
+
+/// Cache key for the search-then-train mode.  Extends config_cache_key
+/// with everything that determines the profile search: its seed and budget
+/// (generations × population × offspring counts), workload level/accuracy,
+/// and instance count.
+std::string searched_config_cache_key(
+    const TrainerOptions& options,
+    const search::ProfileSearchOptions& search_options);
+
+/// Cached search-then-train (see tune::search_then_train): one JSON file
+/// holds the tuned tables plus a "searched_profile" section with the
+/// machine profile and relaxation weights the tables were trained under.
+/// Corrupt entries are recomputed and overwritten, like load_or_train.
+SearchTrainResult load_or_search_train(
+    const TrainerOptions& options,
+    const search::ProfileSearchOptions& search_options,
+    solvers::DirectSolver& direct, const std::string& cache_dir,
+    bool* from_cache = nullptr);
 
 }  // namespace pbmg::tune

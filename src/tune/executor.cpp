@@ -52,7 +52,7 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
       trace(trace::Op::kDirect, level);
       break;
     case VKind::kIterSor: {
-      const double omega = solvers::omega_opt(x.n());
+      const double omega = solvers::tuned_omega_opt(x.n());
       for (int it = 0; it < entry.choice.iterations; ++it) {
         solvers::sor_sweep(x, b, omega, sched_);
       }
@@ -70,9 +70,11 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
 void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
                                     int sub_accuracy_index) const {
   PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
-  // Paper §2.3 RECURSE_i: one SOR(1.15) sweep, coarse-grid correction via
-  // MULTIGRID-V_j, one SOR(1.15) sweep.
-  solvers::sor_sweep(x, b, solvers::kRecurseOmega, sched_);
+  // Paper §2.3 RECURSE_i: one SOR(ω) sweep, coarse-grid correction via
+  // MULTIGRID-V_j, one SOR(ω) sweep.  ω is the paper's 1.15 unless the
+  // runtime-parameter search installed a tuned value.
+  const double recurse_omega = solvers::tuned_recurse_omega();
+  solvers::sor_sweep(x, b, recurse_omega, sched_);
   trace(trace::Op::kRelax, level);
 
   const int n = x.n();
@@ -94,7 +96,7 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   grid::interpolate_add(e, x, sched_);
   trace(trace::Op::kInterpolate, level);
 
-  solvers::sor_sweep(x, b, solvers::kRecurseOmega, sched_);
+  solvers::sor_sweep(x, b, recurse_omega, sched_);
   trace(trace::Op::kRelax, level);
 }
 
@@ -111,7 +113,7 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
       break;
     case FmgKind::kEstimateThenSor: {
       estimate_at(x, b, level, entry.choice.estimate_accuracy);
-      const double omega = solvers::omega_opt(x.n());
+      const double omega = solvers::tuned_omega_opt(x.n());
       for (int it = 0; it < entry.choice.iterations; ++it) {
         solvers::sor_sweep(x, b, omega, sched_);
       }

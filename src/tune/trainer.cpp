@@ -212,7 +212,7 @@ void Trainer::train_v_level(TunedConfig& config, int level,
   if (allow_sor) {
     CandidateResult cand;
     cand.choice.kind = VKind::kIterSor;
-    const double omega = solvers::omega_opt(n);
+    const double omega = solvers::tuned_omega_opt(n);
     cand.meas = measure_iterative(
         set, nullptr,
         [&](Grid2D& x, const Grid2D& b) {
@@ -333,7 +333,7 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
       if (solve == -1) {
         cand.choice.kind = FmgKind::kEstimateThenSor;
         cand.choice.estimate_accuracy = j;
-        const double omega = solvers::omega_opt(n);
+        const double omega = solvers::tuned_omega_opt(n);
         step = [this, omega](Grid2D& x, const Grid2D& b) {
           solvers::sor_sweep(x, b, omega, sched_);
         };
@@ -440,6 +440,21 @@ TunedConfig Trainer::train() {
     if (options_.train_fmg) train_fmg_level(config, level, set);
   }
   return config;
+}
+
+SearchTrainResult search_then_train(
+    const TrainerOptions& options,
+    const search::ProfileSearchOptions& search_options,
+    solvers::DirectSolver& direct) {
+  SearchTrainResult result;
+  result.searched = search::search_profile(search_options, direct);
+  // Train the DP under the searched parameters so its measurements (and
+  // therefore its choices) reflect the runtime the config will execute on.
+  rt::Scheduler sched(result.searched.profile);
+  solvers::ScopedRelaxTunables scoped(result.searched.relax);
+  Trainer trainer(options, sched, direct);
+  result.config = trainer.train();
+  return result;
 }
 
 TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {

@@ -7,6 +7,7 @@
 
 #include "grid/problem.h"
 #include "runtime/scheduler.h"
+#include "search/profile_search.h"
 #include "solvers/direct.h"
 #include "tune/accuracy.h"
 #include "tune/table.h"
@@ -131,5 +132,24 @@ class Trainer {
   solvers::DirectSolver& direct_;
   std::map<int, double> direct_time_by_level_;
 };
+
+/// Result of the combined search-then-train mode.
+struct SearchTrainResult {
+  search::SearchedProfile searched;  ///< runtime parameters the DP ran under
+  TunedConfig config;                ///< DP tables trained on that profile
+};
+
+/// The two-stage tuning mode: first a population search over runtime
+/// parameters (machine profile tunables + relaxation weights, see
+/// search/profile_search.h), then the paper's dynamic program trained on a
+/// scheduler built from the searched profile with the searched relaxation
+/// weights active.  The returned config must be *executed* under the same
+/// parameters to reproduce its expected times — run it inside
+/// rt::ScopedProfile(result.searched.profile) and
+/// solvers::ScopedRelaxTunables(result.searched.relax), or via
+/// load_or_search_train's cache which stores both halves together.
+SearchTrainResult search_then_train(const TrainerOptions& options,
+                                    const search::ProfileSearchOptions& search_options,
+                                    solvers::DirectSolver& direct);
 
 }  // namespace pbmg::tune

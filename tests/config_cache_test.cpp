@@ -1,0 +1,275 @@
+// Focused tests for the tuned-config disk cache: key stability and
+// per-field divergence, save→load round trips, corrupt-entry recovery
+// (every flavour of damage must read as a cache miss), and the combined
+// search-then-train artifact with its "searched_profile" section.
+
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/scheduler.h"
+#include "solvers/direct.h"
+#include "support/json.h"
+#include "tune/config_cache.h"
+#include "tune/table.h"
+#include "tune/trainer.h"
+
+namespace pbmg::tune {
+namespace {
+
+rt::Scheduler& sched() {
+  static rt::Scheduler instance(rt::serial_profile());
+  return instance;
+}
+
+solvers::DirectSolver& direct() {
+  static solvers::DirectSolver instance;
+  return instance;
+}
+
+TrainerOptions tiny_options() {
+  TrainerOptions options;
+  options.max_level = 3;  // N <= 9: training takes milliseconds
+  options.training_instances = 1;
+  options.train_fmg = false;
+  options.seed = 99;
+  return options;
+}
+
+std::filesystem::path fresh_dir(const std::string& name) {
+  const auto dir = std::filesystem::temp_directory_path() / name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// A hand-built config exercising every choice kind, for IO tests that
+/// should not pay for training.
+TunedConfig handmade_config() {
+  TunedConfig config(paper_accuracies(), 3);
+  config.profile_name = "serial";
+  config.distribution = "unbiased";
+  config.seed = 7;
+  config.strategy = "autotuned";
+  for (int level = 2; level <= 3; ++level) {
+    for (int i = 0; i < config.accuracy_count(); ++i) {
+      VEntry v;
+      v.choice.kind = (i % 2 == 0) ? VKind::kRecurse : VKind::kIterSor;
+      v.choice.sub_accuracy = (i % 2 == 0) ? i : -1;
+      v.choice.iterations = i + 1;
+      v.expected_time = 0.001 * (level + i);
+      v.measured_accuracy = 12.5 * (i + 1);
+      v.trained = true;
+      config.v_entry(level, i) = v;
+      FmgEntry f;
+      f.choice.kind = FmgKind::kEstimateThenRecurse;
+      f.choice.estimate_accuracy = i;
+      f.choice.solve_accuracy = i;
+      f.choice.iterations = i;
+      f.trained = true;
+      config.fmg_entry(level, i) = f;
+    }
+  }
+  return config;
+}
+
+// ------------------------------------------------------------- cache key --
+
+TEST(ConfigCacheKey, StableAcrossIdenticalOptions) {
+  const TrainerOptions a = tiny_options();
+  const TrainerOptions b = tiny_options();
+  EXPECT_EQ(config_cache_key(a, "serial", "autotuned"),
+            config_cache_key(b, "serial", "autotuned"));
+}
+
+TEST(ConfigCacheKey, DivergesWhenAnyFieldChanges) {
+  const TrainerOptions base = tiny_options();
+  const std::string reference = config_cache_key(base, "serial", "autotuned");
+
+  TrainerOptions changed = tiny_options();
+  changed.max_level = 4;
+  EXPECT_NE(config_cache_key(changed, "serial", "autotuned"), reference);
+
+  changed = tiny_options();
+  changed.training_instances = 2;
+  EXPECT_NE(config_cache_key(changed, "serial", "autotuned"), reference);
+
+  changed = tiny_options();
+  changed.seed = 100;
+  EXPECT_NE(config_cache_key(changed, "serial", "autotuned"), reference);
+
+  changed = tiny_options();
+  changed.distribution = InputDistribution::kBiased;
+  EXPECT_NE(config_cache_key(changed, "serial", "autotuned"), reference);
+
+  changed = tiny_options();
+  changed.accuracies = {10.0, 1e3, 1e5};  // shorter ladder
+  EXPECT_NE(config_cache_key(changed, "serial", "autotuned"), reference);
+
+  changed = tiny_options();
+  changed.accuracies = {10.0, 1e3, 1e5, 1e7, 1e11};  // different top rung
+  EXPECT_NE(config_cache_key(changed, "serial", "autotuned"), reference);
+
+  EXPECT_NE(config_cache_key(base, "niagara", "autotuned"), reference);
+  EXPECT_NE(config_cache_key(base, "serial", "heuristic1"), reference);
+}
+
+// ------------------------------------------------------------ round trip --
+
+TEST(ConfigCacheIO, SaveLoadRoundTripEquality) {
+  const TunedConfig config = handmade_config();
+  const auto dir = fresh_dir("pbmg_cc_roundtrip");
+  const auto path = dir / "config.json";
+  config.save(path.string());
+  const TunedConfig loaded = TunedConfig::load(path.string());
+  EXPECT_EQ(loaded.to_json().dump(), config.to_json().dump());
+  EXPECT_EQ(loaded.profile_name, config.profile_name);
+  EXPECT_EQ(loaded.seed, config.seed);
+  EXPECT_EQ(loaded.strategy, config.strategy);
+  std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------------------- corrupt cache --
+
+class CorruptCacheTest : public ::testing::Test {
+ protected:
+  /// Plants `content` at the cache path load_or_train will consult, then
+  /// verifies the call retrains (miss) and overwrites with a valid entry.
+  void expect_miss_and_recover(const std::string& tag,
+                               const std::string& content) {
+    const auto dir = fresh_dir("pbmg_cc_corrupt_" + tag);
+    const TrainerOptions options = tiny_options();
+    const std::string key =
+        config_cache_key(options, sched().profile().name, "autotuned");
+    const auto path = dir / (key + ".json");
+    write_text_file(path.string(), content);
+    bool from_cache = true;
+    const TunedConfig config = load_or_train(options, sched(), direct(),
+                                             dir.string(), -1, &from_cache);
+    EXPECT_FALSE(from_cache) << tag;
+    EXPECT_EQ(config.max_level(), options.max_level) << tag;
+    // The rewritten entry must now be a hit.
+    const TunedConfig again = load_or_train(options, sched(), direct(),
+                                            dir.string(), -1, &from_cache);
+    EXPECT_TRUE(from_cache) << tag;
+    EXPECT_EQ(again.to_json().dump(), config.to_json().dump()) << tag;
+    std::filesystem::remove_all(dir);
+  }
+};
+
+TEST_F(CorruptCacheTest, UnparseableText) {
+  expect_miss_and_recover("garbage", "{this is not json");
+}
+
+TEST_F(CorruptCacheTest, TruncatedDocument) {
+  const std::string full = handmade_config().to_json().dump(2);
+  expect_miss_and_recover("truncated", full.substr(0, full.size() / 2));
+}
+
+TEST_F(CorruptCacheTest, WrongSchema) {
+  expect_miss_and_recover("schema", "[1, 2, 3]\n");
+}
+
+TEST_F(CorruptCacheTest, OutOfRangeNumberLiteral) {
+  // std::stod raises std::out_of_range (not a pbmg::Error) for this
+  // literal; the loader must still treat it as a miss.
+  expect_miss_and_recover(
+      "overflow",
+      "{\"format\": \"pbmg-tuned-config-v1\", \"max_level\": 3,"
+      " \"accuracies\": [1e400]}");
+}
+
+// ---------------------------------------------------- searched profiles --
+
+TEST(SearchedConfigCache, KeyIncludesSearchSeedAndBudget) {
+  const TrainerOptions options = tiny_options();
+  search::ProfileSearchOptions search_options;
+  search_options.base = rt::serial_profile();
+  const std::string reference =
+      searched_config_cache_key(options, search_options);
+
+  search::ProfileSearchOptions changed = search_options;
+  changed.seed += 1;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.population.generations += 1;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.population.population += 1;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.level += 1;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.distribution = InputDistribution::kBiased;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.target_accuracy *= 2;  // same decade, different target
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.max_cycles += 1;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  // Offspring mixes with equal totals consume the RNG differently and must
+  // not collide (mutants×population + immigrants would both be 9 here).
+  search::ProfileSearchOptions mix_a = search_options;
+  mix_a.population.population = 4;
+  mix_a.population.mutants_per_elite = 2;
+  mix_a.population.immigrants = 1;
+  search::ProfileSearchOptions mix_b = search_options;
+  mix_b.population.population = 4;
+  mix_b.population.mutants_per_elite = 1;
+  mix_b.population.immigrants = 5;
+  EXPECT_NE(searched_config_cache_key(options, mix_a),
+            searched_config_cache_key(options, mix_b));
+
+  // Trainer-side fields still matter too.
+  TrainerOptions trainer_changed = tiny_options();
+  trainer_changed.seed += 1;
+  EXPECT_NE(searched_config_cache_key(trainer_changed, search_options),
+            reference);
+}
+
+TEST(SearchedConfigCache, SearchTrainRoundTripsThroughTheCache) {
+  const auto dir = fresh_dir("pbmg_cc_searched");
+  const TrainerOptions options = tiny_options();
+  search::ProfileSearchOptions search_options;
+  search_options.base = rt::serial_profile();
+  search_options.level = 3;
+  search_options.instances = 1;
+  search_options.seed = 31;
+  search_options.population.population = 2;
+  search_options.population.mutants_per_elite = 1;
+  search_options.population.immigrants = 1;
+  search_options.population.generations = 1;
+
+  bool from_cache = true;
+  const SearchTrainResult first = load_or_search_train(
+      options, search_options, direct(), dir.string(), &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(first.searched.profile.name, "serial+searched");
+  EXPECT_EQ(first.config.max_level(), options.max_level);
+
+  const SearchTrainResult second = load_or_search_train(
+      options, search_options, direct(), dir.string(), &from_cache);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(second.config.to_json().dump(), first.config.to_json().dump());
+  EXPECT_EQ(second.searched.to_json().dump(), first.searched.to_json().dump());
+
+  // A different search budget is a different artifact.
+  search::ProfileSearchOptions bigger = search_options;
+  bigger.population.generations = 2;
+  EXPECT_NE(searched_config_cache_key(options, bigger),
+            searched_config_cache_key(options, search_options));
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace pbmg::tune

@@ -134,16 +134,20 @@ TEST(Scheduler, TaskGroupIsReusableAfterWait) {
 TEST(Scheduler, StealsHappenUnderImbalance) {
   Scheduler sched(test_profile(4));
   // One external submission chain creates deep imbalance; with multiple
-  // workers the only way other threads obtain work is stealing.
-  std::atomic<std::int64_t> sum{0};
-  sched.parallel_for(0, 1 << 14, 1, [&](std::int64_t b, std::int64_t e) {
-    volatile double sink = 0.0;
-    for (std::int64_t i = b; i < e; ++i) {
-      sink = sink + static_cast<double>(i);
-    }
-    sum.fetch_add(e - b);
-  });
-  EXPECT_EQ(sum.load(), 1 << 14);
+  // workers the only way other threads obtain work is stealing.  On a
+  // machine with fewer cores than workers a single round can complete
+  // before any other worker is scheduled, so repeat until a steal lands.
+  for (int round = 0; round < 50 && sched.steal_count() == 0; ++round) {
+    std::atomic<std::int64_t> sum{0};
+    sched.parallel_for(0, 1 << 14, 1, [&](std::int64_t b, std::int64_t e) {
+      volatile double sink = 0.0;
+      for (std::int64_t i = b; i < e; ++i) {
+        sink = sink + static_cast<double>(i);
+      }
+      sum.fetch_add(e - b);
+    });
+    ASSERT_EQ(sum.load(), 1 << 14);
+  }
   EXPECT_GT(sched.steal_count(), 0);
 }
 

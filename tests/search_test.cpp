@@ -1,0 +1,394 @@
+// Tests for the population-based runtime-parameter search (src/search/):
+// parameter-space construction/mutation/serialization, candidate testing
+// with early-abandon and timeout pruning, the deterministic elitist
+// population engine, and the concrete machine-profile search wiring.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "grid/level.h"
+#include "runtime/scheduler.h"
+#include "search/candidate_tester.h"
+#include "search/param_space.h"
+#include "search/population.h"
+#include "search/profile_search.h"
+#include "solvers/direct.h"
+#include "support/rng.h"
+
+namespace pbmg::search {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+ParamSpace toy_space() {
+  ParamSpace space;
+  space.add_int("a", 0, 64, 32)
+      .add_log_int("g", 1, 256, 8)
+      .add_float("w", 0.0, 2.0, 1.0)
+      .add_categorical("c", {"x", "y", "z"}, 0);
+  return space;
+}
+
+rt::Scheduler& serial_sched() {
+  static rt::Scheduler instance(rt::serial_profile());
+  return instance;
+}
+
+std::vector<tune::TrainingInstance> tiny_instances(int count = 1) {
+  Rng rng(42);
+  std::vector<tune::TrainingInstance> instances;
+  for (int i = 0; i < count; ++i) {
+    instances.push_back(tune::make_training_instance(
+        5, InputDistribution::kUnbiased, rng, serial_sched()));
+  }
+  return instances;
+}
+
+// ----------------------------------------------------------- param space --
+
+TEST(ParamSpace, BuildersValidate) {
+  ParamSpace space;
+  EXPECT_THROW(space.add_int("a", 5, 4, 5), InvalidArgument);       // empty
+  EXPECT_THROW(space.add_int("a", 0, 4, 9), InvalidArgument);       // default
+  EXPECT_THROW(space.add_log_int("a", 0, 4, 1), InvalidArgument);   // lo < 1
+  EXPECT_THROW(space.add_categorical("a", {}, 0), InvalidArgument); // empty
+  space.add_int("a", 0, 4, 2);
+  EXPECT_THROW(space.add_float("a", 0, 1, 0), InvalidArgument);     // dup name
+  EXPECT_EQ(space.size(), 1);
+  EXPECT_EQ(space.index_of("a"), 0);
+  EXPECT_THROW(space.index_of("nope"), InvalidArgument);
+}
+
+TEST(ParamSpace, DefaultsAndTypedAccessors) {
+  const ParamSpace space = toy_space();
+  const Candidate def = space.default_candidate();
+  EXPECT_EQ(space.int_value(def, "a"), 32);
+  EXPECT_EQ(space.int_value(def, "g"), 8);
+  EXPECT_DOUBLE_EQ(space.float_value(def, "w"), 1.0);
+  EXPECT_EQ(space.categorical_value(def, "c"), "x");
+  EXPECT_THROW(space.float_value(def, "a"), InvalidArgument);  // kind mismatch
+  EXPECT_THROW(space.int_value(def, "w"), InvalidArgument);
+  EXPECT_THROW(space.categorical_value(def, "a"), InvalidArgument);
+}
+
+TEST(ParamSpace, RandomAndMutatedStayInBounds) {
+  const ParamSpace space = toy_space();
+  Rng rng(7);
+  Candidate current = space.default_candidate();
+  for (int i = 0; i < 500; ++i) {
+    const Candidate c =
+        (i % 2 == 0) ? space.random_candidate(rng) : space.mutated(current, rng);
+    ASSERT_EQ(c.values.size(), static_cast<std::size_t>(space.size()));
+    for (int d = 0; d < space.size(); ++d) {
+      const Dimension& dim = space.dimensions()[static_cast<std::size_t>(d)];
+      ASSERT_GE(c.values[static_cast<std::size_t>(d)], dim.lo) << dim.name;
+      ASSERT_LE(c.values[static_cast<std::size_t>(d)], dim.hi) << dim.name;
+      if (dim.kind != DimKind::kFloat) {
+        ASSERT_EQ(c.values[static_cast<std::size_t>(d)],
+                  std::round(c.values[static_cast<std::size_t>(d)]))
+            << dim.name << " must stay integral";
+      }
+    }
+    current = c;
+  }
+}
+
+TEST(ParamSpace, MutationChangesExactlyOneDimension) {
+  const ParamSpace space = toy_space();
+  Rng rng(11);
+  const Candidate base = space.default_candidate();
+  for (int i = 0; i < 100; ++i) {
+    const Candidate m = space.mutated(base, rng);
+    int changed = 0;
+    for (std::size_t d = 0; d < base.values.size(); ++d) {
+      if (m.values[d] != base.values[d]) ++changed;
+    }
+    ASSERT_LE(changed, 1);
+  }
+}
+
+TEST(ParamSpace, MutationIsDeterministicInSeed) {
+  const ParamSpace space = toy_space();
+  Rng a(99), b(99);
+  Candidate ca = space.default_candidate();
+  Candidate cb = space.default_candidate();
+  for (int i = 0; i < 50; ++i) {
+    ca = space.mutated(ca, a);
+    cb = space.mutated(cb, b);
+    ASSERT_EQ(ca.values, cb.values);
+  }
+}
+
+TEST(ParamSpace, JsonRoundTrip) {
+  const ParamSpace space = toy_space();
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const Candidate c = space.random_candidate(rng);
+    const Candidate back = space.from_json(space.to_json(c));
+    EXPECT_EQ(back.values, c.values);
+  }
+  // Missing keys fall back to defaults; unknown keys are ignored.
+  Json partial = Json::object();
+  partial.set("a", 7);
+  partial.set("not_a_dimension", 1.5);
+  const Candidate c = space.from_json(partial);
+  EXPECT_EQ(space.int_value(c, "a"), 7);
+  EXPECT_EQ(space.int_value(c, "g"), 8);
+  // Unknown categorical labels are rejected, not silently defaulted.
+  Json bad = Json::object();
+  bad.set("c", "not-a-label");
+  EXPECT_THROW(space.from_json(bad), ConfigError);
+}
+
+TEST(ParamSpace, DescribeAndFingerprint) {
+  const ParamSpace space = toy_space();
+  const Candidate def = space.default_candidate();
+  const std::string desc = space.describe(def);
+  EXPECT_NE(desc.find("a=32"), std::string::npos);
+  EXPECT_NE(desc.find("c=x"), std::string::npos);
+  Candidate other = def;
+  other.values[0] = 33;
+  EXPECT_NE(space.fingerprint(def), space.fingerprint(other));
+  EXPECT_EQ(space.fingerprint(def), space.fingerprint(def));
+}
+
+// ------------------------------------------------------ candidate tester --
+
+TEST(CandidateTester, AveragesOverInstances) {
+  const ParamSpace space = toy_space();
+  CandidateTester tester(
+      space,
+      [&](const Candidate& c, const tune::TrainingInstance&, const Deadline&) {
+        return 0.25 + 0.001 * space.float_value(c, "w");
+      },
+      tiny_instances(2));
+  const TestResult r = tester.test(space.default_candidate());
+  EXPECT_TRUE(r.completed);
+  EXPECT_EQ(r.instances_run, 2);
+  EXPECT_NEAR(r.total_seconds, 2 * (0.25 + 0.001), 1e-12);
+  EXPECT_NEAR(r.mean_seconds, 0.25 + 0.001, 1e-12);
+  EXPECT_EQ(tester.evaluations(), 2);
+}
+
+TEST(CandidateTester, EarlyAbandonsAgainstIncumbent) {
+  const ParamSpace space = toy_space();
+  int calls = 0;
+  CandidateTester tester(
+      space,
+      [&](const Candidate&, const tune::TrainingInstance&, const Deadline&) {
+        ++calls;
+        return 1.0;
+      },
+      tiny_instances(3));
+  // Incumbent total 0.1 ⇒ budget ≈ 0.2; the first instance alone blows it.
+  const TestResult r = tester.test(space.default_candidate(), 0.1);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.instances_run, 1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(r.total_seconds, kInf);
+  // Without an incumbent the same candidate completes.
+  const TestResult full = tester.test(space.default_candidate());
+  EXPECT_TRUE(full.completed);
+  EXPECT_EQ(full.instances_run, 3);
+}
+
+TEST(CandidateTester, InfiniteCostMeansFailure) {
+  const ParamSpace space = toy_space();
+  CandidateTester tester(
+      space,
+      [](const Candidate&, const tune::TrainingInstance&, const Deadline&) {
+        return kInf;
+      },
+      tiny_instances(2));
+  const TestResult r = tester.test(space.default_candidate());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.instances_run, 1);
+}
+
+TEST(CandidateTester, TimeoutStopsBetweenInstances) {
+  const ParamSpace space = toy_space();
+  TesterOptions options;
+  options.timeout_seconds = 1e-9;  // expired before the first check
+  CandidateTester tester(
+      space,
+      [](const Candidate&, const tune::TrainingInstance&, const Deadline&) {
+        return 0.001;
+      },
+      tiny_instances(3), options);
+  const TestResult r = tester.test(space.default_candidate());
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.instances_run, 1);
+}
+
+// ---------------------------------------------------- population search --
+
+/// Deterministic synthetic objective with a known optimum, computed
+/// through a 1-worker scheduler so floating-point reduction order is fixed.
+double synthetic_cost(const ParamSpace& space, const Candidate& c) {
+  const double a = static_cast<double>(space.int_value(c, "a"));
+  const double g = static_cast<double>(space.int_value(c, "g"));
+  const double w = space.float_value(c, "w");
+  const std::string& label = space.categorical_value(c, "c");
+  const double base = serial_sched().parallel_reduce_sum(
+      0, 8, 8, [&](std::int64_t lo, std::int64_t hi) {
+        double s = 0.0;
+        for (std::int64_t i = lo; i < hi; ++i) {
+          s += (a - 17.0) * (a - 17.0) / 4096.0 +
+               (std::log2(g) - 5.0) * (std::log2(g) - 5.0) / 64.0 +
+               (w - 1.3) * (w - 1.3);
+        }
+        return s;
+      });
+  return 1e-3 * (1.0 + base) + (label == "y" ? 0.0 : 1e-4);
+}
+
+PopulationOptions fast_population_options(std::uint64_t seed = 20091114) {
+  PopulationOptions options;
+  options.population = 4;
+  options.mutants_per_elite = 2;
+  options.immigrants = 1;
+  options.generations = 12;
+  options.seed = seed;
+  return options;
+}
+
+TEST(PopulationSearch, ImprovesOnTheDefault) {
+  const ParamSpace space = toy_space();
+  CandidateTester tester(
+      space,
+      [&](const Candidate& c, const tune::TrainingInstance&, const Deadline&) {
+        return synthetic_cost(space, c);
+      },
+      tiny_instances(1));
+  PopulationSearch engine(space, tester, fast_population_options());
+  const SearchResult result = engine.run();
+  const double default_cost =
+      synthetic_cost(space, space.default_candidate());
+  EXPECT_LT(result.best.total_seconds, default_cost);
+  EXPECT_NEAR(result.default_total_seconds, default_cost, 1e-12);
+  EXPECT_GT(result.evaluations, 0);
+  EXPECT_EQ(result.generations_run, 12);
+  EXPECT_EQ(result.best_history.size(), 12u);
+  // History is monotonically non-increasing (elitism never loses ground).
+  for (std::size_t i = 1; i < result.best_history.size(); ++i) {
+    EXPECT_LE(result.best_history[i], result.best_history[i - 1]);
+  }
+}
+
+/// Satellite contract: a fixed seed returns an identical best candidate
+/// across two runs on a 1-thread scheduler.
+TEST(PopulationSearch, DeterministicBestWithFixedSeed) {
+  const ParamSpace space = toy_space();
+  const auto run_once = [&] {
+    CandidateTester tester(
+        space,
+        [&](const Candidate& c, const tune::TrainingInstance&,
+            const Deadline&) { return synthetic_cost(space, c); },
+        tiny_instances(1));
+    PopulationSearch engine(space, tester, fast_population_options(777));
+    return engine.run();
+  };
+  const SearchResult first = run_once();
+  const SearchResult second = run_once();
+  EXPECT_EQ(first.best.candidate.values, second.best.candidate.values);
+  EXPECT_EQ(first.best.total_seconds, second.best.total_seconds);
+  EXPECT_EQ(first.evaluations, second.evaluations);
+  EXPECT_EQ(first.best_history, second.best_history);
+}
+
+TEST(PopulationSearch, ThrowsWhenNothingCompletes) {
+  const ParamSpace space = toy_space();
+  CandidateTester tester(
+      space,
+      [](const Candidate&, const tune::TrainingInstance&, const Deadline&) {
+        return kInf;
+      },
+      tiny_instances(1));
+  PopulationSearch engine(space, tester, fast_population_options());
+  EXPECT_THROW(engine.run(), NumericalError);
+}
+
+// ------------------------------------------------------- profile search --
+
+TEST(ProfileSearch, SpaceDefaultsReproduceTheBaseProfile) {
+  rt::MachineProfile base;
+  base.threads = 2;
+  base.grain_rows = 16;
+  base.sequential_cutoff_cells = 4096;
+  const ParamSpace space = make_profile_space(base);
+  const RuntimeParams params =
+      decode_runtime_params(space, space.default_candidate(), base);
+  EXPECT_EQ(params.profile.threads, base.threads);
+  EXPECT_EQ(params.profile.grain_rows, base.grain_rows);
+  EXPECT_EQ(params.profile.sequential_cutoff_cells,
+            base.sequential_cutoff_cells);
+  EXPECT_DOUBLE_EQ(params.relax.recurse_omega, solvers::kRecurseOmega);
+  EXPECT_DOUBLE_EQ(params.relax.omega_scale, 1.0);
+}
+
+TEST(ProfileSearch, ProfileTunablesRoundTripThroughWithTunable) {
+  const rt::MachineProfile base;
+  for (const rt::ProfileTunable& t : rt::profile_tunables(base)) {
+    const rt::MachineProfile p = rt::with_tunable(base, t.name, t.hi);
+    EXPECT_NE(rt::profile_to_json(p).dump(),
+              rt::profile_to_json(rt::with_tunable(base, t.name, t.lo)).dump())
+        << t.name;
+  }
+  EXPECT_THROW(rt::with_tunable(base, "spawn_overhead_ns", 1), InvalidArgument);
+}
+
+TEST(ProfileSearch, SearchedProfileJsonRoundTrip) {
+  SearchedProfile sp;
+  sp.profile = rt::barcelona_profile();
+  sp.profile.name = "barcelona+searched";
+  sp.relax.recurse_omega = 1.21;
+  sp.relax.omega_scale = 0.95;
+  sp.default_seconds = 0.5;
+  sp.searched_seconds = 0.25;
+  sp.evaluations = 17;
+  sp.seed = 1234;
+  sp.generations = 4;
+  sp.population = 3;
+  const SearchedProfile back = SearchedProfile::from_json(sp.to_json());
+  EXPECT_EQ(back.profile.name, sp.profile.name);
+  EXPECT_EQ(back.profile.threads, sp.profile.threads);
+  EXPECT_EQ(back.profile.grain_rows, sp.profile.grain_rows);
+  EXPECT_EQ(back.profile.sequential_cutoff_cells,
+            sp.profile.sequential_cutoff_cells);
+  EXPECT_DOUBLE_EQ(back.relax.recurse_omega, sp.relax.recurse_omega);
+  EXPECT_DOUBLE_EQ(back.relax.omega_scale, sp.relax.omega_scale);
+  EXPECT_EQ(back.seed, sp.seed);
+  EXPECT_EQ(back.generations, sp.generations);
+  EXPECT_EQ(back.population, sp.population);
+  // Out-of-range relax weights are rejected on load.
+  Json bad = sp.to_json();
+  bad.set("recurse_omega", 2.5);
+  EXPECT_THROW(SearchedProfile::from_json(bad), ConfigError);
+}
+
+TEST(ProfileSearch, EndToEndOnATinyWorkload) {
+  search::ProfileSearchOptions options;
+  options.base = rt::serial_profile();
+  options.base.name = "serial";
+  options.level = 3;  // N = 9: each evaluation is sub-millisecond
+  options.instances = 1;
+  options.seed = 5;
+  options.population.population = 2;
+  options.population.mutants_per_elite = 1;
+  options.population.immigrants = 1;
+  options.population.generations = 2;
+  solvers::DirectSolver direct;
+  const SearchedProfile searched = search_profile(options, direct);
+  EXPECT_EQ(searched.profile.name, "serial+searched");
+  // The default candidate is always raced first, so the winner can never
+  // be slower than the un-searched configuration.
+  EXPECT_LE(searched.searched_seconds, searched.default_seconds);
+  EXPECT_GT(searched.evaluations, 0);
+  EXPECT_GT(searched.relax.recurse_omega, 0.0);
+  EXPECT_LT(searched.relax.recurse_omega, 2.0);
+}
+
+}  // namespace
+}  // namespace pbmg::search
