@@ -34,10 +34,10 @@ int main_impl(int argc, const char* const* argv) {
         std::int64_t{1} << 40}) {
     rt::MachineProfile profile = rt::harpertown_profile();
     profile.sequential_cutoff_cells = cutoff;
-    rt::ScopedProfile scoped(profile);
-    const auto inst =
-        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/21);
-    const double t = run_reference_v(settings, inst, kTarget);
+    Engine engine(engine_options(settings, profile));
+    const auto inst = eval_instance(settings, engine, n,
+                                    InputDistribution::kUnbiased, /*salt=*/21);
+    const double t = run_reference_v(settings, engine, inst, kTarget);
     results.emplace_back(cutoff, t);
     if (std::isfinite(t)) best = std::min(best, t);
     progress("ablation_cutoff: cutoff=" + std::to_string(cutoff) + " done");

@@ -21,11 +21,13 @@ using namespace pbmg::bench;
 
 /// Probe + timed run for a given smoother, returning (seconds, cycles).
 std::pair<double, int> time_smoother(const Settings& settings,
+                                     Engine& engine,
                                      const tune::TrainingInstance& inst,
                                      solvers::RelaxKind relaxation,
                                      double target) {
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  auto& sched = engine.scheduler();
+  auto& direct = engine.direct();
+  auto& pool = engine.scratch();
   solvers::VCycleOptions options;
   options.relaxation = relaxation;
   const int n = inst.problem.n();
@@ -33,7 +35,7 @@ std::pair<double, int> time_smoother(const Settings& settings,
   x.copy_from(inst.problem.x0);
   int needed = -1;
   for (int it = 1; it <= 300; ++it) {
-    solvers::vcycle(x, inst.problem.b, options, sched, direct);
+    solvers::vcycle(x, inst.problem.b, options, sched, direct, pool);
     if (tune::accuracy_of(inst, x, sched) >= target) {
       needed = it;
       break;
@@ -44,7 +46,7 @@ std::pair<double, int> time_smoother(const Settings& settings,
       settings, [&] { x.copy_from(inst.problem.x0); },
       [&] {
         for (int it = 0; it < needed; ++it) {
-          solvers::vcycle(x, inst.problem.b, options, sched, direct);
+          solvers::vcycle(x, inst.problem.b, options, sched, direct, pool);
         }
       });
   return {seconds, needed};
@@ -56,18 +58,20 @@ int main_impl(int argc, const char* const* argv) {
   if (!maybe) return 0;
   const Settings settings = *maybe;
   constexpr double kTarget = 1e9;
-  rt::ScopedProfile scoped(rt::harpertown_profile());
+  Engine engine(engine_options(settings, rt::harpertown_profile()));
 
   TextTable table({"N", "SOR(1.15) (s)", "SOR cycles", "Jacobi(2/3) (s)",
                    "Jacobi cycles", "Jacobi/SOR"});
   for (int level = 5; level <= settings.max_level; ++level) {
     const int n = size_of_level(level);
-    const auto inst =
-        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/22);
-    const auto [t_sor, c_sor] =
-        time_smoother(settings, inst, solvers::RelaxKind::kSor, kTarget);
-    const auto [t_jac, c_jac] =
-        time_smoother(settings, inst, solvers::RelaxKind::kJacobi, kTarget);
+    const auto inst = eval_instance(settings, engine, n,
+                                    InputDistribution::kUnbiased, /*salt=*/22);
+    const auto [t_sor, c_sor] = time_smoother(settings, engine, inst,
+                                              solvers::RelaxKind::kSor,
+                                              kTarget);
+    const auto [t_jac, c_jac] = time_smoother(settings, engine, inst,
+                                              solvers::RelaxKind::kJacobi,
+                                              kTarget);
     table.add_row({std::to_string(n), format_double(t_sor),
                    std::to_string(c_sor), format_double(t_jac),
                    std::to_string(c_jac), format_double(t_jac / t_sor, 3)});

@@ -15,22 +15,24 @@ int run_fullmg_figure(const Settings& settings, InputDistribution dist,
   const char* subfig[] = {"a", "b", "c"};
   for (int p = 0; p < 3; ++p) {
     const auto& profile = profiles[p];
-    const auto config = get_tuned_config(settings, profile, dist,
-                                         settings.max_level);
-    rt::ScopedProfile scoped(profile);
+    Engine engine(engine_options(settings, profile));
+    const auto config =
+        get_tuned_config(settings, engine, dist, settings.max_level);
     const int acc_index = config.accuracy_index(target_accuracy);
     TextTable table({"N", "ref V (s)", "ref FMG (rel)", "tuned V (rel)",
                      "tuned FMG (rel)"});
     for (int level = 4; level <= settings.max_level; ++level) {
       const int n = size_of_level(level);
-      const auto inst = eval_instance(settings, n, dist, /*salt=*/10 + p);
+      const auto inst =
+          eval_instance(settings, engine, n, dist, /*salt=*/10 + p);
       const double ref_v =
-          run_reference_v(settings, inst, target_accuracy);
+          run_reference_v(settings, engine, inst, target_accuracy);
       const double ref_fmg =
-          run_reference_fmg(settings, inst, target_accuracy);
-      const double tuned_v = run_tuned_v(settings, config, inst, acc_index);
+          run_reference_fmg(settings, engine, inst, target_accuracy);
+      const double tuned_v =
+          run_tuned_v(settings, engine, config, inst, acc_index);
       const double tuned_fmg =
-          run_tuned_fmg(settings, config, inst, acc_index);
+          run_tuned_fmg(settings, engine, config, inst, acc_index);
       table.add_row({std::to_string(n), format_double(ref_v),
                      format_double(ref_fmg / ref_v),
                      format_double(tuned_v / ref_v),

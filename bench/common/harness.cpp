@@ -4,10 +4,12 @@
 #include <filesystem>
 #include <iostream>
 #include <limits>
+#include <mutex>
 
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "solvers/relax.h"
+#include "support/stats.h"
 #include "support/timer.h"
 
 namespace pbmg::bench {
@@ -22,6 +24,39 @@ int level_for_max_n(std::int64_t max_n) {
     ++level;
   }
   return level;
+}
+
+/// Figure-wide log of every timed trial since the last emit_table call;
+/// summarized as median/p90 into BENCH_*.json.  Guarded for drivers that
+/// time from multiple client threads (fig17).
+std::mutex g_samples_mutex;
+SampleStats g_samples;
+
+void record_sample(double seconds) {
+  std::lock_guard<std::mutex> lock(g_samples_mutex);
+  g_samples.add(seconds);
+}
+
+SampleStats drain_samples() {
+  std::lock_guard<std::mutex> lock(g_samples_mutex);
+  SampleStats out = g_samples;
+  g_samples = SampleStats{};
+  return out;
+}
+
+void write_bench_json(const Settings& settings, const std::string& name,
+                      const Json& doc) {
+  std::error_code ec;
+  std::filesystem::create_directories(settings.out_dir, ec);
+  const auto path =
+      std::filesystem::path(settings.out_dir) / ("BENCH_" + name + ".json");
+  try {
+    write_text_file(path.string(), doc.dump(2) + "\n");
+    std::cout << "(json: " << path.string() << ")\n";
+  } catch (const Error& e) {
+    std::cerr << "warning: could not write " << path << ": " << e.what()
+              << '\n';
+  }
 }
 
 }  // namespace
@@ -60,6 +95,14 @@ std::optional<Settings> parse_settings(int argc, const char* const* argv,
   return settings;
 }
 
+EngineOptions engine_options(const Settings& settings,
+                             const rt::MachineProfile& profile) {
+  EngineOptions options;
+  options.profile = profile;
+  options.cache_dir = settings.cache_dir;
+  return options;
+}
+
 tune::TrainerOptions trainer_options(const Settings& settings,
                                      InputDistribution dist, int max_level,
                                      bool train_fmg) {
@@ -77,19 +120,14 @@ tune::TrainerOptions trainer_options(const Settings& settings,
   return options;
 }
 
-tune::TunedConfig get_tuned_config(const Settings& settings,
-                                   const rt::MachineProfile& profile,
+tune::TunedConfig get_tuned_config(const Settings& settings, Engine& engine,
                                    InputDistribution dist, int max_level,
                                    bool train_fmg) {
-  rt::ScopedProfile scoped(profile);
   const auto options = trainer_options(settings, dist, max_level, train_fmg);
   bool from_cache = false;
   const double t0 = now_seconds();
-  auto config =
-      tune::load_or_train(options, rt::global_scheduler(),
-                          solvers::shared_direct_solver(), settings.cache_dir,
-                          -1, &from_cache);
-  progress("config[" + profile.name + "," + to_string(dist) + ",L" +
+  auto config = engine.tuned_config(options, -1, &from_cache);
+  progress("config[" + engine.profile().name + "," + to_string(dist) + ",L" +
            std::to_string(max_level) + "] " +
            (from_cache ? "loaded from cache"
                        : "trained in " + format_seconds(now_seconds() - t0)));
@@ -97,30 +135,25 @@ tune::TunedConfig get_tuned_config(const Settings& settings,
 }
 
 tune::TunedConfig get_heuristic_config(const Settings& settings,
-                                       const rt::MachineProfile& profile,
-                                       InputDistribution dist, int max_level,
-                                       int sub_index) {
-  rt::ScopedProfile scoped(profile);
+                                       Engine& engine, InputDistribution dist,
+                                       int max_level, int sub_index) {
   auto options = trainer_options(settings, dist, max_level, false);
   bool from_cache = false;
   const double t0 = now_seconds();
-  auto config =
-      tune::load_or_train(options, rt::global_scheduler(),
-                          solvers::shared_direct_solver(), settings.cache_dir,
-                          sub_index, &from_cache);
-  progress("heuristic" + std::to_string(sub_index) + "[" + profile.name +
-           "," + to_string(dist) + "] " +
+  auto config = engine.tuned_config(options, sub_index, &from_cache);
+  progress("heuristic" + std::to_string(sub_index) + "[" +
+           engine.profile().name + "," + to_string(dist) + "] " +
            (from_cache ? "loaded from cache"
                        : "trained in " + format_seconds(now_seconds() - t0)));
   return config;
 }
 
-tune::TrainingInstance eval_instance(const Settings& settings, int n,
-                                     InputDistribution dist,
+tune::TrainingInstance eval_instance(const Settings& settings, Engine& engine,
+                                     int n, InputDistribution dist,
                                      std::uint64_t salt) {
   Rng rng(settings.eval_seed);
   Rng sub = rng.split(0xE7A1u + salt * 977 + static_cast<std::uint64_t>(n));
-  return tune::make_training_instance(n, dist, sub, rt::global_scheduler());
+  return tune::make_training_instance(n, dist, sub, engine.scheduler());
 }
 
 double time_min(const Settings& settings, const std::function<void()>& reset,
@@ -130,18 +163,20 @@ double time_min(const Settings& settings, const std::function<void()>& reset,
     reset();
     const double t0 = now_seconds();
     solve();
-    best = std::min(best, now_seconds() - t0);
+    const double seconds = now_seconds() - t0;
+    record_sample(seconds);
+    best = std::min(best, seconds);
   }
   return best;
 }
 
-double run_direct(const Settings& settings,
+double run_direct(const Settings& settings, Engine& engine,
                   const tune::TrainingInstance& inst) {
   const int n = inst.problem.n();
   Grid2D x(n, 0.0);
   return time_min(
       settings, [&] { x.copy_from(inst.problem.x0); },
-      [&] { solvers::shared_direct_solver().solve(inst.problem.b, x); });
+      [&] { engine.direct().solve(inst.problem.b, x); });
 }
 
 namespace {
@@ -156,11 +191,11 @@ namespace {
 /// shape open loop (that asymmetry is exactly the benefit the paper's
 /// accuracy-aware tuning buys).  Pass check_period = 0 to omit the check.
 template <typename Step>
-double probe_then_time(const Settings& settings,
+double probe_then_time(const Settings& settings, Engine& engine,
                        const tune::TrainingInstance& inst,
                        double target_accuracy, int max_iterations,
                        int check_period, const Step& step) {
-  auto& sched = rt::global_scheduler();
+  rt::Scheduler& sched = engine.scheduler();
   const int n = inst.problem.n();
   Grid2D x(n, 0.0);
   x.copy_from(inst.problem.x0);
@@ -190,48 +225,49 @@ double probe_then_time(const Settings& settings,
 
 }  // namespace
 
-double run_sor(const Settings& settings, const tune::TrainingInstance& inst,
-               double target_accuracy, int max_sweeps) {
+double run_sor(const Settings& settings, Engine& engine,
+               const tune::TrainingInstance& inst, double target_accuracy,
+               int max_sweeps) {
   const double omega = solvers::omega_opt(inst.problem.n());
-  auto& sched = rt::global_scheduler();
+  rt::Scheduler& sched = engine.scheduler();
   // A production SOR loop checks convergence periodically, not per sweep.
-  return probe_then_time(settings, inst, target_accuracy, max_sweeps,
+  return probe_then_time(settings, engine, inst, target_accuracy, max_sweeps,
                          /*check_period=*/8,
                          [&](Grid2D& x, const Grid2D& b) {
                            solvers::sor_sweep(x, b, omega, sched);
                          });
 }
 
-double run_reference_v(const Settings& settings,
+double run_reference_v(const Settings& settings, Engine& engine,
                        const tune::TrainingInstance& inst,
                        double target_accuracy, int max_cycles) {
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
   return probe_then_time(
-      settings, inst, target_accuracy, max_cycles, /*check_period=*/1,
+      settings, engine, inst, target_accuracy, max_cycles, /*check_period=*/1,
       [&](Grid2D& x, const Grid2D& b) {
-        solvers::vcycle(x, b, solvers::VCycleOptions{}, sched, direct);
+        solvers::vcycle(x, b, solvers::VCycleOptions{}, engine.scheduler(),
+                        engine.direct(), engine.scratch());
       });
 }
 
-double run_reference_fmg(const Settings& settings,
+double run_reference_fmg(const Settings& settings, Engine& engine,
                          const tune::TrainingInstance& inst,
                          double target_accuracy, int max_cycles) {
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  rt::Scheduler& sched = engine.scheduler();
+  solvers::DirectSolver& direct = engine.direct();
+  grid::ScratchPool& pool = engine.scratch();
   const int n = inst.problem.n();
   // Probe: the FMG ramp is iteration 1, then V-cycles polish.
   Grid2D x(n, 0.0);
   x.copy_from(inst.problem.x0);
   solvers::full_multigrid(x, inst.problem.b, solvers::VCycleOptions{}, sched,
-                          direct);
+                          direct, pool);
   int v_cycles = -1;
   if (tune::accuracy_of(inst, x, sched) >= target_accuracy) {
     v_cycles = 0;
   } else {
     for (int it = 1; it <= max_cycles; ++it) {
       solvers::vcycle(x, inst.problem.b, solvers::VCycleOptions{}, sched,
-                      direct);
+                      direct, pool);
       if (tune::accuracy_of(inst, x, sched) >= target_accuracy) {
         v_cycles = it;
         break;
@@ -245,12 +281,12 @@ double run_reference_fmg(const Settings& settings,
       settings, [&] { x.copy_from(inst.problem.x0); },
       [&] {
         solvers::full_multigrid(x, inst.problem.b, solvers::VCycleOptions{},
-                                sched, direct);
+                                sched, direct, pool);
         grid::residual(x, inst.problem.b, check_scratch, sched);
         norm_sink += grid::norm2_interior(check_scratch, sched);
         for (int it = 0; it < v_cycles; ++it) {
           solvers::vcycle(x, inst.problem.b, solvers::VCycleOptions{}, sched,
-                          direct);
+                          direct, pool);
           grid::residual(x, inst.problem.b, check_scratch, sched);
           norm_sink += grid::norm2_interior(check_scratch, sched);
         }
@@ -259,13 +295,13 @@ double run_reference_fmg(const Settings& settings,
 
 namespace {
 
-double run_tuned_impl(const Settings& settings,
+double run_tuned_impl(const Settings& settings, Engine& engine,
                       const tune::TunedConfig& config,
                       const tune::TrainingInstance& inst, int accuracy_index,
                       bool fmg) {
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
-  tune::TunedExecutor executor(config, sched, direct);
+  rt::Scheduler& sched = engine.scheduler();
+  tune::TunedExecutor executor(config, sched, engine.direct(),
+                               engine.scratch(), nullptr, engine.relax());
   const int n = inst.problem.n();
   Grid2D x(n, 0.0);
   const double seconds = time_min(
@@ -288,15 +324,16 @@ double run_tuned_impl(const Settings& settings,
 
 }  // namespace
 
-double run_tuned_v(const Settings& settings, const tune::TunedConfig& config,
+double run_tuned_v(const Settings& settings, Engine& engine,
+                   const tune::TunedConfig& config,
                    const tune::TrainingInstance& inst, int accuracy_index) {
-  return run_tuned_impl(settings, config, inst, accuracy_index, false);
+  return run_tuned_impl(settings, engine, config, inst, accuracy_index, false);
 }
 
-double run_tuned_fmg(const Settings& settings,
+double run_tuned_fmg(const Settings& settings, Engine& engine,
                      const tune::TunedConfig& config,
                      const tune::TrainingInstance& inst, int accuracy_index) {
-  return run_tuned_impl(settings, config, inst, accuracy_index, true);
+  return run_tuned_impl(settings, engine, config, inst, accuracy_index, true);
 }
 
 void emit_table(const Settings& settings, const std::string& name,
@@ -312,6 +349,36 @@ void emit_table(const Settings& settings, const std::string& name,
     std::cerr << "warning: could not write " << path << ": " << e.what()
               << '\n';
   }
+
+  Json doc = Json::object();
+  doc.set("bench", name);
+  doc.set("title", title);
+  Json columns = Json::array();
+  for (const auto& header : table.headers()) columns.push_back(Json(header));
+  doc.set("columns", std::move(columns));
+  Json rows = Json::array();
+  for (const auto& row : table.rows()) {
+    Json cells = Json::array();
+    for (const auto& cell : row) cells.push_back(Json(cell));
+    rows.push_back(std::move(cells));
+  }
+  doc.set("rows", std::move(rows));
+  const SampleStats samples = drain_samples();
+  Json trial = Json::object();
+  trial.set("count", static_cast<std::int64_t>(samples.count()));
+  if (samples.count() > 0) {
+    trial.set("median_s", samples.median());
+    trial.set("p90_s", samples.percentile(90.0));
+    trial.set("min_s", samples.min());
+    trial.set("max_s", samples.max());
+  }
+  doc.set("trial_samples", std::move(trial));
+  write_bench_json(settings, name, doc);
+}
+
+void emit_bench_json(const Settings& settings, const std::string& name,
+                     const Json& doc) {
+  write_bench_json(settings, name, doc);
 }
 
 void progress(const std::string& line) { std::cerr << line << '\n'; }

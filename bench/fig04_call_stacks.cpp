@@ -22,12 +22,13 @@ int main_impl(int argc, const char* const* argv) {
   if (!maybe) return 0;
   const Settings settings = *maybe;
   const auto profile = rt::harpertown_profile();
+  Engine engine(engine_options(settings, profile));
 
   std::ostringstream out;
   for (auto dist :
        {InputDistribution::kUnbiased, InputDistribution::kBiased}) {
     const auto config =
-        get_tuned_config(settings, profile, dist, settings.max_level);
+        get_tuned_config(settings, engine, dist, settings.max_level);
     const int idx = config.accuracy_index(1e7);  // MULTIGRID-V_4
     out << "--- Figure 4 (" << to_string(dist) << "): MULTIGRID-V[10^7] at N="
         << size_of_level(settings.max_level) << " on " << profile.name

@@ -18,16 +18,16 @@ namespace {
 using namespace pbmg;
 using namespace pbmg::bench;
 
-void render_cycles(const Settings& settings, const tune::TunedConfig& config,
-                   InputDistribution dist, bool fmg, std::ostringstream& out) {
-  rt::ScopedProfile scoped(rt::barcelona_profile());
+void render_cycles(const Settings& settings, Engine& engine,
+                   const tune::TunedConfig& config, InputDistribution dist,
+                   bool fmg, std::ostringstream& out) {
   const int n = size_of_level(settings.max_level);
-  const auto inst = eval_instance(settings, n, dist, /*salt=*/5);
+  const auto inst = eval_instance(settings, engine, n, dist, /*salt=*/5);
   const char* roman[] = {"i", "ii", "iii", "iv"};
   for (int i = 0; i < 4 && i < config.accuracy_count(); ++i) {
     trace::CycleTracer tracer;
-    tune::TunedExecutor executor(config, rt::global_scheduler(),
-                                 solvers::shared_direct_solver(), &tracer);
+    tune::TunedExecutor executor(config, engine.scheduler(), engine.direct(),
+                                 engine.scratch(), &tracer, engine.relax());
     Grid2D x(n, 0.0);
     x.copy_from(inst.problem.x0);
     if (fmg) {
@@ -48,6 +48,7 @@ int main_impl(int argc, const char* const* argv) {
   if (!maybe) return 0;
   const Settings settings = *maybe;
   const auto profile = rt::barcelona_profile();
+  Engine engine(engine_options(settings, profile));
 
   std::ostringstream out;
   const char* sub = "ab";
@@ -55,11 +56,11 @@ int main_impl(int argc, const char* const* argv) {
   for (auto dist :
        {InputDistribution::kUnbiased, InputDistribution::kBiased}) {
     const auto config =
-        get_tuned_config(settings, profile, dist, settings.max_level);
+        get_tuned_config(settings, engine, dist, settings.max_level);
     out << "--- Figure 5(" << sub[s] << "): tuned V cycles, "
         << to_string(dist) << ", N=" << size_of_level(settings.max_level)
         << ", " << profile.name << " ---\n";
-    render_cycles(settings, config, dist, /*fmg=*/false, out);
+    render_cycles(settings, engine, config, dist, /*fmg=*/false, out);
     ++s;
   }
   const char* sub2 = "cd";
@@ -67,11 +68,11 @@ int main_impl(int argc, const char* const* argv) {
   for (auto dist :
        {InputDistribution::kUnbiased, InputDistribution::kBiased}) {
     const auto config =
-        get_tuned_config(settings, profile, dist, settings.max_level);
+        get_tuned_config(settings, engine, dist, settings.max_level);
     out << "--- Figure 5(" << sub2[s] << "): tuned full multigrid cycles, "
         << to_string(dist) << ", N=" << size_of_level(settings.max_level)
         << ", " << profile.name << " ---\n";
-    render_cycles(settings, config, dist, /*fmg=*/true, out);
+    render_cycles(settings, engine, config, dist, /*fmg=*/true, out);
     ++s;
   }
   std::cout << out.str();

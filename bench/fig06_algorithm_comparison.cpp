@@ -25,10 +25,10 @@ int main_impl(int argc, const char* const* argv) {
   constexpr double kTarget = 1e9;
 
   const auto profile = rt::harpertown_profile();
-  const auto config = get_tuned_config(settings, profile,
+  Engine engine(engine_options(settings, profile));
+  const auto config = get_tuned_config(settings, engine,
                                        InputDistribution::kUnbiased,
                                        settings.max_level);
-  rt::ScopedProfile scoped(profile);
   const int acc_index = config.accuracy_index(kTarget);
 
   const int direct_max_level = std::min(settings.max_level, 8);  // N <= 257
@@ -38,15 +38,18 @@ int main_impl(int argc, const char* const* argv) {
       {"N", "direct (s)", "sor (s)", "multigrid (s)", "autotuned (s)"});
   for (int level = 2; level <= settings.max_level; ++level) {
     const int n = size_of_level(level);
-    const auto inst =
-        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/6);
-    const double direct =
-        level <= direct_max_level ? run_direct(settings, inst) : std::nan("");
-    const double sor = level <= sor_max_level
-                           ? run_sor(settings, inst, kTarget, 16 * n + 2000)
-                           : std::nan("");
-    const double mg = run_reference_v(settings, inst, kTarget);
-    const double tuned = run_tuned_v(settings, config, inst, acc_index);
+    const auto inst = eval_instance(settings, engine, n,
+                                    InputDistribution::kUnbiased, /*salt=*/6);
+    const double direct = level <= direct_max_level
+                              ? run_direct(settings, engine, inst)
+                              : std::nan("");
+    const double sor =
+        level <= sor_max_level
+            ? run_sor(settings, engine, inst, kTarget, 16 * n + 2000)
+            : std::nan("");
+    const double mg = run_reference_v(settings, engine, inst, kTarget);
+    const double tuned =
+        run_tuned_v(settings, engine, config, inst, acc_index);
     table.add_row({std::to_string(n), format_double(direct),
                    format_double(sor), format_double(mg),
                    format_double(tuned)});

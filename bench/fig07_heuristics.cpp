@@ -27,29 +27,29 @@ int main_impl(int argc, const char* const* argv) {
 
   // Heuristic j fixes sub-accuracy 10^(2j+1); j = 4 is "Strategy 10^9",
   // lower j are "Strategy 10^x/10^9" (paper Fig. 7 legend order).
+  Engine engine(engine_options(settings, profile));
   std::vector<tune::TunedConfig> heuristics;
   for (int j = 0; j < 5; ++j) {
     heuristics.push_back(
-        get_heuristic_config(settings, profile, dist, settings.max_level, j));
+        get_heuristic_config(settings, engine, dist, settings.max_level, j));
   }
   const auto autotuned =
-      get_tuned_config(settings, profile, dist, settings.max_level);
+      get_tuned_config(settings, engine, dist, settings.max_level);
 
-  rt::ScopedProfile scoped(profile);
   const int acc_index = autotuned.accuracy_index(kTarget);
   TextTable table({"N", "10^9 (s)", "10^7/10^9 (s)", "10^5/10^9 (s)",
                    "10^3/10^9 (s)", "10^1/10^9 (s)", "autotuned (s)"});
   for (int level = 6; level <= settings.max_level; ++level) {
     const int n = size_of_level(level);
-    const auto inst = eval_instance(settings, n, dist, /*salt=*/7);
+    const auto inst = eval_instance(settings, engine, n, dist, /*salt=*/7);
     std::vector<std::string> row{std::to_string(n)};
     for (int j = 4; j >= 0; --j) {
-      row.push_back(format_double(
-          run_tuned_v(settings, heuristics[static_cast<std::size_t>(j)],
-                      inst, acc_index)));
+      row.push_back(format_double(run_tuned_v(
+          settings, engine, heuristics[static_cast<std::size_t>(j)], inst,
+          acc_index)));
     }
-    row.push_back(
-        format_double(run_tuned_v(settings, autotuned, inst, acc_index)));
+    row.push_back(format_double(
+        run_tuned_v(settings, engine, autotuned, inst, acc_index)));
     table.add_row(std::move(row));
     progress("fig07: N=" + std::to_string(n) + " done");
   }

@@ -24,27 +24,29 @@ int main_impl(int argc, const char* const* argv) {
   const auto profile = rt::harpertown_profile();
   const auto dist = InputDistribution::kBiased;
 
+  Engine engine(engine_options(settings, profile));
   std::vector<tune::TunedConfig> heuristics;
   for (int j = 0; j < 5; ++j) {
     heuristics.push_back(
-        get_heuristic_config(settings, profile, dist, settings.max_level, j));
+        get_heuristic_config(settings, engine, dist, settings.max_level, j));
   }
   const auto autotuned =
-      get_tuned_config(settings, profile, dist, settings.max_level);
+      get_tuned_config(settings, engine, dist, settings.max_level);
 
-  rt::ScopedProfile scoped(profile);
   const int acc_index = autotuned.accuracy_index(kTarget);
   TextTable table({"N", "10^9", "10^7/10^9", "10^5/10^9", "10^3/10^9",
                    "10^1/10^9", "autotuned"});
   for (int level = 6; level <= settings.max_level; ++level) {
     const int n = size_of_level(level);
-    const auto inst = eval_instance(settings, n, dist, /*salt=*/7);
+    const auto inst = eval_instance(settings, engine, n, dist, /*salt=*/7);
     const double tuned_time =
-        run_tuned_v(settings, autotuned, inst, acc_index);
+        run_tuned_v(settings, engine, autotuned, inst, acc_index);
     std::vector<std::string> row{std::to_string(n)};
     for (int j = 4; j >= 0; --j) {
-      const double t = run_tuned_v(
-          settings, heuristics[static_cast<std::size_t>(j)], inst, acc_index);
+      const double t =
+          run_tuned_v(settings, engine,
+                      heuristics[static_cast<std::size_t>(j)], inst,
+                      acc_index);
       row.push_back(format_double(t / tuned_time, 3));
     }
     row.push_back("1");

@@ -20,7 +20,8 @@ int main_impl(int argc, const char* const* argv) {
   const Settings settings = *maybe;
   constexpr double kTarget = 1e9;
   const auto base_profile = rt::harpertown_profile();
-  const auto config = get_tuned_config(settings, base_profile,
+  Engine train_engine(engine_options(settings, base_profile));
+  const auto config = get_tuned_config(settings, train_engine,
                                        InputDistribution::kUnbiased,
                                        settings.max_level);
   const int acc_index = config.accuracy_index(kTarget);
@@ -31,13 +32,14 @@ int main_impl(int argc, const char* const* argv) {
   for (int threads = 1; threads <= 8; ++threads) {
     rt::MachineProfile profile = base_profile;
     profile.threads = threads;
-    rt::ScopedProfile scoped(profile);
-    const auto inst =
-        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/9);
+    // Each thread count is its own Engine; the tuned config carries over.
+    Engine engine(engine_options(settings, profile));
+    const auto inst = eval_instance(settings, engine, n,
+                                    InputDistribution::kUnbiased, /*salt=*/9);
     // Repeat the solve a few times and keep the fastest run.
     Settings timing = settings;
     timing.trials = std::max(settings.trials, 3);
-    const double t = run_tuned_v(timing, config, inst, acc_index);
+    const double t = run_tuned_v(timing, engine, config, inst, acc_index);
     if (threads == 1) t1 = t;
     table.add_row({std::to_string(threads), format_double(t),
                    format_double(t1 / t, 3)});

@@ -30,15 +30,15 @@ int main_impl(int argc, const char* const* argv) {
 
   std::ostringstream out;
   for (int p = 0; p < 3; ++p) {
-    const auto config = get_tuned_config(settings, profiles[p],
+    Engine engine(engine_options(settings, profiles[p]));
+    const auto config = get_tuned_config(settings, engine,
                                          InputDistribution::kUnbiased,
                                          settings.max_level);
-    rt::ScopedProfile scoped(profiles[p]);
-    const auto inst =
-        eval_instance(settings, n, InputDistribution::kUnbiased, /*salt=*/14);
+    const auto inst = eval_instance(settings, engine, n,
+                                    InputDistribution::kUnbiased, /*salt=*/14);
     trace::CycleTracer tracer;
-    tune::TunedExecutor executor(config, rt::global_scheduler(),
-                                 solvers::shared_direct_solver(), &tracer);
+    tune::TunedExecutor executor(config, engine.scheduler(), engine.direct(),
+                                 engine.scratch(), &tracer, engine.relax());
     Grid2D x(n, 0.0);
     x.copy_from(inst.problem.x0);
     executor.run_fmg(x, inst.problem.b, config.accuracy_index(1e5));

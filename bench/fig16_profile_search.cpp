@@ -9,8 +9,8 @@
 #include <iostream>
 
 #include "common/harness.h"
+#include "engine/engine.h"
 #include "grid/level.h"
-#include "runtime/global.h"
 #include "solvers/relax.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -29,10 +29,11 @@ int main(int argc, char** argv) {
   // laptop-friendly (override with --max-n).
   const int max_level = std::min(settings.max_level, 7);
   const rt::MachineProfile base;  // the "default" profile
+  Engine base_engine(bench::engine_options(settings, base));
 
   // Arm 1: the paper's flow — DP autotuning on the default profile.
   const tune::TunedConfig default_config = bench::get_tuned_config(
-      settings, base, InputDistribution::kUnbiased, max_level);
+      settings, base_engine, InputDistribution::kUnbiased, max_level);
 
   // Arm 2: search-then-train through the disk cache.
   const tune::TrainerOptions trainer_options = bench::trainer_options(
@@ -53,8 +54,7 @@ int main(int argc, char** argv) {
   bool from_cache = false;
   const double t0 = now_seconds();
   const tune::SearchTrainResult searched = tune::load_or_search_train(
-      trainer_options, search_options, solvers::shared_direct_solver(),
-      settings.cache_dir, &from_cache);
+      trainer_options, search_options, settings.cache_dir, &from_cache);
   bench::progress(
       "searched config " +
       std::string(from_cache ? "loaded from cache"
@@ -64,7 +64,6 @@ int main(int argc, char** argv) {
   // Round-trip check: a second acquisition must be a disk hit.
   bool second_from_cache = false;
   (void)tune::load_or_search_train(trainer_options, search_options,
-                                   solvers::shared_direct_solver(),
                                    settings.cache_dir, &second_from_cache);
   bench::progress(std::string("searched-profile cache round trip: ") +
                   (second_from_cache ? "hit" : "MISS (unexpected)"));
@@ -81,26 +80,24 @@ int main(int argc, char** argv) {
             << ", omega_scale 1 -> "
             << format_double(searched.searched.relax.omega_scale, 4) << "\n";
 
-  // Timed comparison on held-out instances at the top accuracy.
+  // Timed comparison on held-out instances at the top accuracy.  The two
+  // arms are two coexisting Engines — base parameters vs searched
+  // parameters — rather than global profile/ω swaps.
+  EngineOptions searched_options = bench::engine_options(
+      settings, searched.searched.profile);
+  searched_options.relax = searched.searched.relax;
+  Engine searched_engine(searched_options);
   const int top = default_config.accuracy_count() - 1;
   const double target = default_config.accuracies().back();
   TextTable table({"N", "default profile", "searched profile", "speedup"});
   for (int level = std::max(4, max_level - 2); level <= max_level; ++level) {
     const int n = size_of_level(level);
-    const auto inst = bench::eval_instance(settings, n,
+    const auto inst = bench::eval_instance(settings, base_engine, n,
                                            InputDistribution::kUnbiased, 16);
-    double default_seconds = 0.0;
-    {
-      rt::ScopedProfile scoped(base);
-      default_seconds = bench::run_tuned_v(settings, default_config, inst, top);
-    }
-    double searched_seconds = 0.0;
-    {
-      rt::ScopedProfile scoped(searched.searched.profile);
-      solvers::ScopedRelaxTunables relax(searched.searched.relax);
-      searched_seconds =
-          bench::run_tuned_v(settings, searched.config, inst, top);
-    }
+    const double default_seconds = bench::run_tuned_v(
+        settings, base_engine, default_config, inst, top);
+    const double searched_seconds = bench::run_tuned_v(
+        settings, searched_engine, searched.config, inst, top);
     table.add_row({std::to_string(n), format_seconds(default_seconds),
                    format_seconds(searched_seconds),
                    format_double(default_seconds / searched_seconds, 3)});

@@ -6,13 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "engine/engine.h"
 #include "fft/fast_poisson.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
 #include "linalg/band_matrix.h"
 #include "linalg/poisson_assembly.h"
-#include "runtime/global.h"
 #include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "solvers/relax.h"
@@ -21,6 +21,12 @@
 namespace {
 
 using namespace pbmg;
+
+/// One engine shared by every microbenchmark (default machine profile).
+Engine& bench_engine() {
+  static Engine instance;
+  return instance;
+}
 
 PoissonProblem problem_for(int n) {
   Rng rng(8888 + static_cast<std::uint64_t>(n));
@@ -31,7 +37,7 @@ void BM_SorSweep(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto problem = problem_for(n);
   Grid2D x = problem.x0;
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   const double omega = solvers::omega_opt(n);
   for (auto _ : state) {
     solvers::sor_sweep(x, problem.b, omega, sched);
@@ -45,7 +51,7 @@ void BM_JacobiSweep(benchmark::State& state) {
   auto problem = problem_for(n);
   Grid2D x = problem.x0;
   Grid2D scratch(n, 0.0);
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   for (auto _ : state) {
     solvers::jacobi_sweep(x, problem.b, solvers::kJacobiOmega, scratch, sched);
   }
@@ -58,7 +64,7 @@ void BM_Residual(benchmark::State& state) {
   auto problem = problem_for(n);
   Grid2D x = problem.x0;
   Grid2D r(n, 0.0);
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   for (auto _ : state) {
     grid::residual(x, problem.b, r, sched);
   }
@@ -70,7 +76,7 @@ void BM_Restrict(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto problem = problem_for(n);
   Grid2D coarse(coarse_size(n), 0.0);
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   for (auto _ : state) {
     grid::restrict_full_weighting(problem.b, coarse, sched);
   }
@@ -81,7 +87,7 @@ void BM_Interpolate(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   Grid2D coarse(coarse_size(n), 1.0);
   Grid2D fine(n, 0.0);
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   for (auto _ : state) {
     grid::interpolate_add(coarse, fine, sched);
   }
@@ -91,7 +97,7 @@ BENCHMARK(BM_Interpolate)->Arg(257)->Arg(1025);
 void BM_Norm2(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto problem = problem_for(n);
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   double sink = 0.0;
   for (auto _ : state) {
     sink += grid::norm2_interior(problem.b, sched);
@@ -127,7 +133,7 @@ void BM_FastPoissonOracle(benchmark::State& state) {
   auto problem = problem_for(n);
   fft::FastPoissonSolver solver(n);
   Grid2D out(n, 0.0);
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   for (auto _ : state) {
     solver.solve(problem.b, problem.x0, out, sched);
   }
@@ -138,16 +144,18 @@ void BM_VCycle(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   auto problem = problem_for(n);
   Grid2D x = problem.x0;
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  auto& sched = bench_engine().scheduler();
+  auto& direct = bench_engine().direct();
+  auto& pool = bench_engine().scratch();
   for (auto _ : state) {
-    solvers::vcycle(x, problem.b, solvers::VCycleOptions{}, sched, direct);
+    solvers::vcycle(x, problem.b, solvers::VCycleOptions{}, sched, direct,
+                    pool);
   }
 }
 BENCHMARK(BM_VCycle)->Arg(257)->Arg(1025);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
-  auto& sched = rt::global_scheduler();
+  auto& sched = bench_engine().scheduler();
   std::atomic<std::int64_t> sink{0};
   for (auto _ : state) {
     sched.parallel_for(0, 1024, 16, [&](std::int64_t b, std::int64_t e) {

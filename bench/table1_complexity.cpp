@@ -26,7 +26,7 @@ int main_impl(int argc, const char* const* argv) {
   const Settings settings = *maybe;
   constexpr double kTarget = 1e9;
 
-  rt::ScopedProfile scoped(rt::serial_profile());
+  Engine engine(engine_options(settings, rt::serial_profile()));
 
   const int direct_max_level = std::min(settings.max_level, 8);  // N <= 257
   const int sor_max_level = std::min(settings.max_level, 9);     // N <= 513
@@ -35,11 +35,12 @@ int main_impl(int argc, const char* const* argv) {
   std::vector<double> ns_direct, t_direct, ns_sor, t_sor, ns_mg, t_mg;
   for (int level = 2; level <= settings.max_level; ++level) {
     const int n = size_of_level(level);
-    const auto inst = eval_instance(settings, n, InputDistribution::kUnbiased,
+    const auto inst = eval_instance(settings, engine, n,
+                                    InputDistribution::kUnbiased,
                                     /*salt=*/1);
     double direct = std::nan("");
     if (level <= direct_max_level) {
-      direct = run_direct(settings, inst);
+      direct = run_direct(settings, engine, inst);
       // Exclude the two smallest levels from the fit: fixed overheads
       // dominate there.
       if (level >= 4) {
@@ -49,13 +50,13 @@ int main_impl(int argc, const char* const* argv) {
     }
     double sor = std::nan("");
     if (level <= sor_max_level) {
-      sor = run_sor(settings, inst, kTarget, 16 * n + 2000);
+      sor = run_sor(settings, engine, inst, kTarget, 16 * n + 2000);
       if (level >= 4 && std::isfinite(sor)) {
         ns_sor.push_back(n);
         t_sor.push_back(sor);
       }
     }
-    const double mg = run_reference_v(settings, inst, kTarget);
+    const double mg = run_reference_v(settings, engine, inst, kTarget);
     if (level >= 4 && std::isfinite(mg)) {
       ns_mg.push_back(n);
       t_mg.push_back(mg);

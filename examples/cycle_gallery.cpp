@@ -7,10 +7,9 @@
 
 #include <iostream>
 
+#include "engine/engine.h"
 #include "grid/level.h"
 #include "grid/problem.h"
-#include "runtime/global.h"
-#include "solvers/direct.h"
 #include "support/argparse.h"
 #include "support/table.h"
 #include "trace/cycle_trace.h"
@@ -30,15 +29,16 @@ int main(int argc, char** argv) {
   }
   const int n = static_cast<int>(parser.get_int("n"));
   const auto dist = parse_distribution(parser.get_string("distribution"));
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  Engine engine;
+  auto& sched = engine.scheduler();
+  auto& direct = engine.direct();
 
   tune::TrainerOptions options;
   options.max_level = level_of_size(n);
   options.distribution = dist;
   std::cout << "Autotuning for N=" << n << " on " << to_string(dist)
             << " data ..." << std::endl;
-  tune::Trainer trainer(options, sched, direct);
+  tune::Trainer trainer(options, engine);
   const tune::TunedConfig config = trainer.train();
 
   Rng rng(99);
@@ -53,7 +53,8 @@ int main(int argc, char** argv) {
               << tune::render_call_stack(config, options.max_level, i);
     {
       trace::CycleTracer tracer;
-      tune::TunedExecutor executor(config, sched, direct, &tracer);
+      tune::TunedExecutor executor(config, sched, direct, engine.scratch(),
+                                   &tracer);
       Grid2D x(n, 0.0);
       x.copy_from(instance.problem.x0);
       executor.run_v(x, instance.problem.b, i);
@@ -65,7 +66,8 @@ int main(int argc, char** argv) {
     }
     {
       trace::CycleTracer tracer;
-      tune::TunedExecutor executor(config, sched, direct, &tracer);
+      tune::TunedExecutor executor(config, sched, direct, engine.scratch(),
+                                   &tracer);
       Grid2D x(n, 0.0);
       x.copy_from(instance.problem.x0);
       executor.run_fmg(x, instance.problem.b, i);

@@ -14,12 +14,11 @@
 #include <iostream>
 #include <string>
 
+#include "engine/engine.h"
 #include "fft/fast_poisson.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
-#include "runtime/global.h"
-#include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "support/argparse.h"
 #include "support/table.h"
@@ -69,8 +68,9 @@ int main(int argc, char** argv) {
     return 0;
   }
   const int n = static_cast<int>(parser.get_int("n"));
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  Engine engine;
+  auto& sched = engine.scheduler();
+  auto& direct = engine.direct();
 
   // Charge configuration: a strong dipole on the diagonal plus background
   // charges drawn from the paper's point-source distribution.
@@ -82,7 +82,7 @@ int main(int argc, char** argv) {
   problem.b(2 * n / 3, 2 * n / 3) -= 3.0 * q;
 
   // Oracle (spectral) solution for verification.
-  const Grid2D exact = fft::exact_solution(problem);
+  const Grid2D exact = fft::exact_solution(problem, sched);
   const double e0 =
       grid::norm2_diff_interior(problem.x0, exact, sched);
 
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       [&](const Grid2D& state, int) {
         return e0 / grid::norm2_diff_interior(state, exact, sched) >= 1e7;
       },
-      sched, direct);
+      sched, direct, engine.scratch());
   const double ref_seconds = ref_timer.elapsed();
 
   // Tuned solver at the same accuracy.
@@ -103,9 +103,9 @@ int main(int argc, char** argv) {
   options.max_level = level_of_size(n);
   options.distribution = InputDistribution::kPointSources;
   std::cout << "Autotuning on the point-source distribution ..." << std::endl;
-  tune::Trainer trainer(options, sched, direct);
+  tune::Trainer trainer(options, engine);
   const tune::TunedConfig config = trainer.train();
-  tune::TunedExecutor executor(config, sched, direct);
+  tune::TunedExecutor executor(config, sched, direct, engine.scratch());
   Grid2D x_tuned(n, 0.0);
   x_tuned.copy_from(problem.x0);
   WallTimer tuned_timer;

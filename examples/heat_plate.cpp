@@ -12,12 +12,11 @@
 #include <cmath>
 #include <iostream>
 
+#include "engine/engine.h"
 #include "fft/fast_poisson.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
-#include "runtime/global.h"
-#include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "solvers/relax.h"
 #include "support/argparse.h"
@@ -40,8 +39,9 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(parser.get_int("n"));
   const double hot = parser.get_double("hot");
   const double cold = parser.get_double("cold");
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  Engine engine;
+  auto& sched = engine.scheduler();
+  auto& direct = engine.direct();
 
   // Plate: row 0 = cold edge (y = 0), row n-1 = hot edge; side edges ramp.
   PoissonProblem plate;
@@ -57,7 +57,7 @@ int main(int argc, char** argv) {
     plate.x0(i, n - 1) = ramp;
   }
 
-  const Grid2D exact = fft::exact_solution(plate);
+  const Grid2D exact = fft::exact_solution(plate, sched);
   const double e0 = grid::norm2_diff_interior(plate.x0, exact, sched);
   const double target = 1e5;
   const auto accuracy = [&](const Grid2D& x) {
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
   const auto ref_out = solvers::solve_reference_v(
       x_ref, plate.b, solvers::VCycleOptions{}, 100,
       [&](const Grid2D& state, int) { return accuracy(state) >= target; },
-      sched, direct);
+      sched, direct, engine.scratch());
   const double ref_seconds = ref_timer.elapsed();
 
   // Tuned solver (trained on the unbiased distribution; the plate is a
@@ -90,10 +90,10 @@ int main(int argc, char** argv) {
   tune::TrainerOptions options;
   options.max_level = level_of_size(n);
   options.train_fmg = false;
-  tune::Trainer trainer(options, sched, direct);
+  tune::Trainer trainer(options, engine);
   std::cout << "Autotuning ..." << std::endl;
   const tune::TunedConfig config = trainer.train();
-  tune::TunedExecutor executor(config, sched, direct);
+  tune::TunedExecutor executor(config, sched, direct, engine.scratch());
   Grid2D x_tuned(n, 0.0);
   x_tuned.copy_from(plate.x0);
   WallTimer tuned_timer;

@@ -11,11 +11,10 @@
 
 #include <iostream>
 
+#include "engine/engine.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
-#include "runtime/global.h"
-#include "solvers/direct.h"
 #include "support/argparse.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -35,8 +34,10 @@ int main(int argc, char** argv) {
   const int n = static_cast<int>(parser.get_int("n"));
   const double target = parser.get_double("accuracy");
 
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  // The Engine owns the runtime a tuned solver needs: scheduler (default
+  // machine profile here), scratch pool, and direct solver.
+  Engine engine;
+  auto& sched = engine.scheduler();
 
   // 1. Autotune: build MULTIGRID-V_i for every accuracy level up to the
   //    requested grid size (the V table is enough for this example).
@@ -45,7 +46,7 @@ int main(int argc, char** argv) {
   options.train_fmg = false;
   std::cout << "Autotuning up to N=" << n << " ..." << std::endl;
   WallTimer train_timer;
-  tune::Trainer trainer(options, sched, direct);
+  tune::Trainer trainer(options, engine);
   const tune::TunedConfig config = trainer.train();
   std::cout << "  trained in " << format_seconds(train_timer.elapsed())
             << "\n\nTuned plan for accuracy " << format_accuracy(target)
@@ -57,7 +58,8 @@ int main(int argc, char** argv) {
   Rng rng(2026);
   auto instance = tune::make_training_instance(
       n, InputDistribution::kUnbiased, rng, sched);
-  tune::TunedExecutor executor(config, sched, direct);
+  tune::TunedExecutor executor(config, sched, engine.direct(),
+                               engine.scratch());
   Grid2D x(n, 0.0);
   x.copy_from(instance.problem.x0);
   WallTimer solve_timer;

@@ -14,7 +14,6 @@
 
 #include "grid/level.h"
 #include "search/profile_search.h"
-#include "solvers/direct.h"
 #include "support/argparse.h"
 #include "support/table.h"
 
@@ -51,9 +50,9 @@ int main(int argc, char** argv) {
       static_cast<int>(parser.get_int("population"));
   options.log = [](const std::string& line) { std::cerr << line << '\n'; };
 
-  auto& direct = solvers::shared_direct_solver();
-  const search::SearchedProfile searched =
-      search::search_profile(options, direct);
+  // Every candidate the search races is evaluated on its own Engine —
+  // no process-wide profile or relaxation state is touched.
+  const search::SearchedProfile searched = search::search_profile(options);
 
   // 3. Report what the search found.
   std::cout << "\nSearched profile (workload N="

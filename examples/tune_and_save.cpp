@@ -10,10 +10,9 @@
 #include <filesystem>
 #include <iostream>
 
+#include "engine/engine.h"
 #include "grid/level.h"
 #include "grid/problem.h"
-#include "runtime/global.h"
-#include "solvers/direct.h"
 #include "support/argparse.h"
 #include "support/table.h"
 #include "support/timer.h"
@@ -34,8 +33,8 @@ int main(int argc, char** argv) {
   }
   const int n = static_cast<int>(parser.get_int("n"));
   const std::string path = parser.get_string("config");
-  auto& sched = rt::global_scheduler();
-  auto& direct = solvers::shared_direct_solver();
+  Engine engine;
+  auto& sched = engine.scheduler();
 
   tune::TunedConfig config;
   bool loaded = false;
@@ -63,7 +62,7 @@ int main(int argc, char** argv) {
     std::cout << "Training (this is the slow, once-per-machine step) ..."
               << std::endl;
     WallTimer timer;
-    tune::Trainer trainer(options, sched, direct);
+    tune::Trainer trainer(options, engine);
     config = trainer.train();
     config.save(path);
     std::cout << "Trained in " << format_seconds(timer.elapsed())
@@ -75,7 +74,8 @@ int main(int argc, char** argv) {
   Rng rng(1234);
   auto instance = tune::make_training_instance(
       n, parse_distribution(config.distribution), rng, sched);
-  tune::TunedExecutor executor(config, sched, direct);
+  tune::TunedExecutor executor(config, sched, engine.direct(),
+                               engine.scratch());
   std::cout << "\n  target     time         achieved accuracy\n";
   for (int i = 0; i < config.accuracy_count(); ++i) {
     Grid2D x(n, 0.0);

@@ -1,0 +1,24 @@
+#include "engine/engine.h"
+
+#include "tune/config_cache.h"
+#include "tune/trainer.h"
+
+namespace pbmg {
+
+Engine::Engine(EngineOptions options)
+    : relax_(options.relax),
+      cache_dir_(options.cache_dir.empty() ? tune::default_cache_dir()
+                                           : options.cache_dir),
+      scheduler_(options.profile),
+      direct_(options.direct_max_cached_n) {
+  solvers::validate_relax_tunables(relax_);
+}
+
+tune::TunedConfig Engine::tuned_config(const tune::TrainerOptions& options,
+                                       int heuristic_sub_accuracy,
+                                       bool* from_cache) {
+  return tune::load_or_train(options, *this, cache_dir_,
+                             heuristic_sub_accuracy, from_cache);
+}
+
+}  // namespace pbmg

@@ -1,0 +1,56 @@
+#include "engine/solve_service.h"
+
+#include <utility>
+
+namespace pbmg {
+
+SolveService::SolveService(Engine& engine, tune::TunedConfig config)
+    : engine_(engine), config_(std::move(config)) {}
+
+SolveSession& SolveService::session(int n) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = sessions_.find(n);
+    if (it != sessions_.end()) return *it->second;
+  }
+  // Construct outside the lock: prewarming a large level hierarchy
+  // allocates and zero-fills megabytes, and must not stall unrelated
+  // in-flight solves of other sizes.  If two threads race to bind the
+  // same size, emplace keeps the winner and the loser's session is
+  // discarded (its prewarmed grids are already in the shared pool).
+  auto fresh = std::make_unique<SolveSession>(engine_, config_, n);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = sessions_.emplace(n, std::move(fresh));
+  if (inserted) stats_.sessions = sessions_.size();
+  return *it->second;
+}
+
+SolveStats SolveService::solve(Grid2D& x, const Grid2D& b,
+                               const SolveRequest& request) {
+  SolveStats stats;
+  try {
+    SolveSession& bound = session(x.n());
+    const int index = request.accuracy_index >= 0
+                          ? request.accuracy_index
+                          : bound.accuracy_index(request.target_accuracy);
+    stats = request.fmg ? bound.solve_fmg(x, b, index)
+                        : bound.solve_v(x, b, index);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failures;
+    throw;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.requests;
+  stats_.busy_seconds += stats.seconds;
+  return stats;
+}
+
+ServiceStats SolveService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t SolveService::trim() { return engine_.scratch().trim(); }
+
+}  // namespace pbmg

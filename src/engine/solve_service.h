@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "engine/solve_session.h"
+
+/// \file solve_service.h
+/// Multi-tenant front-end: concurrent solve requests onto one Engine.
+///
+/// Many client threads call solve() concurrently; the service binds each
+/// grid size to a cached SolveSession (created once, reused by every
+/// later request of that size) and runs the solve on the caller's thread.
+/// The work-stealing scheduler composes nested parallelism, so requests
+/// submitted from different client threads interleave on one worker pool
+/// instead of fighting over oversubscribed thread pools — this is what
+/// makes aggregate throughput scale with client count
+/// (bench/fig17_concurrent_service).
+
+namespace pbmg {
+
+/// One solve request.  The operand grids stay caller-owned: `x` enters
+/// with the Dirichlet ring + initial guess and leaves with the solution.
+struct SolveRequest {
+  int accuracy_index = -1;        ///< tuned-ladder index; < 0 uses target
+  double target_accuracy = 0.0;   ///< used when accuracy_index < 0
+  bool fmg = false;               ///< FULL-MULTIGRID instead of MULTIGRID-V
+};
+
+/// Service-level counters (monotonic since construction).
+struct ServiceStats {
+  std::int64_t requests = 0;     ///< solves completed
+  std::int64_t failures = 0;     ///< solves that threw
+  double busy_seconds = 0.0;     ///< sum of per-request solve seconds
+  std::size_t sessions = 0;      ///< distinct grid sizes bound so far
+};
+
+/// Thread-safe solve front-end over one Engine + one tuned config.
+class SolveService {
+ public:
+  /// The service keeps its own copy of `config`; `engine` must outlive it.
+  SolveService(Engine& engine, tune::TunedConfig config);
+
+  SolveService(const SolveService&) = delete;
+  SolveService& operator=(const SolveService&) = delete;
+
+  /// Solves one request on the calling thread.  Thread-safe; throws what
+  /// the underlying solve throws (after counting the failure).
+  SolveStats solve(Grid2D& x, const Grid2D& b, const SolveRequest& request);
+
+  /// The session bound to side `n`, created on first use.  Thread-safe.
+  SolveSession& session(int n);
+
+  /// Counter snapshot.
+  ServiceStats stats() const;
+
+  /// Releases pooled scratch memory (idle shrink); sessions stay bound.
+  /// Returns bytes freed.
+  std::size_t trim();
+
+  Engine& engine() const { return engine_; }
+  const tune::TunedConfig& config() const { return config_; }
+
+ private:
+  Engine& engine_;
+  tune::TunedConfig config_;
+
+  mutable std::mutex mutex_;  // guards sessions_ and stats_
+  std::map<int, std::unique_ptr<SolveSession>> sessions_;
+  ServiceStats stats_;
+};
+
+}  // namespace pbmg

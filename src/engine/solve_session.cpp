@@ -1,0 +1,107 @@
+#include "engine/solve_session.h"
+
+#include <vector>
+
+#include "grid/level.h"
+#include "solvers/relax.h"
+#include "support/timer.h"
+
+namespace pbmg {
+
+SolveSession::SolveSession(Engine& engine, tune::TunedConfig config, int n)
+    : engine_(engine),
+      config_(std::move(config)),
+      n_(n),
+      level_(level_of_size(n)),
+      executor_(config_, engine.scheduler(), engine.direct(),
+                engine.scratch(), nullptr, engine.relax()) {
+  PBMG_CHECK(config_.max_level() >= level_,
+             "SolveSession: config trained up to level " +
+                 std::to_string(config_.max_level()) +
+                 " cannot solve level " + std::to_string(level_));
+  // Preallocate the level hierarchy: a V/FMG recursion holds at most
+  // three scratch grids per side length at once (residual at the fine
+  // side plus restricted-residual and error at the coarse side of the
+  // level above), so warming three per level means the first request —
+  // and every concurrent request after it, once the pool refills —
+  // allocates nothing on the solve path.
+  for (int k = 1; k <= level_; ++k) {
+    const int side = size_of_level(k);
+    std::vector<grid::ScratchPool::Lease> warm;
+    warm.reserve(3);
+    for (int c = 0; c < 3; ++c) warm.push_back(engine_.scratch().acquire(side));
+  }  // leases release here, stocking the free-list
+}
+
+SolveStats SolveSession::stats_for(double seconds, int accuracy_index,
+                                   int iterations, bool converged) const {
+  SolveStats stats;
+  stats.seconds = seconds;
+  stats.n = n_;
+  stats.level = level_;
+  stats.accuracy_index = accuracy_index;
+  stats.iterations = iterations;
+  stats.converged = converged;
+  return stats;
+}
+
+void SolveSession::check_operands(const Grid2D& x, const Grid2D& b) const {
+  PBMG_CHECK(x.n() == n_ && b.n() == n_,
+             "SolveSession: operand size mismatch (session is bound to n=" +
+                 std::to_string(n_) + ")");
+}
+
+SolveStats SolveSession::solve_v(Grid2D& x, const Grid2D& b,
+                                 int accuracy_index) const {
+  check_operands(x, b);
+  const double t0 = now_seconds();
+  executor_.run_v(x, b, accuracy_index);
+  return stats_for(now_seconds() - t0, accuracy_index, 0, true);
+}
+
+SolveStats SolveSession::solve_fmg(Grid2D& x, const Grid2D& b,
+                                   int accuracy_index) const {
+  check_operands(x, b);
+  const double t0 = now_seconds();
+  executor_.run_fmg(x, b, accuracy_index);
+  return stats_for(now_seconds() - t0, accuracy_index, 0, true);
+}
+
+SolveStats SolveSession::solve_reference_v(Grid2D& x, const Grid2D& b,
+                                           int max_cycles,
+                                           const solvers::StopFn& stop) const {
+  check_operands(x, b);
+  const double t0 = now_seconds();
+  const auto outcome = solvers::solve_reference_v(
+      x, b, solvers::VCycleOptions{}, max_cycles, stop, engine_.scheduler(),
+      engine_.direct(), engine_.scratch());
+  return stats_for(now_seconds() - t0, -1, outcome.iterations,
+                   outcome.converged);
+}
+
+SolveStats SolveSession::solve_reference_fmg(
+    Grid2D& x, const Grid2D& b, int max_cycles,
+    const solvers::StopFn& stop) const {
+  check_operands(x, b);
+  const double t0 = now_seconds();
+  const auto outcome = solvers::solve_reference_fmg(
+      x, b, solvers::VCycleOptions{}, max_cycles, stop, engine_.scheduler(),
+      engine_.direct(), engine_.scratch());
+  return stats_for(now_seconds() - t0, -1, outcome.iterations,
+                   outcome.converged);
+}
+
+SolveStats SolveSession::solve_iterated_sor(Grid2D& x, const Grid2D& b,
+                                            int max_sweeps,
+                                            const solvers::StopFn& stop) const {
+  check_operands(x, b);
+  const double omega =
+      solvers::scaled_omega_opt(n_, engine_.relax().omega_scale);
+  const double t0 = now_seconds();
+  const auto outcome = solvers::solve_iterated_sor(x, b, omega, max_sweeps,
+                                                   stop, engine_.scheduler());
+  return stats_for(now_seconds() - t0, -1, outcome.iterations,
+                   outcome.converged);
+}
+
+}  // namespace pbmg

@@ -1,0 +1,83 @@
+#pragma once
+
+#include "engine/engine.h"
+#include "grid/grid2d.h"
+#include "solvers/multigrid.h"
+#include "tune/executor.h"
+#include "tune/table.h"
+
+/// \file solve_session.h
+/// A prepared solve context: Engine + TunedConfig + grid size.
+///
+/// Sessions amortize per-request setup for a service that answers many
+/// solves of one size: the tuned executor is bound once, and the level
+/// hierarchy's scratch grids are preallocated into the engine's pool so
+/// the first request pays no allocation bursts.  All solve entry points
+/// are const and thread-safe (the underlying scheduler and scratch pool
+/// are concurrent); many client threads may solve through one session as
+/// long as each brings its own x/b grids.
+
+namespace pbmg {
+
+/// Per-request outcome of a session solve.
+struct SolveStats {
+  double seconds = 0.0;     ///< wall-clock time of the solve
+  int n = 0;                ///< grid side solved
+  int level = 0;            ///< recursion level (n = 2^level + 1)
+  int accuracy_index = -1;  ///< tuned-ladder index (tuned solves; else -1)
+  int iterations = 0;       ///< iterations run (reference drivers; else 0)
+  bool converged = true;    ///< reference drivers: stop predicate fired
+};
+
+/// Binds an Engine and a tuned configuration to one grid size.
+class SolveSession {
+ public:
+  /// Binds `engine` + a copy of `config` to side-n solves.  Throws
+  /// InvalidArgument when n is not 2^k+1 or exceeds the config's trained
+  /// levels.  Preallocates the level hierarchy's scratch grids.
+  SolveSession(Engine& engine, tune::TunedConfig config, int n);
+
+  SolveSession(const SolveSession&) = delete;
+  SolveSession& operator=(const SolveSession&) = delete;
+
+  int n() const { return n_; }
+  int level() const { return level_; }
+  Engine& engine() const { return engine_; }
+  const tune::TunedConfig& config() const { return config_; }
+
+  /// Ladder index of the cheapest tuned accuracy >= target.
+  int accuracy_index(double target_accuracy) const {
+    return config_.accuracy_index(target_accuracy);
+  }
+
+  /// Tuned MULTIGRID-V_i at `accuracy_index` (x: Dirichlet ring + guess).
+  SolveStats solve_v(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+
+  /// Tuned FULL-MULTIGRID_i at `accuracy_index`.
+  SolveStats solve_fmg(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+
+  /// Reference V-cycles until `stop` or `max_cycles` (paper §4.2.2).
+  SolveStats solve_reference_v(Grid2D& x, const Grid2D& b, int max_cycles,
+                               const solvers::StopFn& stop) const;
+
+  /// Reference full multigrid: one FMG ramp, then V-cycles until `stop`.
+  SolveStats solve_reference_fmg(Grid2D& x, const Grid2D& b, int max_cycles,
+                                 const solvers::StopFn& stop) const;
+
+  /// Iterated Red-Black SOR at ω_opt(n) scaled by the engine's tunables.
+  SolveStats solve_iterated_sor(Grid2D& x, const Grid2D& b, int max_sweeps,
+                                const solvers::StopFn& stop) const;
+
+ private:
+  SolveStats stats_for(double seconds, int accuracy_index, int iterations,
+                       bool converged) const;
+  void check_operands(const Grid2D& x, const Grid2D& b) const;
+
+  Engine& engine_;
+  tune::TunedConfig config_;
+  int n_;
+  int level_;
+  tune::TunedExecutor executor_;  // bound to config_ (stable: non-movable)
+};
+
+}  // namespace pbmg

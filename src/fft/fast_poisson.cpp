@@ -5,7 +5,6 @@
 
 #include "fft/fft.h"
 #include "grid/level.h"
-#include "runtime/global.h"
 
 namespace pbmg::fft {
 
@@ -139,10 +138,10 @@ void FastPoissonSolver::solve(const Grid2D& b, const Grid2D& x_boundary,
                      });
 }
 
-Grid2D exact_solution(const PoissonProblem& p) {
+Grid2D exact_solution(const PoissonProblem& p, rt::Scheduler& sched) {
   FastPoissonSolver solver(p.n());
   Grid2D out(p.n(), 0.0);
-  solver.solve(p.b, p.x0, out, rt::global_scheduler());
+  solver.solve(p.b, p.x0, out, sched);
   return out;
 }
 

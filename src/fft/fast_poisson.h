@@ -36,8 +36,7 @@ class FastPoissonSolver {
   std::vector<double> lambda_1d_;  // 1-D eigenvalues (4−2cos(πk/(M+1)))·... split
 };
 
-/// Convenience oracle: exact solution of a problem instance on the global
-/// scheduler.
-Grid2D exact_solution(const PoissonProblem& p);
+/// Convenience oracle: exact solution of a problem instance on `sched`.
+Grid2D exact_solution(const PoissonProblem& p, rt::Scheduler& sched);
 
 }  // namespace pbmg::fft

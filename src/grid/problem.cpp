@@ -2,9 +2,8 @@
 
 #include <cmath>
 
-#include "grid/level.h"
-#include "runtime/global.h"
 #include "grid/grid_ops.h"
+#include "grid/level.h"
 
 namespace pbmg {
 
@@ -82,7 +81,7 @@ PoissonProblem make_problem(int n, InputDistribution dist, Rng& rng) {
   return p;
 }
 
-ManufacturedProblem make_manufactured_problem(int n) {
+ManufacturedProblem make_manufactured_problem(int n, rt::Scheduler& sched) {
   PBMG_CHECK(is_valid_grid_size(n),
              "make_manufactured_problem: n must be 2^k + 1");
   ManufacturedProblem mp;
@@ -101,7 +100,7 @@ ManufacturedProblem make_manufactured_problem(int n) {
   mp.problem.x0 = Grid2D(n, 0.0);
   // b = A·exact computed with the *discrete* operator, so `exact` is the
   // exact solution of the discrete system (not just of the PDE).
-  grid::apply_poisson(mp.exact, mp.problem.b, rt::global_scheduler());
+  grid::apply_poisson(mp.exact, mp.problem.b, sched);
   mp.problem.x0.copy_boundary_from(mp.exact);
   return mp;
 }

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "grid/grid2d.h"
+#include "runtime/scheduler.h"
 #include "support/rng.h"
 
 /// \file problem.h
@@ -55,7 +56,7 @@ struct ManufacturedProblem {
 };
 
 /// Builds a manufactured problem from u(x,y) = sin(πx)·sinh(πy) + x² − y²
-/// scaled to O(1) magnitudes.
-ManufacturedProblem make_manufactured_problem(int n);
+/// scaled to O(1) magnitudes.  `sched` runs the b = A·exact evaluation.
+ManufacturedProblem make_manufactured_problem(int n, rt::Scheduler& sched);
 
 }  // namespace pbmg

@@ -2,9 +2,75 @@
 
 namespace pbmg::grid {
 
-ScratchPool& ScratchPool::global() {
-  static ScratchPool instance;
-  return instance;
+namespace {
+
+std::size_t grid_bytes(int n) {
+  return static_cast<std::size_t>(n) * static_cast<std::size_t>(n) *
+         sizeof(double);
+}
+
+}  // namespace
+
+ScratchPool::Lease ScratchPool::acquire(int n) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.acquires;
+    auto it = free_.find(n);
+    if (it != free_.end() && !it->second.empty()) {
+      Grid2D grid = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.hits;
+      --stats_.pooled_grids;
+      stats_.pooled_bytes -= grid_bytes(n);
+      return Lease(std::move(grid), this);
+    }
+    ++stats_.misses;
+  }
+  // Allocation happens outside the lock: a miss on one size must not
+  // serialise concurrent solves that are hitting on other sizes.
+  return Lease(Grid2D(n, 0.0), this);
+}
+
+void ScratchPool::release(Grid2D grid) {
+  const std::size_t bytes = grid_bytes(grid.n());
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_[grid.n()].push_back(std::move(grid));
+  ++stats_.pooled_grids;
+  stats_.pooled_bytes += bytes;
+  if (stats_.pooled_bytes > stats_.high_water_bytes) {
+    stats_.high_water_bytes = stats_.pooled_bytes;
+  }
+}
+
+std::size_t ScratchPool::trim() {
+  std::map<int, std::vector<Grid2D>> dropped;
+  std::size_t freed = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    freed = stats_.pooled_bytes;
+    if (freed > 0 || stats_.pooled_grids > 0) ++stats_.trims;
+    dropped.swap(free_);  // destructors run outside the lock
+    stats_.pooled_grids = 0;
+    stats_.pooled_bytes = 0;
+  }
+  return freed;
+}
+
+void ScratchPool::clear() {
+  std::map<int, std::vector<Grid2D>> dropped;
+  std::lock_guard<std::mutex> lock(mutex_);
+  dropped.swap(free_);
+  stats_ = Stats{};
+}
+
+ScratchPool::Stats ScratchPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t ScratchPool::pooled() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_.pooled_grids;
 }
 
 }  // namespace pbmg::grid

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <mutex>
 #include <utility>
@@ -16,12 +17,36 @@
 /// lets workers fall asleep mid-cycle; recycling keeps the glue between
 /// parallel regions near zero.  Leased grids come back with *unspecified
 /// contents* — callers must fully overwrite (or explicitly fill) them.
+///
+/// There is deliberately no process-wide pool: every pool is owned by a
+/// pbmg::Engine (or a test), so concurrent engines never share free-lists
+/// and a long-lived service can observe and trim each pool independently.
 
 namespace pbmg::grid {
 
 /// Thread-safe free-list of grids keyed by side length.
 class ScratchPool {
  public:
+  /// Pool observability counters (see stats()).  A long-lived service
+  /// watches hit rate (pool effectiveness) and high_water_bytes (the
+  /// leak-shaped liability a monotonically growing free-list would be).
+  struct Stats {
+    std::int64_t acquires = 0;   ///< total acquire() calls
+    std::int64_t hits = 0;       ///< acquires served from the free-list
+    std::int64_t misses = 0;     ///< acquires that allocated a fresh grid
+    std::int64_t trims = 0;      ///< trim() calls that freed at least a grid
+    std::size_t pooled_grids = 0;      ///< grids currently in the free-list
+    std::size_t pooled_bytes = 0;      ///< bytes currently in the free-list
+    std::size_t high_water_bytes = 0;  ///< max pooled_bytes ever observed
+
+    /// Free-list effectiveness in [0, 1]; 0 when nothing was acquired yet.
+    double hit_rate() const {
+      return acquires > 0 ? static_cast<double>(hits) /
+                                static_cast<double>(acquires)
+                          : 0.0;
+    }
+  };
+
   /// RAII lease: returns the grid to the pool on destruction.
   class Lease {
    public:
@@ -47,44 +72,30 @@ class ScratchPool {
   };
 
   /// Leases an n×n grid with unspecified contents.
-  Lease acquire(int n) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      auto it = free_.find(n);
-      if (it != free_.end() && !it->second.empty()) {
-        Grid2D grid = std::move(it->second.back());
-        it->second.pop_back();
-        return Lease(std::move(grid), this);
-      }
-    }
-    return Lease(Grid2D(n, 0.0), this);
-  }
+  Lease acquire(int n);
 
-  /// Drops all pooled grids (tests / memory pressure).
-  void clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_.clear();
-  }
+  /// Drops all pooled grids (memory pressure / idle shrink) without
+  /// resetting the counters; returns the number of bytes released.  Leases
+  /// currently out stay valid and return to the pool as usual.
+  std::size_t trim();
+
+  /// Drops all pooled grids *and* resets the counters (tests).
+  void clear();
+
+  /// Snapshot of the pool counters.
+  Stats stats() const;
 
   /// Number of grids currently pooled (observability).
-  std::size_t pooled() const {
-    std::lock_guard<std::mutex> lock(mutex_);
-    std::size_t count = 0;
-    for (const auto& [n, grids] : free_) count += grids.size();
-    return count;
-  }
-
-  /// Process-wide pool shared by all solvers.
-  static ScratchPool& global();
+  std::size_t pooled() const;
 
  private:
-  void release(Grid2D grid) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    free_[grid.n()].push_back(std::move(grid));
-  }
+  friend class Lease;
+
+  void release(Grid2D grid);
 
   mutable std::mutex mutex_;
   std::map<int, std::vector<Grid2D>> free_;
+  Stats stats_;
 };
 
 }  // namespace pbmg::grid

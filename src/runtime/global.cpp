@@ -2,6 +2,12 @@
 
 #include <mutex>
 
+// This translation unit implements the deprecated shim in terms of itself;
+// silence the self-referential deprecation warnings.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 namespace pbmg::rt {
 
 namespace {

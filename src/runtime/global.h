@@ -6,30 +6,44 @@
 #include "runtime/scheduler.h"
 
 /// \file global.h
-/// Process-wide scheduler instance.
+/// DEPRECATED process-wide scheduler shim.
 ///
-/// Solvers and the tuner run against one active scheduler so that tuned
-/// timings reflect the machine profile under test (the paper tunes per
-/// machine; we tune per profile).  Benchmarks switch profiles between runs
-/// via set_global_profile or the RAII ScopedProfile.
+/// Historical API: solvers and the tuner used to run against one global
+/// scheduler, with benchmarks swapping machine profiles in and out via
+/// set_global_profile / ScopedProfile.  That model cannot serve two
+/// concurrent tuned solves with different profiles, so the library now
+/// routes every consumer through an explicit pbmg::Engine
+/// (engine/engine.h), which owns its own rt::Scheduler, grid::ScratchPool
+/// and solvers::DirectSolver.
+///
+/// This shim is kept for ONE release so out-of-tree callers keep
+/// compiling.  Nothing inside the repository may call it (enforced by the
+/// `no_singleton_calls` test).  Migration:
+///
+///   // before                              // after
+///   rt::ScopedProfile scoped(profile);     pbmg::Engine engine(profile);
+///   auto& sched = rt::global_scheduler();  auto& sched = engine.scheduler();
+///   use(sched, ScratchPool::global());     use(sched, engine.scratch());
 
 namespace pbmg::rt {
 
-/// Returns the active global scheduler, creating it with the default
-/// profile on first use.
+/// \deprecated Construct a pbmg::Engine and use engine.scheduler().
+[[deprecated("use pbmg::Engine::scheduler() instead")]]
 Scheduler& global_scheduler();
 
-/// Replaces the global scheduler with one built from `profile`.  Must not
-/// be called while tasks are in flight (callers sequence configuration
-/// between solves; this is a setup-path API).
+/// \deprecated Construct a new pbmg::Engine from the profile instead of
+/// swapping a process-wide scheduler.
+[[deprecated("construct a pbmg::Engine from the profile instead")]]
 void set_global_profile(const MachineProfile& profile);
 
-/// Profile of the currently active global scheduler.
+/// \deprecated Profile of the deprecated global scheduler.
+[[deprecated("use pbmg::Engine::profile() instead")]]
 MachineProfile global_profile();
 
-/// RAII helper: swaps the global profile in, restores the previous profile
-/// on destruction.  Used by tests and the per-architecture benchmarks.
-class ScopedProfile {
+/// \deprecated RAII profile swap on the deprecated global scheduler.  A
+/// profile under test is now a *new Engine*, not a global swap.
+class [[deprecated("construct a pbmg::Engine from the profile instead")]]
+ScopedProfile {
  public:
   explicit ScopedProfile(const MachineProfile& profile);
   ~ScopedProfile();

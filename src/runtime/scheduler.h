@@ -43,6 +43,13 @@ class Spinlock {
       while (flag_.test(std::memory_order_relaxed)) {
 #if defined(__x86_64__) || defined(__i386__)
         __builtin_ia32_pause();
+#elif defined(__aarch64__)
+        // ISB stalls the pipeline briefly, the recommended aarch64
+        // spin-wait (plain `yield` is a no-op on most cores).
+        asm volatile("isb" ::: "memory");
+#else
+        // Unknown architecture: give the core away rather than burning it.
+        std::this_thread::yield();
 #endif
       }
     }

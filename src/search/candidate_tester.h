@@ -24,6 +24,12 @@
 ///     objective, which should poll it inside long iteration loops and bail
 ///     out, protecting the search from pathological candidates (e.g. a
 ///     divergent relaxation weight).
+///
+/// The tester itself owns no runtime state: objectives that need a
+/// scheduler or scratch pool construct (and may cache) a pbmg::Engine per
+/// candidate — see search/profile_search.cpp — so candidate evaluation
+/// never touches process-wide singletons and testers on different
+/// threads cannot interfere.
 
 namespace pbmg::search {
 

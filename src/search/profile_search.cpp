@@ -5,8 +5,8 @@
 #include <memory>
 #include <sstream>
 
+#include "engine/engine.h"
 #include "grid/level.h"
-#include "runtime/scheduler.h"
 #include "solvers/multigrid.h"
 #include "support/error.h"
 #include "support/timer.h"
@@ -96,8 +96,7 @@ SearchedProfile SearchedProfile::from_json(const Json& json) {
   return out;
 }
 
-SearchedProfile search_profile(const ProfileSearchOptions& options,
-                               solvers::DirectSolver& direct) {
+SearchedProfile search_profile(const ProfileSearchOptions& options) {
   PBMG_CHECK(options.level >= 2 && options.level <= 14,
              "search_profile: level out of range");
   PBMG_CHECK(options.instances >= 1,
@@ -108,9 +107,10 @@ SearchedProfile search_profile(const ProfileSearchOptions& options,
   const ParamSpace space = make_profile_space(options.base);
   const int n = size_of_level(options.level);
 
-  // The base scheduler serves instance construction and the (untimed)
-  // accuracy oracle; candidate schedulers are built per evaluation.
-  rt::Scheduler base_sched(options.base);
+  // The base engine serves instance construction and the (untimed)
+  // accuracy oracle; candidate engines are built per evaluation.
+  Engine base_engine(options.base);
+  rt::Scheduler& base_sched = base_engine.scheduler();
   Rng rng(options.seed);
   auto instances =
       tune::make_training_set(n, options.distribution, rng.split(0x5EA7C4),
@@ -124,22 +124,25 @@ SearchedProfile search_profile(const ProfileSearchOptions& options,
   // oracle lookups and stay untimed, mirroring bench/common's
   // probe-then-time discipline.
   const int max_sweeps = std::max(4 * n, 200);
-  // The tester runs every instance of one candidate back to back; reuse
-  // the candidate's scheduler across them instead of paying a thread-pool
-  // spawn/teardown per (candidate, instance) pair.
+  // A candidate is a *new Engine* built from its decoded parameters, not
+  // a mutation of process-wide state.  The tester runs every instance of
+  // one candidate back to back; reuse the candidate's engine across them
+  // instead of paying a thread-pool spawn/teardown per
+  // (candidate, instance) pair.
   std::string cached_fingerprint;
-  std::unique_ptr<rt::Scheduler> cached_sched;
+  std::unique_ptr<Engine> cached_engine;
   const auto objective = [&](const Candidate& candidate,
                              const tune::TrainingInstance& inst,
                              const Deadline& deadline) -> double {
     const RuntimeParams params =
         decode_runtime_params(space, candidate, options.base);
     const std::string fingerprint = space.fingerprint(candidate);
-    if (!cached_sched || fingerprint != cached_fingerprint) {
-      cached_sched = std::make_unique<rt::Scheduler>(params.profile);
+    if (!cached_engine || fingerprint != cached_fingerprint) {
+      cached_engine = std::make_unique<Engine>(params.profile, params.relax);
       cached_fingerprint = fingerprint;
     }
-    rt::Scheduler& sched = *cached_sched;
+    Engine& engine = *cached_engine;
+    rt::Scheduler& sched = engine.scheduler();
     const double sor_omega =
         solvers::scaled_omega_opt(n, params.relax.omega_scale);
     Grid2D x(n, 0.0);
@@ -163,7 +166,8 @@ SearchedProfile search_profile(const ProfileSearchOptions& options,
     vopts.omega = params.relax.recurse_omega;
     for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
       const double t0 = now_seconds();
-      solvers::vcycle(x, inst.problem.b, vopts, sched, direct);
+      solvers::vcycle(x, inst.problem.b, vopts, sched, engine.direct(),
+                      engine.scratch());
       elapsed += now_seconds() - t0;
       if (deadline.expired()) return kInf;
       if (tune::accuracy_of(inst, x, base_sched) >=

@@ -6,7 +6,6 @@
 #include "grid/problem.h"
 #include "runtime/machine_profile.h"
 #include "search/population.h"
-#include "solvers/direct.h"
 #include "solvers/relax.h"
 
 /// \file profile_search.h
@@ -17,9 +16,13 @@
 /// input.  This module closes the loop the way PetaBricks' sgatuner does:
 /// expose the profile's tunables (rt::profile_tunables) and the relaxation
 /// weights (solvers::RelaxTunables) as one ParamSpace, race candidates on
-/// a representative multigrid workload, and hand back a SearchedProfile the
-/// trainer and executors can run under.  tune::search_then_train composes
-/// the two tuners; tune::load_or_search_train persists the result.
+/// a representative multigrid workload, and hand back a SearchedProfile
+/// the trainer and executors can run under.  Every candidate is evaluated
+/// on its own pbmg::Engine (scheduler + scratch pool + relax weights built
+/// from the decoded parameters), so the search never mutates process-wide
+/// state and may coexist with concurrent serving engines.
+/// tune::search_then_train composes the two tuners;
+/// tune::load_or_search_train persists the result.
 
 namespace pbmg::search {
 
@@ -91,7 +94,6 @@ struct SearchedProfile {
 /// Runs the population search over runtime parameters.  Deterministic in
 /// options.seed up to wall-clock measurement noise (candidate *scores* are
 /// real timings; the candidate *stream* is seeded).
-SearchedProfile search_profile(const ProfileSearchOptions& options,
-                               solvers::DirectSolver& direct);
+SearchedProfile search_profile(const ProfileSearchOptions& options);
 
 }  // namespace pbmg::search

@@ -1,5 +1,11 @@
 #include "solvers/direct.h"
 
+// The deprecated shared_direct_solver shim is defined below; silence the
+// self-referential deprecation warning.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+
 #include "grid/level.h"
 #include "linalg/poisson_assembly.h"
 

@@ -48,9 +48,11 @@ class DirectSolver {
   std::map<int, std::shared_ptr<const linalg::BandMatrix>> cache_;
 };
 
-/// Process-wide shared direct solver in the paper-faithful (cache-free,
-/// DPBSV-equivalent) configuration, used by the tuner, the tuned
-/// executors, and the reference algorithms alike.
+/// \deprecated Process-wide shared direct solver — the last of the
+/// retired singletons, kept one release for out-of-tree callers.  Every
+/// pbmg::Engine owns its own DirectSolver (engine.direct()); nothing
+/// in-tree may call this (enforced by the no_singleton_calls test).
+[[deprecated("use pbmg::Engine::direct() instead")]]
 DirectSolver& shared_direct_solver();
 
 }  // namespace pbmg::solvers

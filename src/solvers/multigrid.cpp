@@ -10,13 +10,13 @@ namespace pbmg::solvers {
 namespace {
 
 void smooth(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
-            int sweeps, rt::Scheduler& sched) {
+            int sweeps, rt::Scheduler& sched, grid::ScratchPool& pool) {
   if (options.relaxation == RelaxKind::kSor) {
     for (int s = 0; s < sweeps; ++s) {
       sor_sweep(x, b, options.omega, sched);
     }
   } else {
-    auto scratch_lease = grid::ScratchPool::global().acquire(x.n());
+    auto scratch_lease = pool.acquire(x.n());
     for (int s = 0; s < sweeps; ++s) {
       jacobi_sweep(x, b, kJacobiOmega, scratch_lease.get(), sched);
     }
@@ -25,14 +25,13 @@ void smooth(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
 
 void vcycle_impl(Grid2D& x, const Grid2D& b, int level,
                  const VCycleOptions& options, rt::Scheduler& sched,
-                 DirectSolver& direct) {
+                 DirectSolver& direct, grid::ScratchPool& pool) {
   if (level <= options.direct_level) {
     direct.solve(b, x);
     return;
   }
-  smooth(x, b, options, options.pre_relax, sched);
+  smooth(x, b, options, options.pre_relax, sched, pool);
   const int n = x.n();
-  auto& pool = grid::ScratchPool::global();
   auto r_lease = pool.acquire(n);
   Grid2D& r = r_lease.get();  // residual() writes every cell
   grid::residual(x, b, r, sched);
@@ -45,14 +44,14 @@ void vcycle_impl(Grid2D& x, const Grid2D& b, int level,
   auto e_lease = pool.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);
-  vcycle_impl(e, rc, level - 1, options, sched, direct);
+  vcycle_impl(e, rc, level - 1, options, sched, direct, pool);
   grid::interpolate_add(e, x, sched);
-  smooth(x, b, options, options.post_relax, sched);
+  smooth(x, b, options, options.post_relax, sched, pool);
 }
 
 void fmg_impl(Grid2D& x, const Grid2D& b, int level,
               const VCycleOptions& options, rt::Scheduler& sched,
-              DirectSolver& direct) {
+              DirectSolver& direct, grid::ScratchPool& pool) {
   if (level <= options.direct_level) {
     direct.solve(b, x);
     return;
@@ -60,38 +59,39 @@ void fmg_impl(Grid2D& x, const Grid2D& b, int level,
   // Coarsen the *problem*: boundary ring travels by injection, the RHS by
   // full weighting.
   const int nc = coarse_size(x.n());
-  auto& pool = grid::ScratchPool::global();
   auto xc_lease = pool.acquire(nc);
   Grid2D& xc = xc_lease.get();  // injection writes every cell
   grid::restrict_inject(x, xc, sched);
   auto bc_lease = pool.acquire(nc);
   Grid2D& bc = bc_lease.get();
   grid::restrict_full_weighting(b, bc, sched);
-  fmg_impl(xc, bc, level - 1, options, sched, direct);
+  fmg_impl(xc, bc, level - 1, options, sched, direct, pool);
   // Lift the coarse solution as the fine initial guess, then polish with
   // one V-cycle (classical FMG ramp).
   grid::interpolate_assign(xc, x, sched);
-  vcycle_impl(x, b, level, options, sched, direct);
+  vcycle_impl(x, b, level, options, sched, direct, pool);
 }
 
 }  // namespace
 
 void vcycle(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
-            rt::Scheduler& sched, DirectSolver& direct) {
+            rt::Scheduler& sched, DirectSolver& direct,
+            grid::ScratchPool& pool) {
   PBMG_CHECK(x.n() == b.n(), "vcycle: grid size mismatch");
   const int level = level_of_size(x.n());
   PBMG_CHECK(options.direct_level >= 1,
              "vcycle: direct_level must be >= 1 (N = 3 base case)");
-  vcycle_impl(x, b, level, options, sched, direct);
+  vcycle_impl(x, b, level, options, sched, direct, pool);
 }
 
 void full_multigrid(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
-                    rt::Scheduler& sched, DirectSolver& direct) {
+                    rt::Scheduler& sched, DirectSolver& direct,
+                    grid::ScratchPool& pool) {
   PBMG_CHECK(x.n() == b.n(), "full_multigrid: grid size mismatch");
   const int level = level_of_size(x.n());
   PBMG_CHECK(options.direct_level >= 1,
              "full_multigrid: direct_level must be >= 1");
-  fmg_impl(x, b, level, options, sched, direct);
+  fmg_impl(x, b, level, options, sched, direct, pool);
 }
 
 IterationOutcome solve_iterated_sor(Grid2D& x, const Grid2D& b, double omega,
@@ -112,11 +112,11 @@ IterationOutcome solve_iterated_sor(Grid2D& x, const Grid2D& b, double omega,
 IterationOutcome solve_reference_v(Grid2D& x, const Grid2D& b,
                                    const VCycleOptions& options,
                                    int max_iterations, const StopFn& stop,
-                                   rt::Scheduler& sched,
-                                   DirectSolver& direct) {
+                                   rt::Scheduler& sched, DirectSolver& direct,
+                                   grid::ScratchPool& pool) {
   IterationOutcome out;
   for (int it = 1; it <= max_iterations; ++it) {
-    vcycle(x, b, options, sched, direct);
+    vcycle(x, b, options, sched, direct, pool);
     out.iterations = it;
     if (stop && stop(x, it)) {
       out.converged = true;
@@ -130,16 +130,17 @@ IterationOutcome solve_reference_fmg(Grid2D& x, const Grid2D& b,
                                      const VCycleOptions& options,
                                      int max_iterations, const StopFn& stop,
                                      rt::Scheduler& sched,
-                                     DirectSolver& direct) {
+                                     DirectSolver& direct,
+                                     grid::ScratchPool& pool) {
   IterationOutcome out;
-  full_multigrid(x, b, options, sched, direct);
+  full_multigrid(x, b, options, sched, direct, pool);
   out.iterations = 1;
   if (stop && stop(x, 1)) {
     out.converged = true;
     return out;
   }
   for (int it = 2; it <= max_iterations; ++it) {
-    vcycle(x, b, options, sched, direct);
+    vcycle(x, b, options, sched, direct, pool);
     out.iterations = it;
     if (stop && stop(x, it)) {
       out.converged = true;

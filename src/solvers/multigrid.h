@@ -3,6 +3,7 @@
 #include <functional>
 
 #include "grid/grid2d.h"
+#include "grid/scratch.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/relax.h"
@@ -14,7 +15,9 @@
 ///
 /// All routines solve A·x = b in place: `x` enters holding the Dirichlet
 /// ring plus the current interior guess and leaves holding the improved
-/// solution.
+/// solution.  Level temporaries are leased from the caller-supplied
+/// grid::ScratchPool (normally the owning pbmg::Engine's pool), so
+/// concurrent solves on different engines never share allocator state.
 
 namespace pbmg::solvers {
 
@@ -37,13 +40,15 @@ struct VCycleOptions {
 /// This is the body of the paper's MULTIGRID-V-SIMPLE when options are the
 /// defaults.
 void vcycle(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
-            rt::Scheduler& sched, DirectSolver& direct);
+            rt::Scheduler& sched, DirectSolver& direct,
+            grid::ScratchPool& pool);
 
 /// One full-multigrid pass: recursively solves the restricted *problem*
 /// to seed the fine-grid initial guess, then runs one V-cycle per level on
 /// the way up (the classical FMG ramp of the paper's Figure 3).
 void full_multigrid(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
-                    rt::Scheduler& sched, DirectSolver& direct);
+                    rt::Scheduler& sched, DirectSolver& direct,
+                    grid::ScratchPool& pool);
 
 /// Stop predicate for the iterate-until-converged reference drivers; called
 /// after each iteration with the current iterate and 1-based iteration
@@ -67,7 +72,8 @@ IterationOutcome solve_iterated_sor(Grid2D& x, const Grid2D& b, double omega,
 IterationOutcome solve_reference_v(Grid2D& x, const Grid2D& b,
                                    const VCycleOptions& options,
                                    int max_iterations, const StopFn& stop,
-                                   rt::Scheduler& sched, DirectSolver& direct);
+                                   rt::Scheduler& sched, DirectSolver& direct,
+                                   grid::ScratchPool& pool);
 
 /// The paper's reference full-multigrid algorithm (§4.2.2): one standard
 /// full-multigrid ramp, then standard V-cycles until stop().
@@ -75,6 +81,7 @@ IterationOutcome solve_reference_fmg(Grid2D& x, const Grid2D& b,
                                      const VCycleOptions& options,
                                      int max_iterations, const StopFn& stop,
                                      rt::Scheduler& sched,
-                                     DirectSolver& direct);
+                                     DirectSolver& direct,
+                                     grid::ScratchPool& pool);
 
 }  // namespace pbmg::solvers

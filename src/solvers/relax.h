@@ -29,9 +29,14 @@ inline constexpr double kJacobiOmega = 2.0 / 3.0;
 /// Relaxation weights exposed to the runtime-parameter search
 /// (src/search/): the paper fixes RECURSE's ω at 1.15 and the iterative
 /// shortcut at ω_opt(N), but both are machine- and workload-sensitive, so
-/// the population tuner may override them process-wide.  Tuned executors
-/// and the trainer read these through tuned_recurse_omega() /
-/// tuned_omega_opt(); the reference algorithms keep the paper's constants.
+/// the population tuner searches them.  Searched values travel with the
+/// pbmg::Engine that owns the solve: executors and trainers capture a
+/// RelaxTunables by value at construction (no mid-solve global reads),
+/// so concurrent engines can run different weights.  The process-wide
+/// relax_tunables()/set_relax_tunables()/ScopedRelaxTunables surface
+/// remains only as the default for legacy callers that construct
+/// executors without an Engine; the reference algorithms keep the
+/// paper's constants.
 struct RelaxTunables {
   double recurse_omega = kRecurseOmega;  ///< ω of RECURSE's pre/post sweeps
   double omega_scale = 1.0;              ///< multiplier applied to ω_opt(N)

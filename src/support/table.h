@@ -30,6 +30,12 @@ class TextTable {
   /// Number of data rows.
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Column headers (machine-readable emission, e.g. BENCH_*.json).
+  const std::vector<std::string>& headers() const { return headers_; }
+
+  /// Data rows in insertion order.
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -26,8 +26,7 @@ std::string config_cache_key(const TrainerOptions& options,
   return oss.str();
 }
 
-TunedConfig load_or_train(const TrainerOptions& options, rt::Scheduler& sched,
-                          solvers::DirectSolver& direct,
+TunedConfig load_or_train(const TrainerOptions& options, Engine& engine,
                           const std::string& cache_dir,
                           int heuristic_sub_accuracy, bool* from_cache) {
   const std::string strategy =
@@ -35,7 +34,7 @@ TunedConfig load_or_train(const TrainerOptions& options, rt::Scheduler& sched,
           ? "autotuned"
           : "heuristic" + std::to_string(heuristic_sub_accuracy);
   const std::string key =
-      config_cache_key(options, sched.profile().name, strategy);
+      config_cache_key(options, engine.profile().name, strategy);
   const std::filesystem::path path =
       std::filesystem::path(cache_dir) / (key + ".json");
 
@@ -52,7 +51,7 @@ TunedConfig load_or_train(const TrainerOptions& options, rt::Scheduler& sched,
     }
   }
 
-  Trainer trainer(options, sched, direct);
+  Trainer trainer(options, engine);
   TunedConfig config = heuristic_sub_accuracy < 0
                            ? trainer.train()
                            : trainer.train_heuristic(heuristic_sub_accuracy);
@@ -87,8 +86,7 @@ std::string searched_config_cache_key(
 SearchTrainResult load_or_search_train(
     const TrainerOptions& options,
     const search::ProfileSearchOptions& search_options,
-    solvers::DirectSolver& direct, const std::string& cache_dir,
-    bool* from_cache) {
+    const std::string& cache_dir, bool* from_cache) {
   const std::string key = searched_config_cache_key(options, search_options);
   const std::filesystem::path path =
       std::filesystem::path(cache_dir) / (key + ".json");
@@ -109,7 +107,7 @@ SearchTrainResult load_or_search_train(
     }
   }
 
-  SearchTrainResult result = search_then_train(options, search_options, direct);
+  SearchTrainResult result = search_then_train(options, search_options);
   Json doc = result.config.to_json();
   doc.set("searched_profile", result.searched.to_json());
   std::error_code ec;

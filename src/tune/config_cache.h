@@ -2,8 +2,7 @@
 
 #include <string>
 
-#include "runtime/scheduler.h"
-#include "solvers/direct.h"
+#include "engine/engine.h"
 #include "tune/table.h"
 #include "tune/trainer.h"
 
@@ -29,16 +28,15 @@ std::string config_cache_key(const TrainerOptions& options,
                              const std::string& profile_name,
                              const std::string& strategy);
 
-/// Loads the cached config if present and valid, otherwise trains and
-/// saves it.  A corrupt or truncated cache file (unparseable JSON, schema
+/// Loads the cached config if present and valid, otherwise trains on
+/// `engine` and saves it (the cache key includes the engine's profile
+/// name).  A corrupt or truncated cache file (unparseable JSON, schema
 /// violations, even out-of-range number literals) is treated as a cache
 /// miss: the config is retrained and the entry overwritten.
 /// `heuristic_sub_accuracy` < 0 selects full autotuning; >= 0 trains the
 /// Figure-7 heuristic with that fixed sub-accuracy index.  `from_cache`,
 /// when non-null, reports whether a disk hit occurred.
-TunedConfig load_or_train(const TrainerOptions& options,
-                          rt::Scheduler& sched,
-                          solvers::DirectSolver& direct,
+TunedConfig load_or_train(const TrainerOptions& options, Engine& engine,
                           const std::string& cache_dir,
                           int heuristic_sub_accuracy = -1,
                           bool* from_cache = nullptr);
@@ -58,7 +56,6 @@ std::string searched_config_cache_key(
 SearchTrainResult load_or_search_train(
     const TrainerOptions& options,
     const search::ProfileSearchOptions& search_options,
-    solvers::DirectSolver& direct, const std::string& cache_dir,
-    bool* from_cache = nullptr);
+    const std::string& cache_dir, bool* from_cache = nullptr);
 
 }  // namespace pbmg::tune

@@ -3,16 +3,21 @@
 #include <cmath>
 
 #include "grid/grid_ops.h"
-#include "grid/scratch.h"
 
 namespace pbmg::tune {
 
 DynamicSolver::DynamicSolver(const TunedConfig& config, rt::Scheduler& sched,
-                             solvers::DirectSolver& direct)
-    : config_(config), sched_(sched), direct_(direct) {}
+                             solvers::DirectSolver& direct,
+                             grid::ScratchPool& pool,
+                             const solvers::RelaxTunables& relax)
+    : config_(config),
+      sched_(sched),
+      direct_(direct),
+      pool_(pool),
+      relax_(relax) {}
 
 double DynamicSolver::residual_norm(const Grid2D& x, const Grid2D& b) const {
-  auto lease = grid::ScratchPool::global().acquire(x.n());
+  auto lease = pool_.acquire(x.n());
   grid::residual(x, b, lease.get(), sched_);
   return grid::norm2_interior(lease.get(), sched_);
 }
@@ -23,7 +28,7 @@ DynamicResult DynamicSolver::solve(Grid2D& x, const Grid2D& b,
   PBMG_CHECK(target_reduction >= 1.0,
              "DynamicSolver: target_reduction must be >= 1");
   PBMG_CHECK(x.n() == b.n(), "DynamicSolver: grid size mismatch");
-  TunedExecutor executor(config_, sched_, direct_);
+  TunedExecutor executor(config_, sched_, direct_, pool_, nullptr, relax_);
 
   DynamicResult result;
   const double r0 = residual_norm(x, b);

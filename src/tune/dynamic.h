@@ -1,6 +1,7 @@
 #pragma once
 
 #include "grid/grid2d.h"
+#include "grid/scratch.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "tune/executor.h"
@@ -38,9 +39,12 @@ struct DynamicResult {
 /// Runtime-adaptive driver over a statically tuned configuration.
 class DynamicSolver {
  public:
-  /// Binds to a trained config (must cover x's level) and resources.
+  /// Binds to a trained config (must cover x's level) and resources
+  /// (normally one pbmg::Engine's scheduler/direct/scratch trio).
   DynamicSolver(const TunedConfig& config, rt::Scheduler& sched,
-                solvers::DirectSolver& direct);
+                solvers::DirectSolver& direct, grid::ScratchPool& pool,
+                const solvers::RelaxTunables& relax =
+                    solvers::relax_tunables());
 
   /// Solves A·x = b until the residual norm has dropped by
   /// `target_reduction` (≥ 1), invoking tuned variants at most
@@ -55,6 +59,8 @@ class DynamicSolver {
   const TunedConfig& config_;
   rt::Scheduler& sched_;
   solvers::DirectSolver& direct_;
+  grid::ScratchPool& pool_;
+  solvers::RelaxTunables relax_;
 };
 
 }  // namespace pbmg::tune

@@ -9,8 +9,17 @@ namespace pbmg::tune {
 
 TunedExecutor::TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
                              solvers::DirectSolver& direct,
-                             trace::CycleTracer* tracer)
-    : config_(config), sched_(sched), direct_(direct), tracer_(tracer) {}
+                             grid::ScratchPool& pool,
+                             trace::CycleTracer* tracer,
+                             const solvers::RelaxTunables& relax)
+    : config_(config),
+      sched_(sched),
+      direct_(direct),
+      pool_(pool),
+      tracer_(tracer),
+      relax_(relax) {
+  solvers::validate_relax_tunables(relax_);
+}
 
 void TunedExecutor::trace(trace::Op op, int level, int detail) const {
   if (tracer_ != nullptr) tracer_->record(op, level, detail);
@@ -52,7 +61,8 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
       trace(trace::Op::kDirect, level);
       break;
     case VKind::kIterSor: {
-      const double omega = solvers::tuned_omega_opt(x.n());
+      const double omega =
+          solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
         solvers::sor_sweep(x, b, omega, sched_);
       }
@@ -72,23 +82,22 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
   // Paper §2.3 RECURSE_i: one SOR(ω) sweep, coarse-grid correction via
   // MULTIGRID-V_j, one SOR(ω) sweep.  ω is the paper's 1.15 unless the
-  // runtime-parameter search installed a tuned value.
-  const double recurse_omega = solvers::tuned_recurse_omega();
+  // runtime-parameter search handed this executor a tuned value.
+  const double recurse_omega = relax_.recurse_omega;
   solvers::sor_sweep(x, b, recurse_omega, sched_);
   trace(trace::Op::kRelax, level);
 
   const int n = x.n();
-  auto& pool = grid::ScratchPool::global();
-  auto r_lease = pool.acquire(n);
+  auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();  // residual() writes every cell
   grid::residual(x, b, r, sched_);
   const int nc = coarse_size(n);
-  auto rc_lease = pool.acquire(nc);
+  auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
   grid::restrict_full_weighting(r, rc, sched_);
   trace(trace::Op::kRestrict, level);
 
-  auto e_lease = pool.acquire(nc);
+  auto e_lease = pool_.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);  // zero guess, zero Dirichlet ring (error equation)
   run_v_at(e, rc, level - 1, sub_accuracy_index);
@@ -113,7 +122,8 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
       break;
     case FmgKind::kEstimateThenSor: {
       estimate_at(x, b, level, entry.choice.estimate_accuracy);
-      const double omega = solvers::tuned_omega_opt(x.n());
+      const double omega =
+          solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
         solvers::sor_sweep(x, b, omega, sched_);
       }
@@ -135,17 +145,16 @@ void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
   // Paper §2.4 ESTIMATE_i: coarse-grid correction whose coarse solve is
   // FULL-MULTIGRID_i one level down (no relaxations of its own).
   const int n = x.n();
-  auto& pool = grid::ScratchPool::global();
-  auto r_lease = pool.acquire(n);
+  auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();
   grid::residual(x, b, r, sched_);
   const int nc = coarse_size(n);
-  auto rc_lease = pool.acquire(nc);
+  auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();
   grid::restrict_full_weighting(r, rc, sched_);
   trace(trace::Op::kRestrict, level);
 
-  auto e_lease = pool.acquire(nc);
+  auto e_lease = pool_.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);
   run_fmg_at(e, rc, level - 1, estimate_accuracy_index);

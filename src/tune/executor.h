@@ -1,8 +1,10 @@
 #pragma once
 
 #include "grid/grid2d.h"
+#include "grid/scratch.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
+#include "solvers/relax.h"
 #include "trace/cycle_trace.h"
 #include "tune/table.h"
 
@@ -28,12 +30,19 @@ namespace pbmg::tune {
 /// Executes tuned algorithms described by a TunedConfig.
 class TunedExecutor {
  public:
-  /// Binds the executor to a config and execution resources.  The config
-  /// must outlive the executor.  `tracer` may be null; when set, every
-  /// operation is recorded for cycle-shape rendering.
+  /// Binds the executor to a config and execution resources (normally one
+  /// pbmg::Engine's scheduler/direct/scratch trio).  The config, scheduler,
+  /// direct solver and pool must outlive the executor.  `tracer` may be
+  /// null; when set, every operation is recorded for cycle-shape
+  /// rendering.  `relax` is captured by value so concurrent executors on
+  /// different engines can run different searched weights; the default
+  /// reads the process-wide tunables once, preserving the historical
+  /// ScopedRelaxTunables behaviour for legacy callers.
   TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
-                solvers::DirectSolver& direct,
-                trace::CycleTracer* tracer = nullptr);
+                solvers::DirectSolver& direct, grid::ScratchPool& pool,
+                trace::CycleTracer* tracer = nullptr,
+                const solvers::RelaxTunables& relax =
+                    solvers::relax_tunables());
 
   /// Runs MULTIGRID-V at `accuracy_index` on x (ring = Dirichlet data,
   /// interior = current guess).  The level is derived from x.n(), which
@@ -66,7 +75,9 @@ class TunedExecutor {
   const TunedConfig& config_;
   rt::Scheduler& sched_;
   solvers::DirectSolver& direct_;
+  grid::ScratchPool& pool_;
   trace::CycleTracer* tracer_;
+  solvers::RelaxTunables relax_;
 };
 
 }  // namespace pbmg::tune

@@ -29,9 +29,10 @@ std::string accuracy_tag(double a) {
 
 }  // namespace
 
-Trainer::Trainer(TrainerOptions options, rt::Scheduler& sched,
-                 solvers::DirectSolver& direct)
-    : options_(std::move(options)), sched_(sched), direct_(direct) {
+Trainer::Trainer(TrainerOptions options, Engine& engine)
+    : options_(std::move(options)),
+      engine_(engine),
+      sched_(engine.scheduler()) {
   PBMG_CHECK(options_.max_level >= 2, "Trainer: max_level must be >= 2");
   PBMG_CHECK(options_.training_instances >= 1,
              "Trainer: need at least one training instance");
@@ -127,7 +128,7 @@ double Trainer::measure_direct(const std::vector<TrainingInstance>& set,
     Grid2D x(inst.problem.x0.n(), 0.0);
     x.copy_from(inst.problem.x0);
     const double t0 = now_seconds();
-    direct_.solve(inst.problem.b, x);
+    engine_.direct().solve(inst.problem.b, x);
     total += now_seconds() - t0;
     worst_accuracy = std::min(worst_accuracy, accuracy_of(inst, x, sched_));
   }
@@ -147,7 +148,8 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                             bool allow_sor) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
-  TunedExecutor executor(config, sched_, direct_);
+  TunedExecutor executor(config, sched_, engine_.direct(), engine_.scratch(),
+                         nullptr, engine_.relax());
 
   struct CandidateResult {
     VChoice choice;      // iterations filled per accuracy at selection time
@@ -212,7 +214,8 @@ void Trainer::train_v_level(TunedConfig& config, int level,
   if (allow_sor) {
     CandidateResult cand;
     cand.choice.kind = VKind::kIterSor;
-    const double omega = solvers::tuned_omega_opt(n);
+    const double omega =
+        solvers::scaled_omega_opt(n, engine_.relax().omega_scale);
     cand.meas = measure_iterative(
         set, nullptr,
         [&](Grid2D& x, const Grid2D& b) {
@@ -276,7 +279,8 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
                               const std::vector<TrainingInstance>& set) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
-  TunedExecutor executor(config, sched_, direct_);
+  TunedExecutor executor(config, sched_, engine_.direct(), engine_.scratch(),
+                         nullptr, engine_.relax());
 
   struct CandidateResult {
     FmgChoice choice;
@@ -333,7 +337,8 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
       if (solve == -1) {
         cand.choice.kind = FmgKind::kEstimateThenSor;
         cand.choice.estimate_accuracy = j;
-        const double omega = solvers::tuned_omega_opt(n);
+        const double omega =
+            solvers::scaled_omega_opt(n, engine_.relax().omega_scale);
         step = [this, omega](Grid2D& x, const Grid2D& b) {
           solvers::sor_sweep(x, b, omega, sched_);
         };
@@ -444,15 +449,14 @@ TunedConfig Trainer::train() {
 
 SearchTrainResult search_then_train(
     const TrainerOptions& options,
-    const search::ProfileSearchOptions& search_options,
-    solvers::DirectSolver& direct) {
+    const search::ProfileSearchOptions& search_options) {
   SearchTrainResult result;
-  result.searched = search::search_profile(search_options, direct);
+  result.searched = search::search_profile(search_options);
   // Train the DP under the searched parameters so its measurements (and
-  // therefore its choices) reflect the runtime the config will execute on.
-  rt::Scheduler sched(result.searched.profile);
-  solvers::ScopedRelaxTunables scoped(result.searched.relax);
-  Trainer trainer(options, sched, direct);
+  // therefore its choices) reflect the runtime the config will execute
+  // on: the searched candidate becomes a new Engine, not a global swap.
+  Engine engine(result.searched.profile, result.searched.relax);
+  Trainer trainer(options, engine);
   result.config = trainer.train();
   return result;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine.h"
 #include "grid/problem.h"
 #include "runtime/scheduler.h"
 #include "search/profile_search.h"
@@ -77,10 +78,12 @@ struct TrainerOptions {
 /// Bottom-up dynamic-programming tuner.
 class Trainer {
  public:
-  /// The scheduler decides the machine profile the tuning is performed
-  /// under; the direct solver supplies the Direct candidates.
-  Trainer(TrainerOptions options, rt::Scheduler& sched,
-          solvers::DirectSolver& direct);
+  /// The engine decides the runtime the tuning is performed under: its
+  /// scheduler carries the machine profile, its direct solver supplies
+  /// the Direct candidates, its scratch pool serves the executors, and
+  /// its relax tunables set the SOR weights being measured.  Tuning a
+  /// different profile means constructing a different Engine.
+  Trainer(TrainerOptions options, Engine& engine);
 
   /// Runs the full autotuning of §2.3 (and §2.4 when options.train_fmg):
   /// all accuracies at level k are tuned before level k+1.
@@ -128,8 +131,8 @@ class Trainer {
   void log_line(const std::string& line) const;
 
   TrainerOptions options_;
-  rt::Scheduler& sched_;
-  solvers::DirectSolver& direct_;
+  Engine& engine_;
+  rt::Scheduler& sched_;  // engine_.scheduler(), cached for brevity
   std::map<int, double> direct_time_by_level_;
 };
 
@@ -141,15 +144,14 @@ struct SearchTrainResult {
 
 /// The two-stage tuning mode: first a population search over runtime
 /// parameters (machine profile tunables + relaxation weights, see
-/// search/profile_search.h), then the paper's dynamic program trained on a
-/// scheduler built from the searched profile with the searched relaxation
-/// weights active.  The returned config must be *executed* under the same
-/// parameters to reproduce its expected times — run it inside
-/// rt::ScopedProfile(result.searched.profile) and
-/// solvers::ScopedRelaxTunables(result.searched.relax), or via
+/// search/profile_search.h), then the paper's dynamic program trained on
+/// an Engine built from the searched profile with the searched relaxation
+/// weights.  The returned config must be *executed* under the same
+/// parameters to reproduce its expected times — run it on an
+/// Engine(result.searched.profile, result.searched.relax), or via
 /// load_or_search_train's cache which stores both halves together.
-SearchTrainResult search_then_train(const TrainerOptions& options,
-                                    const search::ProfileSearchOptions& search_options,
-                                    solvers::DirectSolver& direct);
+SearchTrainResult search_then_train(
+    const TrainerOptions& options,
+    const search::ProfileSearchOptions& search_options);
 
 }  // namespace pbmg::tune

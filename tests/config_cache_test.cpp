@@ -8,8 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/scheduler.h"
-#include "solvers/direct.h"
+#include "engine/engine.h"
 #include "support/json.h"
 #include "tune/config_cache.h"
 #include "tune/table.h"
@@ -18,15 +17,12 @@
 namespace pbmg::tune {
 namespace {
 
-rt::Scheduler& sched() {
-  static rt::Scheduler instance(rt::serial_profile());
+Engine& engine() {
+  static Engine instance(rt::serial_profile());
   return instance;
 }
 
-solvers::DirectSolver& direct() {
-  static solvers::DirectSolver instance;
-  return instance;
-}
+rt::Scheduler& sched() { return engine().scheduler(); }
 
 TrainerOptions tiny_options() {
   TrainerOptions options;
@@ -145,13 +141,13 @@ class CorruptCacheTest : public ::testing::Test {
     const auto path = dir / (key + ".json");
     write_text_file(path.string(), content);
     bool from_cache = true;
-    const TunedConfig config = load_or_train(options, sched(), direct(),
+    const TunedConfig config = load_or_train(options, engine(),
                                              dir.string(), -1, &from_cache);
     EXPECT_FALSE(from_cache) << tag;
     EXPECT_EQ(config.max_level(), options.max_level) << tag;
     // The rewritten entry must now be a hit.
-    const TunedConfig again = load_or_train(options, sched(), direct(),
-                                            dir.string(), -1, &from_cache);
+    const TunedConfig again = load_or_train(options, engine(),
+                                             dir.string(), -1, &from_cache);
     EXPECT_TRUE(from_cache) << tag;
     EXPECT_EQ(again.to_json().dump(), config.to_json().dump()) << tag;
     std::filesystem::remove_all(dir);
@@ -252,13 +248,13 @@ TEST(SearchedConfigCache, SearchTrainRoundTripsThroughTheCache) {
 
   bool from_cache = true;
   const SearchTrainResult first = load_or_search_train(
-      options, search_options, direct(), dir.string(), &from_cache);
+      options, search_options, dir.string(), &from_cache);
   EXPECT_FALSE(from_cache);
   EXPECT_EQ(first.searched.profile.name, "serial+searched");
   EXPECT_EQ(first.config.max_level(), options.max_level);
 
   const SearchTrainResult second = load_or_search_train(
-      options, search_options, direct(), dir.string(), &from_cache);
+      options, search_options, dir.string(), &from_cache);
   EXPECT_TRUE(from_cache);
   EXPECT_EQ(second.config.to_json().dump(), first.config.to_json().dump());
   EXPECT_EQ(second.searched.to_json().dump(), first.searched.to_json().dump());

@@ -6,11 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
-#include "runtime/scheduler.h"
-#include "solvers/direct.h"
 #include "support/rng.h"
 #include "tune/accuracy.h"
 #include "tune/dynamic.h"
@@ -19,8 +18,8 @@
 namespace pbmg::tune {
 namespace {
 
-rt::Scheduler& sched() {
-  static rt::Scheduler instance([] {
+Engine& engine() {
+  static Engine instance([] {
     rt::MachineProfile p;
     p.name = "dynamic-test";
     p.threads = 4;
@@ -30,10 +29,7 @@ rt::Scheduler& sched() {
   return instance;
 }
 
-solvers::DirectSolver& direct() {
-  static solvers::DirectSolver instance;
-  return instance;
-}
+rt::Scheduler& sched() { return engine().scheduler(); }
 
 const TunedConfig& trained() {
   static const TunedConfig config = [] {
@@ -41,7 +37,7 @@ const TunedConfig& trained() {
     options.max_level = 5;
     options.train_fmg = false;
     options.seed = 1717;
-    Trainer trainer(options, sched(), direct());
+    Trainer trainer(options, engine());
     return trainer.train();
   }();
   return config;
@@ -54,7 +50,8 @@ double residual_norm(const Grid2D& x, const Grid2D& b) {
 }
 
 TEST(DynamicSolver, ConvergesToResidualTargetInDistribution) {
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   const int n = size_of_level(5);
   Rng rng(42);
   auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
@@ -69,7 +66,8 @@ TEST(DynamicSolver, ConvergesToResidualTargetInDistribution) {
 TEST(DynamicSolver, ConvergesAcrossDistributions) {
   // The point of dynamic tuning: one config, robust behaviour on inputs
   // from other distribution classes.
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   const int n = size_of_level(5);
   for (auto dist :
        {InputDistribution::kBiased, InputDistribution::kPointSources}) {
@@ -82,7 +80,8 @@ TEST(DynamicSolver, ConvergesAcrossDistributions) {
 }
 
 TEST(DynamicSolver, TrivialTargetNeedsNoEscalation) {
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   const int n = size_of_level(4);
   Rng rng(44);
   auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
@@ -96,7 +95,8 @@ TEST(DynamicSolver, TrivialTargetNeedsNoEscalation) {
 TEST(DynamicSolver, DeepTargetsClimbTheLadder) {
   // Demanding far more reduction than the cheapest variant delivers per
   // call forces the driver up the accuracy ladder.
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   const int n = size_of_level(5);
   Rng rng(45);
   auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
@@ -111,7 +111,8 @@ TEST(DynamicSolver, DeepTargetsClimbTheLadder) {
 }
 
 TEST(DynamicSolver, RespectsIterationBudget) {
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   const int n = size_of_level(5);
   Rng rng(46);
   auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
@@ -122,7 +123,8 @@ TEST(DynamicSolver, RespectsIterationBudget) {
 }
 
 TEST(DynamicSolver, AlreadyConvergedInputReturnsImmediately) {
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   const int n = size_of_level(4);
   // x solves A·x = b exactly when b = A·x by construction.
   Rng rng(47);
@@ -139,7 +141,8 @@ TEST(DynamicSolver, AlreadyConvergedInputReturnsImmediately) {
 }
 
 TEST(DynamicSolver, ValidatesArguments) {
-  DynamicSolver solver(trained(), sched(), direct());
+  DynamicSolver solver(trained(), sched(), engine().direct(),
+                       engine().scratch());
   Grid2D x(17, 0.0), b(33, 0.0);
   EXPECT_THROW(solver.solve(x, b, 10.0), InvalidArgument);
   Grid2D b17(17, 0.0);

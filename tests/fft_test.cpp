@@ -156,7 +156,7 @@ TEST(FastPoisson, MatchesBandedDirectSolver) {
 
 TEST(FastPoisson, ReproducesManufacturedSolution) {
   for (int n : {9, 33, 65}) {
-    const auto mp = make_manufactured_problem(n);
+    const auto mp = make_manufactured_problem(n, sched());
     FastPoissonSolver solver(n);
     Grid2D out(n, 0.0);
     solver.solve(mp.problem.b, mp.problem.x0, out, sched());
@@ -189,10 +189,10 @@ TEST(FastPoisson, ValidatesSizes) {
   EXPECT_THROW(solver.solve(b, x, out, sched()), InvalidArgument);
 }
 
-TEST(FastPoisson, ExactSolutionHelperUsesGlobalScheduler) {
+TEST(FastPoisson, ExactSolutionHelperSolvesOnGivenScheduler) {
   Rng rng(9);
   const auto problem = make_problem(17, InputDistribution::kUnbiased, rng);
-  const Grid2D x = exact_solution(problem);
+  const Grid2D x = exact_solution(problem, sched());
   Grid2D r(17, 0.0);
   grid::residual(x, problem.b, r, sched());
   const double scale = grid::max_abs_interior(problem.b, sched()) + 1.0;

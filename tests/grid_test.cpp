@@ -1,6 +1,6 @@
 // Tests for the grid substrate: Grid2D semantics, level math, the 5-point
-// operator and residual, transfer operators, norms, and the paper's input
-// distributions.
+// operator and residual, transfer operators, norms, the scratch-grid pool
+// (reuse/trim/stats), and the paper's input distributions.
 
 #include <cmath>
 
@@ -10,6 +10,7 @@
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
+#include "grid/scratch.h"
 #include "runtime/scheduler.h"
 #include "support/error.h"
 #include "support/rng.h"
@@ -26,6 +27,76 @@ rt::Scheduler& sched() {
     return p;
   }());
   return instance;
+}
+
+// ---------------------------------------------------------- ScratchPool --
+
+TEST(ScratchPool, ReusesReleasedGridsAndCountsHits) {
+  grid::ScratchPool pool;
+  { auto lease = pool.acquire(17); }  // miss: fresh allocation
+  EXPECT_EQ(pool.pooled(), 1u);
+  { auto lease = pool.acquire(17); }  // hit: recycled
+  { auto lease = pool.acquire(33); }  // miss: different size
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 3);
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 2);
+  EXPECT_NEAR(stats.hit_rate(), 1.0 / 3.0, 1e-12);
+  EXPECT_EQ(stats.pooled_grids, 2u);
+  EXPECT_EQ(stats.pooled_bytes, (17u * 17u + 33u * 33u) * sizeof(double));
+}
+
+TEST(ScratchPool, ConcurrentLeasesOfOneSizeAreDistinctGrids) {
+  grid::ScratchPool pool;
+  auto a = pool.acquire(9);
+  auto b = pool.acquire(9);
+  EXPECT_NE(&a.get(), &b.get());
+  a.get()(1, 1) = 1.0;
+  b.get()(1, 1) = 2.0;
+  EXPECT_EQ(a.get()(1, 1), 1.0);
+}
+
+TEST(ScratchPool, TrimFreesPooledBytesButKeepsCounters) {
+  grid::ScratchPool pool;
+  { auto lease = pool.acquire(17); }
+  { auto lease = pool.acquire(33); }
+  const std::size_t expected = (17u * 17u + 33u * 33u) * sizeof(double);
+  EXPECT_EQ(pool.trim(), expected);
+  EXPECT_EQ(pool.pooled(), 0u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 2);  // counters survive the trim
+  EXPECT_EQ(stats.trims, 1);
+  EXPECT_EQ(stats.pooled_bytes, 0u);
+  EXPECT_EQ(stats.high_water_bytes, expected);  // high water is sticky
+  // Trimming an empty pool frees nothing and does not count as a trim.
+  EXPECT_EQ(pool.trim(), 0u);
+  EXPECT_EQ(pool.stats().trims, 1);
+  // The pool keeps working after a trim.
+  { auto lease = pool.acquire(17); }
+  EXPECT_EQ(pool.pooled(), 1u);
+}
+
+TEST(ScratchPool, HighWaterTracksPeakNotCurrent) {
+  grid::ScratchPool pool;
+  {
+    auto a = pool.acquire(9);
+    auto b = pool.acquire(9);
+    auto c = pool.acquire(9);
+  }  // all three released: peak pooled = 3 grids
+  const std::size_t grid_bytes = 9u * 9u * sizeof(double);
+  EXPECT_EQ(pool.stats().high_water_bytes, 3 * grid_bytes);
+  { auto lease = pool.acquire(9); }  // pooled dips to 2 then back to 3
+  EXPECT_EQ(pool.stats().high_water_bytes, 3 * grid_bytes);
+}
+
+TEST(ScratchPool, ClearResetsCountersAndFreesGrids) {
+  grid::ScratchPool pool;
+  { auto lease = pool.acquire(17); }
+  pool.clear();
+  EXPECT_EQ(pool.pooled(), 0u);
+  const auto stats = pool.stats();
+  EXPECT_EQ(stats.acquires, 0);
+  EXPECT_EQ(stats.high_water_bytes, 0u);
 }
 
 // --------------------------------------------------------------- Grid2D --
@@ -415,13 +486,13 @@ TEST(Problem, SameRngStateSameProblem) {
 }
 
 TEST(Problem, ManufacturedProblemHasExactDiscreteSolution) {
-  const auto mp = make_manufactured_problem(17);
+  const auto mp = make_manufactured_problem(17, sched());
   Grid2D r(17, 0.0);
   grid::residual(mp.exact, mp.problem.b, r, sched());
   EXPECT_LE(grid::max_abs_interior(r, sched()), 1e-8);
   // Boundary of the problem matches the exact solution's ring.
   EXPECT_DOUBLE_EQ(mp.problem.x0(0, 5), mp.exact(0, 5));
-  EXPECT_THROW(make_manufactured_problem(10), InvalidArgument);
+  EXPECT_THROW(make_manufactured_problem(10, sched()), InvalidArgument);
 }
 
 }  // namespace

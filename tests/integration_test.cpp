@@ -9,11 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/scratch.h"
-#include "runtime/global.h"
-#include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "support/rng.h"
 #include "trace/cycle_trace.h"
@@ -25,8 +24,8 @@
 namespace pbmg {
 namespace {
 
-rt::Scheduler& sched() {
-  static rt::Scheduler instance([] {
+Engine& engine() {
+  static Engine instance([] {
     rt::MachineProfile p;
     p.name = "integration";
     p.threads = 4;
@@ -36,17 +35,14 @@ rt::Scheduler& sched() {
   return instance;
 }
 
+rt::Scheduler& sched() { return engine().scheduler(); }
+
 inline std::string dist_label(int index) {
   switch (index) {
     case 0: return "unbiased";
     case 1: return "biased";
     default: return "pointsources";
   }
-}
-
-solvers::DirectSolver& direct() {
-  static solvers::DirectSolver instance;
-  return instance;
 }
 
 class DistributionPipeline : public ::testing::TestWithParam<int> {};
@@ -63,7 +59,7 @@ TEST_P(DistributionPipeline, TrainSaveLoadSolveMeetsContract) {
   options.max_level = 5;
   options.distribution = dist;
   options.seed = 99 + static_cast<std::uint64_t>(GetParam());
-  tune::Trainer trainer(options, sched(), direct());
+  tune::Trainer trainer(options, engine());
   const tune::TunedConfig trained = trainer.train();
 
   const auto path = std::filesystem::temp_directory_path() /
@@ -82,8 +78,10 @@ TEST_P(DistributionPipeline, TrainSaveLoadSolveMeetsContract) {
     Grid2D x1(n, 0.0), x2(n, 0.0);
     x1.copy_from(inst.problem.x0);
     x2.copy_from(inst.problem.x0);
-    tune::TunedExecutor e1(trained, sched(), direct(), &t1);
-    tune::TunedExecutor e2(loaded, sched(), direct(), &t2);
+    tune::TunedExecutor e1(trained, sched(), engine().direct(),
+                           engine().scratch(), &t1);
+    tune::TunedExecutor e2(loaded, sched(), engine().direct(),
+                           engine().scratch(), &t2);
     e1.run_v(x1, inst.problem.b, i);
     e2.run_v(x2, inst.problem.b, i);
     ASSERT_EQ(t1.events().size(), t2.events().size());
@@ -99,16 +97,18 @@ TEST(Integration, TunedConfigRunsUnderDifferentProfile) {
   // just slower than the native config); execution must stay correct.
   tune::TrainerOptions options;
   options.max_level = 5;
-  tune::Trainer trainer(options, sched(), direct());
+  tune::Trainer trainer(options, engine());
   const tune::TunedConfig config = trainer.train();
 
-  rt::ScopedProfile scoped(rt::serial_profile());
-  auto& serial = rt::global_scheduler();
+  // Machine B is a second, coexisting Engine — not a global profile swap.
+  Engine serial_engine(rt::serial_profile());
+  auto& serial = serial_engine.scheduler();
   const int n = size_of_level(5);
   Rng rng(888);
   auto inst = tune::make_training_instance(n, InputDistribution::kUnbiased,
                                            rng, serial);
-  tune::TunedExecutor executor(config, serial, direct());
+  tune::TunedExecutor executor(config, serial, serial_engine.direct(),
+                               serial_engine.scratch());
   Grid2D x(n, 0.0);
   x.copy_from(inst.problem.x0);
   executor.run_v(x, inst.problem.b, config.accuracy_count() - 1);
@@ -123,13 +123,13 @@ TEST(Integration, HeuristicsNeverBeatAutotunedByMuch) {
   tune::TrainerOptions options;
   options.max_level = 5;
   options.train_fmg = false;
-  tune::Trainer tuner(options, sched(), direct());
+  tune::Trainer tuner(options, engine());
   const tune::TunedConfig autotuned = tuner.train();
   const int top = autotuned.accuracy_count() - 1;
   const double tuned_time =
       autotuned.v_entry(5, top).expected_time;
   for (int j = 0; j < autotuned.accuracy_count(); ++j) {
-    tune::Trainer htrainer(options, sched(), direct());
+    tune::Trainer htrainer(options, engine());
     const tune::TunedConfig heuristic = htrainer.train_heuristic(j);
     const double h_time = heuristic.v_entry(5, top).expected_time;
     EXPECT_GE(h_time, 0.5 * tuned_time)
@@ -143,7 +143,7 @@ TEST(Integration, FmgTableNeverSlowerThanVTableByMuch) {
   // exceed the V table's by more than noise at any cell.
   tune::TrainerOptions options;
   options.max_level = 6;
-  tune::Trainer trainer(options, sched(), direct());
+  tune::Trainer trainer(options, engine());
   const tune::TunedConfig config = trainer.train();
   for (int level = 3; level <= config.max_level(); ++level) {
     for (int i = 0; i < config.accuracy_count(); ++i) {
@@ -156,17 +156,21 @@ TEST(Integration, FmgTableNeverSlowerThanVTableByMuch) {
 }
 
 TEST(Integration, ScratchPoolRecyclesAcrossSolves) {
-  auto& pool = grid::ScratchPool::global();
-  pool.clear();
+  grid::ScratchPool pool;  // dedicated pool: counts are deterministic
   Rng rng(999);
   auto problem = make_problem(65, InputDistribution::kUnbiased, rng);
   Grid2D x = problem.x0;
-  solvers::vcycle(x, problem.b, solvers::VCycleOptions{}, sched(), direct());
+  solvers::vcycle(x, problem.b, solvers::VCycleOptions{}, sched(),
+                  engine().direct(), pool);
   const std::size_t after_first = pool.pooled();
   EXPECT_GT(after_first, 0u);  // temporaries returned to the pool
-  solvers::vcycle(x, problem.b, solvers::VCycleOptions{}, sched(), direct());
+  solvers::vcycle(x, problem.b, solvers::VCycleOptions{}, sched(),
+                  engine().direct(), pool);
   // Steady state: the second cycle reuses what the first returned.
   EXPECT_EQ(pool.pooled(), after_first);
+  const auto stats = pool.stats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_EQ(stats.acquires, stats.hits + stats.misses);
 }
 
 TEST(Integration, TracedShapeMatchesTableIterations) {
@@ -176,7 +180,7 @@ TEST(Integration, TracedShapeMatchesTableIterations) {
   tune::TrainerOptions options;
   options.max_level = 5;
   options.train_fmg = false;
-  tune::Trainer trainer(options, sched(), direct());
+  tune::Trainer trainer(options, engine());
   const tune::TunedConfig config = trainer.train();
   const int top = config.accuracy_count() - 1;
   const auto& entry = config.v_entry(5, top);
@@ -184,7 +188,8 @@ TEST(Integration, TracedShapeMatchesTableIterations) {
     GTEST_SKIP() << "top choice is not RECURSE on this machine";
   }
   trace::CycleTracer tracer;
-  tune::TunedExecutor executor(config, sched(), direct(), &tracer);
+  tune::TunedExecutor executor(config, sched(), engine().direct(),
+                               engine().scratch(), &tracer);
   const int n = size_of_level(5);
   Rng rng(555);
   auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
@@ -205,14 +210,15 @@ TEST(Integration, AccuracyLaddersOtherThanPaperDefaultWork) {
   options.accuracies = {1e2, 1e4, 1e8};
   options.max_level = 4;
   options.train_fmg = false;
-  tune::Trainer trainer(options, sched(), direct());
+  tune::Trainer trainer(options, engine());
   const tune::TunedConfig config = trainer.train();
   EXPECT_EQ(config.accuracy_count(), 3);
   const int n = size_of_level(4);
   Rng rng(444);
   auto inst = tune::make_training_instance(n, InputDistribution::kUnbiased,
                                            rng, sched());
-  tune::TunedExecutor executor(config, sched(), direct());
+  tune::TunedExecutor executor(config, sched(), engine().direct(),
+                               engine().scratch());
   for (int i = 0; i < 3; ++i) {
     Grid2D x(n, 0.0);
     x.copy_from(inst.problem.x0);

@@ -11,6 +11,7 @@
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
+#include "grid/scratch.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/multigrid.h"
@@ -28,6 +29,11 @@ rt::Scheduler& sched() {
     p.grain_rows = 4;
     return p;
   }());
+  return instance;
+}
+
+grid::ScratchPool& pool() {
+  static grid::ScratchPool instance;
   return instance;
 }
 
@@ -49,7 +55,7 @@ Instance make_instance(int n, InputDistribution dist, std::uint64_t seed) {
   Rng rng(seed);
   Instance inst;
   inst.problem = make_problem(n, dist, rng);
-  inst.exact = fft::exact_solution(inst.problem);
+  inst.exact = fft::exact_solution(inst.problem, sched());
   inst.e0 = grid::norm2_diff_interior(inst.problem.x0, inst.exact, sched());
   return inst;
 }
@@ -100,7 +106,7 @@ TEST_P(SolverSweep, VCycleConvergesOnEveryDistribution) {
   DirectSolver direct;
   Grid2D x = inst.problem.x0;
   for (int c = 0; c < 25; ++c) {
-    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct, pool());
   }
   EXPECT_LE(error_of(inst, x), 1e-8 * inst.e0);
 }
@@ -112,9 +118,9 @@ TEST_P(SolverSweep, FullMultigridConvergesOnEveryDistribution) {
   if (inst.e0 == 0.0) GTEST_SKIP() << "degenerate zero instance";
   DirectSolver direct;
   Grid2D x = inst.problem.x0;
-  full_multigrid(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+  full_multigrid(x, inst.problem.b, VCycleOptions{}, sched(), direct, pool());
   for (int c = 0; c < 24; ++c) {
-    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct, pool());
   }
   EXPECT_LE(error_of(inst, x), 1e-8 * inst.e0);
 }
@@ -138,11 +144,11 @@ TEST_P(ContractionSweep, VCycleContractionIsSizeIndependent) {
   Grid2D x = inst.problem.x0;
   // Skip the first cycles (transient), then measure the asymptotic rate.
   for (int c = 0; c < 3; ++c) {
-    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct, pool());
   }
   const double e_before = error_of(inst, x);
   for (int c = 0; c < 3; ++c) {
-    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct);
+    vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct, pool());
   }
   const double e_after = error_of(inst, x);
   const double rate = std::cbrt(e_after / e_before);
@@ -240,7 +246,7 @@ TEST_P(CycleOptionSweep, AnySmoothingCombinationConverges) {
   options.post_relax = post;
   Grid2D x = inst.problem.x0;
   for (int c = 0; c < 30; ++c) {
-    vcycle(x, inst.problem.b, options, sched(), direct);
+    vcycle(x, inst.problem.b, options, sched(), direct, pool());
   }
   EXPECT_LT(error_of(inst, x), 1e-4 * inst.e0);
 }

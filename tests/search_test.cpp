@@ -379,8 +379,7 @@ TEST(ProfileSearch, EndToEndOnATinyWorkload) {
   options.population.mutants_per_elite = 1;
   options.population.immigrants = 1;
   options.population.generations = 2;
-  solvers::DirectSolver direct;
-  const SearchedProfile searched = search_profile(options, direct);
+  const SearchedProfile searched = search_profile(options);
   EXPECT_EQ(searched.profile.name, "serial+searched");
   // The default candidate is always raced first, so the winner can never
   // be slower than the un-searched configuration.

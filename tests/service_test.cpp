@@ -1,0 +1,202 @@
+// Multi-client stress tests for the SolveService front-end: N client
+// threads × M solves with mixed sizes and accuracies through one Engine,
+// every concurrent result bit-checked against a serial golden run; plus
+// session caching, failure accounting, and trim-under-load behaviour.
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/solve_service.h"
+#include "grid/level.h"
+#include "support/rng.h"
+#include "tune/accuracy.h"
+#include "tune/trainer.h"
+
+namespace pbmg {
+namespace {
+
+constexpr int kMaxLevel = 5;
+
+Engine& engine() {
+  static Engine instance([] {
+    rt::MachineProfile p;
+    p.name = "service-test";
+    p.threads = 4;
+    p.grain_rows = 4;
+    return p;
+  }());
+  return instance;
+}
+
+const tune::TunedConfig& trained() {
+  static const tune::TunedConfig config = [] {
+    tune::TrainerOptions options;
+    options.max_level = kMaxLevel;
+    options.seed = 9090;
+    tune::Trainer trainer(options, engine());
+    return trainer.train();
+  }();
+  return config;
+}
+
+/// One stress case: a problem plus the request that solves it and the
+/// golden (serial-engine) solution bits.
+struct Case {
+  PoissonProblem problem;
+  SolveRequest request;
+  Grid2D golden;
+};
+
+/// Mixed sizes (levels 3..kMaxLevel) × accuracies × V/FMG, goldens
+/// computed on a dedicated single-threaded engine.
+std::vector<Case> make_cases() {
+  std::vector<Case> cases;
+  Engine serial(rt::serial_profile());
+  SolveService golden_service(serial, trained());
+  Rng rng(777);
+  const int m = trained().accuracy_count();
+  for (int level = 3; level <= kMaxLevel; ++level) {
+    const int n = size_of_level(level);
+    for (int acc : {0, m / 2, m - 1}) {
+      for (bool fmg : {false, true}) {
+        Case c;
+        c.problem = make_problem(n, InputDistribution::kUnbiased, rng);
+        c.request.accuracy_index = acc;
+        c.request.fmg = fmg;
+        c.golden = Grid2D(n, 0.0);
+        c.golden.copy_from(c.problem.x0);
+        golden_service.solve(c.golden, c.problem.b, c.request);
+        cases.push_back(std::move(c));
+      }
+    }
+  }
+  return cases;
+}
+
+bool bitwise_equal(const Grid2D& a, const Grid2D& b) {
+  return a.n() == b.n() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+TEST(SolveService, ConcurrentMixedSolvesMatchSerialRunsBitwise) {
+  const auto cases = make_cases();
+  SolveService service(engine(), trained());
+  const auto before = service.stats();
+
+  constexpr int kClients = 6;
+  constexpr int kSolvesPerClient = 12;
+  std::atomic<int> mismatches{0};
+  std::atomic<bool> go{false};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (int r = 0; r < kSolvesPerClient; ++r) {
+        // Every client walks the case list from its own offset, so at any
+        // moment different sizes/accuracies are in flight concurrently.
+        const Case& item =
+            cases[static_cast<std::size_t>(c * 5 + r) % cases.size()];
+        Grid2D x(item.problem.n(), 0.0);
+        x.copy_from(item.problem.x0);
+        service.solve(x, item.problem.b, item.request);
+        if (!bitwise_equal(x, item.golden)) {
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (auto& client : clients) client.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  const auto after = service.stats();
+  EXPECT_EQ(after.requests - before.requests, kClients * kSolvesPerClient);
+  EXPECT_EQ(after.failures, before.failures);
+  EXPECT_EQ(after.sessions, static_cast<std::size_t>(kMaxLevel - 2));
+  EXPECT_GT(after.busy_seconds, before.busy_seconds);
+  // The shared pool must have been serving (not growing unboundedly):
+  // steady-state concurrent solves run almost entirely on recycled grids.
+  EXPECT_GT(engine().scratch().stats().hit_rate(), 0.5);
+}
+
+TEST(SolveService, SessionsAreCachedPerSize) {
+  SolveService service(engine(), trained());
+  SolveSession& a = service.session(size_of_level(4));
+  SolveSession& b = service.session(size_of_level(4));
+  SolveSession& c = service.session(size_of_level(3));
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(service.stats().sessions, 2u);
+}
+
+TEST(SolveService, TargetAccuracyRequestsResolveToLadderIndex) {
+  SolveService service(engine(), trained());
+  const int n = size_of_level(4);
+  Rng rng(55);
+  auto inst = tune::make_training_instance(n, InputDistribution::kUnbiased,
+                                           rng, engine().scheduler());
+  Grid2D x(n, 0.0);
+  x.copy_from(inst.problem.x0);
+  SolveRequest request;
+  request.target_accuracy = 1e5;  // no explicit index
+  const SolveStats stats = service.solve(x, inst.problem.b, request);
+  EXPECT_EQ(stats.accuracy_index, trained().accuracy_index(1e5));
+  EXPECT_GE(tune::accuracy_of(inst, x, engine().scheduler()), 0.2 * 1e5);
+}
+
+TEST(SolveService, CountsFailuresAndKeepsServing) {
+  SolveService service(engine(), trained());
+  const int n = size_of_level(3);
+  Grid2D x(n, 0.0), b(n, 0.0);
+  SolveRequest bad;
+  bad.accuracy_index = trained().accuracy_count() + 7;
+  EXPECT_THROW(service.solve(x, b, bad), Error);
+  EXPECT_EQ(service.stats().failures, 1);
+  SolveRequest good;
+  good.accuracy_index = 0;
+  EXPECT_NO_THROW(service.solve(x, b, good));
+  EXPECT_EQ(service.stats().requests, 1);
+}
+
+TEST(SolveService, TrimUnderLoadFreesMemoryAndServiceRecovers) {
+  // A dedicated engine so pooled-byte accounting is not shared with the
+  // other tests in this binary.
+  Engine local([] {
+    rt::MachineProfile p;
+    p.name = "service-trim";
+    p.threads = 2;
+    p.grain_rows = 4;
+    return p;
+  }());
+  SolveService service(local, trained());
+  const int n = size_of_level(4);
+  Rng rng(66);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  SolveRequest request;
+  request.accuracy_index = trained().accuracy_count() - 1;
+  Grid2D x(n, 0.0);
+  x.copy_from(problem.x0);
+  service.solve(x, problem.b, request);
+  EXPECT_GT(local.scratch().pooled(), 0u);
+  EXPECT_GT(service.trim(), 0u);  // idle shrink releases the free-list
+  EXPECT_EQ(local.scratch().pooled(), 0u);
+  // The service keeps working after the trim (pool refills as it runs).
+  x.copy_from(problem.x0);
+  service.solve(x, problem.b, request);
+  EXPECT_EQ(service.stats().requests, 2);
+  // A reference solve always leases level temporaries (the tuned plan may
+  // legitimately be lease-free, e.g. an all-Direct table), so drive one
+  // through the same session to watch the free-list re-stock.
+  x.copy_from(problem.x0);
+  service.session(n).solve_reference_v(
+      x, problem.b, /*max_cycles=*/2,
+      [](const Grid2D&, int it) { return it >= 2; });
+  EXPECT_GT(local.scratch().pooled(), 0u);
+}
+
+}  // namespace
+}  // namespace pbmg

@@ -8,6 +8,7 @@
 
 #include "fft/fast_poisson.h"
 #include "grid/grid_ops.h"
+#include "grid/scratch.h"
 #include "grid/level.h"
 #include "grid/problem.h"
 #include "runtime/scheduler.h"
@@ -36,6 +37,11 @@ double solution_error(const PoissonProblem& problem, const Grid2D& x) {
   Grid2D x_opt(problem.n(), 0.0);
   oracle.solve(problem.b, problem.x0, x_opt, sched());
   return grid::norm2_diff_interior(x, x_opt, sched());
+}
+
+grid::ScratchPool& pool() {
+  static grid::ScratchPool instance;
+  return instance;
 }
 
 PoissonProblem test_problem(int n, std::uint64_t seed,
@@ -186,12 +192,12 @@ TEST(Multigrid, VCycleContractsErrorQuickly) {
   Grid2D x = problem.x0;
   DirectSolver direct;
   const double e0 = solution_error(problem, x);
-  vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  vcycle(x, problem.b, VCycleOptions{}, sched(), direct, pool());
   const double e1 = solution_error(problem, x);
   // A 1-pre/1-post SOR(1.15) V-cycle contracts 2-D Poisson error by well
   // over 2× per cycle; typical factors are ~10×.
   EXPECT_LT(e1, 0.5 * e0);
-  vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  vcycle(x, problem.b, VCycleOptions{}, sched(), direct, pool());
   EXPECT_LT(solution_error(problem, x), 0.5 * e1);
 }
 
@@ -201,7 +207,7 @@ TEST(Multigrid, VCycleConvergesToHighAccuracy) {
   DirectSolver direct;
   const double e0 = solution_error(problem, x);
   for (int c = 0; c < 30; ++c) {
-    vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+    vcycle(x, problem.b, VCycleOptions{}, sched(), direct, pool());
   }
   EXPECT_LT(solution_error(problem, x), 1e-9 * e0);
 }
@@ -215,7 +221,7 @@ TEST(Multigrid, DeeperDirectLevelStillConverges) {
     options.direct_level = direct_level;
     const double e0 = solution_error(problem, x);
     for (int c = 0; c < 10; ++c) {
-      vcycle(x, problem.b, options, sched(), direct);
+      vcycle(x, problem.b, options, sched(), direct, pool());
     }
     EXPECT_LT(solution_error(problem, x), 1e-4 * e0)
         << "direct_level=" << direct_level;
@@ -231,8 +237,8 @@ TEST(Multigrid, MorePreSmoothingContractsFasterPerCycle) {
   three.post_relax = 3;
   Grid2D x1 = problem.x0;
   Grid2D x3 = problem.x0;
-  vcycle(x1, problem.b, one, sched(), direct);
-  vcycle(x3, problem.b, three, sched(), direct);
+  vcycle(x1, problem.b, one, sched(), direct, pool());
+  vcycle(x3, problem.b, three, sched(), direct, pool());
   EXPECT_LT(solution_error(problem, x3), solution_error(problem, x1));
 }
 
@@ -245,7 +251,7 @@ TEST(Multigrid, FullMultigridPassContractsStrongly) {
     DirectSolver direct;
     Grid2D x = problem.x0;
     const double e0 = solution_error(problem, x);
-    full_multigrid(x, problem.b, VCycleOptions{}, sched(), direct);
+    full_multigrid(x, problem.b, VCycleOptions{}, sched(), direct, pool());
     EXPECT_LT(solution_error(problem, x), 0.2 * e0)
         << "distribution " << to_string(dist);
   }
@@ -258,7 +264,7 @@ TEST(Multigrid, FullMultigridReachesTruncationLevelAccuracy) {
   DirectSolver direct;
   Grid2D x = problem.x0;
   const double e0 = solution_error(problem, x);
-  full_multigrid(x, problem.b, VCycleOptions{}, sched(), direct);
+  full_multigrid(x, problem.b, VCycleOptions{}, sched(), direct, pool());
   EXPECT_LT(solution_error(problem, x), 0.05 * e0);
 }
 
@@ -266,7 +272,7 @@ TEST(Multigrid, BaseCaseGridIsSolvedDirectly) {
   auto problem = test_problem(3, 56);
   DirectSolver direct;
   Grid2D x = problem.x0;
-  vcycle(x, problem.b, VCycleOptions{}, sched(), direct);
+  vcycle(x, problem.b, VCycleOptions{}, sched(), direct, pool());
   EXPECT_LE(solution_error(problem, x),
             1e-10 * (grid::norm2_interior(problem.b, sched()) + 1.0));
 }
@@ -274,9 +280,9 @@ TEST(Multigrid, BaseCaseGridIsSolvedDirectly) {
 TEST(Multigrid, SizeMismatchThrows) {
   Grid2D x(9, 0.0), b(17, 0.0);
   DirectSolver direct;
-  EXPECT_THROW(vcycle(x, b, VCycleOptions{}, sched(), direct),
+  EXPECT_THROW(vcycle(x, b, VCycleOptions{}, sched(), direct, pool()),
                InvalidArgument);
-  EXPECT_THROW(full_multigrid(x, b, VCycleOptions{}, sched(), direct),
+  EXPECT_THROW(full_multigrid(x, b, VCycleOptions{}, sched(), direct, pool()),
                InvalidArgument);
 }
 
@@ -324,7 +330,7 @@ TEST(Reference, VCycleDriverConvergesToTarget) {
       [&](const Grid2D& state, int) {
         return e0 / grid::norm2_diff_interior(state, x_opt, sched()) >= 1e9;
       },
-      sched(), direct);
+      sched(), direct, pool());
   EXPECT_TRUE(outcome.converged);
   EXPECT_LT(outcome.iterations, 40);
 }
@@ -341,10 +347,10 @@ TEST(Reference, FmgDriverNeedsNoMoreCyclesThanV) {
   };
   Grid2D xv = problem.x0;
   const auto v = solve_reference_v(xv, problem.b, VCycleOptions{}, 200, stop,
-                                   sched(), direct);
+                                   sched(), direct, pool());
   Grid2D xf = problem.x0;
   const auto f = solve_reference_fmg(xf, problem.b, VCycleOptions{}, 200,
-                                     stop, sched(), direct);
+                                     stop, sched(), direct, pool());
   EXPECT_TRUE(v.converged);
   EXPECT_TRUE(f.converged);
   EXPECT_LE(f.iterations, v.iterations);

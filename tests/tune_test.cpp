@@ -8,10 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "engine/engine.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
-#include "runtime/scheduler.h"
-#include "solvers/direct.h"
 #include "support/rng.h"
 #include "trace/cycle_trace.h"
 #include "tune/accuracy.h"
@@ -23,8 +22,8 @@
 namespace pbmg::tune {
 namespace {
 
-rt::Scheduler& sched() {
-  static rt::Scheduler instance([] {
+Engine& engine() {
+  static Engine instance([] {
     rt::MachineProfile p;
     p.name = "tune-test";
     p.threads = 4;
@@ -34,10 +33,8 @@ rt::Scheduler& sched() {
   return instance;
 }
 
-solvers::DirectSolver& direct() {
-  static solvers::DirectSolver instance;
-  return instance;
-}
+rt::Scheduler& sched() { return engine().scheduler(); }
+
 
 TrainerOptions small_options() {
   TrainerOptions options;
@@ -51,7 +48,7 @@ TrainerOptions small_options() {
 /// expensive part of this suite).
 const TunedConfig& trained() {
   static const TunedConfig config = [] {
-    Trainer trainer(small_options(), sched(), direct());
+    Trainer trainer(small_options(), engine());
     return trainer.train();
   }();
   return config;
@@ -189,13 +186,13 @@ TEST(TunedConfig, SaveLoadFileRoundTrip) {
 TEST(Trainer, ValidatesOptions) {
   TrainerOptions bad = small_options();
   bad.max_level = 1;
-  EXPECT_THROW(Trainer(bad, sched(), direct()), InvalidArgument);
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
   bad = small_options();
   bad.training_instances = 0;
-  EXPECT_THROW(Trainer(bad, sched(), direct()), InvalidArgument);
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
   bad = small_options();
   bad.prune_factor = 0.5;
-  EXPECT_THROW(Trainer(bad, sched(), direct()), InvalidArgument);
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
 }
 
 TEST(Trainer, AllCellsTrainedWithValidChoices) {
@@ -256,7 +253,8 @@ TEST(Trainer, ExpectedTimeIsMonotoneInAccuracy) {
 /// held-out instances (fresh seeds) at every trained level.
 TEST(Trainer, TunedVMeetsAccuracyOnHeldOutInputs) {
   const TunedConfig& config = trained();
-  TunedExecutor executor(config, sched(), direct());
+  TunedExecutor executor(config, sched(), engine().direct(),
+                         engine().scratch());
   Rng rng(990001);
   for (int level = 2; level <= config.max_level(); ++level) {
     const int n = size_of_level(level);
@@ -278,7 +276,8 @@ TEST(Trainer, TunedVMeetsAccuracyOnHeldOutInputs) {
 
 TEST(Trainer, TunedFmgMeetsAccuracyOnHeldOutInputs) {
   const TunedConfig& config = trained();
-  TunedExecutor executor(config, sched(), direct());
+  TunedExecutor executor(config, sched(), engine().direct(),
+                         engine().scratch());
   Rng rng(990002);
   for (int level = 2; level <= config.max_level(); ++level) {
     const int n = size_of_level(level);
@@ -299,7 +298,7 @@ TEST(Trainer, TunedFmgMeetsAccuracyOnHeldOutInputs) {
 TEST(Trainer, HeuristicRestrictsChoices) {
   TrainerOptions options = small_options();
   options.train_fmg = false;
-  Trainer trainer(options, sched(), direct());
+  Trainer trainer(options, engine());
   const int fixed = 2;  // 10^5
   const TunedConfig config = trainer.train_heuristic(fixed);
   EXPECT_NE(config.strategy.find("heuristic"), std::string::npos);
@@ -313,7 +312,8 @@ TEST(Trainer, HeuristicRestrictsChoices) {
     }
   }
   // The heuristic still meets the top accuracy on held-out data.
-  TunedExecutor executor(config, sched(), direct());
+  TunedExecutor executor(config, sched(), engine().direct(),
+                         engine().scratch());
   Rng rng(990003);
   auto inst = make_training_instance(size_of_level(config.max_level()),
                                      InputDistribution::kUnbiased, rng,
@@ -326,7 +326,7 @@ TEST(Trainer, HeuristicRestrictsChoices) {
 }
 
 TEST(Trainer, HeuristicValidatesSubAccuracy) {
-  Trainer trainer(small_options(), sched(), direct());
+  Trainer trainer(small_options(), engine());
   EXPECT_THROW(trainer.train_heuristic(-1), InvalidArgument);
   EXPECT_THROW(trainer.train_heuristic(99), InvalidArgument);
 }
@@ -344,12 +344,14 @@ TEST(Executor, RunsFixedShapesIndependentOfInput) {
   auto p2 = make_problem(n, InputDistribution::kBiased, rng);
   trace::CycleTracer t1, t2;
   {
-    TunedExecutor executor(config, sched(), direct(), &t1);
+    TunedExecutor executor(config, sched(), engine().direct(),
+                           engine().scratch(), &t1);
     Grid2D x = p1.x0;
     executor.run_v(x, p1.b, 3);
   }
   {
-    TunedExecutor executor(config, sched(), direct(), &t2);
+    TunedExecutor executor(config, sched(), engine().direct(),
+                           engine().scratch(), &t2);
     Grid2D x = p2.x0;
     executor.run_v(x, p2.b, 3);
   }
@@ -364,7 +366,8 @@ TEST(Executor, RunsFixedShapesIndependentOfInput) {
 TEST(Executor, TraceRendersACycle) {
   const TunedConfig& config = trained();
   trace::CycleTracer tracer;
-  TunedExecutor executor(config, sched(), direct(), &tracer);
+  TunedExecutor executor(config, sched(), engine().direct(),
+                           engine().scratch(), &tracer);
   Rng rng(424242);
   const int n = size_of_level(config.max_level());
   auto p = make_problem(n, InputDistribution::kUnbiased, rng);
@@ -377,7 +380,8 @@ TEST(Executor, TraceRendersACycle) {
 
 TEST(Executor, RejectsUntrainedCellsAndBadSizes) {
   TunedConfig config(paper_accuracies(), 4);  // untrained above level 1
-  TunedExecutor executor(config, sched(), direct());
+  TunedExecutor executor(config, sched(), engine().direct(),
+                         engine().scratch());
   Grid2D x(17, 0.0), b(17, 0.0);
   EXPECT_THROW(executor.run_v(x, b, 0), InvalidArgument);
   Grid2D small(3, 0.0), wrong(5, 0.0);
@@ -406,10 +410,10 @@ TEST(ConfigCache, TrainsOnceThenLoads) {
   TrainerOptions options = small_options();
   options.max_level = 3;
   bool from_cache = true;
-  const TunedConfig first = load_or_train(options, sched(), direct(),
+  const TunedConfig first = load_or_train(options, engine(),
                                           dir.string(), -1, &from_cache);
   EXPECT_FALSE(from_cache);
-  const TunedConfig second = load_or_train(options, sched(), direct(),
+  const TunedConfig second = load_or_train(options, engine(),
                                            dir.string(), -1, &from_cache);
   EXPECT_TRUE(from_cache);
   EXPECT_EQ(first.to_json().dump(), second.to_json().dump());
@@ -443,7 +447,7 @@ TEST(ConfigCache, CorruptCacheEntryIsRetrained) {
       config_cache_key(options, sched().profile().name, "autotuned");
   write_text_file((dir / (key + ".json")).string(), "{not json");
   bool from_cache = true;
-  const TunedConfig config = load_or_train(options, sched(), direct(),
+  const TunedConfig config = load_or_train(options, engine(),
                                            dir.string(), -1, &from_cache);
   EXPECT_FALSE(from_cache);
   EXPECT_EQ(config.max_level(), 3);
