@@ -9,12 +9,20 @@
 namespace pbmg {
 
 SolveSession::SolveSession(Engine& engine, tune::TunedConfig config, int n)
+    : SolveSession(engine, std::move(config), grid::StencilOp::poisson(n)) {}
+
+SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
+                           grid::StencilOp op)
     : engine_(engine),
       config_(std::move(config)),
-      n_(n),
-      level_(level_of_size(n)),
+      n_(op.n()),
+      level_(level_of_size(op.n())),
+      // Prewarm the coarse coefficient hierarchy: restriction happens here,
+      // once, so no solve ever re-coarsens coefficients (the Poisson fast
+      // path stores no grids and costs nothing).
+      ops_(std::move(op)),
       executor_(config_, engine.scheduler(), engine.direct(),
-                engine.scratch(), nullptr, engine.relax()) {
+                engine.scratch(), nullptr, engine.relax(), &ops_) {
   PBMG_CHECK(config_.max_level() >= level_,
              "SolveSession: config trained up to level " +
                  std::to_string(config_.max_level()) +
@@ -73,8 +81,8 @@ SolveStats SolveSession::solve_reference_v(Grid2D& x, const Grid2D& b,
   check_operands(x, b);
   const double t0 = now_seconds();
   const auto outcome = solvers::solve_reference_v(
-      x, b, solvers::VCycleOptions{}, max_cycles, stop, engine_.scheduler(),
-      engine_.direct(), engine_.scratch());
+      ops_, x, b, solvers::VCycleOptions{}, max_cycles, stop,
+      engine_.scheduler(), engine_.direct(), engine_.scratch());
   return stats_for(now_seconds() - t0, -1, outcome.iterations,
                    outcome.converged);
 }
@@ -85,8 +93,8 @@ SolveStats SolveSession::solve_reference_fmg(
   check_operands(x, b);
   const double t0 = now_seconds();
   const auto outcome = solvers::solve_reference_fmg(
-      x, b, solvers::VCycleOptions{}, max_cycles, stop, engine_.scheduler(),
-      engine_.direct(), engine_.scratch());
+      ops_, x, b, solvers::VCycleOptions{}, max_cycles, stop,
+      engine_.scheduler(), engine_.direct(), engine_.scratch());
   return stats_for(now_seconds() - t0, -1, outcome.iterations,
                    outcome.converged);
 }
@@ -98,8 +106,8 @@ SolveStats SolveSession::solve_iterated_sor(Grid2D& x, const Grid2D& b,
   const double omega =
       solvers::scaled_omega_opt(n_, engine_.relax().omega_scale);
   const double t0 = now_seconds();
-  const auto outcome = solvers::solve_iterated_sor(x, b, omega, max_sweeps,
-                                                   stop, engine_.scheduler());
+  const auto outcome = solvers::solve_iterated_sor(
+      op(), x, b, omega, max_sweeps, stop, engine_.scheduler());
   return stats_for(now_seconds() - t0, -1, outcome.iterations,
                    outcome.converged);
 }

@@ -2,20 +2,27 @@
 
 #include "engine/engine.h"
 #include "grid/grid2d.h"
+#include "grid/stencil_op.h"
 #include "solvers/multigrid.h"
 #include "tune/executor.h"
 #include "tune/table.h"
 
 /// \file solve_session.h
-/// A prepared solve context: Engine + TunedConfig + grid size.
+/// A prepared solve context: Engine + TunedConfig + operator + grid size.
 ///
 /// Sessions amortize per-request setup for a service that answers many
-/// solves of one size: the tuned executor is bound once, and the level
+/// solves of one size: the tuned executor is bound once, the bound
+/// operator's coarse coefficient hierarchy is restricted once (stencil
+/// coefficients never re-coarsen on the solve path), and the level
 /// hierarchy's scratch grids are preallocated into the engine's pool so
 /// the first request pays no allocation bursts.  All solve entry points
 /// are const and thread-safe (the underlying scheduler and scratch pool
 /// are concurrent); many client threads may solve through one session as
 /// long as each brings its own x/b grids.
+///
+/// Sessions constructed without an operator bind the constant-coefficient
+/// Poisson operator — StencilOp's fast path — and execute bit-for-bit the
+/// same arithmetic as before operators existed.
 
 namespace pbmg {
 
@@ -32,10 +39,18 @@ struct SolveStats {
 /// Binds an Engine and a tuned configuration to one grid size.
 class SolveSession {
  public:
-  /// Binds `engine` + a copy of `config` to side-n solves.  Throws
+  /// Binds `engine` + a copy of `config` to side-n Poisson solves.  Throws
   /// InvalidArgument when n is not 2^k+1 or exceeds the config's trained
   /// levels.  Preallocates the level hierarchy's scratch grids.
   SolveSession(Engine& engine, tune::TunedConfig config, int n);
+
+  /// Binds a variable-coefficient operator (grid size comes from the
+  /// operator).  Prewarms the operator's coarse coefficient hierarchy in
+  /// addition to the scratch grids.  The config should have been trained
+  /// for the operator's family (tune::TrainerOptions::op_family) — a
+  /// mismatched config still converges, just with mistuned iteration
+  /// counts (that delta is what bench/fig18_operator_families measures).
+  SolveSession(Engine& engine, tune::TunedConfig config, grid::StencilOp op);
 
   SolveSession(const SolveSession&) = delete;
   SolveSession& operator=(const SolveSession&) = delete;
@@ -44,6 +59,12 @@ class SolveSession {
   int level() const { return level_; }
   Engine& engine() const { return engine_; }
   const tune::TunedConfig& config() const { return config_; }
+
+  /// The bound fine-grid operator (Poisson fast path for the int ctor).
+  const grid::StencilOp& op() const { return ops_.at(level_); }
+
+  /// The prewarmed per-level operator ladder.
+  const grid::StencilHierarchy& operators() const { return ops_; }
 
   /// Ladder index of the cheapest tuned accuracy >= target.
   int accuracy_index(double target_accuracy) const {
@@ -77,6 +98,7 @@ class SolveSession {
   tune::TunedConfig config_;
   int n_;
   int level_;
+  grid::StencilHierarchy ops_;    // built before executor_, which binds it
   tune::TunedExecutor executor_;  // bound to config_ (stable: non-movable)
 };
 

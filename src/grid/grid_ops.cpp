@@ -81,6 +81,78 @@ void residual(const Grid2D& x, const Grid2D& b, Grid2D& r,
   zero_boundary(r);
 }
 
+namespace {
+
+/// Shared variable-coefficient stencil loop; WithRhs selects residual
+/// (rhs − A·x) versus plain application (A·x).  The accumulation order of
+/// the generic path mirrors the Poisson kernels term for term, so a
+/// variable operator whose coefficients happen to be exactly 1 (c = 0)
+/// reproduces the fast path to the last ulp.
+template <bool WithRhs>
+void stencil_loop(const StencilOp& op, const Grid2D& x, const Grid2D* b,
+                  Grid2D& out, rt::Scheduler& sched) {
+  const int n = x.n();
+  const double inv_h2 = static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  const double c = op.c();
+  const Grid2D& ax = op.ax_grid();
+  const Grid2D& ay = op.ay_grid();
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const double* axr = ax.row(i);      // aW = axr[j-1], aE = axr[j]
+          const double* ay_up = ay.row(i - 1);  // aN = ay_up[j]
+          const double* ay_dn = ay.row(i);      // aS = ay_dn[j]
+          const double* rhs = WithRhs ? b->row(i) : nullptr;
+          double* o = out.row(i);
+          for (int j = 1; j < n - 1; ++j) {
+            const double aw = axr[j - 1];
+            const double ae = axr[j];
+            const double an = ay_up[j];
+            const double as = ay_dn[j];
+            const double diag = ((aw + ae) + an) + as;
+            const double av = (diag * mid[j] - an * up[j] - as * down[j] -
+                               aw * mid[j - 1] - ae * mid[j + 1]) *
+                                  inv_h2 +
+                              c * mid[j];
+            if constexpr (WithRhs) o[j] = rhs[j] - av;
+            else o[j] = av;
+          }
+        }
+      });
+  zero_boundary(out);
+}
+
+}  // namespace
+
+void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
+              rt::Scheduler& sched) {
+  check_valid(x, "apply_op");
+  check_same_size(x, out, "apply_op");
+  PBMG_CHECK(op.n() == x.n(), "apply_op: operator/grid size mismatch");
+  if (op.is_poisson()) {
+    apply_poisson(x, out, sched);
+    return;
+  }
+  stencil_loop<false>(op, x, nullptr, out, sched);
+}
+
+void residual_op(const StencilOp& op, const Grid2D& x, const Grid2D& b,
+                 Grid2D& r, rt::Scheduler& sched) {
+  check_valid(x, "residual_op");
+  check_same_size(x, b, "residual_op");
+  check_same_size(x, r, "residual_op");
+  PBMG_CHECK(op.n() == x.n(), "residual_op: operator/grid size mismatch");
+  if (op.is_poisson()) {
+    residual(x, b, r, sched);
+    return;
+  }
+  stencil_loop<true>(op, x, &b, r, sched);
+}
+
 void restrict_full_weighting(const Grid2D& fine, Grid2D& coarse,
                              rt::Scheduler& sched) {
   check_valid(fine, "restrict_full_weighting");

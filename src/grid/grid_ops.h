@@ -1,6 +1,7 @@
 #pragma once
 
 #include "grid/grid2d.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 
 /// \file grid_ops.h
@@ -26,6 +27,17 @@ void apply_poisson(const Grid2D& x, Grid2D& out, rt::Scheduler& sched);
 /// Requires all three grids to share the same valid size.
 void residual(const Grid2D& x, const Grid2D& b, Grid2D& r,
               rt::Scheduler& sched);
+
+/// out(i,j) = (A x)(i,j) for a variable-coefficient operator (see
+/// stencil_op.h); out's boundary ring is zeroed.  The Poisson fast path
+/// dispatches to apply_poisson, bit-for-bit.  Requires x.n() == op.n().
+void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
+              rt::Scheduler& sched);
+
+/// r = b − A x for a variable-coefficient operator; r's boundary ring is
+/// zeroed.  The Poisson fast path dispatches to residual(), bit-for-bit.
+void residual_op(const StencilOp& op, const Grid2D& x, const Grid2D& b,
+                 Grid2D& r, rt::Scheduler& sched);
 
 /// Full-weighting restriction of the fine interior onto the coarse grid:
 /// coarse(I,J) = 1/16 · [1 2 1; 2 4 2; 1 2 1] stencil at fine (2I, 2J).

@@ -31,6 +31,74 @@ InputDistribution parse_distribution(const std::string& name) {
                         "' (expected unbiased|biased|point-sources)");
 }
 
+std::string to_string(OperatorFamily family) {
+  switch (family) {
+    case OperatorFamily::kPoisson: return "poisson";
+    case OperatorFamily::kSmoothVariable: return "smooth";
+    case OperatorFamily::kJumpCoefficient: return "jump";
+    case OperatorFamily::kAnisotropic: return "aniso";
+  }
+  throw InvalidArgument("to_string: invalid OperatorFamily");
+}
+
+OperatorFamily parse_operator_family(const std::string& name) {
+  if (name == "poisson") return OperatorFamily::kPoisson;
+  if (name == "smooth") return OperatorFamily::kSmoothVariable;
+  if (name == "jump") return OperatorFamily::kJumpCoefficient;
+  if (name == "aniso") return OperatorFamily::kAnisotropic;
+  throw InvalidArgument("unknown operator family '" + name +
+                        "' (expected poisson|smooth|jump|aniso)");
+}
+
+grid::StencilOp make_operator(int n, OperatorFamily family) {
+  PBMG_CHECK(is_valid_grid_size(n), "make_operator: n must be 2^k + 1");
+  switch (family) {
+    case OperatorFamily::kPoisson:
+      return grid::StencilOp::poisson(n);
+    case OperatorFamily::kSmoothVariable:
+      return grid::StencilOp::from_coefficient(n, [](double x, double y) {
+        return 1.0 + 0.6 * std::sin(M_PI * x) * std::sin(M_PI * y);
+      });
+    case OperatorFamily::kJumpCoefficient:
+      // Half-open box so edge midpoints on the upper interface sample the
+      // background value; the jump sits on x,y = ¼ and ¾, which are grid
+      // lines of every level with n >= 5, keeping the interface aligned
+      // under coarsening.
+      return grid::StencilOp::from_coefficient(n, [](double x, double y) {
+        const bool inside = x >= 0.25 && x < 0.75 && y >= 0.25 && y < 0.75;
+        return inside ? 100.0 : 1.0;
+      });
+    case OperatorFamily::kAnisotropic:
+      return grid::StencilOp::from_coefficients(
+          n, [](double, double) { return 1.0; },
+          [](double, double) { return 0.03125; }, 0.0);
+  }
+  throw InvalidArgument("make_operator: invalid OperatorFamily");
+}
+
+std::string ProblemSpec::cache_token() const {
+  return to_string(op) + "_" + to_string(distribution) + "_L" +
+         std::to_string(level);
+}
+
+Json ProblemSpec::to_json() const {
+  Json j = Json::object();
+  j.set("operator", to_string(op));
+  j.set("distribution", to_string(distribution));
+  j.set("level", std::int64_t{level});
+  return j;
+}
+
+ProblemSpec ProblemSpec::from_json(const Json& json) {
+  ProblemSpec spec;
+  spec.op = parse_operator_family(json.at("operator").as_string());
+  spec.distribution = parse_distribution(json.at("distribution").as_string());
+  spec.level = static_cast<int>(json.at("level").as_int());
+  PBMG_CHECK(spec.level >= 1 && spec.level <= 30,
+             "ProblemSpec: level out of range");
+  return spec;
+}
+
 PoissonProblem make_problem(int n, InputDistribution dist, Rng& rng) {
   PBMG_CHECK(is_valid_grid_size(n), "make_problem: n must be 2^k + 1");
   PoissonProblem p;

@@ -3,15 +3,21 @@
 #include <string>
 
 #include "grid/grid2d.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
+#include "support/json.h"
 #include "support/rng.h"
 
 /// \file problem.h
-/// Poisson problem instances and the training/benchmark input
-/// distributions used in the paper (§4): right-hand sides and Dirichlet
-/// boundary values drawn uniformly from [−2³², 2³²] ("unbiased"), the same
-/// distribution shifted by +2³¹ ("biased"), and the point-source variant
-/// the paper mentions alongside them.
+/// Problem instances, the training/benchmark input distributions used in
+/// the paper (§4) — right-hand sides and Dirichlet boundary values drawn
+/// uniformly from [−2³², 2³²] ("unbiased"), the same distribution shifted
+/// by +2³¹ ("biased"), and the point-source variant the paper mentions
+/// alongside them — plus the ready-made operator families that extend the
+/// paper's notion of "scenario" beyond the constant-coefficient Poisson
+/// operator (see stencil_op.h).  A ProblemSpec names one full scenario
+/// (operator family × input distribution × size); the tuning layer keys
+/// its config cache on it so every scenario gets its own tuned tables.
 
 namespace pbmg {
 
@@ -32,6 +38,62 @@ std::string to_string(InputDistribution dist);
 /// Parses the names produced by to_string.  Throws InvalidArgument for
 /// anything else.
 InputDistribution parse_distribution(const std::string& name);
+
+/// Ready-made elliptic operator families (−∇·(a∇u) + c·u; see
+/// stencil_op.h).  Tuned choices shift materially between families — the
+/// high-contrast and anisotropic operators converge differently enough
+/// that a Poisson-tuned cycle shape is no longer the fastest — so each
+/// family is a first-class tuning scenario (bench/fig18_operator_families
+/// measures the retuning payoff).
+enum class OperatorFamily {
+  /// a ≡ 1, c = 0: the paper's operator (StencilOp's fast path).
+  kPoisson,
+  /// Smooth isotropic variation: a(x,y) = 1 + 0.6·sin(πx)·sin(πy).
+  kSmoothVariable,
+  /// High-contrast "jump": a = 100 inside the centred box [¼,¾)², 1
+  /// outside (interface aligned with coarse-grid lines for n >= 5).
+  kJumpCoefficient,
+  /// Axis-anisotropic: ax ≡ 1, ay ≡ 1/32 (weak vertical coupling).  A
+  /// V(1,1) cycle with point red-black SOR still contracts at ~0.75–0.8
+  /// per cycle at this ratio — slow enough that Poisson-tuned iteration
+  /// counts are badly mistuned (the fig18 payoff), while pushing much
+  /// further needs line smoothers, a ROADMAP follow-on.
+  kAnisotropic,
+};
+
+/// All families, in declaration order (for sweeping tests/benches).
+inline constexpr OperatorFamily kAllOperatorFamilies[] = {
+    OperatorFamily::kPoisson, OperatorFamily::kSmoothVariable,
+    OperatorFamily::kJumpCoefficient, OperatorFamily::kAnisotropic};
+
+/// Short stable name ("poisson", "smooth", "jump", "aniso") — used in
+/// cache keys and config provenance, so renaming invalidates tuned tables.
+std::string to_string(OperatorFamily family);
+
+/// Parses the names produced by to_string.  Throws InvalidArgument for
+/// anything else.
+OperatorFamily parse_operator_family(const std::string& name);
+
+/// Builds the family's operator discretised on an n×n grid.
+grid::StencilOp make_operator(int n, OperatorFamily family);
+
+/// One full tuning scenario: which operator, which input distribution,
+/// and how large.  Part of the tuned-config cache key (tune/config_cache);
+/// two specs that differ in any field must never share tuned tables.
+struct ProblemSpec {
+  OperatorFamily op = OperatorFamily::kPoisson;
+  InputDistribution distribution = InputDistribution::kUnbiased;
+  int level = 8;  ///< fine-grid recursion level (side 2^level + 1)
+
+  bool operator==(const ProblemSpec&) const = default;
+
+  /// Filename-safe token, e.g. "poisson_unbiased_L8".
+  std::string cache_token() const;
+
+  /// Serialization (bitwise round trip: from_json(to_json(s)) == s).
+  Json to_json() const;
+  static ProblemSpec from_json(const Json& json);
+};
 
 /// One instance of the discrete Poisson problem A·x = b with Dirichlet
 /// boundary data.  `x0` carries the boundary values on its ring and a zero

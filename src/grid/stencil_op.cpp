@@ -1,0 +1,176 @@
+#include "grid/stencil_op.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "grid/level.h"
+
+namespace pbmg::grid {
+
+namespace {
+
+/// Series (harmonic) combination of two fine edges spanning one coarse
+/// edge: the effective conductance of two unit-length conductors in
+/// series, scaled back to the coarse edge length.  Exact for constant
+/// coefficients: H(a, a) = a.
+double series(double a1, double a2) {
+  const double sum = a1 + a2;
+  PBMG_NUM_ASSERT(sum > 0.0, "StencilOp: degenerate edge pair in restriction");
+  return 2.0 * a1 * a2 / sum;
+}
+
+void check_coefficients(const Grid2D& ax, const Grid2D& ay, int n) {
+  // Only edges adjacent to interior equations matter, but a single bad
+  // value anywhere is almost always a construction bug, so the assertion
+  // build scans every stored edge.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j + 1 < n; ++j) {
+      PBMG_NUM_ASSERT(std::isfinite(ax(i, j)) && ax(i, j) > 0.0,
+                      "StencilOp: ax edge coefficient must be finite and > 0");
+      PBMG_NUM_ASSERT(std::isfinite(ay(j, i)) && ay(j, i) > 0.0,
+                      "StencilOp: ay edge coefficient must be finite and > 0");
+    }
+  }
+}
+
+}  // namespace
+
+StencilOp StencilOp::poisson(int n) {
+  PBMG_CHECK(is_valid_grid_size(n), "StencilOp::poisson: n must be 2^k + 1");
+  StencilOp op;
+  op.n_ = n;
+  return op;
+}
+
+StencilOp StencilOp::variable(Grid2D ax, Grid2D ay, double c) {
+  const int n = ax.n();
+  PBMG_CHECK(is_valid_grid_size(n), "StencilOp::variable: n must be 2^k + 1");
+  PBMG_CHECK(ay.n() == n, "StencilOp::variable: ax/ay size mismatch");
+  PBMG_CHECK(std::isfinite(c) && c >= 0.0,
+             "StencilOp::variable: c must be finite and >= 0");
+  check_coefficients(ax, ay, n);
+  StencilOp op;
+  op.n_ = n;
+  op.c_ = c;
+  auto coeff = std::make_shared<Coefficients>();
+  coeff->ax = std::move(ax);
+  coeff->ay = std::move(ay);
+  op.coeff_ = std::move(coeff);
+  return op;
+}
+
+StencilOp StencilOp::from_coefficients(
+    int n, const std::function<double(double, double)>& ax_fn,
+    const std::function<double(double, double)>& ay_fn, double c) {
+  PBMG_CHECK(is_valid_grid_size(n),
+             "StencilOp::from_coefficients: n must be 2^k + 1");
+  PBMG_CHECK(ax_fn != nullptr && ay_fn != nullptr,
+             "StencilOp::from_coefficients: null coefficient function");
+  const double h = mesh_width(n);
+  Grid2D ax(n, 1.0);
+  Grid2D ay(n, 1.0);
+  // Convention matches grid/problem.cpp: row i is y = i·h, column j is
+  // x = j·h.  Edge coefficients are sampled at edge midpoints.
+  for (int i = 0; i < n; ++i) {
+    const double y = i * h;
+    for (int j = 0; j + 1 < n; ++j) {
+      ax(i, j) = ax_fn((j + 0.5) * h, y);
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    const double y = (i + 0.5) * h;
+    for (int j = 0; j < n; ++j) {
+      ay(i, j) = ay_fn(j * h, y);
+    }
+  }
+  return variable(std::move(ax), std::move(ay), c);
+}
+
+StencilOp StencilOp::from_coefficient(
+    int n, const std::function<double(double, double)>& a_fn, double c) {
+  return from_coefficients(n, a_fn, a_fn, c);
+}
+
+const Grid2D& StencilOp::ax_grid() const {
+  PBMG_CHECK(coeff_ != nullptr,
+             "StencilOp::ax_grid: Poisson fast path stores no grids");
+  return coeff_->ax;
+}
+
+const Grid2D& StencilOp::ay_grid() const {
+  PBMG_CHECK(coeff_ != nullptr,
+             "StencilOp::ay_grid: Poisson fast path stores no grids");
+  return coeff_->ay;
+}
+
+double StencilOp::diag(int i, int j) const {
+  PBMG_CHECK(i >= 1 && i < n_ - 1 && j >= 1 && j < n_ - 1,
+             "StencilOp::diag: (i,j) must be an interior cell");
+  const double inv_h2 =
+      static_cast<double>(n_ - 1) * static_cast<double>(n_ - 1);
+  const double sum = ((ax(i, j - 1) + ax(i, j)) + ay(i - 1, j)) + ay(i, j);
+  return sum * inv_h2 + c_;
+}
+
+StencilOp StencilOp::restricted() const {
+  PBMG_CHECK(n_ >= 5, "StencilOp::restricted: cannot coarsen below N = 5");
+  const int nc = coarse_size(n_);
+  if (is_poisson()) return poisson(nc);  // constants restrict to themselves
+
+  const int n = n_;
+  const auto clamp_row = [n](int r) { return std::clamp(r, 0, n - 1); };
+  Grid2D ax_c(nc, 1.0);
+  Grid2D ay_c(nc, 1.0);
+  // Coarse edge (I,J)-(I,J+1) spans fine nodes (2I,2J)..(2I,2J+2): series
+  // conductance of the two in-line fine edges, averaged with the parallel
+  // paths one fine row above and below (weights ½/¼/¼; rows clamped at the
+  // boundary so the weights always sum to 1 and constants are preserved).
+  const auto x_path = [&](int row, int cj) {
+    const int r = clamp_row(row);
+    return series(ax(r, 2 * cj), ax(r, 2 * cj + 1));
+  };
+  const auto y_path = [&](int col, int ci) {
+    const int c = clamp_row(col);
+    return series(ay(2 * ci, c), ay(2 * ci + 1, c));
+  };
+  for (int ci = 0; ci < nc; ++ci) {
+    for (int cj = 0; cj + 1 < nc; ++cj) {
+      ax_c(ci, cj) = 0.5 * x_path(2 * ci, cj) +
+                     0.25 * (x_path(2 * ci - 1, cj) + x_path(2 * ci + 1, cj));
+      ay_c(cj, ci) = 0.5 * y_path(2 * ci, cj) +
+                     0.25 * (y_path(2 * ci - 1, cj) + y_path(2 * ci + 1, cj));
+    }
+  }
+  return variable(std::move(ax_c), std::move(ay_c), c_);
+}
+
+StencilHierarchy::StencilHierarchy(StencilOp fine) {
+  PBMG_CHECK(fine.n() >= 3, "StencilHierarchy: empty fine operator");
+  const int top = level_of_size(fine.n());
+  ops_.resize(static_cast<std::size_t>(top) + 1);
+  ops_[static_cast<std::size_t>(top)] = std::move(fine);
+  for (int k = top - 1; k >= 1; --k) {
+    ops_[static_cast<std::size_t>(k)] =
+        ops_[static_cast<std::size_t>(k) + 1].restricted();
+  }
+}
+
+int StencilHierarchy::n() const {
+  return ops_.empty() ? 0 : ops_.back().n();
+}
+
+bool StencilHierarchy::is_poisson() const {
+  for (std::size_t k = 1; k < ops_.size(); ++k) {
+    if (!ops_[k].is_poisson()) return false;
+  }
+  return !ops_.empty();
+}
+
+const StencilOp& StencilHierarchy::at(int level) const {
+  PBMG_CHECK(level >= 1 && level <= top_level(),
+             "StencilHierarchy::at: level " + std::to_string(level) +
+                 " outside [1, " + std::to_string(top_level()) + "]");
+  return ops_[static_cast<std::size_t>(level)];
+}
+
+}  // namespace pbmg::grid

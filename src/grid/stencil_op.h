@@ -1,0 +1,148 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "grid/grid2d.h"
+
+/// \file stencil_op.h
+/// Variable-coefficient 5-point elliptic operators.
+///
+/// A StencilOp describes the discrete operator
+///
+///     (A u)(i,j) = −∇·(a(x,y) ∇u)(i,j) + c·u(i,j)
+///
+/// on an n×n grid with Dirichlet boundaries, discretised with the standard
+/// flux form: each interior cell couples to its four neighbours through a
+/// per-edge coefficient,
+///
+///     (A u)(i,j) = [ aW·(u−uW) + aE·(u−uE) + aN·(u−uN) + aS·(u−uS) ] / h²
+///                  + c·u ,
+///
+/// where aW = ax(i,j−1), aE = ax(i,j), aN = ay(i−1,j), aS = ay(i,j) are
+/// the diffusion coefficients sampled at edge midpoints.  The operator is
+/// symmetric by construction (every edge coefficient is shared by its two
+/// endpoints) and positive definite whenever all edge coefficients are
+/// positive and c >= 0.
+///
+/// The constant-coefficient Poisson operator (a ≡ 1, c = 0) is the
+/// zero-overhead fast path: `StencilOp::poisson(n)` stores no coefficient
+/// grids, and every kernel that takes a StencilOp dispatches it to the
+/// original specialised Poisson kernel, bit-for-bit identical to calling
+/// that kernel directly.
+///
+/// Coarse-grid operators are obtained by coefficient restriction
+/// (`restricted()`): the coarse edge coefficient is the harmonic (series)
+/// combination of the two in-line fine edges, averaged with the two
+/// adjacent parallel fine paths with weights ½/¼/¼ — the classical
+/// Galerkin-flavoured coarsening for flux-form stencils (Alcouffe et al.).
+/// `StencilHierarchy` precomputes the whole ladder once per solve context.
+///
+/// Numerical kernels (apply/residual) live in grid_ops.h as free functions
+/// like every other grid kernel; this header only defines the data types.
+
+namespace pbmg::grid {
+
+/// A variable-coefficient 5-point operator (see file comment).
+/// Value type: copies share the underlying coefficient grids.
+class StencilOp {
+ public:
+  /// Empty operator (n = 0); assign before use.
+  StencilOp() = default;
+
+  /// The constant-coefficient Poisson operator on an n×n grid — the fast
+  /// path.  Stores no coefficient grids.
+  static StencilOp poisson(int n);
+
+  /// Builds an operator from explicit edge-coefficient grids.  `ax` and
+  /// `ay` must be n×n: ax(i,j) is the coefficient of the edge between
+  /// nodes (i,j) and (i,j+1) (read for j in [0, n−2]); ay(i,j) is the
+  /// coefficient of the edge between (i,j) and (i+1,j) (read for i in
+  /// [0, n−2]).  Requires every read edge coefficient > 0 and c >= 0.
+  static StencilOp variable(Grid2D ax, Grid2D ay, double c);
+
+  /// Samples per-direction coefficient functions at edge midpoints
+  /// (x = column·h, y = row·h over the unit square).  `ax_fn`/`ay_fn`
+  /// must be positive on [0,1]².
+  static StencilOp from_coefficients(
+      int n, const std::function<double(double, double)>& ax_fn,
+      const std::function<double(double, double)>& ay_fn, double c);
+
+  /// Isotropic convenience: one coefficient function for both directions.
+  static StencilOp from_coefficient(
+      int n, const std::function<double(double, double)>& a_fn,
+      double c = 0.0);
+
+  /// Grid side the operator acts on.
+  int n() const { return n_; }
+
+  /// True for the constant-coefficient Poisson fast path.
+  bool is_poisson() const { return coeff_ == nullptr; }
+
+  /// The constant reaction term c (>= 0).
+  double c() const { return c_; }
+
+  /// Edge coefficients (1.0 on the Poisson fast path).
+  double ax(int i, int j) const {
+    return coeff_ == nullptr ? 1.0 : coeff_->ax(i, j);
+  }
+  double ay(int i, int j) const {
+    return coeff_ == nullptr ? 1.0 : coeff_->ay(i, j);
+  }
+
+  /// Raw coefficient grids; requires !is_poisson() (the fast path stores
+  /// none).  Hot kernels use these to get row pointers.
+  const Grid2D& ax_grid() const;
+  const Grid2D& ay_grid() const;
+
+  /// Diagonal of the assembled matrix at interior cell (i,j):
+  /// (aW + aE + aN + aS)/h² + c.
+  double diag(int i, int j) const;
+
+  /// The next-coarser operator by coefficient restriction (see file
+  /// comment).  Restriction of the Poisson fast path is again the Poisson
+  /// fast path, with no arithmetic.  Requires n() >= 5.
+  StencilOp restricted() const;
+
+ private:
+  struct Coefficients {
+    Grid2D ax;
+    Grid2D ay;
+  };
+
+  int n_ = 0;
+  double c_ = 0.0;
+  std::shared_ptr<const Coefficients> coeff_;  ///< null ⇒ Poisson fast path
+};
+
+/// The per-level operator ladder a multigrid solve runs against: ops at
+/// recursion levels [1, top_level], level k acting on 2^k+1 grids.  Built
+/// once by repeated restriction and carried next to the scratch grids by
+/// solve sessions, executors and trainers.  Cheap to copy (levels share
+/// coefficient storage with the ops they were restricted from).
+class StencilHierarchy {
+ public:
+  /// Empty hierarchy; assign before use.
+  StencilHierarchy() = default;
+
+  /// Restricts `fine` down to level 1 (N = 3).
+  explicit StencilHierarchy(StencilOp fine);
+
+  /// Fine-grid recursion level (0 for an empty hierarchy).
+  int top_level() const { return static_cast<int>(ops_.size()) - 1; }
+
+  /// Fine-grid side.
+  int n() const;
+
+  /// True when every level is the Poisson fast path.
+  bool is_poisson() const;
+
+  /// Operator at recursion level `level` in [1, top_level].
+  const StencilOp& at(int level) const;
+
+ private:
+  std::vector<StencilOp> ops_;  ///< ops_[k] at level k; [0] unused padding
+};
+
+}  // namespace pbmg::grid

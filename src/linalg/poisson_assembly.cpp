@@ -48,6 +48,63 @@ std::vector<double> gather_poisson_rhs(const Grid2D& b,
   return rhs;
 }
 
+BandMatrix assemble_stencil_band(const grid::StencilOp& op) {
+  const int n = op.n();
+  if (op.is_poisson()) return assemble_poisson_band(n);
+  PBMG_CHECK(is_valid_grid_size(n), "assemble_stencil_band: n must be 2^k+1");
+  const int m_side = n - 2;
+  const int dim = m_side * m_side;
+  const int kd = m_side;
+  const double inv_h2 =
+      static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  const double c = op.c();
+  BandMatrix a(dim, dim == 1 ? 0 : kd);
+  for (int i = 0; i < m_side; ++i) {
+    const int gi = i + 1;  // grid row of this unknown
+    for (int j = 0; j < m_side; ++j) {
+      const int gj = j + 1;
+      const int idx = i * m_side + j;
+      const double aw = op.ax(gi, gj - 1);
+      const double ae = op.ax(gi, gj);
+      const double an = op.ay(gi - 1, gj);
+      const double as = op.ay(gi, gj);
+      const double diag = (((aw + ae) + an) + as) * inv_h2 + c;
+      PBMG_NUM_ASSERT(diag > 0.0,
+                      "assemble_stencil_band: non-positive diagonal");
+      a.band(idx, 0) = diag;
+      if (j + 1 < m_side) a.band(idx, 1) = -ae * inv_h2;       // east
+      if (i + 1 < m_side) a.band(idx, m_side) = -as * inv_h2;  // south
+    }
+  }
+  return a;
+}
+
+std::vector<double> gather_stencil_rhs(const grid::StencilOp& op,
+                                       const Grid2D& b,
+                                       const Grid2D& x_boundary) {
+  const int n = b.n();
+  if (op.is_poisson()) return gather_poisson_rhs(b, x_boundary);
+  PBMG_CHECK(is_valid_grid_size(n), "gather_stencil_rhs: n must be 2^k+1");
+  PBMG_CHECK(op.n() == n && x_boundary.n() == n,
+             "gather_stencil_rhs: size mismatch");
+  const int m_side = n - 2;
+  const double inv_h2 =
+      static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  std::vector<double> rhs(static_cast<std::size_t>(m_side) *
+                          static_cast<std::size_t>(m_side));
+  for (int i = 1; i <= m_side; ++i) {
+    for (int j = 1; j <= m_side; ++j) {
+      double v = b(i, j);
+      if (i == 1) v += op.ay(0, j) * inv_h2 * x_boundary(0, j);
+      if (i == m_side) v += op.ay(n - 2, j) * inv_h2 * x_boundary(n - 1, j);
+      if (j == 1) v += op.ax(i, 0) * inv_h2 * x_boundary(i, 0);
+      if (j == m_side) v += op.ax(i, n - 2) * inv_h2 * x_boundary(i, n - 1);
+      rhs[static_cast<std::size_t>(i - 1) * m_side + (j - 1)] = v;
+    }
+  }
+  return rhs;
+}
+
 void scatter_interior(const std::vector<double>& x, Grid2D& out) {
   const int n = out.n();
   const int m_side = n - 2;

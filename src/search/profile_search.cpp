@@ -24,13 +24,16 @@ constexpr double kSorPhaseAccuracy = 10.0;
 
 }  // namespace
 
-ParamSpace make_profile_space(const rt::MachineProfile& base) {
+ParamSpace make_profile_space(const rt::MachineProfile& base,
+                              bool include_machine_tunables) {
   ParamSpace space;
-  for (const rt::ProfileTunable& t : rt::profile_tunables(base)) {
-    if (t.log_scale) {
-      space.add_log_int(t.name, t.lo, t.hi, t.value);
-    } else {
-      space.add_int(t.name, t.lo, t.hi, t.value);
+  if (include_machine_tunables) {
+    for (const rt::ProfileTunable& t : rt::profile_tunables(base)) {
+      if (t.log_scale) {
+        space.add_log_int(t.name, t.lo, t.hi, t.value);
+      } else {
+        space.add_int(t.name, t.lo, t.hi, t.value);
+      }
     }
   }
   // Relaxation weights from solvers/relax: RECURSE's ω (paper: 1.15) and
@@ -47,6 +50,12 @@ RuntimeParams decode_runtime_params(const ParamSpace& space,
   RuntimeParams params;
   params.profile = base;
   for (const rt::ProfileTunable& t : rt::profile_tunables(base)) {
+    // A relax-only space carries no machine dimensions; those tunables
+    // keep their base values.
+    const bool searched = std::any_of(
+        space.dimensions().begin(), space.dimensions().end(),
+        [&](const auto& dim) { return dim.name == t.name; });
+    if (!searched) continue;
     params.profile =
         rt::with_tunable(params.profile, t.name,
                          space.int_value(candidate, t.name));
@@ -104,16 +113,22 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
   PBMG_CHECK(options.target_accuracy > 1.0,
              "search_profile: target accuracy must exceed 1");
 
-  const ParamSpace space = make_profile_space(options.base);
+  const ParamSpace space =
+      make_profile_space(options.base, !options.relax_only);
   const int n = size_of_level(options.level);
 
   // The base engine serves instance construction and the (untimed)
   // accuracy oracle; candidate engines are built per evaluation.
   Engine base_engine(options.base);
   rt::Scheduler& base_sched = base_engine.scheduler();
+  // The workload's operator: candidates are raced on the same scenario
+  // the trained tables will serve (the Poisson fast path reproduces the
+  // historical workload bit for bit).
+  const grid::StencilOp op = make_operator(n, options.op_family);
+  const grid::StencilHierarchy ops(op);
   Rng rng(options.seed);
   auto instances =
-      tune::make_training_set(n, options.distribution, rng.split(0x5EA7C4),
+      tune::make_training_set(op, options.distribution, rng.split(0x5EA7C4),
                               options.instances, base_sched);
 
   // Workload: what a tuned binary actually spends time in — (a) iterated
@@ -152,7 +167,7 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
     bool reached = false;
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
       const double t0 = now_seconds();
-      solvers::sor_sweep(x, inst.problem.b, sor_omega, sched);
+      solvers::sor_sweep(op, x, inst.problem.b, sor_omega, sched);
       elapsed += now_seconds() - t0;
       if (deadline.expired()) return kInf;
       if (tune::accuracy_of(inst, x, base_sched) >= kSorPhaseAccuracy) {
@@ -166,7 +181,7 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
     vopts.omega = params.relax.recurse_omega;
     for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
       const double t0 = now_seconds();
-      solvers::vcycle(x, inst.problem.b, vopts, sched, engine.direct(),
+      solvers::vcycle(ops, x, inst.problem.b, vopts, sched, engine.direct(),
                       engine.scratch());
       elapsed += now_seconds() - t0;
       if (deadline.expired()) return kInf;

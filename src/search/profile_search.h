@@ -29,7 +29,10 @@ namespace pbmg::search {
 /// Builds the searchable space over `base`: the profile's tunables
 /// (threads, grain_rows, sequential_cutoff_cells) plus RECURSE ω and the
 /// ω_opt scale from solvers/relax.  Defaults reproduce `base` exactly.
-ParamSpace make_profile_space(const rt::MachineProfile& base);
+/// With include_machine_tunables = false only the relaxation weights are
+/// searched (see ProfileSearchOptions::relax_only).
+ParamSpace make_profile_space(const rt::MachineProfile& base,
+                              bool include_machine_tunables = true);
 
 /// A candidate decoded into concrete runtime parameters.
 struct RuntimeParams {
@@ -37,7 +40,8 @@ struct RuntimeParams {
   solvers::RelaxTunables relax;
 };
 
-/// Decodes a candidate of make_profile_space(base).
+/// Decodes a candidate of make_profile_space(base, ...).  Machine
+/// tunables absent from the space keep their `base` values.
 RuntimeParams decode_runtime_params(const ParamSpace& space,
                                     const Candidate& candidate,
                                     const rt::MachineProfile& base);
@@ -49,6 +53,21 @@ struct ProfileSearchOptions {
 
   /// Workload grid level: candidates are raced on N = 2^level + 1 grids.
   int level = 6;
+
+  /// Operator family the workload solves (grid/problem.h).  Runtime
+  /// parameters are scenario-sensitive — e.g. the best RECURSE ω for the
+  /// axis-anisotropic family sits far from the paper's Poisson-tuned
+  /// 1.15 — so the search must race candidates on the operator the tuned
+  /// tables will serve.  Part of the searched-config cache key.
+  OperatorFamily op_family = OperatorFamily::kPoisson;
+
+  /// Restricts the search space to the relaxation weights (RECURSE ω and
+  /// the ω_opt scale), keeping the machine tunables at `base`'s values.
+  /// Use when comparing scenarios on one fixed machine — e.g.
+  /// bench/fig18_operator_families isolates the operator-dependent
+  /// parameters so machine-knob timing noise cannot masquerade as a
+  /// retuning effect.  Part of the searched-config cache key.
+  bool relax_only = false;
 
   /// Accuracy the workload's V-cycle phase must reach (see objective note
   /// in profile_search.cpp).

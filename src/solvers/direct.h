@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "grid/grid2d.h"
+#include "grid/stencil_op.h"
 #include "linalg/band_matrix.h"
 
 /// \file direct.h
@@ -33,6 +34,13 @@ class DirectSolver {
   /// Dirichlet values on its ring (interior is ignored); on return the
   /// interior holds the exact solution.  Requires b.n() == x.n() = 2^k+1.
   void solve(const Grid2D& b, Grid2D& x);
+
+  /// Same contract for a variable-coefficient operator (stencil_op.h).
+  /// The Poisson fast path dispatches to solve(b, x) above — including its
+  /// factor cache.  Variable-coefficient systems assemble and factor on
+  /// every call (DPBSV semantics; the factor cache is keyed by size only,
+  /// which is sound solely for the size-determined Poisson matrix).
+  void solve(const grid::StencilOp& op, const Grid2D& b, Grid2D& x);
 
   /// Drops all cached factors.
   void clear_cache();

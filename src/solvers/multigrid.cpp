@@ -9,32 +9,42 @@ namespace pbmg::solvers {
 
 namespace {
 
-void smooth(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
-            int sweeps, rt::Scheduler& sched, grid::ScratchPool& pool) {
+/// Operator for `level`: from the hierarchy when one is supplied, else the
+/// constant-coefficient Poisson fast path (which every op-aware kernel
+/// dispatches to the original specialised kernel, bit-for-bit).
+grid::StencilOp op_at(const grid::StencilHierarchy* ops, int level, int n) {
+  return ops != nullptr ? ops->at(level) : grid::StencilOp::poisson(n);
+}
+
+void smooth(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+            const VCycleOptions& options, int sweeps, rt::Scheduler& sched,
+            grid::ScratchPool& pool) {
   if (options.relaxation == RelaxKind::kSor) {
     for (int s = 0; s < sweeps; ++s) {
-      sor_sweep(x, b, options.omega, sched);
+      sor_sweep(op, x, b, options.omega, sched);
     }
   } else {
     auto scratch_lease = pool.acquire(x.n());
     for (int s = 0; s < sweeps; ++s) {
-      jacobi_sweep(x, b, kJacobiOmega, scratch_lease.get(), sched);
+      jacobi_sweep(op, x, b, kJacobiOmega, scratch_lease.get(), sched);
     }
   }
 }
 
-void vcycle_impl(Grid2D& x, const Grid2D& b, int level,
-                 const VCycleOptions& options, rt::Scheduler& sched,
-                 DirectSolver& direct, grid::ScratchPool& pool) {
+void vcycle_impl(const grid::StencilHierarchy* ops, Grid2D& x,
+                 const Grid2D& b, int level, const VCycleOptions& options,
+                 rt::Scheduler& sched, DirectSolver& direct,
+                 grid::ScratchPool& pool) {
+  const grid::StencilOp op = op_at(ops, level, x.n());
   if (level <= options.direct_level) {
-    direct.solve(b, x);
+    direct.solve(op, b, x);
     return;
   }
-  smooth(x, b, options, options.pre_relax, sched, pool);
+  smooth(op, x, b, options, options.pre_relax, sched, pool);
   const int n = x.n();
   auto r_lease = pool.acquire(n);
   Grid2D& r = r_lease.get();  // residual() writes every cell
-  grid::residual(x, b, r, sched);
+  grid::residual_op(op, x, b, r, sched);
   const int nc = coarse_size(n);
   auto rc_lease = pool.acquire(nc);
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
@@ -44,20 +54,21 @@ void vcycle_impl(Grid2D& x, const Grid2D& b, int level,
   auto e_lease = pool.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);
-  vcycle_impl(e, rc, level - 1, options, sched, direct, pool);
+  vcycle_impl(ops, e, rc, level - 1, options, sched, direct, pool);
   grid::interpolate_add(e, x, sched);
-  smooth(x, b, options, options.post_relax, sched, pool);
+  smooth(op, x, b, options, options.post_relax, sched, pool);
 }
 
-void fmg_impl(Grid2D& x, const Grid2D& b, int level,
-              const VCycleOptions& options, rt::Scheduler& sched,
+void fmg_impl(const grid::StencilHierarchy* ops, Grid2D& x, const Grid2D& b,
+              int level, const VCycleOptions& options, rt::Scheduler& sched,
               DirectSolver& direct, grid::ScratchPool& pool) {
   if (level <= options.direct_level) {
-    direct.solve(b, x);
+    direct.solve(op_at(ops, level, x.n()), b, x);
     return;
   }
   // Coarsen the *problem*: boundary ring travels by injection, the RHS by
-  // full weighting.
+  // full weighting.  The coarse operator comes from the hierarchy (the
+  // coefficients were restricted once, up front).
   const int nc = coarse_size(x.n());
   auto xc_lease = pool.acquire(nc);
   Grid2D& xc = xc_lease.get();  // injection writes every cell
@@ -65,11 +76,22 @@ void fmg_impl(Grid2D& x, const Grid2D& b, int level,
   auto bc_lease = pool.acquire(nc);
   Grid2D& bc = bc_lease.get();
   grid::restrict_full_weighting(b, bc, sched);
-  fmg_impl(xc, bc, level - 1, options, sched, direct, pool);
+  fmg_impl(ops, xc, bc, level - 1, options, sched, direct, pool);
   // Lift the coarse solution as the fine initial guess, then polish with
   // one V-cycle (classical FMG ramp).
   grid::interpolate_assign(xc, x, sched);
-  vcycle_impl(x, b, level, options, sched, direct, pool);
+  vcycle_impl(ops, x, b, level, options, sched, direct, pool);
+}
+
+void check_hierarchy(const grid::StencilHierarchy& ops, const Grid2D& x,
+                     const char* what) {
+  const int level = level_of_size(x.n());
+  PBMG_CHECK(ops.top_level() >= level,
+             std::string(what) + ": hierarchy top level " +
+                 std::to_string(ops.top_level()) + " cannot serve level " +
+                 std::to_string(level));
+  PBMG_CHECK(ops.at(level).n() == x.n(),
+             std::string(what) + ": hierarchy/grid size mismatch");
 }
 
 }  // namespace
@@ -81,7 +103,7 @@ void vcycle(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
   const int level = level_of_size(x.n());
   PBMG_CHECK(options.direct_level >= 1,
              "vcycle: direct_level must be >= 1 (N = 3 base case)");
-  vcycle_impl(x, b, level, options, sched, direct, pool);
+  vcycle_impl(nullptr, x, b, level, options, sched, direct, pool);
 }
 
 void full_multigrid(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
@@ -91,7 +113,87 @@ void full_multigrid(Grid2D& x, const Grid2D& b, const VCycleOptions& options,
   const int level = level_of_size(x.n());
   PBMG_CHECK(options.direct_level >= 1,
              "full_multigrid: direct_level must be >= 1");
-  fmg_impl(x, b, level, options, sched, direct, pool);
+  fmg_impl(nullptr, x, b, level, options, sched, direct, pool);
+}
+
+void vcycle(const grid::StencilHierarchy& ops, Grid2D& x, const Grid2D& b,
+            const VCycleOptions& options, rt::Scheduler& sched,
+            DirectSolver& direct, grid::ScratchPool& pool) {
+  PBMG_CHECK(x.n() == b.n(), "vcycle: grid size mismatch");
+  PBMG_CHECK(options.direct_level >= 1,
+             "vcycle: direct_level must be >= 1 (N = 3 base case)");
+  check_hierarchy(ops, x, "vcycle");
+  vcycle_impl(&ops, x, b, level_of_size(x.n()), options, sched, direct, pool);
+}
+
+void full_multigrid(const grid::StencilHierarchy& ops, Grid2D& x,
+                    const Grid2D& b, const VCycleOptions& options,
+                    rt::Scheduler& sched, DirectSolver& direct,
+                    grid::ScratchPool& pool) {
+  PBMG_CHECK(x.n() == b.n(), "full_multigrid: grid size mismatch");
+  PBMG_CHECK(options.direct_level >= 1,
+             "full_multigrid: direct_level must be >= 1");
+  check_hierarchy(ops, x, "full_multigrid");
+  fmg_impl(&ops, x, b, level_of_size(x.n()), options, sched, direct, pool);
+}
+
+IterationOutcome solve_reference_v(const grid::StencilHierarchy& ops,
+                                   Grid2D& x, const Grid2D& b,
+                                   const VCycleOptions& options,
+                                   int max_iterations, const StopFn& stop,
+                                   rt::Scheduler& sched, DirectSolver& direct,
+                                   grid::ScratchPool& pool) {
+  IterationOutcome out;
+  for (int it = 1; it <= max_iterations; ++it) {
+    vcycle(ops, x, b, options, sched, direct, pool);
+    out.iterations = it;
+    if (stop && stop(x, it)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+IterationOutcome solve_iterated_sor(const grid::StencilOp& op, Grid2D& x,
+                                    const Grid2D& b, double omega,
+                                    int max_iterations, const StopFn& stop,
+                                    rt::Scheduler& sched) {
+  IterationOutcome out;
+  for (int it = 1; it <= max_iterations; ++it) {
+    sor_sweep(op, x, b, omega, sched);
+    out.iterations = it;
+    if (stop && stop(x, it)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
+}
+
+IterationOutcome solve_reference_fmg(const grid::StencilHierarchy& ops,
+                                     Grid2D& x, const Grid2D& b,
+                                     const VCycleOptions& options,
+                                     int max_iterations, const StopFn& stop,
+                                     rt::Scheduler& sched,
+                                     DirectSolver& direct,
+                                     grid::ScratchPool& pool) {
+  IterationOutcome out;
+  full_multigrid(ops, x, b, options, sched, direct, pool);
+  out.iterations = 1;
+  if (stop && stop(x, 1)) {
+    out.converged = true;
+    return out;
+  }
+  for (int it = 2; it <= max_iterations; ++it) {
+    vcycle(ops, x, b, options, sched, direct, pool);
+    out.iterations = it;
+    if (stop && stop(x, it)) {
+      out.converged = true;
+      break;
+    }
+  }
+  return out;
 }
 
 IterationOutcome solve_iterated_sor(Grid2D& x, const Grid2D& b, double omega,

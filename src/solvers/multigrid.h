@@ -4,6 +4,7 @@
 
 #include "grid/grid2d.h"
 #include "grid/scratch.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/relax.h"
@@ -78,6 +79,52 @@ IterationOutcome solve_reference_v(Grid2D& x, const Grid2D& b,
 /// The paper's reference full-multigrid algorithm (§4.2.2): one standard
 /// full-multigrid ramp, then standard V-cycles until stop().
 IterationOutcome solve_reference_fmg(Grid2D& x, const Grid2D& b,
+                                     const VCycleOptions& options,
+                                     int max_iterations, const StopFn& stop,
+                                     rt::Scheduler& sched,
+                                     DirectSolver& direct,
+                                     grid::ScratchPool& pool);
+
+// ---------------------------------------------------------------------
+// Variable-coefficient overloads.  Each cycle runs against a
+// grid::StencilHierarchy: level k smooths, forms residuals and solves
+// directly with ops.at(k), so the coarse-grid correction uses the
+// restricted coefficients rather than rediscretised Poisson.  A hierarchy
+// whose fine operator is the Poisson fast path executes bit-for-bit the
+// same arithmetic as the Poisson entry points above.  All overloads
+// require ops.top_level() >= level_of_size(x.n()) and
+// ops.at(level).n() == x.n().
+// ---------------------------------------------------------------------
+
+/// One V-cycle on the hierarchy's operator.
+void vcycle(const grid::StencilHierarchy& ops, Grid2D& x, const Grid2D& b,
+            const VCycleOptions& options, rt::Scheduler& sched,
+            DirectSolver& direct, grid::ScratchPool& pool);
+
+/// One full-multigrid pass on the hierarchy's operator.
+void full_multigrid(const grid::StencilHierarchy& ops, Grid2D& x,
+                    const Grid2D& b, const VCycleOptions& options,
+                    rt::Scheduler& sched, DirectSolver& direct,
+                    grid::ScratchPool& pool);
+
+/// Iterated V-cycles on the hierarchy's operator until stop().
+IterationOutcome solve_reference_v(const grid::StencilHierarchy& ops,
+                                   Grid2D& x, const Grid2D& b,
+                                   const VCycleOptions& options,
+                                   int max_iterations, const StopFn& stop,
+                                   rt::Scheduler& sched, DirectSolver& direct,
+                                   grid::ScratchPool& pool);
+
+/// Iterated red-black SOR on a variable-coefficient operator until
+/// stop(); the Poisson fast path matches the plain overload bit for bit.
+IterationOutcome solve_iterated_sor(const grid::StencilOp& op, Grid2D& x,
+                                    const Grid2D& b, double omega,
+                                    int max_iterations, const StopFn& stop,
+                                    rt::Scheduler& sched);
+
+/// FMG ramp then V-cycles on the hierarchy's operator until stop().
+IterationOutcome solve_reference_fmg(const grid::StencilHierarchy& ops,
+                                     Grid2D& x, const Grid2D& b,
                                      const VCycleOptions& options,
                                      int max_iterations, const StopFn& stop,
                                      rt::Scheduler& sched,

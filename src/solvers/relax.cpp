@@ -115,4 +115,100 @@ void jacobi_sweep(Grid2D& x, const Grid2D& b, double omega, Grid2D& scratch,
   x.swap(scratch);
 }
 
+void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+               double omega, rt::Scheduler& sched) {
+  if (op.is_poisson()) {
+    sor_sweep(x, b, omega, sched);
+    return;
+  }
+  PBMG_CHECK(is_valid_grid_size(x.n()), "sor_sweep: grid size must be 2^k+1");
+  PBMG_CHECK(x.n() == b.n(), "sor_sweep: grid size mismatch");
+  PBMG_CHECK(op.n() == x.n(), "sor_sweep: operator/grid size mismatch");
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  const Grid2D& ax = op.ax_grid();
+  const Grid2D& ay = op.ay_grid();
+  for (int parity = 0; parity <= 1; ++parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            const double* axr = ax.row(i);
+            const double* ay_up = ay.row(i - 1);
+            const double* ay_dn = ay.row(i);
+            const int j0 = 1 + ((i + 1 + parity) & 1);
+            for (int j = j0; j < n - 1; j += 2) {
+              const double aw = axr[j - 1];
+              const double ae = axr[j];
+              const double an = ay_up[j];
+              const double as = ay_dn[j];
+              const double diag = (((aw + ae) + an) + as) + ch2;
+              PBMG_NUM_ASSERT(diag > 0.0,
+                              "sor_sweep: non-positive stencil diagonal");
+              mid[j] = keep * mid[j] +
+                       omega *
+                           (h2 * rhs[j] + an * up[j] + as * down[j] +
+                            aw * mid[j - 1] + ae * mid[j + 1]) /
+                           diag;
+            }
+          }
+        });
+  }
+}
+
+void jacobi_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                  double omega, Grid2D& scratch, rt::Scheduler& sched) {
+  if (op.is_poisson()) {
+    jacobi_sweep(x, b, omega, scratch, sched);
+    return;
+  }
+  PBMG_CHECK(is_valid_grid_size(x.n()),
+             "jacobi_sweep: grid size must be 2^k+1");
+  PBMG_CHECK(x.n() == b.n() && x.n() == scratch.n(),
+             "jacobi_sweep: grid size mismatch");
+  PBMG_CHECK(op.n() == x.n(), "jacobi_sweep: operator/grid size mismatch");
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  const Grid2D& ax = op.ax_grid();
+  const Grid2D& ay = op.ay_grid();
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const double* rhs = b.row(i);
+          const double* axr = ax.row(i);
+          const double* ay_up = ay.row(i - 1);
+          const double* ay_dn = ay.row(i);
+          double* out = scratch.row(i);
+          for (int j = 1; j < n - 1; ++j) {
+            const double aw = axr[j - 1];
+            const double ae = axr[j];
+            const double an = ay_up[j];
+            const double as = ay_dn[j];
+            const double diag = (((aw + ae) + an) + as) + ch2;
+            PBMG_NUM_ASSERT(diag > 0.0,
+                            "jacobi_sweep: non-positive stencil diagonal");
+            out[j] = keep * mid[j] +
+                     omega *
+                         (h2 * rhs[j] + an * up[j] + as * down[j] +
+                          aw * mid[j - 1] + ae * mid[j + 1]) /
+                         diag;
+          }
+        }
+      });
+  scratch.copy_boundary_from(x);
+  x.swap(scratch);
+}
+
 }  // namespace pbmg::solvers

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "grid/grid2d.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 
 /// \file relax.h
@@ -90,5 +91,17 @@ void sor_sweep(Grid2D& x, const Grid2D& b, double omega,
 /// holds the new iterate (contents are swapped, scratch holds the old).
 void jacobi_sweep(Grid2D& x, const Grid2D& b, double omega, Grid2D& scratch,
                   rt::Scheduler& sched);
+
+/// Red-black SOR sweep for a variable-coefficient operator: each update
+/// divides by the cell's true diagonal (aW+aE+aN+aS)/h² + c instead of the
+/// Poisson 4/h².  The Poisson fast path dispatches to sor_sweep above,
+/// bit-for-bit.  Requires x.n() == op.n().
+void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+               double omega, rt::Scheduler& sched);
+
+/// Weighted-Jacobi sweep for a variable-coefficient operator; same
+/// diagonal handling and fast-path contract as the SOR overload.
+void jacobi_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                  double omega, Grid2D& scratch, rt::Scheduler& sched);
 
 }  // namespace pbmg::solvers

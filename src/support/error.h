@@ -56,3 +56,21 @@ namespace detail {
                                           (message));                      \
     }                                                                       \
   } while (false)
+
+/// Heavyweight numerical invariant check (per-cell coefficient positivity,
+/// diagonal dominance of assembled rows, ...).  Too costly for release hot
+/// paths, so it compiles to nothing unless the build defines
+/// PBMG_ASSERTIONS (cmake -DPBMG_ASSERTIONS=ON; CI runs the full suite in
+/// that configuration at -O2).  The disabled form still parses `expr` so
+/// assertions cannot bit-rot.
+#if defined(PBMG_ASSERTIONS)
+#define PBMG_NUM_ASSERT(expr, message) PBMG_CHECK(expr, message)
+#else
+#define PBMG_NUM_ASSERT(expr, message)                                      \
+  do {                                                                      \
+    if (false && !(expr)) {                                                 \
+      ::pbmg::detail::throw_check_failure(#expr, __FILE__, __LINE__,        \
+                                          (message));                      \
+    }                                                                       \
+  } while (false)
+#endif

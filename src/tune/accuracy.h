@@ -36,6 +36,23 @@ std::vector<TrainingInstance> make_training_set(int n, InputDistribution dist,
                                                 const Rng& base_rng, int count,
                                                 rt::Scheduler& sched);
 
+/// Instance for a variable-coefficient operator (stencil_op.h).  The
+/// Poisson fast path delegates to the DST oracle above, bit-for-bit; for
+/// any other operator the instance is manufactured: x_opt is drawn from
+/// `dist` (interior and Dirichlet ring), b = A·x_opt is computed with the
+/// *discrete* operator, and x0 carries x_opt's ring with a zero interior —
+/// so x_opt is the exact discrete solution by construction, at O(n²) cost
+/// for any operator.  Deterministic in (op, dist, rng state).
+TrainingInstance make_training_instance(const grid::StencilOp& op,
+                                        InputDistribution dist, Rng& rng,
+                                        rt::Scheduler& sched);
+
+/// Draws `count` instances of the operator from independent RNG substreams.
+std::vector<TrainingInstance> make_training_set(const grid::StencilOp& op,
+                                                InputDistribution dist,
+                                                const Rng& base_rng, int count,
+                                                rt::Scheduler& sched);
+
 /// Error of an iterate against the instance's exact solution.
 double error_against(const TrainingInstance& inst, const Grid2D& x,
                      rt::Scheduler& sched);

@@ -16,10 +16,12 @@ std::string config_cache_key(const TrainerOptions& options,
                              const std::string& profile_name,
                              const std::string& strategy) {
   std::ostringstream oss;
-  // "v2": bump when runtime characteristics change enough to invalidate
-  // previously tuned tables (e.g. the sequential-cutoff addition).
-  oss << "v2_" << strategy << "_" << profile_name << "_"
-      << to_string(options.distribution) << "_L" << options.max_level << "_m"
+  // "v3": bump when runtime characteristics change enough to invalidate
+  // previously tuned tables (v2 → v3: scenarios became first-class — the
+  // operator family joined the key via ProblemSpec, so caches written by
+  // the old Poisson-only schema are clean misses and get retrained).
+  oss << "v3_" << strategy << "_" << profile_name << "_"
+      << options.problem_spec().cache_token() << "_m"
       << options.accuracies.size() << "_p"
       << static_cast<int>(std::lround(std::log10(options.accuracies.back())))
       << "_i" << options.training_instances << "_s" << options.seed;
@@ -70,12 +72,14 @@ std::string searched_config_cache_key(
   // Everything that changes the candidate stream or its scores must be in
   // the key: search seed and budget (generations/population/offspring mix
   // — mutants and immigrants separately, they consume RNG differently),
-  // plus the workload (level, distribution, accuracy to two decimals of
-  // its exponent, cycle cap, instance count).
+  // plus the workload (level, operator family, distribution, accuracy to
+  // two decimals of its exponent, cycle cap, instance count).
   oss << config_cache_key(options, search_options.base.name, "searched")
       << "_ss" << search_options.seed << "_g" << pop.generations << "_p"
       << pop.population << "_mu" << pop.mutants_per_elite << "_im"
-      << pop.immigrants << "_wL" << search_options.level << "_wd"
+      << pop.immigrants << "_wL" << search_options.level << "_wo"
+      << to_string(search_options.op_family)
+      << (search_options.relax_only ? "_wr1" : "") << "_wd"
       << to_string(search_options.distribution) << "_wa"
       << std::lround(100.0 * std::log10(search_options.target_accuracy))
       << "_wc" << search_options.max_cycles << "_wi"
@@ -100,6 +104,17 @@ SearchTrainResult load_or_search_train(
       result.config = TunedConfig::from_json(doc);
       result.searched =
           search::SearchedProfile::from_json(doc.at("searched_profile"));
+      // Validate the deserialized runtime parameters *here*, symmetric
+      // with load_or_train's schema validation: callers install
+      // result.searched straight into an Engine, whose constructor throws
+      // (uncaught) for out-of-range tunables.  A corrupted entry must
+      // surface as a cache miss and a re-search, never as a crash at
+      // Engine construction.  SearchedProfile::from_json also validates;
+      // the explicit call keeps the contract even if that serializer
+      // loosens, and turns any violation into the catch below.
+      solvers::validate_relax_tunables(result.searched.relax);
+      PBMG_CHECK(result.searched.profile.threads >= 1,
+                 "searched profile: threads must be >= 1");
       if (from_cache != nullptr) *from_cache = true;
       return result;
     } catch (const std::exception&) {

@@ -12,10 +12,12 @@
 /// PetaBricks writes an optimised configuration file after tuning and
 /// reuses it on subsequent runs (§3.2.1).  We reproduce that workflow: a
 /// tuned config is stored as JSON under a cache directory, keyed by
-/// everything that determines the tuning outcome (strategy, machine
-/// profile, distribution, ladder, level range, seed, instance count).
+/// everything that determines the tuning outcome — the strategy, the
+/// machine profile, the full ProblemSpec (operator family × distribution
+/// × level range), the accuracy ladder, seed, and instance count.
 /// Benchmark binaries share one cache so that, e.g., Figures 10–13 train
-/// each (profile, distribution) combination once.
+/// each (profile, distribution) combination once, and each operator
+/// family gets its own tuned tables (bench/fig18_operator_families).
 
 namespace pbmg::tune {
 

@@ -11,14 +11,23 @@ TunedExecutor::TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
                              solvers::DirectSolver& direct,
                              grid::ScratchPool& pool,
                              trace::CycleTracer* tracer,
-                             const solvers::RelaxTunables& relax)
+                             const solvers::RelaxTunables& relax,
+                             const grid::StencilHierarchy* ops)
     : config_(config),
       sched_(sched),
       direct_(direct),
       pool_(pool),
       tracer_(tracer),
-      relax_(relax) {
+      relax_(relax),
+      ops_(ops) {
   solvers::validate_relax_tunables(relax_);
+  PBMG_CHECK(ops_ == nullptr || ops_->top_level() >= 1,
+             "TunedExecutor: empty operator hierarchy");
+}
+
+grid::StencilOp TunedExecutor::op_at(int level) const {
+  return ops_ != nullptr ? ops_->at(level)
+                         : grid::StencilOp::poisson(size_of_level(level));
 }
 
 void TunedExecutor::trace(trace::Op op, int level, int detail) const {
@@ -57,14 +66,15 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
                                 ") was never trained");
   switch (entry.choice.kind) {
     case VKind::kDirect:
-      direct_.solve(b, x);
+      direct_.solve(op_at(level), b, x);
       trace(trace::Op::kDirect, level);
       break;
     case VKind::kIterSor: {
+      const grid::StencilOp op = op_at(level);
       const double omega =
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
-        solvers::sor_sweep(x, b, omega, sched_);
+        solvers::sor_sweep(op, x, b, omega, sched_);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
       break;
@@ -80,17 +90,21 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
 void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
                                     int sub_accuracy_index) const {
   PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
+  PBMG_CHECK(sub_accuracy_index >= kClassicalCoarse &&
+                 sub_accuracy_index < config_.accuracy_count(),
+             "recurse_body: sub-accuracy index out of range");
   // Paper §2.3 RECURSE_i: one SOR(ω) sweep, coarse-grid correction via
   // MULTIGRID-V_j, one SOR(ω) sweep.  ω is the paper's 1.15 unless the
   // runtime-parameter search handed this executor a tuned value.
+  const grid::StencilOp op = op_at(level);
   const double recurse_omega = relax_.recurse_omega;
-  solvers::sor_sweep(x, b, recurse_omega, sched_);
+  solvers::sor_sweep(op, x, b, recurse_omega, sched_);
   trace(trace::Op::kRelax, level);
 
   const int n = x.n();
   auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();  // residual() writes every cell
-  grid::residual(x, b, r, sched_);
+  grid::residual_op(op, x, b, r, sched_);
   const int nc = coarse_size(n);
   auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
@@ -100,12 +114,24 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   auto e_lease = pool_.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);  // zero guess, zero Dirichlet ring (error equation)
-  run_v_at(e, rc, level - 1, sub_accuracy_index);
+  if (sub_accuracy_index == kClassicalCoarse) {
+    // Classical V-cycle coarse call: one recursion body per level (direct
+    // at the base), never an accuracy-certified coarse solve.  Identical
+    // to solvers::vcycle with ω = recurse ω and one pre/post sweep.
+    if (level - 1 <= 1) {
+      direct_.solve(op_at(level - 1), rc, e);
+      trace(trace::Op::kDirect, level - 1);
+    } else {
+      recurse_body_at(e, rc, level - 1, kClassicalCoarse);
+    }
+  } else {
+    run_v_at(e, rc, level - 1, sub_accuracy_index);
+  }
 
   grid::interpolate_add(e, x, sched_);
   trace(trace::Op::kInterpolate, level);
 
-  solvers::sor_sweep(x, b, recurse_omega, sched_);
+  solvers::sor_sweep(op, x, b, recurse_omega, sched_);
   trace(trace::Op::kRelax, level);
 }
 
@@ -117,15 +143,16 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
                                 ") was never trained");
   switch (entry.choice.kind) {
     case FmgKind::kDirect:
-      direct_.solve(b, x);
+      direct_.solve(op_at(level), b, x);
       trace(trace::Op::kDirect, level);
       break;
     case FmgKind::kEstimateThenSor: {
       estimate_at(x, b, level, entry.choice.estimate_accuracy);
+      const grid::StencilOp op = op_at(level);
       const double omega =
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
-        solvers::sor_sweep(x, b, omega, sched_);
+        solvers::sor_sweep(op, x, b, omega, sched_);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
       break;
@@ -147,7 +174,7 @@ void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
   const int n = x.n();
   auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();
-  grid::residual(x, b, r, sched_);
+  grid::residual_op(op_at(level), x, b, r, sched_);
   const int nc = coarse_size(n);
   auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();

@@ -2,6 +2,7 @@
 
 #include "grid/grid2d.h"
 #include "grid/scratch.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/relax.h"
@@ -37,12 +38,17 @@ class TunedExecutor {
   /// rendering.  `relax` is captured by value so concurrent executors on
   /// different engines can run different searched weights; the default
   /// reads the process-wide tunables once, preserving the historical
-  /// ScopedRelaxTunables behaviour for legacy callers.
+  /// ScopedRelaxTunables behaviour for legacy callers.  `ops`, when
+  /// non-null, is the variable-coefficient operator hierarchy the tuned
+  /// algorithms run against (it must outlive the executor and cover every
+  /// level executed); null selects the constant-coefficient Poisson
+  /// operator, exactly as before.
   TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
                 solvers::DirectSolver& direct, grid::ScratchPool& pool,
                 trace::CycleTracer* tracer = nullptr,
                 const solvers::RelaxTunables& relax =
-                    solvers::relax_tunables());
+                    solvers::relax_tunables(),
+                const grid::StencilHierarchy* ops = nullptr);
 
   /// Runs MULTIGRID-V at `accuracy_index` on x (ring = Dirichlet data,
   /// interior = current guess).  The level is derived from x.n(), which
@@ -72,12 +78,16 @@ class TunedExecutor {
                    int estimate_accuracy_index) const;
   void trace(trace::Op op, int level, int detail = 0) const;
 
+  /// Operator at `level`: hierarchy entry, or the Poisson fast path.
+  grid::StencilOp op_at(int level) const;
+
   const TunedConfig& config_;
   rt::Scheduler& sched_;
   solvers::DirectSolver& direct_;
   grid::ScratchPool& pool_;
   trace::CycleTracer* tracer_;
   solvers::RelaxTunables relax_;
+  const grid::StencilHierarchy* ops_;
 };
 
 }  // namespace pbmg::tune

@@ -177,6 +177,7 @@ Json TunedConfig::to_json() const {
   root.set("max_level", max_level_);
   root.set("profile", profile_name);
   root.set("distribution", distribution);
+  root.set("op_family", op_family);
   root.set("seed", static_cast<std::int64_t>(seed));
   root.set("strategy", strategy);
   Json v_levels = Json::array();
@@ -209,6 +210,10 @@ TunedConfig TunedConfig::from_json(const Json& json) {
   TunedConfig config(std::move(accuracies), max_level);
   config.profile_name = json.get("profile", std::string());
   config.distribution = json.get("distribution", std::string());
+  // Configs written before operator families existed are Poisson by
+  // definition (the cache key's version bump keeps them from being loaded
+  // for any other operator).
+  config.op_family = json.get("op_family", std::string("poisson"));
   config.seed = static_cast<std::uint64_t>(json.get("seed", std::int64_t{0}));
   config.strategy = json.get("strategy", std::string("autotuned"));
   const auto& v_levels = json.at("multigrid_v").as_array();
@@ -237,7 +242,9 @@ TunedConfig TunedConfig::from_json(const Json& json) {
     for (int i = 0; i < config.accuracy_count(); ++i) {
       const VChoice& vc = config.v_entry(level, i).choice;
       if (vc.kind == VKind::kRecurse) {
-        if (vc.sub_accuracy < 0 || vc.sub_accuracy >= config.accuracy_count()) {
+        // kClassicalCoarse (-1) is the classical single-body V-cycle.
+        if (vc.sub_accuracy < kClassicalCoarse ||
+            vc.sub_accuracy >= config.accuracy_count()) {
           throw ConfigError("tuned-config: recurse sub_accuracy out of range");
         }
         if (level <= 1) {
@@ -306,6 +313,12 @@ std::string render_call_stack(const TunedConfig& config, int level,
         out << "SOR(w_opt) x" << entry.choice.iterations << "\n";
         return out.str();
       case VKind::kRecurse:
+        if (entry.choice.sub_accuracy == kClassicalCoarse) {
+          // The rest of the stack is the classical V ramp: one body per
+          // level down to the direct base case.
+          out << "RECURSE[classic-V] x" << entry.choice.iterations << "\n";
+          return out.str();
+        }
         out << "RECURSE[" << accuracy_label(config, entry.choice.sub_accuracy)
             << "] x" << entry.choice.iterations << "\n";
         i = entry.choice.sub_accuracy;

@@ -26,10 +26,20 @@ enum class VKind {
              ///< MULTIGRID-V_{sub_accuracy}
 };
 
+/// Sentinel sub-accuracy for kRecurse: the coarse call is a *single*
+/// recursion body per level (the classical V-cycle) instead of an
+/// accuracy-certified MULTIGRID-V_j.  The paper's space bottoms out at
+/// accuracy 10¹, which over-solves coarse corrections on slowly
+/// converging operators (each level then needs several certified bodies
+/// and the work compounds exponentially down the hierarchy); the
+/// classical cycle is the escape hatch the autotuner may select.
+inline constexpr int kClassicalCoarse = -1;
+
 /// One tuned decision for MULTIGRID-V_i at a level.
 struct VChoice {
   VKind kind = VKind::kDirect;
-  int sub_accuracy = -1;  ///< j of the coarse MULTIGRID-V_j (kRecurse only)
+  int sub_accuracy = -1;  ///< j of the coarse MULTIGRID-V_j, or
+                          ///< kClassicalCoarse (kRecurse only)
   int iterations = 0;     ///< SOR sweeps or RECURSE iterations (non-direct)
 };
 
@@ -89,6 +99,7 @@ class TunedConfig {
   /// Provenance (stored in the config file for reproducibility).
   std::string profile_name;   ///< machine profile tuned on
   std::string distribution;   ///< training distribution name
+  std::string op_family = "poisson";  ///< operator family tuned on
   std::uint64_t seed = 0;     ///< training RNG seed
   std::string strategy;       ///< "autotuned" or a heuristic label
 

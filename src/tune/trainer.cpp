@@ -120,7 +120,8 @@ Trainer::Measurement Trainer::measure_iterative(
   return out;
 }
 
-double Trainer::measure_direct(const std::vector<TrainingInstance>& set,
+double Trainer::measure_direct(const grid::StencilOp& op,
+                               const std::vector<TrainingInstance>& set,
                                double& worst_accuracy) {
   double total = 0.0;
   worst_accuracy = kInf;
@@ -128,7 +129,7 @@ double Trainer::measure_direct(const std::vector<TrainingInstance>& set,
     Grid2D x(inst.problem.x0.n(), 0.0);
     x.copy_from(inst.problem.x0);
     const double t0 = now_seconds();
-    engine_.direct().solve(inst.problem.b, x);
+    engine_.direct().solve(op, inst.problem.b, x);
     total += now_seconds() - t0;
     worst_accuracy = std::min(worst_accuracy, accuracy_of(inst, x, sched_));
   }
@@ -145,11 +146,14 @@ double Trainer::predicted_direct_time(int level) const {
 void Trainer::train_v_level(TunedConfig& config, int level,
                             const std::vector<TrainingInstance>& set,
                             const std::vector<int>& allowed_sub_accuracies,
-                            bool allow_sor) {
+                            bool allow_sor,
+                            const grid::StencilHierarchy* ops) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
+  const grid::StencilOp fine_op =
+      ops != nullptr ? ops->at(level) : grid::StencilOp::poisson(n);
   TunedExecutor executor(config, sched_, engine_.direct(), engine_.scratch(),
-                         nullptr, engine_.relax());
+                         nullptr, engine_.relax(), ops);
 
   struct CandidateResult {
     VChoice choice;      // iterations filled per accuracy at selection time
@@ -198,7 +202,7 @@ void Trainer::train_v_level(TunedConfig& config, int level,
       CandidateResult cand;
       cand.is_direct = true;
       cand.choice.kind = VKind::kDirect;
-      cand.direct_time = measure_direct(set, cand.direct_acc);
+      cand.direct_time = measure_direct(fine_op, set, cand.direct_acc);
       direct_time_by_level_[level] = cand.direct_time;
       best_top_time = std::min(best_top_time, cand.direct_time);
       candidates.push_back(std::move(cand));
@@ -219,7 +223,7 @@ void Trainer::train_v_level(TunedConfig& config, int level,
     cand.meas = measure_iterative(
         set, nullptr,
         [&](Grid2D& x, const Grid2D& b) {
-          solvers::sor_sweep(x, b, omega, sched_);
+          solvers::sor_sweep(fine_op, x, b, omega, sched_);
         },
         options_.max_sor_iterations, budget());
     candidates.push_back(std::move(cand));
@@ -264,10 +268,14 @@ void Trainer::train_v_level(TunedConfig& config, int level,
       case VKind::kDirect: line << "DIRECT"; break;
       case VKind::kIterSor: line << "SOR x" << best.choice.iterations; break;
       case VKind::kRecurse:
-        line << "RECURSE["
-             << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
-                    best.choice.sub_accuracy)])
-             << "] x" << best.choice.iterations;
+        if (best.choice.sub_accuracy == kClassicalCoarse) {
+          line << "RECURSE[classic-V] x" << best.choice.iterations;
+        } else {
+          line << "RECURSE["
+               << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
+                      best.choice.sub_accuracy)])
+               << "] x" << best.choice.iterations;
+        }
         break;
     }
     line << "  (" << best.expected_time * 1e3 << " ms)";
@@ -276,11 +284,14 @@ void Trainer::train_v_level(TunedConfig& config, int level,
 }
 
 void Trainer::train_fmg_level(TunedConfig& config, int level,
-                              const std::vector<TrainingInstance>& set) {
+                              const std::vector<TrainingInstance>& set,
+                              const grid::StencilHierarchy* ops) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
+  const grid::StencilOp fine_op =
+      ops != nullptr ? ops->at(level) : grid::StencilOp::poisson(n);
   TunedExecutor executor(config, sched_, engine_.direct(), engine_.scratch(),
-                         nullptr, engine_.relax());
+                         nullptr, engine_.relax(), ops);
 
   struct CandidateResult {
     FmgChoice choice;
@@ -313,7 +324,7 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
     cand.is_direct = true;
     cand.choice.kind = FmgKind::kDirect;
     if (known == kInf || known < 0.05) {
-      cand.direct_time = measure_direct(set, cand.direct_acc);
+      cand.direct_time = measure_direct(fine_op, set, cand.direct_acc);
       direct_time_by_level_[level] = cand.direct_time;
     } else {
       cand.direct_time = known;
@@ -339,8 +350,8 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
         cand.choice.estimate_accuracy = j;
         const double omega =
             solvers::scaled_omega_opt(n, engine_.relax().omega_scale);
-        step = [this, omega](Grid2D& x, const Grid2D& b) {
-          solvers::sor_sweep(x, b, omega, sched_);
+        step = [this, omega, &fine_op](Grid2D& x, const Grid2D& b) {
+          solvers::sor_sweep(fine_op, x, b, omega, sched_);
         };
         max_iterations = options_.max_sor_iterations;
       } else {
@@ -425,24 +436,41 @@ TunedConfig Trainer::train() {
   TunedConfig config(options_.accuracies, options_.max_level);
   config.profile_name = sched_.profile().name;
   config.distribution = to_string(options_.distribution);
+  config.op_family = to_string(options_.op_family);
   config.seed = options_.seed;
   config.strategy = "autotuned";
   direct_time_by_level_.clear();
 
-  std::vector<int> all_sub(static_cast<std::size_t>(config.accuracy_count()));
-  for (int i = 0; i < config.accuracy_count(); ++i) {
-    all_sub[static_cast<std::size_t>(i)] = i;
-  }
+  // Coarse-call candidates: every ladder accuracy plus the classical
+  // single-body V-cycle (kClassicalCoarse), which escapes the ladder's
+  // accuracy floor on slowly converging operators (see tune/table.h).
+  std::vector<int> all_sub;
+  all_sub.push_back(kClassicalCoarse);
+  for (int i = 0; i < config.accuracy_count(); ++i) all_sub.push_back(i);
 
+  const bool poisson = options_.op_family == OperatorFamily::kPoisson;
   Rng rng(options_.seed);
   for (int level = 2; level <= options_.max_level; ++level) {
     const int n = size_of_level(level);
+    // Each level trains against its own operator hierarchy — the family
+    // discretised at this size with restricted coarse coefficients, i.e.
+    // exactly what a SolveSession bound to (family, n) will execute.  The
+    // Poisson family keeps the null-hierarchy fast path (and the DST
+    // oracle inside make_training_set's size overload).
+    grid::StencilHierarchy hier;
+    if (!poisson) {
+      hier = grid::StencilHierarchy(make_operator(n, options_.op_family));
+    }
+    const grid::StencilHierarchy* ops = poisson ? nullptr : &hier;
+    const Rng level_rng = rng.split(static_cast<std::uint64_t>(level));
     const auto set =
-        make_training_set(n, options_.distribution,
-                          rng.split(static_cast<std::uint64_t>(level)),
-                          options_.training_instances, sched_);
-    train_v_level(config, level, set, all_sub, /*allow_sor=*/true);
-    if (options_.train_fmg) train_fmg_level(config, level, set);
+        poisson ? make_training_set(n, options_.distribution, level_rng,
+                                    options_.training_instances, sched_)
+                : make_training_set(hier.at(level), options_.distribution,
+                                    level_rng, options_.training_instances,
+                                    sched_);
+    train_v_level(config, level, set, all_sub, /*allow_sor=*/true, ops);
+    if (options_.train_fmg) train_fmg_level(config, level, set, ops);
   }
   return config;
 }
@@ -468,6 +496,7 @@ TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {
              "train_heuristic: sub-accuracy index out of range");
   config.profile_name = sched_.profile().name;
   config.distribution = to_string(options_.distribution);
+  config.op_family = to_string(options_.op_family);
   config.seed = options_.seed;
   config.strategy =
       "heuristic-" +
@@ -477,14 +506,23 @@ TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {
   direct_time_by_level_.clear();
 
   const std::vector<int> only_fixed{fixed_sub_accuracy};
+  const bool poisson = options_.op_family == OperatorFamily::kPoisson;
   Rng rng(options_.seed);
   for (int level = 2; level <= options_.max_level; ++level) {
     const int n = size_of_level(level);
+    grid::StencilHierarchy hier;
+    if (!poisson) {
+      hier = grid::StencilHierarchy(make_operator(n, options_.op_family));
+    }
+    const grid::StencilHierarchy* ops = poisson ? nullptr : &hier;
+    const Rng level_rng = rng.split(static_cast<std::uint64_t>(level));
     const auto set =
-        make_training_set(n, options_.distribution,
-                          rng.split(static_cast<std::uint64_t>(level)),
-                          options_.training_instances, sched_);
-    train_v_level(config, level, set, only_fixed, /*allow_sor=*/false);
+        poisson ? make_training_set(n, options_.distribution, level_rng,
+                                    options_.training_instances, sched_)
+                : make_training_set(hier.at(level), options_.distribution,
+                                    level_rng, options_.training_instances,
+                                    sched_);
+    train_v_level(config, level, set, only_fixed, /*allow_sor=*/false, ops);
   }
   return config;
 }

@@ -45,6 +45,19 @@ struct TrainerOptions {
   /// Training input distribution (paper §4).
   InputDistribution distribution = InputDistribution::kUnbiased;
 
+  /// Operator family the tables are tuned for (grid/problem.h).  Every
+  /// non-Poisson family trains against its own coefficient hierarchy:
+  /// level k's candidates run on make_operator(2^k+1, op_family) with
+  /// restricted coarse coefficients — exactly the hierarchy a SolveSession
+  /// bound to that operator executes.  Part of the config-cache key.
+  OperatorFamily op_family = OperatorFamily::kPoisson;
+
+  /// The scenario these options tune (operator × distribution × size);
+  /// the config cache keys on it.
+  ProblemSpec problem_spec() const {
+    return ProblemSpec{op_family, distribution, max_level};
+  }
+
   /// RNG seed for the training set; same seed ⇒ same tuned tables on a
   /// given machine state.
   std::uint64_t seed = 20091114;  // SC'09 opening day
@@ -112,17 +125,21 @@ class Trainer {
                                 const GridFn& setup, const GridFn& step,
                                 int max_iterations, double time_budget);
 
-  /// Measures a direct solve on the training set; returns seconds and the
-  /// worst achieved accuracy via out-param.
-  double measure_direct(const std::vector<TrainingInstance>& set,
+  /// Measures a direct solve of `op` on the training set; returns seconds
+  /// and the worst achieved accuracy via out-param.
+  double measure_direct(const grid::StencilOp& op,
+                        const std::vector<TrainingInstance>& set,
                         double& worst_accuracy);
 
+  /// `ops` is the coefficient hierarchy of the level being trained (null
+  /// for the Poisson family, preserving the historical code path).
   void train_v_level(TunedConfig& config, int level,
                      const std::vector<TrainingInstance>& set,
                      const std::vector<int>& allowed_sub_accuracies,
-                     bool allow_sor);
+                     bool allow_sor, const grid::StencilHierarchy* ops);
   void train_fmg_level(TunedConfig& config, int level,
-                       const std::vector<TrainingInstance>& set);
+                       const std::vector<TrainingInstance>& set,
+                       const grid::StencilHierarchy* ops);
 
   /// Extrapolated direct-solve time at `level` from lower-level
   /// measurements (O(N⁴) ⇒ ×16 per level); +inf when unknown.

@@ -111,6 +111,90 @@ TEST(ConfigCacheKey, DivergesWhenAnyFieldChanges) {
   EXPECT_NE(config_cache_key(base, "serial", "heuristic1"), reference);
 }
 
+// ------------------------------------------------------- problem specs --
+
+TEST(ProblemSpecKey, DistinctOperatorFamiliesProduceDistinctKeys) {
+  const TrainerOptions base = tiny_options();
+  std::vector<std::string> keys;
+  for (OperatorFamily family : kAllOperatorFamilies) {
+    TrainerOptions options = tiny_options();
+    options.op_family = family;
+    keys.push_back(config_cache_key(options, "serial", "autotuned"));
+  }
+  for (std::size_t a = 0; a < keys.size(); ++a) {
+    for (std::size_t b = a + 1; b < keys.size(); ++b) {
+      EXPECT_NE(keys[a], keys[b])
+          << to_string(kAllOperatorFamilies[a]) << " vs "
+          << to_string(kAllOperatorFamilies[b]);
+    }
+  }
+  // The searched-mode key inherits the operator token too.
+  search::ProfileSearchOptions search_options;
+  search_options.base = rt::serial_profile();
+  TrainerOptions aniso = tiny_options();
+  aniso.op_family = OperatorFamily::kAnisotropic;
+  EXPECT_NE(searched_config_cache_key(aniso, search_options),
+            searched_config_cache_key(base, search_options));
+}
+
+TEST(ProblemSpecKey, SpecRoundTripsBitwise) {
+  for (OperatorFamily family : kAllOperatorFamilies) {
+    for (int dist = 0; dist < 3; ++dist) {
+      ProblemSpec spec;
+      spec.op = family;
+      spec.distribution = static_cast<InputDistribution>(dist);
+      spec.level = 7;
+      const ProblemSpec back = ProblemSpec::from_json(spec.to_json());
+      EXPECT_TRUE(back == spec) << spec.cache_token();
+      EXPECT_EQ(back.to_json().dump(), spec.to_json().dump());
+      // And the token is injective across the fields it encodes.
+      ProblemSpec other = spec;
+      other.level = 8;
+      EXPECT_NE(other.cache_token(), spec.cache_token());
+    }
+  }
+}
+
+TEST(ProblemSpecKey, TrainerOptionsExposeTheirSpec) {
+  TrainerOptions options = tiny_options();
+  options.op_family = OperatorFamily::kJumpCoefficient;
+  options.distribution = InputDistribution::kBiased;
+  const ProblemSpec spec = options.problem_spec();
+  EXPECT_EQ(spec.op, OperatorFamily::kJumpCoefficient);
+  EXPECT_EQ(spec.distribution, InputDistribution::kBiased);
+  EXPECT_EQ(spec.level, options.max_level);
+}
+
+TEST(ProblemSpecKey, OldPoissonOnlySchemaIsACleanMiss) {
+  // A cache written before operator families existed used the v2 key
+  // layout (no operator token).  The new code must neither load nor
+  // disturb such an entry: its key simply never matches, so the config is
+  // retrained and stored beside the legacy file.
+  const auto dir = fresh_dir("pbmg_cc_oldschema");
+  const TrainerOptions options = tiny_options();
+  // The exact v2 layout for tiny_options (see PR 1's config_cache.cpp):
+  // v2_<strategy>_<profile>_<dist>_L<level>_m<rungs>_p<top-exp>_i<n>_s<seed>.
+  const std::string old_key = "v2_autotuned_serial_unbiased_L3_m5_p9_i1_s99";
+  ASSERT_NE(config_cache_key(options, "serial", "autotuned"), old_key);
+  const auto old_path = dir / (old_key + ".json");
+  const std::string old_content = handmade_config().to_json().dump(2) + "\n";
+  write_text_file(old_path.string(), old_content);
+
+  bool from_cache = true;
+  const TunedConfig config =
+      load_or_train(options, engine(), dir.string(), -1, &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(config.max_level(), options.max_level);
+  // The legacy entry is untouched; the retrained config landed under the
+  // new key.
+  EXPECT_EQ(read_text_file(old_path.string()), old_content);
+  const auto new_path =
+      dir / (config_cache_key(options, sched().profile().name, "autotuned") +
+             ".json");
+  EXPECT_TRUE(std::filesystem::exists(new_path));
+  std::filesystem::remove_all(dir);
+}
+
 // ------------------------------------------------------------ round trip --
 
 TEST(ConfigCacheIO, SaveLoadRoundTripEquality) {
@@ -206,6 +290,14 @@ TEST(SearchedConfigCache, KeyIncludesSearchSeedAndBudget) {
   EXPECT_NE(searched_config_cache_key(options, changed), reference);
 
   changed = search_options;
+  changed.op_family = OperatorFamily::kAnisotropic;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
+  changed.relax_only = true;
+  EXPECT_NE(searched_config_cache_key(options, changed), reference);
+
+  changed = search_options;
   changed.target_accuracy *= 2;  // same decade, different target
   EXPECT_NE(searched_config_cache_key(options, changed), reference);
 
@@ -264,6 +356,60 @@ TEST(SearchedConfigCache, SearchTrainRoundTripsThroughTheCache) {
   bigger.population.generations = 2;
   EXPECT_NE(searched_config_cache_key(options, bigger),
             searched_config_cache_key(options, search_options));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SearchedConfigCache, CorruptedTunablesFallBackToRetraining) {
+  // Regression for the load_or_train / load_or_search_train asymmetry:
+  // the searched path deserializes relaxation weights that are later
+  // installed straight into an Engine, whose constructor throws for
+  // out-of-range values.  A cache entry whose tunables were corrupted
+  // (here: recurse_omega = 5, far outside SOR's (0,2) stability interval)
+  // must therefore be validated with validate_relax_tunables at load time
+  // and treated as a miss — re-search, retrain, overwrite — instead of
+  // detonating at Engine construction.
+  const auto dir = fresh_dir("pbmg_cc_badtunables");
+  const TrainerOptions options = tiny_options();
+  search::ProfileSearchOptions search_options;
+  search_options.base = rt::serial_profile();
+  search_options.level = 3;
+  search_options.instances = 1;
+  search_options.seed = 41;
+  search_options.population.population = 2;
+  search_options.population.mutants_per_elite = 1;
+  search_options.population.immigrants = 1;
+  search_options.population.generations = 1;
+
+  bool from_cache = true;
+  const SearchTrainResult first = load_or_search_train(
+      options, search_options, dir.string(), &from_cache);
+  ASSERT_FALSE(from_cache);
+
+  // Corrupt only the tunables; everything else stays schema-valid.
+  const auto path =
+      dir / (searched_config_cache_key(options, search_options) + ".json");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  Json doc = Json::parse(read_text_file(path.string()));
+  Json searched = doc.at("searched_profile");
+  searched.set("recurse_omega", 5.0);
+  doc.set("searched_profile", std::move(searched));
+  write_text_file(path.string(), doc.dump(2) + "\n");
+
+  const SearchTrainResult recovered = load_or_search_train(
+      options, search_options, dir.string(), &from_cache);
+  EXPECT_FALSE(from_cache);  // corrupt entry read as a miss, not a crash
+  EXPECT_NO_THROW(solvers::validate_relax_tunables(recovered.searched.relax));
+  // An Engine accepts the recovered parameters (the whole point of
+  // validating before installing).
+  EXPECT_NO_THROW(
+      Engine(recovered.searched.profile, recovered.searched.relax));
+
+  // The overwritten entry is valid again and hits.
+  const SearchTrainResult again = load_or_search_train(
+      options, search_options, dir.string(), &from_cache);
+  EXPECT_TRUE(from_cache);
+  EXPECT_EQ(again.searched.to_json().dump(),
+            recovered.searched.to_json().dump());
   std::filesystem::remove_all(dir);
 }
 

@@ -1,6 +1,7 @@
 // Property-based (parameterized) tests for the grid substrate: algebraic
 // identities of the discrete operator and the transfer operators, swept
-// across grid sizes and random inputs.
+// across grid sizes and random inputs, plus the same identities for every
+// variable-coefficient operator family (stencil_op.h).
 
 #include <cmath>
 
@@ -10,6 +11,7 @@
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/problem.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 #include "support/rng.h"
 
@@ -187,6 +189,178 @@ TEST_P(GridProperty, InjectionIsLeftInverseOfInterpolationOnCoarsePoints) {
   for (int i = 1; i < nc - 1; ++i) {
     for (int j = 1; j < nc - 1; ++j) {
       ASSERT_NEAR(back(i, j), c(i, j), 1e-12);
+    }
+  }
+}
+
+// --------------------------------------------- stencil operator families --
+
+Grid2D random_full(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Grid2D g(n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) g(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  return g;
+}
+
+constexpr int kFamilyCount =
+    static_cast<int>(std::size(kAllOperatorFamilies));
+
+class StencilFamilyProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  OperatorFamily family() const {
+    return kAllOperatorFamilies[static_cast<std::size_t>(
+        std::get<0>(GetParam()))];
+  }
+  int n() const { return std::get<1>(GetParam()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, StencilFamilyProperty,
+    ::testing::Combine(::testing::Range(0, kFamilyCount),
+                       ::testing::Values(9, 33, 65)),
+    [](const auto& info) {
+      return to_string(kAllOperatorFamilies[static_cast<std::size_t>(
+                 std::get<0>(info.param))]) +
+             "_N" + std::to_string(std::get<1>(info.param));
+    });
+
+TEST_P(StencilFamilyProperty, AssembledOperatorIsSymmetric) {
+  // <A u, v> == <u, A v> on zero-ring grids: every edge coefficient is
+  // shared by its two endpoints, so the assembled matrix is symmetric for
+  // every family.
+  const grid::StencilOp op = make_operator(n(), family());
+  const Grid2D u = random_interior(n(), 211u + static_cast<std::uint64_t>(n()));
+  const Grid2D v = random_interior(n(), 223u + static_cast<std::uint64_t>(n()));
+  Grid2D au(n(), 0.0), av(n(), 0.0);
+  grid::apply_op(op, u, au, sched());
+  grid::apply_op(op, v, av, sched());
+  const double lhs = dot_interior(au, v);
+  const double rhs = dot_interior(u, av);
+  // The jump family's 100× contrast amplifies rounding in the two dot
+  // products; 1e-9 relative still certifies exact-arithmetic symmetry.
+  EXPECT_NEAR(lhs, rhs, 1e-9 * (std::abs(lhs) + std::abs(rhs) + 1.0));
+}
+
+TEST_P(StencilFamilyProperty, OperatorIsPositiveDefinite) {
+  // Positive edge coefficients + c >= 0 + Dirichlet ring ⇒ SPD.
+  const grid::StencilOp op = make_operator(n(), family());
+  const Grid2D u = random_interior(n(), 227u + static_cast<std::uint64_t>(n()));
+  Grid2D au(n(), 0.0);
+  grid::apply_op(op, u, au, sched());
+  EXPECT_GT(dot_interior(au, u), 0.0);
+}
+
+TEST_P(StencilFamilyProperty, ResidualVanishesOnManufacturedSolution) {
+  // b := A·x ⇒ residual(x, b) ≡ 0.  Residual and apply share one code
+  // path, so the cancellation is exact up to the sign of zero; the bound
+  // is relative to ‖b‖_inf only to stay robust under FP-contract
+  // differences across compilers.
+  const grid::StencilOp op = make_operator(n(), family());
+  const Grid2D x = random_full(n(), 229u + static_cast<std::uint64_t>(n()));
+  Grid2D b(n(), 0.0), r(n(), 0.0);
+  grid::apply_op(op, x, b, sched());
+  grid::residual_op(op, x, b, r, sched());
+  const double scale = grid::max_abs_interior(b, sched());
+  EXPECT_LE(grid::max_abs_interior(r, sched()), 1e-12 * (scale + 1.0));
+}
+
+TEST_P(StencilFamilyProperty, RestrictedCoefficientsStayPositive) {
+  // Harmonic/arithmetic averaging of positive numbers is positive: the
+  // whole hierarchy must keep SPD operators, even for the 100× jump.
+  grid::StencilOp op = make_operator(n(), family());
+  while (op.n() >= 5) {
+    op = op.restricted();
+    const int nc = op.n();
+    for (int i = 1; i < nc - 1; ++i) {
+      for (int j = 1; j < nc - 1; ++j) {
+        ASSERT_GT(op.diag(i, j), 0.0)
+            << to_string(family()) << " N=" << nc << " at " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(StencilFastPathProperty, GenericPathMatchesPoissonKernelToTheLastUlp) {
+  // A *variable* operator whose coefficients happen to be exactly 1 with
+  // c = 0 takes the generic loop, yet must agree with the specialised
+  // Poisson kernel to the last ulp: the generic accumulation mirrors the
+  // fast path term for term (the only permitted difference is the sign of
+  // zero, which operator== ignores).
+  for (const int n : {5, 17, 65}) {
+    const grid::StencilOp generic =
+        grid::StencilOp::variable(Grid2D(n, 1.0), Grid2D(n, 1.0), 0.0);
+    ASSERT_FALSE(generic.is_poisson());
+    const Grid2D x = random_full(n, 233u + static_cast<std::uint64_t>(n));
+    const Grid2D b = random_full(n, 239u + static_cast<std::uint64_t>(n));
+    Grid2D via_generic(n, 0.0), via_poisson(n, 0.0);
+    grid::apply_op(generic, x, via_generic, sched());
+    grid::apply_poisson(x, via_poisson, sched());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(via_generic(i, j), via_poisson(i, j))
+            << "apply N=" << n << " at " << i << "," << j;
+      }
+    }
+    Grid2D r_generic(n, 0.0), r_poisson(n, 0.0);
+    grid::residual_op(generic, x, b, r_generic, sched());
+    grid::residual(x, b, r_poisson, sched());
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        ASSERT_EQ(r_generic(i, j), r_poisson(i, j))
+            << "residual N=" << n << " at " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(StencilFastPathProperty, PoissonOpDispatchesBitwiseToPoissonKernels) {
+  const int n = 33;
+  const grid::StencilOp op = grid::StencilOp::poisson(n);
+  ASSERT_TRUE(op.is_poisson());
+  const Grid2D x = random_full(n, 241);
+  Grid2D via_op(n, 0.0), direct(n, 0.0);
+  grid::apply_op(op, x, via_op, sched());
+  grid::apply_poisson(x, direct, sched());
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(via_op(i, j), direct(i, j));
+    }
+  }
+}
+
+TEST(StencilRestriction, UnitCoefficientsRestrictToUnitCoefficients) {
+  // H(1,1) = 1 and the ½/¼/¼ weights sum to 1, so constants survive
+  // coarsening exactly — the property that makes the Poisson shortcut in
+  // restricted() legitimate rather than an approximation.
+  const int n = 33;
+  const grid::StencilOp unit =
+      grid::StencilOp::variable(Grid2D(n, 1.0), Grid2D(n, 1.0), 0.5);
+  const grid::StencilOp coarse = unit.restricted();
+  EXPECT_EQ(coarse.n(), coarse_size(n));
+  EXPECT_EQ(coarse.c(), 0.5);  // the reaction term rides along unchanged
+  for (int i = 0; i < coarse.n(); ++i) {
+    for (int j = 0; j + 1 < coarse.n(); ++j) {
+      ASSERT_EQ(coarse.ax(i, j), 1.0) << i << "," << j;
+      ASSERT_EQ(coarse.ay(j, i), 1.0) << j << "," << i;
+    }
+  }
+  // And the true fast path short-circuits without arithmetic.
+  EXPECT_TRUE(grid::StencilOp::poisson(n).restricted().is_poisson());
+}
+
+TEST(StencilReaction, PositiveReactionTermStrengthensTheDiagonal) {
+  // diag = (aW+aE+aN+aS)/h² + c must grow by exactly c.
+  const int n = 17;
+  const grid::StencilOp base =
+      grid::StencilOp::variable(Grid2D(n, 2.0), Grid2D(n, 2.0), 0.0);
+  const grid::StencilOp shifted =
+      grid::StencilOp::variable(Grid2D(n, 2.0), Grid2D(n, 2.0), 3.0);
+  for (int i = 1; i < n - 1; ++i) {
+    for (int j = 1; j < n - 1; ++j) {
+      ASSERT_DOUBLE_EQ(shifted.diag(i, j), base.diag(i, j) + 3.0);
     }
   }
 }

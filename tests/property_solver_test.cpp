@@ -12,11 +12,13 @@
 #include "grid/level.h"
 #include "grid/problem.h"
 #include "grid/scratch.h"
+#include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "solvers/relax.h"
 #include "support/rng.h"
+#include "tune/accuracy.h"
 
 namespace pbmg::solvers {
 namespace {
@@ -123,6 +125,92 @@ TEST_P(SolverSweep, FullMultigridConvergesOnEveryDistribution) {
     vcycle(x, inst.problem.b, VCycleOptions{}, sched(), direct, pool());
   }
   EXPECT_LE(error_of(inst, x), 1e-8 * inst.e0);
+}
+
+// ------------------------------------------- stencil-aware relaxation --
+
+constexpr int kFamilyCount =
+    static_cast<int>(std::size(kAllOperatorFamilies));
+
+class StencilRelaxSweep : public ::testing::TestWithParam<int> {
+ protected:
+  OperatorFamily family() const {
+    return kAllOperatorFamilies[static_cast<std::size_t>(GetParam())];
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Families, StencilRelaxSweep,
+                         ::testing::Range(0, kFamilyCount),
+                         [](const auto& info) {
+                           return to_string(kAllOperatorFamilies[
+                               static_cast<std::size_t>(info.param)]);
+                         });
+
+TEST_P(StencilRelaxSweep, SorWithTrueDiagonalReducesError) {
+  // A convergent SOR sweep for an SPD system requires dividing by the
+  // actual row diagonal; 2n sweeps must visibly reduce the error for
+  // every family (full convergence is the V-cycle suite's job).
+  const int n = 33;
+  const grid::StencilOp op = make_operator(n, family());
+  Rng rng(4100);
+  const auto inst = tune::make_training_instance(
+      op, InputDistribution::kUnbiased, rng, sched());
+  if (inst.initial_error == 0.0) GTEST_SKIP() << "degenerate zero instance";
+  Grid2D x = inst.problem.x0;
+  for (int s = 0; s < 2 * n; ++s) {
+    sor_sweep(op, x, inst.problem.b, 1.15, sched());
+  }
+  EXPECT_LT(grid::norm2_diff_interior(x, inst.x_opt, sched()),
+            0.5 * inst.initial_error)
+      << to_string(family());
+}
+
+TEST_P(StencilRelaxSweep, JacobiWithTrueDiagonalReducesError) {
+  const int n = 33;
+  const grid::StencilOp op = make_operator(n, family());
+  Rng rng(4200);
+  const auto inst = tune::make_training_instance(
+      op, InputDistribution::kUnbiased, rng, sched());
+  if (inst.initial_error == 0.0) GTEST_SKIP() << "degenerate zero instance";
+  Grid2D x = inst.problem.x0;
+  Grid2D scratch(n, 0.0);
+  for (int s = 0; s < 4 * n; ++s) {
+    jacobi_sweep(op, x, inst.problem.b, kJacobiOmega, scratch, sched());
+  }
+  EXPECT_LT(grid::norm2_diff_interior(x, inst.x_opt, sched()),
+            0.5 * inst.initial_error)
+      << to_string(family());
+}
+
+TEST(StencilRelaxFastPath, PoissonOpSweepsAreBitwiseIdenticalToLegacy) {
+  // The op-aware sweeps must dispatch the Poisson fast path to the
+  // original kernels, bit for bit — same state after any sweep count.
+  const int n = 33;
+  const grid::StencilOp op = grid::StencilOp::poisson(n);
+  const auto inst = make_instance(n, InputDistribution::kUnbiased, 4300);
+  Grid2D via_op = inst.problem.x0;
+  Grid2D legacy = inst.problem.x0;
+  for (int s = 0; s < 5; ++s) {
+    sor_sweep(op, via_op, inst.problem.b, 1.15, sched());
+    sor_sweep(legacy, inst.problem.b, 1.15, sched());
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(via_op(i, j), legacy(i, j)) << "sor at " << i << "," << j;
+    }
+  }
+  Grid2D j_op = inst.problem.x0;
+  Grid2D j_legacy = inst.problem.x0;
+  Grid2D s1(n, 0.0), s2(n, 0.0);
+  for (int s = 0; s < 5; ++s) {
+    jacobi_sweep(op, j_op, inst.problem.b, kJacobiOmega, s1, sched());
+    jacobi_sweep(j_legacy, inst.problem.b, kJacobiOmega, s2, sched());
+  }
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      ASSERT_EQ(j_op(i, j), j_legacy(i, j)) << "jacobi at " << i << "," << j;
+    }
+  }
 }
 
 // ------------------------------------------------- contraction factors --

@@ -202,7 +202,9 @@ TEST(Trainer, AllCellsTrainedWithValidChoices) {
       const VEntry& v = config.v_entry(level, i);
       ASSERT_TRUE(v.trained) << "V cell " << level << "," << i;
       if (v.choice.kind == VKind::kRecurse) {
-        ASSERT_GE(v.choice.sub_accuracy, 0);
+        // kClassicalCoarse marks the classical single-body V-cycle coarse
+        // call; any other value must be a valid ladder index.
+        ASSERT_GE(v.choice.sub_accuracy, kClassicalCoarse);
         ASSERT_LT(v.choice.sub_accuracy, config.accuracy_count());
         ASSERT_GE(v.choice.iterations, 1);
       }
