@@ -28,8 +28,9 @@ int main(int argc, char** argv) {
   ArgParser parser("variable_coefficient",
                    "tune and solve a variable-coefficient scenario");
   parser.add_int("n", 65, "grid side (2^k + 1)");
-  parser.add_string("family", "jump",
-                    "operator family: poisson|smooth|jump|aniso");
+  parser.add_string(
+      "family", "jump",
+      "operator family: poisson|smooth|jump|aniso|aniso1000|aniso-rot");
   if (!parser.parse(argc, argv)) {
     std::cout << parser.help_text();
     return 0;

@@ -8,6 +8,31 @@
 
 namespace pbmg {
 
+namespace {
+
+/// True when any trained cell the session can execute relaxes with a line
+/// smoother — those sweeps lease two extra workspace grids (the Thomas
+/// c′/d′ rows, see solvers/line_relax.h) at their level.
+bool config_uses_line_smoothers(const tune::TunedConfig& config, int level) {
+  for (int k = 2; k <= level; ++k) {
+    for (int i = 0; i < config.accuracy_count(); ++i) {
+      const tune::VEntry& v = config.v_entry(k, i);
+      if (v.trained && v.choice.kind == tune::VKind::kRecurse &&
+          solvers::is_line_relax(v.choice.smoother)) {
+        return true;
+      }
+      const tune::FmgEntry& f = config.fmg_entry(k, i);
+      if (f.trained && f.choice.kind == tune::FmgKind::kEstimateThenRecurse &&
+          solvers::is_line_relax(f.choice.smoother)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 SolveSession::SolveSession(Engine& engine, tune::TunedConfig config, int n)
     : SolveSession(engine, std::move(config), grid::StencilOp::poisson(n)) {}
 
@@ -32,12 +57,19 @@ SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
   // side plus restricted-residual and error at the coarse side of the
   // level above), so warming three per level means the first request —
   // and every concurrent request after it, once the pool refills —
-  // allocates nothing on the solve path.
+  // allocates nothing on the solve path.  Configs that relax with line
+  // smoothers additionally lease the two Thomas workspace grids per
+  // sweep level; warm those too so a line-smoothed session is just as
+  // allocation-free on its first request.
+  const int per_level =
+      config_uses_line_smoothers(config_, level_) ? 5 : 3;
   for (int k = 1; k <= level_; ++k) {
     const int side = size_of_level(k);
     std::vector<grid::ScratchPool::Lease> warm;
-    warm.reserve(3);
-    for (int c = 0; c < 3; ++c) warm.push_back(engine_.scratch().acquire(side));
+    warm.reserve(static_cast<std::size_t>(per_level));
+    for (int c = 0; c < per_level; ++c) {
+      warm.push_back(engine_.scratch().acquire(side));
+    }
   }  // leases release here, stocking the free-list
 }
 

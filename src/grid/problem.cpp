@@ -37,6 +37,8 @@ std::string to_string(OperatorFamily family) {
     case OperatorFamily::kSmoothVariable: return "smooth";
     case OperatorFamily::kJumpCoefficient: return "jump";
     case OperatorFamily::kAnisotropic: return "aniso";
+    case OperatorFamily::kAnisotropic1000: return "aniso1000";
+    case OperatorFamily::kAnisoRotated: return "aniso-rot";
   }
   throw InvalidArgument("to_string: invalid OperatorFamily");
 }
@@ -46,8 +48,11 @@ OperatorFamily parse_operator_family(const std::string& name) {
   if (name == "smooth") return OperatorFamily::kSmoothVariable;
   if (name == "jump") return OperatorFamily::kJumpCoefficient;
   if (name == "aniso") return OperatorFamily::kAnisotropic;
-  throw InvalidArgument("unknown operator family '" + name +
-                        "' (expected poisson|smooth|jump|aniso)");
+  if (name == "aniso1000") return OperatorFamily::kAnisotropic1000;
+  if (name == "aniso-rot") return OperatorFamily::kAnisoRotated;
+  throw InvalidArgument(
+      "unknown operator family '" + name +
+      "' (expected poisson|smooth|jump|aniso|aniso1000|aniso-rot)");
 }
 
 grid::StencilOp make_operator(int n, OperatorFamily family) {
@@ -72,6 +77,18 @@ grid::StencilOp make_operator(int n, OperatorFamily family) {
       return grid::StencilOp::from_coefficients(
           n, [](double, double) { return 1.0; },
           [](double, double) { return 0.03125; }, 0.0);
+    case OperatorFamily::kAnisotropic1000:
+      return grid::StencilOp::from_coefficients(
+          n, [](double, double) { return 1.0; },
+          [](double, double) { return 1e-3; }, 0.0);
+    case OperatorFamily::kAnisoRotated:
+      // The strong axis flips across x = ½ (a grid line of every level,
+      // keeping the interface aligned under coefficient restriction like
+      // the jump family's box).  Half-open: y-edges sampled exactly on
+      // the interface column take the right-region value.
+      return grid::StencilOp::from_coefficients(
+          n, [](double x, double) { return x < 0.5 ? 1.0 : 1e-3; },
+          [](double x, double) { return x < 0.5 ? 1e-3 : 1.0; }, 0.0);
   }
   throw InvalidArgument("make_operator: invalid OperatorFamily");
 }

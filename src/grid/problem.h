@@ -56,18 +56,33 @@ enum class OperatorFamily {
   /// Axis-anisotropic: ax ≡ 1, ay ≡ 1/32 (weak vertical coupling).  A
   /// V(1,1) cycle with point red-black SOR still contracts at ~0.75–0.8
   /// per cycle at this ratio — slow enough that Poisson-tuned iteration
-  /// counts are badly mistuned (the fig18 payoff), while pushing much
-  /// further needs line smoothers, a ROADMAP follow-on.
+  /// counts are badly mistuned (the fig18 payoff); x-line relaxation
+  /// (solvers/line_relax.h) restores textbook rates.
   kAnisotropic,
+  /// Extreme axis anisotropy: ax ≡ 1, ay ≡ 10⁻³ (1000:1).  Point
+  /// relaxation stalls outright here (~0.999 per V(1,1) cycle); this
+  /// family *requires* the line smoothers and is the workload on which
+  /// the autotuner must discover them (bench/fig19_line_smoothers).
+  kAnisotropic1000,
+  /// Direction-varying ("rotated") anisotropy: the strong axis flips
+  /// across the x = ½ grid line — ax = 1, ay = 10⁻³ on the left half,
+  /// ax = 10⁻³, ay = 1 on the right.  Neither x-lines nor y-lines alone
+  /// smooth the whole domain; the alternating zebra smoother does.
+  /// (True rotated anisotropy with mixed derivatives needs a 9-point
+  /// stencil — a ROADMAP follow-on; this is its 5-point-representable
+  /// axis-aligned-by-parts analogue.)
+  kAnisoRotated,
 };
 
 /// All families, in declaration order (for sweeping tests/benches).
 inline constexpr OperatorFamily kAllOperatorFamilies[] = {
-    OperatorFamily::kPoisson, OperatorFamily::kSmoothVariable,
-    OperatorFamily::kJumpCoefficient, OperatorFamily::kAnisotropic};
+    OperatorFamily::kPoisson,         OperatorFamily::kSmoothVariable,
+    OperatorFamily::kJumpCoefficient, OperatorFamily::kAnisotropic,
+    OperatorFamily::kAnisotropic1000, OperatorFamily::kAnisoRotated};
 
-/// Short stable name ("poisson", "smooth", "jump", "aniso") — used in
-/// cache keys and config provenance, so renaming invalidates tuned tables.
+/// Short stable name ("poisson", "smooth", "jump", "aniso", "aniso1000",
+/// "aniso-rot") — used in cache keys and config provenance, so renaming
+/// invalidates tuned tables.
 std::string to_string(OperatorFamily family);
 
 /// Parses the names produced by to_string.  Throws InvalidArgument for

@@ -74,7 +74,6 @@ SearchResult PopulationSearch::run() {
 
   for (int gen = 1; gen <= options_.generations; ++gen) {
     if (timer.elapsed() > options_.time_budget_seconds) break;
-    if (population.empty()) break;  // not even the default completed
 
     // Breed first (fixed RNG consumption regardless of test outcomes),
     // then race: keeps runs with the same seed on identical paths.
@@ -84,7 +83,18 @@ SearchResult PopulationSearch::run() {
         offspring.push_back(space_.mutated(elite.candidate, rng));
       }
     }
-    for (int i = 0; i < options_.immigrants; ++i) {
+    // Immigrants always flow — and when *nothing* has completed yet, the
+    // elites' whole breeding budget goes to fresh random candidates too.
+    // A categorical axis can make most of the space infeasible on some
+    // workloads (e.g. only alternating-zebra smoothing converges on the
+    // rotated-anisotropy operator family), so an all-DNF seed round must
+    // keep hunting for the feasible region, not give up.
+    const int immigrants =
+        population.empty()
+            ? options_.immigrants +
+                  options_.population * options_.mutants_per_elite
+            : options_.immigrants;
+    for (int i = 0; i < immigrants; ++i) {
       offspring.push_back(space_.random_candidate(rng));
     }
     for (Candidate& candidate : offspring) race(std::move(candidate));

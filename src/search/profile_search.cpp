@@ -7,6 +7,7 @@
 
 #include "engine/engine.h"
 #include "grid/level.h"
+#include "solvers/line_relax.h"
 #include "solvers/multigrid.h"
 #include "support/error.h"
 #include "support/timer.h"
@@ -41,6 +42,15 @@ ParamSpace make_profile_space(const rt::MachineProfile& base,
   // inside SOR's (0, 2) stability interval and set_relax_tunables' bounds.
   space.add_float("recurse_omega", 0.6, 1.9, solvers::kRecurseOmega);
   space.add_float("omega_scale", 0.7, 1.3, 1.0);
+  // The smoother is a first-class *categorical* choice dimension (like
+  // KTT's kernel variants): point red-black SOR or one of the zebra line
+  // variants (solvers/line_relax.h).  It belongs to the relaxation group,
+  // so a relax_only space still races it — the axis an operator family
+  // needs most (aniso1000 is unsolvable without it) must never be pinned
+  // by the machine-knob toggle.  Jacobi is excluded, as in the trainer.
+  space.add_categorical("smoother",
+                        {"point_rb", "line_x", "line_y", "line_zebra_alt"},
+                        /*default_index=*/0);
   return space;
 }
 
@@ -62,6 +72,8 @@ RuntimeParams decode_runtime_params(const ParamSpace& space,
   }
   params.relax.recurse_omega = space.float_value(candidate, "recurse_omega");
   params.relax.omega_scale = space.float_value(candidate, "omega_scale");
+  params.relax.smoother = solvers::parse_relax_kind(
+      space.categorical_value(candidate, "smoother"));
   return params;
 }
 
@@ -76,6 +88,7 @@ Json SearchedProfile::to_json() const {
   j.set("profile", rt::profile_to_json(profile));
   j.set("recurse_omega", relax.recurse_omega);
   j.set("omega_scale", relax.omega_scale);
+  j.set("smoother", solvers::to_string(relax.smoother));
   j.set("default_seconds", finite_cap(default_seconds));
   j.set("searched_seconds", finite_cap(searched_seconds));
   j.set("evaluations", std::int64_t{evaluations});
@@ -91,6 +104,9 @@ SearchedProfile SearchedProfile::from_json(const Json& json) {
   out.relax.recurse_omega = json.at("recurse_omega").as_double();
   out.relax.omega_scale = json.at("omega_scale").as_double();
   try {
+    // Documents from before the smoother axis read as point SOR.
+    out.relax.smoother = solvers::parse_relax_kind(
+        json.get("smoother", std::string("point_rb")));
     solvers::validate_relax_tunables(out.relax);
   } catch (const InvalidArgument& e) {
     throw ConfigError(std::string("searched profile: ") + e.what());
@@ -160,6 +176,11 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
     rt::Scheduler& sched = engine.scheduler();
     const double sor_omega =
         solvers::scaled_omega_opt(n, params.relax.omega_scale);
+    // The candidate's smoother drives both workload phases: the iterative
+    // shortcut becomes iterated line relaxation when a line variant is
+    // selected (point SOR at the scaled ω_opt otherwise), and the V-cycle
+    // phase relaxes with it inside the recursion.
+    const solvers::RelaxKind smoother = params.relax.smoother;
     Grid2D x(n, 0.0);
     x.copy_from(inst.problem.x0);
     double elapsed = 0.0;
@@ -167,7 +188,12 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
     bool reached = false;
     for (int sweep = 0; sweep < max_sweeps; ++sweep) {
       const double t0 = now_seconds();
-      solvers::sor_sweep(op, x, inst.problem.b, sor_omega, sched);
+      if (solvers::is_line_relax(smoother)) {
+        solvers::line_relax_sweep(op, x, inst.problem.b, smoother, sched,
+                                  engine.scratch());
+      } else {
+        solvers::sor_sweep(op, x, inst.problem.b, sor_omega, sched);
+      }
       elapsed += now_seconds() - t0;
       if (deadline.expired()) return kInf;
       if (tune::accuracy_of(inst, x, base_sched) >= kSorPhaseAccuracy) {
@@ -179,6 +205,7 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
 
     solvers::VCycleOptions vopts;
     vopts.omega = params.relax.recurse_omega;
+    vopts.relaxation = smoother;
     for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
       const double t0 = now_seconds();
       solvers::vcycle(ops, x, inst.problem.b, vopts, sched, engine.direct(),

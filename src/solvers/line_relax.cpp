@@ -1,0 +1,280 @@
+#include "solvers/line_relax.h"
+
+#include "grid/level.h"
+
+namespace pbmg::solvers {
+
+void thomas_solve(const double* sub, const double* diag, const double* sup,
+                  double* rhs, double* work, int m) {
+  PBMG_CHECK(m >= 1, "thomas_solve: need at least one unknown");
+  PBMG_NUM_ASSERT(diag[0] != 0.0, "thomas_solve: zero pivot");
+  double inv = 1.0 / diag[0];
+  work[0] = sup[0] * inv;  // read even at m = 1: callers size bands to m
+  rhs[0] = rhs[0] * inv;
+  for (int k = 1; k < m; ++k) {
+    const double pivot = diag[k] - sub[k] * work[k - 1];
+    PBMG_NUM_ASSERT(pivot != 0.0, "thomas_solve: zero pivot");
+    inv = 1.0 / pivot;
+    work[k] = sup[k] * inv;
+    rhs[k] = (rhs[k] - sub[k] * rhs[k - 1]) * inv;
+  }
+  for (int k = m - 2; k >= 0; --k) {
+    rhs[k] -= work[k] * rhs[k + 1];
+  }
+}
+
+namespace {
+
+/// Forward elimination + back substitution with the bands produced on the
+/// fly (no materialized sub/diag/sup arrays).  `cp` and `dp` are the
+/// line's private Thomas workspaces (length n); the solved interior is
+/// written back through `put`.  Band callbacks are indexed by the 1-based
+/// interior position k in [1, n−2]:
+///   sub(k)  coefficient of u[k−1]   (ignored at k = 1 — folded into rhs
+///           by the caller, which adds the Dirichlet term there)
+///   diag(k) the full row diagonal
+///   sup(k)  coefficient of u[k+1]   (ignored at k = n−2, same folding)
+template <typename Sub, typename Diag, typename Sup, typename Rhs,
+          typename Put>
+inline void solve_interior_line(int n, double* cp, double* dp, Sub sub,
+                                Diag diag, Sup sup, Rhs rhs, Put put) {
+  const double d1 = diag(1);
+  PBMG_NUM_ASSERT(d1 > 0.0, "line_relax: non-positive diagonal");
+  double inv = 1.0 / d1;
+  cp[1] = sup(1) * inv;
+  dp[1] = rhs(1) * inv;
+  for (int k = 2; k <= n - 2; ++k) {
+    const double s = sub(k);
+    const double pivot = diag(k) - s * cp[k - 1];
+    PBMG_NUM_ASSERT(pivot > 0.0, "line_relax: non-positive pivot");
+    inv = 1.0 / pivot;
+    cp[k] = sup(k) * inv;
+    dp[k] = (rhs(k) - s * dp[k - 1]) * inv;
+  }
+  put(n - 2, dp[n - 2]);
+  for (int k = n - 3; k >= 1; --k) {
+    dp[k] -= cp[k] * dp[k + 1];
+    put(k, dp[k]);
+  }
+}
+
+/// Shared constant-coefficient elimination for the Poisson fast path: the
+/// tridiagonal (−1, 4, −1) is the same for every line, so the c′ factors
+/// are computed once and read by all lines of both parities.
+void poisson_cprime(double* cp, int n) {
+  cp[1] = -0.25;
+  for (int k = 2; k <= n - 2; ++k) {
+    cp[k] = -1.0 / (4.0 + cp[k - 1]);
+  }
+}
+
+/// x-line zebra sweep, Poisson.  Lines are interior rows; odd rows first
+/// (they read only the frozen even rows), then even rows.
+void line_x_poisson(Grid2D& x, const Grid2D& b, rt::Scheduler& sched,
+                    grid::ScratchPool& pool) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  double* cp = cpg.row(0);
+  poisson_cprime(cp, n);
+  for (int parity = 1; parity >= 0; --parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            if ((i & 1) != parity) continue;
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            double* dp = dpg.row(i);
+            // Forward substitution against the shared c′ factors; the
+            // Dirichlet columns fold into the first/last interior rhs
+            // (at n = 3 the single unknown is both).
+            double r1 = h2 * rhs[1] + up[1] + down[1] + mid[0];
+            if (n == 3) r1 += mid[2];
+            dp[1] = r1 * 0.25;
+            for (int j = 2; j <= n - 2; ++j) {
+              double r = h2 * rhs[j] + up[j] + down[j];
+              if (j == n - 2) r += mid[n - 1];
+              // −cp[j] is exactly the reciprocal pivot 1/(4 + cp[j−1])
+              // (IEEE negation is exact), so this matches the variable-
+              // coefficient elimination bit for bit without re-dividing.
+              dp[j] = (r + dp[j - 1]) * -cp[j];
+            }
+            mid[n - 2] = dp[n - 2];
+            for (int j = n - 3; j >= 1; --j) {
+              dp[j] -= cp[j] * dp[j + 1];
+              mid[j] = dp[j];
+            }
+          }
+        });
+  }
+}
+
+/// y-line zebra sweep, Poisson: same system per column (the Poisson
+/// stencil is symmetric in x/y), strided accesses down the column.
+void line_y_poisson(Grid2D& x, const Grid2D& b, rt::Scheduler& sched,
+                    grid::ScratchPool& pool) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  double* cp = cpg.row(0);
+  poisson_cprime(cp, n);
+  for (int parity = 1; parity >= 0; --parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t jb, std::int64_t je) {
+          for (int j = static_cast<int>(jb); j < static_cast<int>(je); ++j) {
+            if ((j & 1) != parity) continue;
+            double* dp = dpg.row(j);
+            double r1 = h2 * b(1, j) + x(1, j - 1) + x(1, j + 1) + x(0, j);
+            if (n == 3) r1 += x(2, j);
+            dp[1] = r1 * 0.25;
+            for (int i = 2; i <= n - 2; ++i) {
+              double r = h2 * b(i, j) + x(i, j - 1) + x(i, j + 1);
+              if (i == n - 2) r += x(n - 1, j);
+              dp[i] = (r + dp[i - 1]) * -cp[i];
+            }
+            x(n - 2, j) = dp[n - 2];
+            for (int i = n - 3; i >= 1; --i) {
+              dp[i] -= cp[i] * dp[i + 1];
+              x(i, j) = dp[i];
+            }
+          }
+        });
+  }
+}
+
+/// x-line zebra sweep with true per-edge coefficients: row i's system is
+///   −aW·u[j−1] + (aW+aE+aN+aS+c·h²)·u[j] − aE·u[j+1]
+///     = h²·b[j] + aN·up[j] + aS·down[j]  (+ Dirichlet folds at the ends).
+void line_x_op(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+               rt::Scheduler& sched, grid::ScratchPool& pool) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const Grid2D& ax = op.ax_grid();
+  const Grid2D& ay = op.ay_grid();
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            if ((i & 1) != parity) continue;
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            const double* axr = ax.row(i);
+            const double* ay_up = ay.row(i - 1);
+            const double* ay_dn = ay.row(i);
+            solve_interior_line(
+                n, cpg.row(i), dpg.row(i),
+                [&](int j) { return -axr[j - 1]; },
+                [&](int j) {
+                  return axr[j - 1] + axr[j] + ay_up[j] + ay_dn[j] + ch2;
+                },
+                [&](int j) { return -axr[j]; },
+                [&](int j) {
+                  double r = h2 * rhs[j] + ay_up[j] * up[j] +
+                             ay_dn[j] * down[j];
+                  if (j == 1) r += axr[0] * mid[0];
+                  if (j == n - 2) r += axr[n - 2] * mid[n - 1];
+                  return r;
+                },
+                [&](int j, double value) { mid[j] = value; });
+          }
+        });
+  }
+}
+
+/// y-line zebra sweep with true per-edge coefficients (column systems in
+/// the ay bands).
+void line_y_op(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+               rt::Scheduler& sched, grid::ScratchPool& pool) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const Grid2D& ax = op.ax_grid();
+  const Grid2D& ay = op.ay_grid();
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t jb, std::int64_t je) {
+          for (int j = static_cast<int>(jb); j < static_cast<int>(je); ++j) {
+            if ((j & 1) != parity) continue;
+            solve_interior_line(
+                n, cpg.row(j), dpg.row(j),
+                [&](int i) { return -ay(i - 1, j); },
+                [&](int i) {
+                  return ax(i, j - 1) + ax(i, j) + ay(i - 1, j) + ay(i, j) +
+                         ch2;
+                },
+                [&](int i) { return -ay(i, j); },
+                [&](int i) {
+                  double r = h2 * b(i, j) + ax(i, j - 1) * x(i, j - 1) +
+                             ax(i, j) * x(i, j + 1);
+                  if (i == 1) r += ay(0, j) * x(0, j);
+                  if (i == n - 2) r += ay(n - 2, j) * x(n - 1, j);
+                  return r;
+                },
+                [&](int i, double value) { x(i, j) = value; });
+          }
+        });
+  }
+}
+
+void check_line_operands(const Grid2D& x, const Grid2D& b, RelaxKind kind) {
+  PBMG_CHECK(is_line_relax(kind),
+             "line_relax_sweep: kind must be a line variant");
+  PBMG_CHECK(is_valid_grid_size(x.n()),
+             "line_relax_sweep: grid size must be 2^k+1");
+  PBMG_CHECK(x.n() == b.n(), "line_relax_sweep: grid size mismatch");
+}
+
+}  // namespace
+
+void line_relax_sweep(Grid2D& x, const Grid2D& b, RelaxKind kind,
+                      rt::Scheduler& sched, grid::ScratchPool& pool) {
+  check_line_operands(x, b, kind);
+  if (kind == RelaxKind::kLineX || kind == RelaxKind::kLineZebraAlt) {
+    line_x_poisson(x, b, sched, pool);
+  }
+  if (kind == RelaxKind::kLineY || kind == RelaxKind::kLineZebraAlt) {
+    line_y_poisson(x, b, sched, pool);
+  }
+}
+
+void line_relax_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                      RelaxKind kind, rt::Scheduler& sched,
+                      grid::ScratchPool& pool) {
+  if (op.is_poisson()) {
+    line_relax_sweep(x, b, kind, sched, pool);
+    return;
+  }
+  check_line_operands(x, b, kind);
+  PBMG_CHECK(op.n() == x.n(), "line_relax_sweep: operator/grid size mismatch");
+  if (kind == RelaxKind::kLineX || kind == RelaxKind::kLineZebraAlt) {
+    line_x_op(op, x, b, sched, pool);
+  }
+  if (kind == RelaxKind::kLineY || kind == RelaxKind::kLineZebraAlt) {
+    line_y_op(op, x, b, sched, pool);
+  }
+}
+
+}  // namespace pbmg::solvers

@@ -1,0 +1,67 @@
+#pragma once
+
+#include "grid/grid2d.h"
+#include "grid/scratch.h"
+#include "grid/stencil_op.h"
+#include "runtime/scheduler.h"
+#include "solvers/relax.h"
+
+/// \file line_relax.h
+/// Line relaxation: batched Thomas tridiagonal solves over grid rows or
+/// columns in zebra (odd/even line red-black) ordering.
+///
+/// Point relaxation smooths only the strongly coupled direction of an
+/// anisotropic operator: for −(a_x u_xx + a_y u_yy) with a_y ≪ a_x the
+/// error stays rough along y and the V-cycle contraction degrades from
+/// ~0.1 to ~0.8 per cycle at 32:1 and stalls entirely at 1000:1.  Line
+/// relaxation solves each row (or column) *exactly* — a tridiagonal
+/// system per line, O(n) by the Thomas algorithm — which smooths all
+/// modes that are strongly coupled within the line, restoring textbook
+/// multigrid rates for arbitrary axis anisotropy (x-lines for strong
+/// x-coupling, y-lines for strong y-coupling, alternating when the
+/// strong direction varies across the domain, e.g. the `aniso-rot`
+/// operator family).
+///
+/// Ordering is zebra: all odd lines are solved first (in parallel — they
+/// only read the frozen even lines), then all even lines.  Lines of one
+/// parity touch disjoint memory, so the sweeps are bitwise deterministic
+/// under any thread count and scheduling order, like the red-black point
+/// sweeps.  No over-relaxation is applied (ω = 1): each line update is
+/// the exact block Gauss-Seidel step, which never increases the energy
+/// norm of the error on SPD systems (the property suite pins this).
+///
+/// Workspaces (the per-line forward-elimination coefficients of the
+/// Thomas algorithm) are leased from the caller's grid::ScratchPool —
+/// line i of a leased n×n grid serves as line i's private scratch, so
+/// concurrent lines never share state and concurrent engines never share
+/// allocators.  SolveSession prewarms these leases next to the cycle
+/// temporaries.
+
+namespace pbmg::solvers {
+
+/// Solves one tridiagonal system in place by the Thomas algorithm:
+///   sub[k]·u[k−1] + diag[k]·u[k] + sup[k]·u[k+1] = rhs[k],  k in [0, m)
+/// with sub[0] and sup[m−1] ignored.  On return rhs holds the solution.
+/// `work` is caller scratch of length >= m.  Requires m >= 1 and a
+/// positive-definite (or at least factorizable) system; the elimination
+/// asserts non-vanishing pivots under PBMG_ASSERTIONS.
+void thomas_solve(const double* sub, const double* diag, const double* sup,
+                  double* rhs, double* work, int m);
+
+/// One zebra line-relaxation sweep of `kind` on the Poisson operator
+/// A·x = b (kLineX: rows, kLineY: columns, kLineZebraAlt: one x pass
+/// then one y pass).  The boundary ring of x is read, not written.
+/// Requires is_line_relax(kind) and x.n() == b.n() = 2^k+1.
+void line_relax_sweep(Grid2D& x, const Grid2D& b, RelaxKind kind,
+                      rt::Scheduler& sched, grid::ScratchPool& pool);
+
+/// Variable-coefficient overload: the tridiagonal bands carry the true
+/// per-edge coefficients (sub = −aW, sup = −aE for rows; −aN/−aS for
+/// columns) and the full diagonal (aW+aE+aN+aS)/h² + c.  The Poisson
+/// fast path dispatches to the overload above, bit-for-bit.  Requires
+/// op.n() == x.n().
+void line_relax_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                      RelaxKind kind, rt::Scheduler& sched,
+                      grid::ScratchPool& pool);
+
+}  // namespace pbmg::solvers

@@ -3,6 +3,7 @@
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/scratch.h"
+#include "solvers/line_relax.h"
 #include "solvers/relax.h"
 
 namespace pbmg::solvers {
@@ -19,15 +20,28 @@ grid::StencilOp op_at(const grid::StencilHierarchy* ops, int level, int n) {
 void smooth(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
             const VCycleOptions& options, int sweeps, rt::Scheduler& sched,
             grid::ScratchPool& pool) {
-  if (options.relaxation == RelaxKind::kSor) {
-    for (int s = 0; s < sweeps; ++s) {
-      sor_sweep(op, x, b, options.omega, sched);
+  switch (options.relaxation) {
+    case RelaxKind::kSor:
+      for (int s = 0; s < sweeps; ++s) {
+        sor_sweep(op, x, b, options.omega, sched);
+      }
+      break;
+    case RelaxKind::kJacobi: {
+      auto scratch_lease = pool.acquire(x.n());
+      for (int s = 0; s < sweeps; ++s) {
+        jacobi_sweep(op, x, b, kJacobiOmega, scratch_lease.get(), sched);
+      }
+      break;
     }
-  } else {
-    auto scratch_lease = pool.acquire(x.n());
-    for (int s = 0; s < sweeps; ++s) {
-      jacobi_sweep(op, x, b, kJacobiOmega, scratch_lease.get(), sched);
-    }
+    case RelaxKind::kLineX:
+    case RelaxKind::kLineY:
+    case RelaxKind::kLineZebraAlt:
+      // Line relaxation takes no ω: each line update is the exact block
+      // Gauss-Seidel step (see line_relax.h).
+      for (int s = 0; s < sweeps; ++s) {
+        line_relax_sweep(op, x, b, options.relaxation, sched, pool);
+      }
+      break;
   }
 }
 

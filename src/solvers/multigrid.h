@@ -22,13 +22,9 @@
 
 namespace pbmg::solvers {
 
-/// Smoother selection for the classical cycles.  The paper restricted its
-/// search to Red-Black SOR after finding it beat weighted Jacobi on its
-/// training data (§2.3); Jacobi is kept for the ablation that verifies
-/// that finding (bench/ablation_smoother).
-enum class RelaxKind { kSor, kJacobi };
-
-/// Parameters of a classical V-cycle.
+/// Parameters of a classical V-cycle.  The smoother (RelaxKind, now in
+/// relax.h) may be any of the point or line variants; line relaxation
+/// leases its Thomas workspaces from the cycle's ScratchPool.
 struct VCycleOptions {
   int pre_relax = 1;             ///< smoothing sweeps before coarsening
   int post_relax = 1;            ///< smoothing sweeps after the correction

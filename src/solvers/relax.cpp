@@ -7,6 +7,28 @@
 
 namespace pbmg::solvers {
 
+std::string to_string(RelaxKind kind) {
+  switch (kind) {
+    case RelaxKind::kSor: return "point_rb";
+    case RelaxKind::kJacobi: return "jacobi";
+    case RelaxKind::kLineX: return "line_x";
+    case RelaxKind::kLineY: return "line_y";
+    case RelaxKind::kLineZebraAlt: return "line_zebra_alt";
+  }
+  throw InvalidArgument("to_string: invalid RelaxKind");
+}
+
+RelaxKind parse_relax_kind(const std::string& name) {
+  if (name == "point_rb") return RelaxKind::kSor;
+  if (name == "jacobi") return RelaxKind::kJacobi;
+  if (name == "line_x") return RelaxKind::kLineX;
+  if (name == "line_y") return RelaxKind::kLineY;
+  if (name == "line_zebra_alt") return RelaxKind::kLineZebraAlt;
+  throw InvalidArgument(
+      "unknown relaxation kind '" + name +
+      "' (expected point_rb|jacobi|line_x|line_y|line_zebra_alt)");
+}
+
 double omega_opt(int n) {
   PBMG_CHECK(n >= 3, "omega_opt: n must be >= 3");
   const double h = mesh_width(n);
@@ -29,6 +51,9 @@ void validate_relax_tunables(const RelaxTunables& tunables) {
              "relax tunables: recurse_omega must be in (0, 2)");
   PBMG_CHECK(tunables.omega_scale >= 0.1 && tunables.omega_scale <= 1.5,
              "relax tunables: omega_scale must be in [0.1, 1.5]");
+  // A deserialized byte is not necessarily a valid enumerator; to_string
+  // throws for anything outside the enum.
+  (void)to_string(tunables.smoother);
 }
 
 void set_relax_tunables(const RelaxTunables& tunables) {

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+
 #include "grid/grid2d.h"
 #include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
@@ -15,6 +17,52 @@
 /// Jacobi is provided as the alternative the paper measured and rejected.
 
 namespace pbmg::solvers {
+
+/// Smoother selection — the relaxation axis of the choice space.  The
+/// paper restricted its search to point Red-Black SOR after finding it
+/// beat weighted Jacobi on its (isotropic Poisson) training data (§2.3);
+/// Jacobi is kept for the ablation that verifies that finding
+/// (bench/ablation_smoother).  The line variants (solvers/line_relax.h)
+/// solve whole rows/columns exactly via batched Thomas tridiagonal
+/// solves in zebra (odd/even line red-black) ordering; they are what
+/// makes strong axis anisotropy (the `aniso1000` / `aniso-rot` operator
+/// families) tractable, and — following the paper's central claim — the
+/// choice between them is *tuned*, not hard-coded: the DP trainer
+/// enumerates the smoother per level (tune/trainer.h) and the runtime-
+/// parameter search races it as a categorical axis
+/// (search/profile_search.h).
+enum class RelaxKind {
+  kSor,          ///< point red-black SOR ("point_rb", the paper's choice)
+  kJacobi,       ///< weighted Jacobi (ablation only)
+  kLineX,        ///< x-line zebra relaxation (tridiagonal solves per row)
+  kLineY,        ///< y-line zebra relaxation (tridiagonal solves per column)
+  kLineZebraAlt, ///< alternating zebra: one x-line + one y-line pass
+};
+
+/// Stable names used in tuned tables, cache keys and the search space:
+/// "point_rb", "jacobi", "line_x", "line_y", "line_zebra_alt".
+std::string to_string(RelaxKind kind);
+
+/// Parses the names produced by to_string; throws InvalidArgument for
+/// anything else.
+RelaxKind parse_relax_kind(const std::string& name);
+
+/// True for the three line-relaxation variants (which need ScratchPool
+/// workspaces in addition to the scheduler).
+constexpr bool is_line_relax(RelaxKind kind) {
+  return kind == RelaxKind::kLineX || kind == RelaxKind::kLineY ||
+         kind == RelaxKind::kLineZebraAlt;
+}
+
+/// All smoothers the autotuner may choose between (Jacobi is excluded:
+/// the paper measured and rejected it, and keeping it out preserves the
+/// historical candidate budget).  Order matters for the trainer: the
+/// zebra variants come first so a robust candidate establishes the
+/// pruning budget before point relaxation — which stalls on strongly
+/// anisotropic operators — burns its full iteration cap.
+inline constexpr RelaxKind kTunableSmoothers[] = {
+    RelaxKind::kLineZebraAlt, RelaxKind::kLineX, RelaxKind::kLineY,
+    RelaxKind::kSor};
 
 /// Optimal SOR relaxation parameter for the 2-D discrete Poisson problem
 /// with Dirichlet boundaries on an n×n grid:  ω = 2 / (1 + sin(π·h)),
@@ -41,6 +89,13 @@ inline constexpr double kJacobiOmega = 2.0 / 3.0;
 struct RelaxTunables {
   double recurse_omega = kRecurseOmega;  ///< ω of RECURSE's pre/post sweeps
   double omega_scale = 1.0;              ///< multiplier applied to ω_opt(N)
+  /// Searched default smoother (the "smoother" categorical axis of
+  /// make_profile_space): the profile-search workload runs under it, and
+  /// API users can read it off a SearchedProfile to build VCycleOptions.
+  /// Tuned executors use the *per-cell* smoother the DP recorded, which
+  /// takes precedence; the paper-faithful reference drivers keep point
+  /// SOR regardless.
+  RelaxKind smoother = RelaxKind::kSor;
 };
 
 /// Currently active tunables (defaults reproduce the paper exactly).

@@ -12,19 +12,44 @@ std::string default_cache_dir() {
   return env_string("PBMG_CACHE_DIR", "pbmg_tuned_cache");
 }
 
+namespace {
+
+/// Compact token for the smoother candidate list, order included (the
+/// measurement order drives budget pruning, so two orders can produce
+/// different tables): point_rb → 'p', line_x → 'x', line_y → 'y',
+/// line_zebra_alt → 'z' (default list: "zxyp").
+std::string smoother_token(const TrainerOptions& options) {
+  std::string token;
+  for (const solvers::RelaxKind kind : options.smoothers) {
+    switch (kind) {
+      case solvers::RelaxKind::kSor: token += 'p'; break;
+      case solvers::RelaxKind::kJacobi: token += 'j'; break;
+      case solvers::RelaxKind::kLineX: token += 'x'; break;
+      case solvers::RelaxKind::kLineY: token += 'y'; break;
+      case solvers::RelaxKind::kLineZebraAlt: token += 'z'; break;
+    }
+  }
+  return token;
+}
+
+}  // namespace
+
 std::string config_cache_key(const TrainerOptions& options,
                              const std::string& profile_name,
                              const std::string& strategy) {
   std::ostringstream oss;
-  // "v3": bump when runtime characteristics change enough to invalidate
+  // "v4": bump when runtime characteristics change enough to invalidate
   // previously tuned tables (v2 → v3: scenarios became first-class — the
-  // operator family joined the key via ProblemSpec, so caches written by
-  // the old Poisson-only schema are clean misses and get retrained).
-  oss << "v3_" << strategy << "_" << profile_name << "_"
+  // operator family joined the key via ProblemSpec; v3 → v4: the smoother
+  // became a tuned per-level choice — tables gained a relaxation axis and
+  // the trainer's candidate stream changed, so every v3 entry is a clean
+  // miss and gets retrained with the smoother dimension enabled).
+  oss << "v4_" << strategy << "_" << profile_name << "_"
       << options.problem_spec().cache_token() << "_m"
       << options.accuracies.size() << "_p"
       << static_cast<int>(std::lround(std::log10(options.accuracies.back())))
-      << "_i" << options.training_instances << "_s" << options.seed;
+      << "_i" << options.training_instances << "_s" << options.seed << "_sm"
+      << smoother_token(options);
   return oss.str();
 }
 

@@ -3,6 +3,7 @@
 #include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "grid/scratch.h"
+#include "solvers/line_relax.h"
 #include "solvers/relax.h"
 
 namespace pbmg::tune {
@@ -47,9 +48,10 @@ void TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b,
 }
 
 void TunedExecutor::recurse_body(Grid2D& x, const Grid2D& b,
-                                 int sub_accuracy_index) const {
+                                 int sub_accuracy_index,
+                                 solvers::RelaxKind smoother) const {
   PBMG_CHECK(x.n() == b.n(), "recurse_body: grid size mismatch");
-  recurse_body_at(x, b, level_of_size(x.n()), sub_accuracy_index);
+  recurse_body_at(x, b, level_of_size(x.n()), sub_accuracy_index, smoother);
 }
 
 void TunedExecutor::estimate(Grid2D& x, const Grid2D& b,
@@ -81,24 +83,35 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
     }
     case VKind::kRecurse:
       for (int it = 0; it < entry.choice.iterations; ++it) {
-        recurse_body_at(x, b, level, entry.choice.sub_accuracy);
+        recurse_body_at(x, b, level, entry.choice.sub_accuracy,
+                        entry.choice.smoother);
       }
       break;
   }
 }
 
 void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
-                                    int sub_accuracy_index) const {
+                                    int sub_accuracy_index,
+                                    solvers::RelaxKind smoother) const {
   PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
   PBMG_CHECK(sub_accuracy_index >= kClassicalCoarse &&
                  sub_accuracy_index < config_.accuracy_count(),
              "recurse_body: sub-accuracy index out of range");
-  // Paper §2.3 RECURSE_i: one SOR(ω) sweep, coarse-grid correction via
-  // MULTIGRID-V_j, one SOR(ω) sweep.  ω is the paper's 1.15 unless the
-  // runtime-parameter search handed this executor a tuned value.
+  // Paper §2.3 RECURSE_i: one pre-relaxation, coarse-grid correction via
+  // MULTIGRID-V_j, one post-relaxation.  The relaxation is the cell's
+  // tuned smoother: point SOR at ω (the paper's 1.15 unless the
+  // runtime-parameter search handed this executor a tuned value), or a
+  // line variant for operators where point relaxation stalls.
   const grid::StencilOp op = op_at(level);
   const double recurse_omega = relax_.recurse_omega;
-  solvers::sor_sweep(op, x, b, recurse_omega, sched_);
+  const auto relax_once = [&] {
+    if (solvers::is_line_relax(smoother)) {
+      solvers::line_relax_sweep(op, x, b, smoother, sched_, pool_);
+    } else {
+      solvers::sor_sweep(op, x, b, recurse_omega, sched_);
+    }
+  };
+  relax_once();
   trace(trace::Op::kRelax, level);
 
   const int n = x.n();
@@ -117,12 +130,14 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   if (sub_accuracy_index == kClassicalCoarse) {
     // Classical V-cycle coarse call: one recursion body per level (direct
     // at the base), never an accuracy-certified coarse solve.  Identical
-    // to solvers::vcycle with ω = recurse ω and one pre/post sweep.
+    // to solvers::vcycle with ω = recurse ω, one pre/post sweep, and the
+    // cell's smoother at every level (the smoother travels down the
+    // classical ramp just as VCycleOptions::relaxation would).
     if (level - 1 <= 1) {
       direct_.solve(op_at(level - 1), rc, e);
       trace(trace::Op::kDirect, level - 1);
     } else {
-      recurse_body_at(e, rc, level - 1, kClassicalCoarse);
+      recurse_body_at(e, rc, level - 1, kClassicalCoarse, smoother);
     }
   } else {
     run_v_at(e, rc, level - 1, sub_accuracy_index);
@@ -131,7 +146,7 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   grid::interpolate_add(e, x, sched_);
   trace(trace::Op::kInterpolate, level);
 
-  solvers::sor_sweep(op, x, b, recurse_omega, sched_);
+  relax_once();
   trace(trace::Op::kRelax, level);
 }
 
@@ -160,7 +175,8 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
     case FmgKind::kEstimateThenRecurse:
       estimate_at(x, b, level, entry.choice.estimate_accuracy);
       for (int it = 0; it < entry.choice.iterations; ++it) {
-        recurse_body_at(x, b, level, entry.choice.solve_accuracy);
+        recurse_body_at(x, b, level, entry.choice.solve_accuracy,
+                        entry.choice.smoother);
       }
       break;
   }

@@ -60,7 +60,14 @@ class TunedExecutor {
 
   /// One application of the RECURSE_j body at x's level (exposed for the
   /// trainer, which needs to iterate it while measuring accuracy).
-  void recurse_body(Grid2D& x, const Grid2D& b, int sub_accuracy_index) const;
+  /// `smoother` selects the pre/post relaxation of the body at *this*
+  /// level — point red-black SOR at the tuned RECURSE ω (the default,
+  /// the paper's shape) or a line variant (solvers/line_relax.h); the
+  /// coarse MULTIGRID-V_j call reads its own levels' tuned smoothers
+  /// from the tables.
+  void recurse_body(
+      Grid2D& x, const Grid2D& b, int sub_accuracy_index,
+      solvers::RelaxKind smoother = solvers::RelaxKind::kSor) const;
 
   /// One application of ESTIMATE_j at x's level (exposed for the trainer).
   void estimate(Grid2D& x, const Grid2D& b, int estimate_accuracy_index) const;
@@ -73,7 +80,8 @@ class TunedExecutor {
   void run_fmg_at(Grid2D& x, const Grid2D& b, int level,
                   int accuracy_index) const;
   void recurse_body_at(Grid2D& x, const Grid2D& b, int level,
-                       int sub_accuracy_index) const;
+                       int sub_accuracy_index,
+                       solvers::RelaxKind smoother) const;
   void estimate_at(Grid2D& x, const Grid2D& b, int level,
                    int estimate_accuracy_index) const;
   void trace(trace::Op op, int level, int detail = 0) const;

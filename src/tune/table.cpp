@@ -49,11 +49,25 @@ double finite_cap(double v) {
   return std::isfinite(v) ? v : 1e300;
 }
 
+/// Parses a serialized smoother name; a missing key (configs written
+/// before the line-smoother era) reads as the historical point SOR.  The
+/// cache key's v3 → v4 bump keeps stale *cache* entries from being loaded
+/// at all; this default is for explicitly saved config files.
+solvers::RelaxKind smoother_from_json(const Json& j) {
+  const std::string name = j.get("smoother", std::string("point_rb"));
+  try {
+    return solvers::parse_relax_kind(name);
+  } catch (const InvalidArgument& e) {
+    throw ConfigError(std::string("tuned-config: ") + e.what());
+  }
+}
+
 Json v_entry_to_json(const VEntry& e) {
   Json j = Json::object();
   j.set("kind", v_kind_name(e.choice.kind));
   j.set("sub_accuracy", e.choice.sub_accuracy);
   j.set("iterations", e.choice.iterations);
+  j.set("smoother", solvers::to_string(e.choice.smoother));
   j.set("expected_time", finite_cap(e.expected_time));
   j.set("measured_accuracy", finite_cap(e.measured_accuracy));
   j.set("trained", e.trained);
@@ -65,6 +79,7 @@ VEntry v_entry_from_json(const Json& j) {
   e.choice.kind = parse_v_kind(j.at("kind").as_string());
   e.choice.sub_accuracy = static_cast<int>(j.at("sub_accuracy").as_int());
   e.choice.iterations = static_cast<int>(j.at("iterations").as_int());
+  e.choice.smoother = smoother_from_json(j);
   e.expected_time = j.at("expected_time").as_double();
   e.measured_accuracy = j.at("measured_accuracy").as_double();
   e.trained = j.at("trained").as_bool();
@@ -77,6 +92,7 @@ Json fmg_entry_to_json(const FmgEntry& e) {
   j.set("estimate_accuracy", e.choice.estimate_accuracy);
   j.set("solve_accuracy", e.choice.solve_accuracy);
   j.set("iterations", e.choice.iterations);
+  j.set("smoother", solvers::to_string(e.choice.smoother));
   j.set("expected_time", finite_cap(e.expected_time));
   j.set("measured_accuracy", finite_cap(e.measured_accuracy));
   j.set("trained", e.trained);
@@ -90,6 +106,7 @@ FmgEntry fmg_entry_from_json(const Json& j) {
       static_cast<int>(j.at("estimate_accuracy").as_int());
   e.choice.solve_accuracy = static_cast<int>(j.at("solve_accuracy").as_int());
   e.choice.iterations = static_cast<int>(j.at("iterations").as_int());
+  e.choice.smoother = smoother_from_json(j);
   e.expected_time = j.at("expected_time").as_double();
   e.measured_accuracy = j.at("measured_accuracy").as_double();
   e.trained = j.at("trained").as_bool();
@@ -296,6 +313,12 @@ std::string accuracy_label(const TunedConfig& config, int index) {
 
 }  // namespace
 
+std::string smoother_tag(solvers::RelaxKind kind) {
+  return kind == solvers::RelaxKind::kSor
+             ? std::string()
+             : " {" + solvers::to_string(kind) + "}";
+}
+
 std::string render_call_stack(const TunedConfig& config, int level,
                               int accuracy_index) {
   std::ostringstream out;
@@ -316,11 +339,13 @@ std::string render_call_stack(const TunedConfig& config, int level,
         if (entry.choice.sub_accuracy == kClassicalCoarse) {
           // The rest of the stack is the classical V ramp: one body per
           // level down to the direct base case.
-          out << "RECURSE[classic-V] x" << entry.choice.iterations << "\n";
+          out << "RECURSE[classic-V] x" << entry.choice.iterations
+              << smoother_tag(entry.choice.smoother) << "\n";
           return out.str();
         }
         out << "RECURSE[" << accuracy_label(config, entry.choice.sub_accuracy)
-            << "] x" << entry.choice.iterations << "\n";
+            << "] x" << entry.choice.iterations
+            << smoother_tag(entry.choice.smoother) << "\n";
         i = entry.choice.sub_accuracy;
         k -= 1;
         break;
@@ -351,7 +376,8 @@ std::string render_fmg_call_stack(const TunedConfig& config, int level,
       case FmgKind::kEstimateThenRecurse:
         out << "ESTIMATE[" << accuracy_label(config, entry.choice.estimate_accuracy)
             << "] + RECURSE[" << accuracy_label(config, entry.choice.solve_accuracy)
-            << "] x" << entry.choice.iterations << "\n";
+            << "] x" << entry.choice.iterations
+            << smoother_tag(entry.choice.smoother) << "\n";
         i = entry.choice.estimate_accuracy;
         k -= 1;
         break;

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "solvers/relax.h"
 #include "support/json.h"
 
 /// \file table.h
@@ -41,6 +42,12 @@ struct VChoice {
   int sub_accuracy = -1;  ///< j of the coarse MULTIGRID-V_j, or
                           ///< kClassicalCoarse (kRecurse only)
   int iterations = 0;     ///< SOR sweeps or RECURSE iterations (non-direct)
+  /// Smoother of the RECURSE body's pre/post sweeps (kRecurse only; the
+  /// kIterSor shortcut stays point SOR at ω_opt, the paper's iterative
+  /// baseline).  The trainer enumerates this per level — the relaxation
+  /// axis of the choice space — so line smoothers are *discovered* for
+  /// the anisotropic operator families rather than hard-coded.
+  solvers::RelaxKind smoother = solvers::RelaxKind::kSor;
 };
 
 /// The choices of FULL-MULTIGRID_i (paper §2.4): direct, or an ESTIMATE_j
@@ -57,6 +64,10 @@ struct FmgChoice {
   int estimate_accuracy = -1;  ///< j of ESTIMATE_j (non-direct kinds)
   int solve_accuracy = -1;     ///< m of RECURSE_m (kEstimateThenRecurse)
   int iterations = 0;          ///< SOR sweeps or RECURSE iterations
+  /// Smoother of the solve phase's RECURSE bodies (kEstimateThenRecurse
+  /// only); inherited from the V cell that tuned RECURSE_m at this level
+  /// so the FMG candidate count stays unchanged (see trainer.cpp).
+  solvers::RelaxKind smoother = solvers::RelaxKind::kSor;
 };
 
 /// A tuned table cell together with the measurements that selected it.
@@ -125,6 +136,11 @@ class TunedConfig {
 /// The accuracy ladder used throughout the paper's evaluation:
 /// {10, 10³, 10⁵, 10⁷, 10⁹}.
 std::vector<double> paper_accuracies();
+
+/// " {line_x}"-style rendering suffix for non-default smoothers; empty
+/// for point SOR, so the historical point-only renderings are unchanged.
+/// Shared by the call-stack renderers and the trainer's progress log.
+std::string smoother_tag(solvers::RelaxKind kind);
 
 /// Renders the call-stack view of a tuned MULTIGRID-V_i (paper Figure 4):
 /// one line per recursion level showing which accuracy variant the tuned

@@ -39,6 +39,14 @@ Trainer::Trainer(TrainerOptions options, Engine& engine)
   PBMG_CHECK(options_.prune_factor >= 1.0,
              "Trainer: prune_factor must be >= 1");
   PBMG_CHECK(!options_.accuracies.empty(), "Trainer: empty accuracy ladder");
+  PBMG_CHECK(!options_.smoothers.empty(), "Trainer: empty smoother list");
+  for (const solvers::RelaxKind kind : options_.smoothers) {
+    // Jacobi exists for the ablation bench only; the executor's RECURSE
+    // body dispatches point SOR or a line variant.
+    PBMG_CHECK(kind == solvers::RelaxKind::kSor || solvers::is_line_relax(kind),
+               "Trainer: smoother candidates must be point_rb or a line "
+               "variant");
+  }
 }
 
 void Trainer::log_line(const std::string& line) const {
@@ -147,6 +155,7 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                             const std::vector<TrainingInstance>& set,
                             const std::vector<int>& allowed_sub_accuracies,
                             bool allow_sor,
+                            const std::vector<solvers::RelaxKind>& smoothers,
                             const grid::StencilHierarchy* ops) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
@@ -174,24 +183,34 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                      kBudgetFloorSeconds;
   };
 
-  // 1. RECURSE_j candidates, highest sub-accuracy first (converges in the
-  //    fewest iterations, establishing a tight pruning budget early).
-  for (auto it = allowed_sub_accuracies.rbegin();
-       it != allowed_sub_accuracies.rend(); ++it) {
-    const int j = *it;
-    CandidateResult cand;
-    cand.choice.kind = VKind::kRecurse;
-    cand.choice.sub_accuracy = j;
-    cand.meas = measure_iterative(
-        set, nullptr,
-        [&](Grid2D& x, const Grid2D& b) { executor.recurse_body(x, b, j); },
-        options_.max_recurse_iterations, budget());
-    const int top_needed = cand.meas.needed.back();
-    if (top_needed > 0) {
-      best_top_time =
-          std::min(best_top_time, cand.meas.time_per_step * top_needed);
+  // 1. RECURSE_j candidates, smoother-major — the relaxation axis of the
+  //    choice space.  The smoother list's canonical order puts the zebra
+  //    line variants first so that a candidate which converges on *every*
+  //    operator family establishes the pruning budget before point SOR
+  //    burns its full iteration cap on strongly anisotropic operators
+  //    (where it stalls at ~0.999 per cycle).  Within a smoother, highest
+  //    sub-accuracy first (fewest iterations, tightest budget).
+  for (const solvers::RelaxKind smoother : smoothers) {
+    for (auto it = allowed_sub_accuracies.rbegin();
+         it != allowed_sub_accuracies.rend(); ++it) {
+      const int j = *it;
+      CandidateResult cand;
+      cand.choice.kind = VKind::kRecurse;
+      cand.choice.sub_accuracy = j;
+      cand.choice.smoother = smoother;
+      cand.meas = measure_iterative(
+          set, nullptr,
+          [&](Grid2D& x, const Grid2D& b) {
+            executor.recurse_body(x, b, j, smoother);
+          },
+          options_.max_recurse_iterations, budget());
+      const int top_needed = cand.meas.needed.back();
+      if (top_needed > 0) {
+        best_top_time =
+            std::min(best_top_time, cand.meas.time_per_step * top_needed);
+      }
+      candidates.push_back(std::move(cand));
     }
-    candidates.push_back(std::move(cand));
   }
 
   // 2. Direct candidate, with O(N⁴) extrapolation pruning.
@@ -276,6 +295,7 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                       best.choice.sub_accuracy)])
                << "] x" << best.choice.iterations;
         }
+        line << smoother_tag(best.choice.smoother);
         break;
     }
     line << "  (" << best.expected_time * 1e3 << " ms)";
@@ -334,6 +354,19 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
     candidates.push_back(std::move(cand));
   }
 
+  // The smoother of an FMG solve phase's RECURSE_m bodies is inherited
+  // from the V cell that tuned RECURSE at (level, m) — the V pass runs
+  // first and already raced the smoother candidates on this exact
+  // operator and level, so re-enumerating them here would quadruple the
+  // FMG candidate count for no new information.  Cells that chose
+  // direct/SOR fall back to point SOR, the historical shape.
+  const auto solve_smoother_for = [&](int solve) {
+    const VEntry& v = config.v_entry(level, solve);
+    return (v.trained && v.choice.kind == VKind::kRecurse)
+               ? v.choice.smoother
+               : solvers::RelaxKind::kSor;
+  };
+
   // ESTIMATE_j followed by RECURSE_m or SOR.  Estimate phases are shared
   // across the solve alternatives via the setup callback.
   for (int j = m - 1; j >= 0; --j) {
@@ -358,8 +391,10 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
         cand.choice.kind = FmgKind::kEstimateThenRecurse;
         cand.choice.estimate_accuracy = j;
         cand.choice.solve_accuracy = solve;
-        step = [&executor, solve](Grid2D& x, const Grid2D& b) {
-          executor.recurse_body(x, b, solve);
+        cand.choice.smoother = solve_smoother_for(solve);
+        const solvers::RelaxKind smoother = cand.choice.smoother;
+        step = [&executor, solve, smoother](Grid2D& x, const Grid2D& b) {
+          executor.recurse_body(x, b, solve, smoother);
         };
         max_iterations = options_.max_recurse_iterations;
       }
@@ -424,7 +459,8 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
              << "]+RECURSE["
              << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
                     best.choice.solve_accuracy)])
-             << "] x" << best.choice.iterations;
+             << "] x" << best.choice.iterations
+             << smoother_tag(best.choice.smoother);
         break;
     }
     line << "  (" << best.expected_time * 1e3 << " ms)";
@@ -469,7 +505,8 @@ TunedConfig Trainer::train() {
                 : make_training_set(hier.at(level), options_.distribution,
                                     level_rng, options_.training_instances,
                                     sched_);
-    train_v_level(config, level, set, all_sub, /*allow_sor=*/true, ops);
+    train_v_level(config, level, set, all_sub, /*allow_sor=*/true,
+                  options_.smoothers, ops);
     if (options_.train_fmg) train_fmg_level(config, level, set, ops);
   }
   return config;
@@ -522,7 +559,10 @@ TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {
                 : make_training_set(hier.at(level), options_.distribution,
                                     level_rng, options_.training_instances,
                                     sched_);
-    train_v_level(config, level, set, only_fixed, /*allow_sor=*/false, ops);
+    // The Figure-7 heuristics reproduce the paper's restricted space
+    // exactly: Direct and point-SOR RECURSE only, no line smoothers.
+    train_v_level(config, level, set, only_fixed, /*allow_sor=*/false,
+                  {solvers::RelaxKind::kSor}, ops);
   }
   return config;
 }

@@ -76,6 +76,18 @@ struct TrainerOptions {
   /// pruned before this bound is hit on sane inputs).
   int direct_max_n = 513;
 
+  /// Smoother candidates the DP enumerates for the RECURSE relaxations at
+  /// every level — the relaxation axis of the choice space.  The default
+  /// is solvers::kTunableSmoothers in its canonical order: the zebra line
+  /// variants first, so a candidate that survives strong anisotropy
+  /// establishes the pruning budget before point SOR burns its iteration
+  /// cap on operators where it stalls.  Restrict to {RelaxKind::kSor} to
+  /// reproduce the paper's point-only space (the fig19 baseline arm).
+  /// Part of the config-cache key (order included: it affects pruning).
+  std::vector<solvers::RelaxKind> smoothers{
+      std::begin(solvers::kTunableSmoothers),
+      std::end(solvers::kTunableSmoothers)};
+
   /// A candidate is abandoned once it has spent more than
   /// prune_factor × (best known time to the top accuracy) summed over the
   /// training instances.
@@ -133,10 +145,15 @@ class Trainer {
 
   /// `ops` is the coefficient hierarchy of the level being trained (null
   /// for the Poisson family, preserving the historical code path).
+  /// `smoothers` is the RECURSE relaxation candidate list (the full
+  /// options_.smoothers for autotuning; point-only for the paper's
+  /// restricted heuristics).
   void train_v_level(TunedConfig& config, int level,
                      const std::vector<TrainingInstance>& set,
                      const std::vector<int>& allowed_sub_accuracies,
-                     bool allow_sor, const grid::StencilHierarchy* ops);
+                     bool allow_sor,
+                     const std::vector<solvers::RelaxKind>& smoothers,
+                     const grid::StencilHierarchy* ops);
   void train_fmg_level(TunedConfig& config, int level,
                        const std::vector<TrainingInstance>& set,
                        const grid::StencilHierarchy* ops);

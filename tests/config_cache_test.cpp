@@ -5,10 +5,12 @@
 
 #include <filesystem>
 #include <string>
+#include <utility>
 
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
+#include "solvers/relax.h"
 #include "support/json.h"
 #include "tune/config_cache.h"
 #include "tune/table.h"
@@ -193,6 +195,50 @@ TEST(ProblemSpecKey, OldPoissonOnlySchemaIsACleanMiss) {
              ".json");
   EXPECT_TRUE(std::filesystem::exists(new_path));
   std::filesystem::remove_all(dir);
+}
+
+TEST(ProblemSpecKey, OldV3SmootherlessSchemaIsACleanMiss) {
+  // v3 keys predate the smoother choice dimension (ISSUE 4): their tables
+  // carry no per-cell smoother and their trainer raced a different
+  // candidate stream, so a v3 entry must never be loaded.  The v4 prefix
+  // (plus the new _sm token) guarantees the old filename simply never
+  // matches: retrain, store beside the legacy file, leave it untouched.
+  const auto dir = fresh_dir("pbmg_cc_v3schema");
+  const TrainerOptions options = tiny_options();
+  const std::string new_key = config_cache_key(options, "serial", "autotuned");
+  EXPECT_EQ(new_key.rfind("v4_", 0), 0u);
+  EXPECT_NE(new_key.find("_sm"), std::string::npos);
+  // The exact v3 layout for tiny_options (see PR 3's config_cache.cpp):
+  // v3_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_s<seed>.
+  const std::string old_key = "v3_autotuned_serial_poisson_unbiased_L3_m5_p9_i1_s99";
+  ASSERT_NE(new_key, old_key);
+  const auto old_path = dir / (old_key + ".json");
+  const std::string old_content = handmade_config().to_json().dump(2) + "\n";
+  write_text_file(old_path.string(), old_content);
+
+  bool from_cache = true;
+  const TunedConfig config =
+      load_or_train(options, engine(), dir.string(), -1, &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(config.max_level(), options.max_level);
+  EXPECT_EQ(read_text_file(old_path.string()), old_content);
+  EXPECT_TRUE(std::filesystem::exists(dir / (new_key + ".json")));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProblemSpecKey, SmootherListJoinsTheKey) {
+  // Point-only training (the fig19 baseline arm) and the default
+  // line-enabled space must never share tuned tables; the list's *order*
+  // is keyed too, since measurement order drives budget pruning.
+  const TrainerOptions base = tiny_options();
+  TrainerOptions point_only = tiny_options();
+  point_only.smoothers = {solvers::RelaxKind::kSor};
+  EXPECT_NE(config_cache_key(base, "serial", "autotuned"),
+            config_cache_key(point_only, "serial", "autotuned"));
+  TrainerOptions reordered = tiny_options();
+  std::swap(reordered.smoothers.front(), reordered.smoothers.back());
+  EXPECT_NE(config_cache_key(base, "serial", "autotuned"),
+            config_cache_key(reordered, "serial", "autotuned"));
 }
 
 // ------------------------------------------------------------ round trip --

@@ -14,6 +14,7 @@
 #include "grid/stencil_op.h"
 #include "runtime/scheduler.h"
 #include "support/rng.h"
+#include "test_problems.h"
 
 namespace pbmg {
 namespace {
@@ -222,9 +223,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Range(0, kFamilyCount),
                        ::testing::Values(9, 33, 65)),
     [](const auto& info) {
-      return to_string(kAllOperatorFamilies[static_cast<std::size_t>(
-                 std::get<0>(info.param))]) +
-             "_N" + std::to_string(std::get<1>(info.param));
+      return testing::gtest_name(
+          to_string(kAllOperatorFamilies[static_cast<std::size_t>(
+              std::get<0>(info.param))]) +
+          "_N" + std::to_string(std::get<1>(info.param)));
     });
 
 TEST_P(StencilFamilyProperty, AssembledOperatorIsSymmetric) {

@@ -298,6 +298,31 @@ TEST(PopulationSearch, DeterministicBestWithFixedSeed) {
   EXPECT_EQ(first.best_history, second.best_history);
 }
 
+TEST(PopulationSearch, RecoversWhenOnlyOneCategoricalValueIsFeasible) {
+  // Regression for the smoother choice dimension: a categorical axis can
+  // make most of the space infeasible on a given workload (only the
+  // alternating-zebra smoother converges on the rotated-anisotropy
+  // family), and the default plus the random seed round may then be
+  // all-DNF.  The search must keep racing immigrants until it finds the
+  // feasible region instead of throwing after the seed round.
+  const ParamSpace space = toy_space();  // default "c" label is "x"
+  CandidateTester tester(
+      space,
+      [&](const Candidate& c, const tune::TrainingInstance&,
+          const Deadline&) {
+        // Feasible only at the non-default label "z"; faster for small a.
+        if (space.categorical_value(c, "c") != "z") return kInf;
+        return 1e-4 + 1e-6 * static_cast<double>(space.int_value(c, "a"));
+      },
+      tiny_instances(1));
+  PopulationOptions options = fast_population_options(7);
+  PopulationSearch engine(space, tester, options);
+  const SearchResult result = engine.run();
+  EXPECT_EQ(space.categorical_value(result.best.candidate, "c"), "z");
+  EXPECT_TRUE(std::isinf(result.default_total_seconds));
+  EXPECT_TRUE(std::isfinite(result.best.total_seconds));
+}
+
 TEST(PopulationSearch, ThrowsWhenNothingCompletes) {
   const ParamSpace space = toy_space();
   CandidateTester tester(

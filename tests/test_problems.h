@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <string>
+
+#include "fft/fast_poisson.h"
+#include "grid/grid2d.h"
+#include "grid/grid_ops.h"
+#include "grid/problem.h"
+#include "grid/stencil_op.h"
+#include "runtime/scheduler.h"
+#include "support/rng.h"
+#include "tune/accuracy.h"
+
+/// \file test_problems.h
+/// Shared manufactured-problem helpers for the test suites.
+///
+/// Several suites (stencil_test, property_solver_test, tune_test,
+/// line_relax_test) need the same two fixtures: an operator-family
+/// instance with a known exact discrete solution, and a Poisson instance
+/// solved by the DST oracle.  These used to be copy-pasted per suite with
+/// subtly divergent RHS scaling (one variant built b = A·exact from a
+/// unit-magnitude exact solution, another drew ±2³²-scale data), which
+/// made tolerances silently incomparable across suites.  One definition
+/// here; every suite cites the same scaling.
+///
+/// All helpers are deterministic in (inputs, seed) and take the caller's
+/// scheduler so each suite keeps its own engine/profile.
+
+namespace pbmg::testing {
+
+/// gtest parameterized-test names may only contain [A-Za-z0-9_]; family
+/// tokens like "aniso-rot" (stable in cache keys, so not renamed there)
+/// must be sanitized before use as a test-name suffix.
+inline std::string gtest_name(std::string s) {
+  for (char& c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!(std::isalnum(u) != 0 || c == '_')) c = '_';
+  }
+  return s;
+}
+
+/// An instance of `family` at side n with its exact discrete solution:
+/// tune::make_training_instance's manufactured construction (x_opt drawn
+/// from the unbiased ±2³² distribution, b = A·x_opt with the *discrete*
+/// operator, x0 = x_opt's Dirichlet ring + zero interior).  The Poisson
+/// family routes through the DST oracle instead, bit-for-bit.
+inline tune::TrainingInstance make_family_instance(OperatorFamily family,
+                                                   int n, std::uint64_t seed,
+                                                   rt::Scheduler& sched) {
+  const grid::StencilOp op = make_operator(n, family);
+  Rng rng(seed);
+  return tune::make_training_instance(op, InputDistribution::kUnbiased, rng,
+                                      sched);
+}
+
+/// Interior L2 error of an iterate against the instance's exact solution.
+inline double error_against_exact(const tune::TrainingInstance& inst,
+                                  const Grid2D& x, rt::Scheduler& sched) {
+  return grid::norm2_diff_interior(x, inst.x_opt, sched);
+}
+
+/// A Poisson instance with the DST oracle's exact solution and the error
+/// norm of the canonical zero-interior start (the shape the solver sweeps
+/// historically used).
+struct PoissonInstance {
+  PoissonProblem problem;
+  Grid2D exact;
+  double e0 = 0.0;
+};
+
+inline PoissonInstance make_poisson_instance(int n, InputDistribution dist,
+                                             std::uint64_t seed,
+                                             rt::Scheduler& sched) {
+  Rng rng(seed);
+  PoissonInstance inst;
+  inst.problem = make_problem(n, dist, rng);
+  inst.exact = fft::exact_solution(inst.problem, sched);
+  inst.e0 = grid::norm2_diff_interior(inst.problem.x0, inst.exact, sched);
+  return inst;
+}
+
+}  // namespace pbmg::testing

@@ -9,9 +9,12 @@
 #include <gtest/gtest.h>
 
 #include "engine/engine.h"
+#include "engine/solve_session.h"
 #include "grid/grid_ops.h"
 #include "grid/level.h"
+#include "solvers/relax.h"
 #include "support/rng.h"
+#include "test_problems.h"
 #include "trace/cycle_trace.h"
 #include "tune/accuracy.h"
 #include "tune/config_cache.h"
@@ -130,6 +133,7 @@ TEST(TunedConfig, JsonRoundTripPreservesEverything) {
       ASSERT_EQ(a.choice.kind, b.choice.kind);
       ASSERT_EQ(a.choice.sub_accuracy, b.choice.sub_accuracy);
       ASSERT_EQ(a.choice.iterations, b.choice.iterations);
+      ASSERT_EQ(a.choice.smoother, b.choice.smoother);
       ASSERT_EQ(a.trained, b.trained);
       const FmgEntry& fa = config.fmg_entry(level, i);
       const FmgEntry& fb = copy.fmg_entry(level, i);
@@ -137,6 +141,7 @@ TEST(TunedConfig, JsonRoundTripPreservesEverything) {
       ASSERT_EQ(fa.choice.estimate_accuracy, fb.choice.estimate_accuracy);
       ASSERT_EQ(fa.choice.solve_accuracy, fb.choice.solve_accuracy);
       ASSERT_EQ(fa.choice.iterations, fb.choice.iterations);
+      ASSERT_EQ(fa.choice.smoother, fb.choice.smoother);
     }
   }
 }
@@ -331,6 +336,72 @@ TEST(Trainer, HeuristicValidatesSubAccuracy) {
   Trainer trainer(small_options(), engine());
   EXPECT_THROW(trainer.train_heuristic(-1), InvalidArgument);
   EXPECT_THROW(trainer.train_heuristic(99), InvalidArgument);
+}
+
+TEST(Trainer, ValidatesSmootherCandidateList) {
+  TrainerOptions bad = small_options();
+  bad.smoothers.clear();
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
+  bad = small_options();
+  bad.smoothers = {solvers::RelaxKind::kJacobi};  // ablation-only smoother
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
+}
+
+TEST(Trainer, HeuristicTablesStayPointOnly) {
+  // The Figure-7 heuristics reproduce the paper's restricted space
+  // exactly; the smoother axis must not leak into them.
+  TrainerOptions options = small_options();
+  options.max_level = 3;
+  options.train_fmg = false;
+  Trainer trainer(options, engine());
+  const TunedConfig config = trainer.train_heuristic(1);
+  for (int level = 2; level <= config.max_level(); ++level) {
+    for (int i = 0; i < config.accuracy_count(); ++i) {
+      EXPECT_EQ(config.v_entry(level, i).choice.smoother,
+                solvers::RelaxKind::kSor)
+          << "level " << level << " i " << i;
+    }
+  }
+}
+
+/// The ISSUE-4 regression: the relaxation axis exists so the autotuner
+/// can *discover* line smoothing where point relaxation stalls.  With the
+/// aniso-1000:1 operator, levels 5–6 (N = 33/65) have no competitive
+/// non-line candidate — point RECURSE cannot reach even the first
+/// accuracy rung within its iteration cap (contraction ~0.999/cycle),
+/// the direct solver's O(N⁴) cost is already beaten, and point SOR needs
+/// thousands of sweeps — so the trained table must select a line/zebra
+/// smoother on both of the finest two levels.
+TEST(Trainer, DiscoversLineSmootherAtExtremeAnisotropy) {
+  TrainerOptions options;
+  options.accuracies = {10.0, 1e3, 1e5};
+  options.max_level = 6;
+  options.training_instances = 2;
+  options.train_fmg = false;
+  options.seed = 77;
+  options.op_family = OperatorFamily::kAnisotropic1000;
+  Trainer trainer(options, engine());
+  const TunedConfig config = trainer.train();
+  EXPECT_EQ(config.op_family, "aniso1000");
+  const int top = config.accuracy_count() - 1;
+  for (int level = 5; level <= 6; ++level) {
+    const VChoice& choice = config.v_entry(level, top).choice;
+    ASSERT_EQ(choice.kind, VKind::kRecurse) << "level " << level;
+    EXPECT_TRUE(solvers::is_line_relax(choice.smoother))
+        << "level " << level << " chose "
+        << solvers::to_string(choice.smoother);
+  }
+  // The discovered tables honour their accuracy contract on held-out
+  // inputs (same 10× slack as the session suite).
+  const int n = size_of_level(options.max_level);
+  SolveSession session(engine(), config,
+                       make_operator(n, options.op_family));
+  const auto inst = pbmg::testing::make_family_instance(
+      options.op_family, n, 2026'07'28, sched());
+  Grid2D x = inst.problem.x0;
+  session.solve_v(x, inst.problem.b, top);
+  EXPECT_GE(accuracy_of(inst, x, sched()),
+            0.1 * config.accuracies().back());
 }
 
 // ------------------------------------------------------------- executor --
