@@ -30,7 +30,8 @@ int main(int argc, char** argv) {
   parser.add_int("n", 65, "grid side (2^k + 1)");
   parser.add_string(
       "family", "jump",
-      "operator family: poisson|smooth|jump|aniso|aniso1000|aniso-rot");
+      "operator family: poisson|smooth|jump|aniso|aniso1000|aniso-rot|"
+      "aniso-t30|aniso-t45");
   if (!parser.parse(argc, argv)) {
     std::cout << parser.help_text();
     return 0;

@@ -8,31 +8,6 @@
 
 namespace pbmg {
 
-namespace {
-
-/// True when any trained cell the session can execute relaxes with a line
-/// smoother — those sweeps lease two extra workspace grids (the Thomas
-/// c′/d′ rows, see solvers/line_relax.h) at their level.
-bool config_uses_line_smoothers(const tune::TunedConfig& config, int level) {
-  for (int k = 2; k <= level; ++k) {
-    for (int i = 0; i < config.accuracy_count(); ++i) {
-      const tune::VEntry& v = config.v_entry(k, i);
-      if (v.trained && v.choice.kind == tune::VKind::kRecurse &&
-          solvers::is_line_relax(v.choice.smoother)) {
-        return true;
-      }
-      const tune::FmgEntry& f = config.fmg_entry(k, i);
-      if (f.trained && f.choice.kind == tune::FmgKind::kEstimateThenRecurse &&
-          solvers::is_line_relax(f.choice.smoother)) {
-        return true;
-      }
-    }
-  }
-  return false;
-}
-
-}  // namespace
-
 SolveSession::SolveSession(Engine& engine, tune::TunedConfig config, int n)
     : SolveSession(engine, std::move(config), grid::StencilOp::poisson(n)) {}
 
@@ -42,12 +17,18 @@ SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
       config_(std::move(config)),
       n_(op.n()),
       level_(level_of_size(op.n())),
-      // Prewarm the coarse coefficient hierarchy: restriction happens here,
-      // once, so no solve ever re-coarsens coefficients (the Poisson fast
-      // path stores no grids and costs nothing).
+      // Prewarm the coarse coefficient hierarchies: coarsening happens
+      // here, once, so no solve ever re-coarsens coefficients (the Poisson
+      // fast path stores no grids and costs nothing; the Galerkin RAP
+      // ladder is materialized only when some tuned cell asks for it).
       ops_(std::move(op)),
+      ops_rap_(tune::config_uses_rap(config_, level_)
+                   ? grid::StencilHierarchy(ops_.at(level_),
+                                            grid::Coarsening::kRap)
+                   : grid::StencilHierarchy()),
       executor_(config_, engine.scheduler(), engine.direct(),
-                engine.scratch(), nullptr, engine.relax(), &ops_) {
+                engine.scratch(), nullptr, engine.relax(), &ops_,
+                ops_rap_.top_level() >= 1 ? &ops_rap_ : nullptr) {
   PBMG_CHECK(config_.max_level() >= level_,
              "SolveSession: config trained up to level " +
                  std::to_string(config_.max_level()) +
@@ -62,7 +43,7 @@ SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
   // sweep level; warm those too so a line-smoothed session is just as
   // allocation-free on its first request.
   const int per_level =
-      config_uses_line_smoothers(config_, level_) ? 5 : 3;
+      tune::config_uses_line_smoothers(config_, level_) ? 5 : 3;
   for (int k = 1; k <= level_; ++k) {
     const int side = size_of_level(k);
     std::vector<grid::ScratchPool::Lease> warm;

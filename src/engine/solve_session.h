@@ -98,8 +98,10 @@ class SolveSession {
   tune::TunedConfig config_;
   int n_;
   int level_;
-  grid::StencilHierarchy ops_;    // built before executor_, which binds it
-  tune::TunedExecutor executor_;  // bound to config_ (stable: non-movable)
+  grid::StencilHierarchy ops_;      // built before executor_, which binds it
+  grid::StencilHierarchy ops_rap_;  // Galerkin ladder; empty unless a tuned
+                                    // cell asks for rap coarsening
+  tune::TunedExecutor executor_;    // bound to config_ (stable: non-movable)
 };
 
 }  // namespace pbmg

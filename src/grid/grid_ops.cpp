@@ -126,6 +126,38 @@ void stencil_loop(const StencilOp& op, const Grid2D& x, const Grid2D* b,
   zero_boundary(out);
 }
 
+/// 9-point variant: corner couplings and the explicit centre coefficient
+/// join the accumulation (see stencil_op.h for the coupling layout).  The
+/// 5-point loop above stays untouched so operators without corners keep
+/// their bitwise-stable code path.
+template <bool WithRhs>
+void stencil_loop9(const StencilOp& op, const Grid2D& x, const Grid2D* b,
+                   Grid2D& out, rt::Scheduler& sched) {
+  const int n = x.n();
+  const double inv_h2 = static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  const double c = op.c();
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const NinePointRows rows(op, i);
+          const double* rhs = WithRhs ? b->row(i) : nullptr;
+          double* o = out.row(i);
+          for (int j = 1; j < n - 1; ++j) {
+            const double nb = rows.neighbour_sum(up, mid, down, j);
+            const double av =
+                (rows.center[j] * mid[j] - nb) * inv_h2 + c * mid[j];
+            if constexpr (WithRhs) o[j] = rhs[j] - av;
+            else o[j] = av;
+          }
+        }
+      });
+  zero_boundary(out);
+}
+
 }  // namespace
 
 void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
@@ -135,6 +167,10 @@ void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
   PBMG_CHECK(op.n() == x.n(), "apply_op: operator/grid size mismatch");
   if (op.is_poisson()) {
     apply_poisson(x, out, sched);
+    return;
+  }
+  if (op.is_nine_point()) {
+    stencil_loop9<false>(op, x, nullptr, out, sched);
     return;
   }
   stencil_loop<false>(op, x, nullptr, out, sched);
@@ -148,6 +184,10 @@ void residual_op(const StencilOp& op, const Grid2D& x, const Grid2D& b,
   PBMG_CHECK(op.n() == x.n(), "residual_op: operator/grid size mismatch");
   if (op.is_poisson()) {
     residual(x, b, r, sched);
+    return;
+  }
+  if (op.is_nine_point()) {
+    stencil_loop9<true>(op, x, &b, r, sched);
     return;
   }
   stencil_loop<true>(op, x, &b, r, sched);

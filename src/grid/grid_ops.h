@@ -30,7 +30,9 @@ void residual(const Grid2D& x, const Grid2D& b, Grid2D& r,
 
 /// out(i,j) = (A x)(i,j) for a variable-coefficient operator (see
 /// stencil_op.h); out's boundary ring is zeroed.  The Poisson fast path
-/// dispatches to apply_poisson, bit-for-bit.  Requires x.n() == op.n().
+/// dispatches to apply_poisson, bit-for-bit, and a 5-point operator keeps
+/// its pre-9-point loop bit-for-bit; 9-point operators take the corner-
+/// coupled kernel.  Requires x.n() == op.n().
 void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
               rt::Scheduler& sched);
 

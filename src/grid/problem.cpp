@@ -12,6 +12,23 @@ namespace {
 constexpr double kTwo32 = 4294967296.0;  // 2^32
 constexpr double kTwo31 = 2147483648.0;  // 2^31
 
+/// Rotated-anisotropy tensor M = R(θ)ᵀ·diag(1, ε)·R(θ) with ε = 10⁻²,
+/// discretised as a constant-coefficient 9-point operator.  M is SPD for
+/// any θ (eigenvalues 1 and ε), so the discrete operator is SPD too.
+grid::StencilOp make_rotated_operator(int n, double theta_degrees) {
+  constexpr double kEpsilon = 1e-2;
+  const double theta = theta_degrees * M_PI / 180.0;
+  const double s = std::sin(theta);
+  const double c = std::cos(theta);
+  const double a11 = c * c + kEpsilon * s * s;
+  const double a22 = s * s + kEpsilon * c * c;
+  const double a12 = (1.0 - kEpsilon) * s * c;
+  return grid::StencilOp::from_tensor(
+      n, [a11](double, double) { return a11; },
+      [a12](double, double) { return a12; },
+      [a22](double, double) { return a22; }, 0.0);
+}
+
 }  // namespace
 
 std::string to_string(InputDistribution dist) {
@@ -39,6 +56,8 @@ std::string to_string(OperatorFamily family) {
     case OperatorFamily::kAnisotropic: return "aniso";
     case OperatorFamily::kAnisotropic1000: return "aniso1000";
     case OperatorFamily::kAnisoRotated: return "aniso-rot";
+    case OperatorFamily::kAnisoTheta30: return "aniso-t30";
+    case OperatorFamily::kAnisoTheta45: return "aniso-t45";
   }
   throw InvalidArgument("to_string: invalid OperatorFamily");
 }
@@ -50,9 +69,12 @@ OperatorFamily parse_operator_family(const std::string& name) {
   if (name == "aniso") return OperatorFamily::kAnisotropic;
   if (name == "aniso1000") return OperatorFamily::kAnisotropic1000;
   if (name == "aniso-rot") return OperatorFamily::kAnisoRotated;
+  if (name == "aniso-t30") return OperatorFamily::kAnisoTheta30;
+  if (name == "aniso-t45") return OperatorFamily::kAnisoTheta45;
   throw InvalidArgument(
       "unknown operator family '" + name +
-      "' (expected poisson|smooth|jump|aniso|aniso1000|aniso-rot)");
+      "' (expected poisson|smooth|jump|aniso|aniso1000|aniso-rot|"
+      "aniso-t30|aniso-t45)");
 }
 
 grid::StencilOp make_operator(int n, OperatorFamily family) {
@@ -89,6 +111,10 @@ grid::StencilOp make_operator(int n, OperatorFamily family) {
       return grid::StencilOp::from_coefficients(
           n, [](double x, double) { return x < 0.5 ? 1.0 : 1e-3; },
           [](double x, double) { return x < 0.5 ? 1e-3 : 1.0; }, 0.0);
+    case OperatorFamily::kAnisoTheta30:
+      return make_rotated_operator(n, 30.0);
+    case OperatorFamily::kAnisoTheta45:
+      return make_rotated_operator(n, 45.0);
   }
   throw InvalidArgument("make_operator: invalid OperatorFamily");
 }

@@ -68,21 +68,33 @@ enum class OperatorFamily {
   /// across the x = ½ grid line — ax = 1, ay = 10⁻³ on the left half,
   /// ax = 10⁻³, ay = 1 on the right.  Neither x-lines nor y-lines alone
   /// smooth the whole domain; the alternating zebra smoother does.
-  /// (True rotated anisotropy with mixed derivatives needs a 9-point
-  /// stencil — a ROADMAP follow-on; this is its 5-point-representable
-  /// axis-aligned-by-parts analogue.)
+  /// (Still 5-point-representable: the axis-aligned-by-parts analogue of
+  /// the genuinely rotated kAnisoTheta* families below.)
   kAnisoRotated,
+  /// True rotated anisotropy: −∇·(R(θ)ᵀ·diag(1,ε)·R(θ) ∇u) with ε = 10⁻²
+  /// and θ = 30° — a full diffusion tensor whose mixed derivative needs
+  /// the 9-point stencil's corner couplings.  Averaged-coefficient
+  /// coarsening drops those corners, so this family is where Galerkin RAP
+  /// coarse operators (grid::Coarsening::kRap) earn their keep
+  /// (bench/fig20_rotated_anisotropy).
+  kAnisoTheta30,
+  /// Same tensor at θ = 45°, the hardest angle: the characteristic
+  /// direction lies exactly between the grid axes, so neither x- nor
+  /// y-line relaxation follows it and 5-point coarse operators misrepresent
+  /// the dominant coupling entirely.
+  kAnisoTheta45,
 };
 
 /// All families, in declaration order (for sweeping tests/benches).
 inline constexpr OperatorFamily kAllOperatorFamilies[] = {
     OperatorFamily::kPoisson,         OperatorFamily::kSmoothVariable,
     OperatorFamily::kJumpCoefficient, OperatorFamily::kAnisotropic,
-    OperatorFamily::kAnisotropic1000, OperatorFamily::kAnisoRotated};
+    OperatorFamily::kAnisotropic1000, OperatorFamily::kAnisoRotated,
+    OperatorFamily::kAnisoTheta30,    OperatorFamily::kAnisoTheta45};
 
 /// Short stable name ("poisson", "smooth", "jump", "aniso", "aniso1000",
-/// "aniso-rot") — used in cache keys and config provenance, so renaming
-/// invalidates tuned tables.
+/// "aniso-rot", "aniso-t30", "aniso-t45") — used in cache keys and config
+/// provenance, so renaming invalidates tuned tables.
 std::string to_string(OperatorFamily family);
 
 /// Parses the names produced by to_string.  Throws InvalidArgument for

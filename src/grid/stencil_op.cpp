@@ -12,10 +12,14 @@ namespace {
 /// Series (harmonic) combination of two fine edges spanning one coarse
 /// edge: the effective conductance of two unit-length conductors in
 /// series, scaled back to the coarse edge length.  Exact for constant
-/// coefficients: H(a, a) = a.
+/// coefficients: H(a, a) = a.  The guard is a PBMG_CHECK (active in every
+/// build): a degenerate pair (a1 + a2 <= 0) would otherwise produce an
+/// Inf/NaN coefficient that propagates silently through the whole coarse
+/// hierarchy in plain Release, where the construction-time positivity
+/// scan (PBMG_NUM_ASSERT) is compiled out.
 double series(double a1, double a2) {
   const double sum = a1 + a2;
-  PBMG_NUM_ASSERT(sum > 0.0, "StencilOp: degenerate edge pair in restriction");
+  PBMG_CHECK(sum > 0.0, "StencilOp: degenerate edge pair in restriction");
   return 2.0 * a1 * a2 / sum;
 }
 
@@ -33,7 +37,53 @@ void check_coefficients(const Grid2D& ax, const Grid2D& ay, int n) {
   }
 }
 
+void check_nine_point(const Grid2D& ax, const Grid2D& ay, const Grid2D& ase,
+                      const Grid2D& asw, const Grid2D& center, int n) {
+  // Unlike the 5-point factory, couplings may legitimately be negative
+  // here (mixed-derivative corners; Galerkin coarse operators need not
+  // be M-matrices even on their edges), so only finiteness is scanned;
+  // the centre must be a positive diagonal.  Edge bounds mirror
+  // check_coefficients so every stored edge is covered.
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j + 1 < n; ++j) {
+      PBMG_NUM_ASSERT(std::isfinite(ax(i, j)),
+                      "StencilOp: ax edge coupling must be finite");
+      PBMG_NUM_ASSERT(std::isfinite(ay(j, i)),
+                      "StencilOp: ay edge coupling must be finite");
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    for (int j = 0; j + 1 < n; ++j) {
+      PBMG_NUM_ASSERT(std::isfinite(ase(i, j)),
+                      "StencilOp: ase corner coupling must be finite");
+      PBMG_NUM_ASSERT(std::isfinite(asw(i, j + 1)),
+                      "StencilOp: asw corner coupling must be finite");
+    }
+  }
+  for (int i = 1; i + 1 < n; ++i) {
+    for (int j = 1; j + 1 < n; ++j) {
+      PBMG_NUM_ASSERT(std::isfinite(center(i, j)) && center(i, j) > 0.0,
+                      "StencilOp: centre coefficient must be finite and > 0");
+    }
+  }
+}
+
 }  // namespace
+
+std::string to_string(Coarsening mode) {
+  switch (mode) {
+    case Coarsening::kAverage: return "avg";
+    case Coarsening::kRap: return "rap";
+  }
+  throw InvalidArgument("to_string: invalid Coarsening");
+}
+
+Coarsening parse_coarsening(const std::string& name) {
+  if (name == "avg") return Coarsening::kAverage;
+  if (name == "rap") return Coarsening::kRap;
+  throw InvalidArgument("unknown coarsening '" + name +
+                        "' (expected avg|rap)");
+}
 
 StencilOp StencilOp::poisson(int n) {
   PBMG_CHECK(is_valid_grid_size(n), "StencilOp::poisson: n must be 2^k + 1");
@@ -57,6 +107,97 @@ StencilOp StencilOp::variable(Grid2D ax, Grid2D ay, double c) {
   coeff->ay = std::move(ay);
   op.coeff_ = std::move(coeff);
   return op;
+}
+
+StencilOp StencilOp::nine_point(Grid2D ax, Grid2D ay, Grid2D ase, Grid2D asw,
+                                Grid2D center, double c) {
+  const int n = ax.n();
+  PBMG_CHECK(is_valid_grid_size(n),
+             "StencilOp::nine_point: n must be 2^k + 1");
+  PBMG_CHECK(ay.n() == n && ase.n() == n && asw.n() == n && center.n() == n,
+             "StencilOp::nine_point: coefficient grid size mismatch");
+  PBMG_CHECK(std::isfinite(c) && c >= 0.0,
+             "StencilOp::nine_point: c must be finite and >= 0");
+  check_nine_point(ax, ay, ase, asw, center, n);
+  StencilOp op;
+  op.n_ = n;
+  op.c_ = c;
+  auto coeff = std::make_shared<Coefficients>();
+  coeff->ax = std::move(ax);
+  coeff->ay = std::move(ay);
+  op.coeff_ = std::move(coeff);
+  auto corner = std::make_shared<CornerCoefficients>();
+  corner->ase = std::move(ase);
+  corner->asw = std::move(asw);
+  corner->center = std::move(center);
+  op.corner_ = std::move(corner);
+  return op;
+}
+
+StencilOp StencilOp::from_tensor(
+    int n, const std::function<double(double, double)>& a11_fn,
+    const std::function<double(double, double)>& a12_fn,
+    const std::function<double(double, double)>& a22_fn, double c) {
+  PBMG_CHECK(is_valid_grid_size(n),
+             "StencilOp::from_tensor: n must be 2^k + 1");
+  PBMG_CHECK(a11_fn != nullptr && a12_fn != nullptr && a22_fn != nullptr,
+             "StencilOp::from_tensor: null coefficient function");
+  const double h = mesh_width(n);
+  Grid2D ax(n, 0.0);
+  Grid2D ay(n, 0.0);
+  Grid2D ase(n, 0.0);
+  Grid2D asw(n, 0.0);
+  Grid2D center(n, 0.0);
+  // Convention matches from_coefficients: row i is y = i·h, column j is
+  // x = j·h.  Edge couplings sample the in-line tensor entry at the edge
+  // midpoint; the mixed term −2·a12·u_xy discretises with the standard
+  // 4-corner cross stencil, giving coupling +a12/2 on the "\" diagonal
+  // and −a12/2 on the "/" diagonal, each sampled at its own midpoint so
+  // the coupling is shared symmetrically by its two endpoints.
+  for (int i = 0; i < n; ++i) {
+    const double y = i * h;
+    for (int j = 0; j + 1 < n; ++j) {
+      ax(i, j) = a11_fn((j + 0.5) * h, y);
+    }
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    const double y = (i + 0.5) * h;
+    for (int j = 0; j < n; ++j) {
+      ay(i, j) = a22_fn(j * h, y);
+      // Diagonal midpoints stay inside [0,1]²: ase is read for j <= n−2
+      // and asw for j >= 1, so the out-of-range columns are never
+      // sampled (a12_fn need only be defined on the unit square).
+      if (j + 1 < n) {
+        ase(i, j) = 0.5 * a12_fn((j + 0.5) * h, y);
+        // SPD precondition scan, matching check_coefficients' convention
+        // for the 5-point factories: an indefinite tensor would otherwise
+        // surface only as a non-positive Cholesky pivot (or silent cycle
+        // divergence) far from the bad coefficient function.
+        PBMG_NUM_ASSERT(
+            [&] {
+              const double x = (j + 0.5) * h;
+              const double m11 = a11_fn(x, y);
+              const double m22 = a22_fn(x, y);
+              const double m12 = a12_fn(x, y);
+              return m11 > 0.0 && m22 > 0.0 && m12 * m12 < m11 * m22;
+            }(),
+            "StencilOp::from_tensor: tensor must be SPD on [0,1]^2");
+      }
+      if (j > 0) asw(i, j) = -0.5 * a12_fn((j - 0.5) * h, y);
+    }
+  }
+  // The centre is the row sum of the node's eight couplings, so the
+  // operator annihilates constants exactly (A·1 = 0 away from the
+  // boundary when c = 0), matching the flux-form 5-point convention.
+  for (int i = 1; i + 1 < n; ++i) {
+    for (int j = 1; j + 1 < n; ++j) {
+      center(i, j) = ((ax(i, j - 1) + ax(i, j)) + (ay(i - 1, j) + ay(i, j))) +
+                     ((ase(i, j) + ase(i - 1, j - 1)) +
+                      (asw(i, j) + asw(i - 1, j + 1)));
+    }
+  }
+  return nine_point(std::move(ax), std::move(ay), std::move(ase),
+                    std::move(asw), std::move(center), c);
 }
 
 StencilOp StencilOp::from_coefficients(
@@ -103,13 +244,30 @@ const Grid2D& StencilOp::ay_grid() const {
   return coeff_->ay;
 }
 
+const Grid2D& StencilOp::ase_grid() const {
+  PBMG_CHECK(corner_ != nullptr,
+             "StencilOp::ase_grid: operator has no corner couplings");
+  return corner_->ase;
+}
+
+const Grid2D& StencilOp::asw_grid() const {
+  PBMG_CHECK(corner_ != nullptr,
+             "StencilOp::asw_grid: operator has no corner couplings");
+  return corner_->asw;
+}
+
+const Grid2D& StencilOp::center_grid() const {
+  PBMG_CHECK(corner_ != nullptr,
+             "StencilOp::center_grid: operator has no corner couplings");
+  return corner_->center;
+}
+
 double StencilOp::diag(int i, int j) const {
   PBMG_CHECK(i >= 1 && i < n_ - 1 && j >= 1 && j < n_ - 1,
              "StencilOp::diag: (i,j) must be an interior cell");
   const double inv_h2 =
       static_cast<double>(n_ - 1) * static_cast<double>(n_ - 1);
-  const double sum = ((ax(i, j - 1) + ax(i, j)) + ay(i - 1, j)) + ay(i, j);
-  return sum * inv_h2 + c_;
+  return center(i, j) * inv_h2 + c_;
 }
 
 StencilOp StencilOp::restricted() const {
@@ -125,6 +283,9 @@ StencilOp StencilOp::restricted() const {
   // conductance of the two in-line fine edges, averaged with the parallel
   // paths one fine row above and below (weights ½/¼/¼; rows clamped at the
   // boundary so the weights always sum to 1 and constants are preserved).
+  // Corner couplings of a 9-point operator are dropped here — this is the
+  // 5-point averaged-coefficient approximation the tuner races against
+  // galerkin_coarse().
   const auto x_path = [&](int row, int cj) {
     const int r = clamp_row(row);
     return series(ax(r, 2 * cj), ax(r, 2 * cj + 1));
@@ -144,14 +305,102 @@ StencilOp StencilOp::restricted() const {
   return variable(std::move(ax_c), std::move(ay_c), c_);
 }
 
-StencilHierarchy::StencilHierarchy(StencilOp fine) {
+StencilOp StencilOp::galerkin_coarse() const {
+  PBMG_CHECK(n_ >= 5,
+             "StencilOp::galerkin_coarse: cannot coarsen below N = 5");
+  const int n = n_;
+  const int nc = coarse_size(n);
+  const double hf2 = mesh_width(n) * mesh_width(n);
+
+  Grid2D ax_c(nc, 0.0);
+  Grid2D ay_c(nc, 0.0);
+  Grid2D ase_c(nc, 0.0);
+  Grid2D asw_c(nc, 0.0);
+  Grid2D ctr_c(nc, 0.0);
+
+  // A_c(C,D) = Σ_p Σ_q R(C,p) · A(p,q) · P(q,D): R is the full-weighting
+  // stencil [1 2 1; 2 4 2; 1 2 1]/16 over the 3×3 fine nodes around 2C
+  // (boundary p excluded — restriction zeroes the ring), A runs over the
+  // interior fine matrix (couplings to the boundary are Dirichlet-lifted,
+  // not matrix entries), and P is bilinear interpolation (q contributes
+  // to the coarse nodes D with |q − 2D|∞ <= 1, weight 2^-(|dx|+|dy|)).
+  // Since q stays within ±2 of 2C and 2D within ±1 of q, |D − C|∞ <= 1:
+  // the Galerkin coarse operator is again 9-point.  Entries are stored in
+  // coarse coupling units (×h_c² = 4·h_f², so matrix scaling cancels to
+  // the factor 4 below) with the fine reaction term c folded into the
+  // coarse stencil (the coarse operator carries c = 0).
+  constexpr double kRw[3] = {0.25, 0.5, 0.25};  // per-axis FW weights
+  for (int ci = 1; ci + 1 < nc; ++ci) {
+    for (int cj = 1; cj + 1 < nc; ++cj) {
+      double acc[3][3] = {};
+      for (int dpi = -1; dpi <= 1; ++dpi) {
+        const int pi = 2 * ci + dpi;
+        if (pi < 1 || pi > n - 2) continue;
+        for (int dpj = -1; dpj <= 1; ++dpj) {
+          const int pj = 2 * cj + dpj;
+          if (pj < 1 || pj > n - 2) continue;
+          const double wr = kRw[dpi + 1] * kRw[dpj + 1];
+          for (int si = -1; si <= 1; ++si) {
+            const int qi = pi + si;
+            if (qi < 1 || qi > n - 2) continue;
+            for (int sj = -1; sj <= 1; ++sj) {
+              const int qj = pj + sj;
+              if (qj < 1 || qj > n - 2) continue;
+              const double entry =
+                  (si == 0 && sj == 0)
+                      ? 4.0 * (center(pi, pj) + c_ * hf2)
+                      : -4.0 * coupling(pi, pj, si, sj);
+              if (entry == 0.0) continue;
+              // Bilinear P: an even fine index maps to one coarse node
+              // with weight 1, an odd one to its two neighbours with ½.
+              const int di0 = qi / 2;
+              const int dj0 = qj / 2;
+              const bool odd_i = (qi & 1) != 0;
+              const bool odd_j = (qj & 1) != 0;
+              const double wi = odd_i ? 0.5 : 1.0;
+              const double wj = odd_j ? 0.5 : 1.0;
+              const double w = wr * entry * (wi * wj);
+              for (int ti = 0; ti <= (odd_i ? 1 : 0); ++ti) {
+                for (int tj = 0; tj <= (odd_j ? 1 : 0); ++tj) {
+                  acc[di0 + ti - ci + 1][dj0 + tj - cj + 1] += w;
+                }
+              }
+            }
+          }
+        }
+      }
+      ctr_c(ci, cj) = acc[1][1];
+      // Couplings are the negated off-diagonal entries, written from this
+      // node's perspective; shared edges/diagonals are written twice with
+      // values equal up to summation-order rounding, keeping the stored
+      // representation exactly symmetric.
+      ax_c(ci, cj) = -acc[1][2];
+      ax_c(ci, cj - 1) = -acc[1][0];
+      ay_c(ci, cj) = -acc[2][1];
+      ay_c(ci - 1, cj) = -acc[0][1];
+      ase_c(ci, cj) = -acc[2][2];
+      ase_c(ci - 1, cj - 1) = -acc[0][0];
+      asw_c(ci, cj) = -acc[2][0];
+      asw_c(ci - 1, cj + 1) = -acc[0][2];
+    }
+  }
+  return nine_point(std::move(ax_c), std::move(ay_c), std::move(ase_c),
+                    std::move(asw_c), std::move(ctr_c), 0.0);
+}
+
+StencilOp StencilOp::coarsened(Coarsening mode) const {
+  return mode == Coarsening::kRap ? galerkin_coarse() : restricted();
+}
+
+StencilHierarchy::StencilHierarchy(StencilOp fine, Coarsening mode)
+    : mode_(mode) {
   PBMG_CHECK(fine.n() >= 3, "StencilHierarchy: empty fine operator");
   const int top = level_of_size(fine.n());
   ops_.resize(static_cast<std::size_t>(top) + 1);
   ops_[static_cast<std::size_t>(top)] = std::move(fine);
   for (int k = top - 1; k >= 1; --k) {
     ops_[static_cast<std::size_t>(k)] =
-        ops_[static_cast<std::size_t>(k) + 1].restricted();
+        ops_[static_cast<std::size_t>(k) + 1].coarsened(mode);
   }
 }
 

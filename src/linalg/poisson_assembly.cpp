@@ -54,7 +54,10 @@ BandMatrix assemble_stencil_band(const grid::StencilOp& op) {
   PBMG_CHECK(is_valid_grid_size(n), "assemble_stencil_band: n must be 2^k+1");
   const int m_side = n - 2;
   const int dim = m_side * m_side;
-  const int kd = m_side;
+  const bool nine = op.is_nine_point();
+  // Corner couplings add the (i+1, j∓1) neighbours at offsets m_side∓1,
+  // widening the band by one.
+  const int kd = nine ? m_side + 1 : m_side;
   const double inv_h2 =
       static_cast<double>(n - 1) * static_cast<double>(n - 1);
   const double c = op.c();
@@ -64,16 +67,22 @@ BandMatrix assemble_stencil_band(const grid::StencilOp& op) {
     for (int j = 0; j < m_side; ++j) {
       const int gj = j + 1;
       const int idx = i * m_side + j;
-      const double aw = op.ax(gi, gj - 1);
-      const double ae = op.ax(gi, gj);
-      const double an = op.ay(gi - 1, gj);
-      const double as = op.ay(gi, gj);
-      const double diag = (((aw + ae) + an) + as) * inv_h2 + c;
+      const double diag = op.center(gi, gj) * inv_h2 + c;
       PBMG_NUM_ASSERT(diag > 0.0,
                       "assemble_stencil_band: non-positive diagonal");
       a.band(idx, 0) = diag;
-      if (j + 1 < m_side) a.band(idx, 1) = -ae * inv_h2;       // east
-      if (i + 1 < m_side) a.band(idx, m_side) = -as * inv_h2;  // south
+      if (j + 1 < m_side) a.band(idx, 1) = -op.ax(gi, gj) * inv_h2;  // east
+      if (i + 1 < m_side) {
+        a.band(idx, m_side) = -op.ay(gi, gj) * inv_h2;  // south
+        if (nine) {
+          if (j > 0) {  // south-west: coupling (gi,gj)↔(gi+1,gj−1)
+            a.band(idx, m_side - 1) = -op.asw(gi, gj) * inv_h2;
+          }
+          if (j + 1 < m_side) {  // south-east: (gi,gj)↔(gi+1,gj+1)
+            a.band(idx, m_side + 1) = -op.ase(gi, gj) * inv_h2;
+          }
+        }
+      }
     }
   }
   return a;
@@ -92,6 +101,28 @@ std::vector<double> gather_stencil_rhs(const grid::StencilOp& op,
       static_cast<double>(n - 1) * static_cast<double>(n - 1);
   std::vector<double> rhs(static_cast<std::size_t>(m_side) *
                           static_cast<std::size_t>(m_side));
+  if (op.is_nine_point()) {
+    // Corner couplings can also cross the boundary; enumerate all eight
+    // neighbours and lift every boundary-crossing coupling.
+    for (int i = 1; i <= m_side; ++i) {
+      for (int j = 1; j <= m_side; ++j) {
+        double v = b(i, j);
+        for (int si = -1; si <= 1; ++si) {
+          for (int sj = -1; sj <= 1; ++sj) {
+            if (si == 0 && sj == 0) continue;
+            const int ni = i + si;
+            const int nj = j + sj;
+            const bool on_boundary =
+                ni == 0 || ni == n - 1 || nj == 0 || nj == n - 1;
+            if (!on_boundary) continue;
+            v += op.coupling(i, j, si, sj) * inv_h2 * x_boundary(ni, nj);
+          }
+        }
+        rhs[static_cast<std::size_t>(i - 1) * m_side + (j - 1)] = v;
+      }
+    }
+    return rhs;
+  }
   for (int i = 1; i <= m_side; ++i) {
     for (int j = 1; j <= m_side; ++j) {
       double v = b(i, j);

@@ -35,9 +35,10 @@ std::vector<double> gather_poisson_rhs(const Grid2D& b,
 void scatter_interior(const std::vector<double>& x, Grid2D& out);
 
 /// Assembles a variable-coefficient operator (see stencil_op.h) as an SPD
-/// band matrix: diag = (aW+aE+aN+aS)/h² + c, east/south off-diagonals
-/// −ax/h², −ay/h².  For the Poisson fast path this reproduces
-/// assemble_poisson_band exactly.
+/// band matrix: diag = center/h² + c, east/south off-diagonals −ax/h²,
+/// −ay/h².  A 9-point operator additionally stores its south-west/south-
+/// east corner couplings at offsets m∓1 (bandwidth m+1, m = n−2).  For
+/// the Poisson fast path this reproduces assemble_poisson_band exactly.
 BandMatrix assemble_stencil_band(const grid::StencilOp& op);
 
 /// Right-hand-side vector for a variable-coefficient operator: boundary

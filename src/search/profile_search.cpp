@@ -51,6 +51,13 @@ ParamSpace make_profile_space(const rt::MachineProfile& base,
   space.add_categorical("smoother",
                         {"point_rb", "line_x", "line_y", "line_zebra_alt"},
                         /*default_index=*/0);
+  // Coarse-operator formation is the second algorithmic categorical: the
+  // legacy averaged-coefficient ladder versus exact Galerkin R·A·P
+  // (grid/stencil_op.h).  Like the smoother it rides in the relaxation
+  // group — the rotated-anisotropy families are exactly the scenarios
+  // where the averaged ladder misrepresents the operator, so a relax_only
+  // search must still be able to flip it.
+  space.add_categorical("coarsening", {"avg", "rap"}, /*default_index=*/0);
   return space;
 }
 
@@ -74,6 +81,8 @@ RuntimeParams decode_runtime_params(const ParamSpace& space,
   params.relax.omega_scale = space.float_value(candidate, "omega_scale");
   params.relax.smoother = solvers::parse_relax_kind(
       space.categorical_value(candidate, "smoother"));
+  params.coarsening = grid::parse_coarsening(
+      space.categorical_value(candidate, "coarsening"));
   return params;
 }
 
@@ -89,6 +98,7 @@ Json SearchedProfile::to_json() const {
   j.set("recurse_omega", relax.recurse_omega);
   j.set("omega_scale", relax.omega_scale);
   j.set("smoother", solvers::to_string(relax.smoother));
+  j.set("coarsening", grid::to_string(coarsening));
   j.set("default_seconds", finite_cap(default_seconds));
   j.set("searched_seconds", finite_cap(searched_seconds));
   j.set("evaluations", std::int64_t{evaluations});
@@ -104,9 +114,12 @@ SearchedProfile SearchedProfile::from_json(const Json& json) {
   out.relax.recurse_omega = json.at("recurse_omega").as_double();
   out.relax.omega_scale = json.at("omega_scale").as_double();
   try {
-    // Documents from before the smoother axis read as point SOR.
+    // Documents from before the smoother / coarsening axes read as point
+    // SOR on the averaged ladder.
     out.relax.smoother = solvers::parse_relax_kind(
         json.get("smoother", std::string("point_rb")));
+    out.coarsening = grid::parse_coarsening(
+        json.get("coarsening", std::string("avg")));
     solvers::validate_relax_tunables(out.relax);
   } catch (const InvalidArgument& e) {
     throw ConfigError(std::string("searched profile: ") + e.what());
@@ -142,6 +155,7 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
   // historical workload bit for bit).
   const grid::StencilOp op = make_operator(n, options.op_family);
   const grid::StencilHierarchy ops(op);
+  const grid::StencilHierarchy ops_rap(op, grid::Coarsening::kRap);
   Rng rng(options.seed);
   auto instances =
       tune::make_training_set(op, options.distribution, rng.split(0x5EA7C4),
@@ -206,10 +220,15 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
     solvers::VCycleOptions vopts;
     vopts.omega = params.relax.recurse_omega;
     vopts.relaxation = smoother;
+    // The candidate's coarsening picks which prebuilt ladder the V-cycle
+    // phase corrects against (both share the fine operator, so the SOR
+    // phase above is unaffected).
+    const grid::StencilHierarchy& vops_ladder =
+        params.coarsening == grid::Coarsening::kRap ? ops_rap : ops;
     for (int cycle = 0; cycle < options.max_cycles; ++cycle) {
       const double t0 = now_seconds();
-      solvers::vcycle(ops, x, inst.problem.b, vopts, sched, engine.direct(),
-                      engine.scratch());
+      solvers::vcycle(vops_ladder, x, inst.problem.b, vopts, sched,
+                      engine.direct(), engine.scratch());
       elapsed += now_seconds() - t0;
       if (deadline.expired()) return kInf;
       if (tune::accuracy_of(inst, x, base_sched) >=
@@ -234,6 +253,7 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
   out.profile = best.profile;
   out.profile.name = options.base.name + "+searched";
   out.relax = best.relax;
+  out.coarsening = best.coarsening;
   out.default_seconds = result.default_total_seconds;
   out.searched_seconds = result.best.total_seconds;
   out.evaluations = result.evaluations;

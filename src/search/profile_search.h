@@ -38,6 +38,10 @@ ParamSpace make_profile_space(const rt::MachineProfile& base,
 struct RuntimeParams {
   rt::MachineProfile profile;
   solvers::RelaxTunables relax;
+  /// Coarse-operator ladder of the candidate's V-cycle workload (the
+  /// "coarsening" categorical axis): legacy averaged coefficients or
+  /// exact Galerkin R·A·P (grid/stencil_op.h).
+  grid::Coarsening coarsening = grid::Coarsening::kAverage;
 };
 
 /// Decodes a candidate of make_profile_space(base, ...).  Machine
@@ -96,6 +100,10 @@ struct ProfileSearchOptions {
 struct SearchedProfile {
   rt::MachineProfile profile;     ///< name gains a "+searched" suffix
   solvers::RelaxTunables relax;
+  /// Winning coarsening of the workload's V-cycle phase (serialized as
+  /// "coarsening"; documents written before the RAP axis read as the
+  /// legacy averaged ladder).
+  grid::Coarsening coarsening = grid::Coarsening::kAverage;
 
   double default_seconds = 0.0;   ///< workload total under `base`
   double searched_seconds = 0.0;  ///< workload total under the winner

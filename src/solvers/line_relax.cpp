@@ -239,6 +239,92 @@ void line_y_op(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
   }
 }
 
+/// x-line zebra sweep for a 9-point operator: the in-row bands are the
+/// same −aW / diag / −aE as the 5-point case (corner couplings reach only
+/// the rows above and below, so zebra parity still freezes every read),
+/// while the corner terms fold into the right-hand side alongside aN/aS.
+/// The diagonal comes from the operator's explicit centre coefficient.
+void line_x_nine(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                 rt::Scheduler& sched, grid::ScratchPool& pool) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            if ((i & 1) != parity) continue;
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            const grid::NinePointRows rows(op, i);
+            solve_interior_line(
+                n, cpg.row(i), dpg.row(i),
+                [&](int j) { return -rows.ax[j - 1]; },
+                [&](int j) { return rows.center[j] + ch2; },
+                [&](int j) { return -rows.ax[j]; },
+                [&](int j) {
+                  double r = h2 * rhs[j] + rows.cross_row_sum(up, down, j);
+                  if (j == 1) r += rows.ax[0] * mid[0];
+                  if (j == n - 2) r += rows.ax[n - 2] * mid[n - 1];
+                  return r;
+                },
+                [&](int j, double value) { mid[j] = value; });
+          }
+        });
+  }
+}
+
+/// y-line zebra sweep for a 9-point operator (column systems in the ay
+/// bands; corner terms read the frozen left/right columns).
+void line_y_nine(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                 rt::Scheduler& sched, grid::ScratchPool& pool) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const Grid2D& ax = op.ax_grid();
+  const Grid2D& ay = op.ay_grid();
+  const Grid2D& ase = op.ase_grid();
+  const Grid2D& asw = op.asw_grid();
+  const Grid2D& ctr = op.center_grid();
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t jb, std::int64_t je) {
+          for (int j = static_cast<int>(jb); j < static_cast<int>(je); ++j) {
+            if ((j & 1) != parity) continue;
+            solve_interior_line(
+                n, cpg.row(j), dpg.row(j),
+                [&](int i) { return -ay(i - 1, j); },
+                [&](int i) { return ctr(i, j) + ch2; },
+                [&](int i) { return -ay(i, j); },
+                [&](int i) {
+                  double r = h2 * b(i, j) + ax(i, j - 1) * x(i, j - 1) +
+                             ax(i, j) * x(i, j + 1) +
+                             ase(i - 1, j - 1) * x(i - 1, j - 1) +
+                             asw(i - 1, j + 1) * x(i - 1, j + 1) +
+                             asw(i, j) * x(i + 1, j - 1) +
+                             ase(i, j) * x(i + 1, j + 1);
+                  if (i == 1) r += ay(0, j) * x(0, j);
+                  if (i == n - 2) r += ay(n - 2, j) * x(n - 1, j);
+                  return r;
+                },
+                [&](int i, double value) { x(i, j) = value; });
+          }
+        });
+  }
+}
+
 void check_line_operands(const Grid2D& x, const Grid2D& b, RelaxKind kind) {
   PBMG_CHECK(is_line_relax(kind),
              "line_relax_sweep: kind must be a line variant");
@@ -269,11 +355,14 @@ void line_relax_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
   }
   check_line_operands(x, b, kind);
   PBMG_CHECK(op.n() == x.n(), "line_relax_sweep: operator/grid size mismatch");
+  const bool nine = op.is_nine_point();
   if (kind == RelaxKind::kLineX || kind == RelaxKind::kLineZebraAlt) {
-    line_x_op(op, x, b, sched, pool);
+    if (nine) line_x_nine(op, x, b, sched, pool);
+    else line_x_op(op, x, b, sched, pool);
   }
   if (kind == RelaxKind::kLineY || kind == RelaxKind::kLineZebraAlt) {
-    line_y_op(op, x, b, sched, pool);
+    if (nine) line_y_nine(op, x, b, sched, pool);
+    else line_y_op(op, x, b, sched, pool);
   }
 }
 

@@ -140,6 +140,77 @@ void jacobi_sweep(Grid2D& x, const Grid2D& b, double omega, Grid2D& scratch,
   x.swap(scratch);
 }
 
+namespace {
+
+/// 9-point SOR needs four colours: diagonal neighbours share the red-black
+/// parity (i+j changes by 0 or 2 across a corner), so a two-colour sweep
+/// would race same-colour updates under the row-parallel scheduler.  With
+/// colours (i mod 2, j mod 2) every stencil neighbour lies in a different
+/// class, restoring the frozen-reads guarantee — the sweep is bitwise
+/// deterministic under any thread count, like the red-black point sweeps.
+void sor_sweep_nine(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                    double omega, rt::Scheduler& sched) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  for (int color = 0; color < 4; ++color) {
+    const int pi = color >> 1;  // row parity of this colour class
+    const int pj = color & 1;   // column parity
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, pi, pj](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            if ((i & 1) != pi) continue;
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            const grid::NinePointRows rows(op, i);
+            const int j0 = 1 + ((1 + pj) & 1);
+            for (int j = j0; j < n - 1; j += 2) {
+              const double diag = rows.center[j] + ch2;
+              PBMG_NUM_ASSERT(diag > 0.0,
+                              "sor_sweep: non-positive stencil diagonal");
+              const double nb = rows.neighbour_sum(up, mid, down, j);
+              mid[j] = keep * mid[j] + omega * (h2 * rhs[j] + nb) / diag;
+            }
+          }
+        });
+  }
+}
+
+void jacobi_sweep_nine(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                       double omega, Grid2D& scratch, rt::Scheduler& sched) {
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const double* rhs = b.row(i);
+          const grid::NinePointRows rows(op, i);
+          double* out = scratch.row(i);
+          for (int j = 1; j < n - 1; ++j) {
+            const double diag = rows.center[j] + ch2;
+            PBMG_NUM_ASSERT(diag > 0.0,
+                            "jacobi_sweep: non-positive stencil diagonal");
+            const double nb = rows.neighbour_sum(up, mid, down, j);
+            out[j] = keep * mid[j] + omega * (h2 * rhs[j] + nb) / diag;
+          }
+        }
+      });
+  scratch.copy_boundary_from(x);
+  x.swap(scratch);
+}
+
+}  // namespace
+
 void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
                double omega, rt::Scheduler& sched) {
   if (op.is_poisson()) {
@@ -149,6 +220,10 @@ void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
   PBMG_CHECK(is_valid_grid_size(x.n()), "sor_sweep: grid size must be 2^k+1");
   PBMG_CHECK(x.n() == b.n(), "sor_sweep: grid size mismatch");
   PBMG_CHECK(op.n() == x.n(), "sor_sweep: operator/grid size mismatch");
+  if (op.is_nine_point()) {
+    sor_sweep_nine(op, x, b, omega, sched);
+    return;
+  }
   const int n = x.n();
   const double h2 = mesh_width(n) * mesh_width(n);
   const double ch2 = op.c() * h2;
@@ -198,6 +273,10 @@ void jacobi_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
   PBMG_CHECK(x.n() == b.n() && x.n() == scratch.n(),
              "jacobi_sweep: grid size mismatch");
   PBMG_CHECK(op.n() == x.n(), "jacobi_sweep: operator/grid size mismatch");
+  if (op.is_nine_point()) {
+    jacobi_sweep_nine(op, x, b, omega, scratch, sched);
+    return;
+  }
   const int n = x.n();
   const double h2 = mesh_width(n) * mesh_width(n);
   const double ch2 = op.c() * h2;

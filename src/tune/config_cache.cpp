@@ -32,24 +32,36 @@ std::string smoother_token(const TrainerOptions& options) {
   return token;
 }
 
+/// Compact token for the coarsening candidate list, order included (the
+/// measurement order drives budget pruning): kRap → 'r', kAverage → 'a'
+/// (default list: "ra").
+std::string coarsening_token(const TrainerOptions& options) {
+  std::string token;
+  for (const grid::Coarsening mode : options.coarsenings) {
+    token += mode == grid::Coarsening::kRap ? 'r' : 'a';
+  }
+  return token;
+}
+
 }  // namespace
 
 std::string config_cache_key(const TrainerOptions& options,
                              const std::string& profile_name,
                              const std::string& strategy) {
   std::ostringstream oss;
-  // "v4": bump when runtime characteristics change enough to invalidate
+  // "v5": bump when runtime characteristics change enough to invalidate
   // previously tuned tables (v2 → v3: scenarios became first-class — the
   // operator family joined the key via ProblemSpec; v3 → v4: the smoother
-  // became a tuned per-level choice — tables gained a relaxation axis and
-  // the trainer's candidate stream changed, so every v3 entry is a clean
-  // miss and gets retrained with the smoother dimension enabled).
-  oss << "v4_" << strategy << "_" << profile_name << "_"
+  // became a tuned per-level choice; v4 → v5: coarsening became a tuned
+  // per-level choice — tables gained the Galerkin-RAP axis and the
+  // trainer's candidate stream changed, so every v4 entry is a clean miss
+  // and gets retrained with the coarsening dimension enabled).
+  oss << "v5_" << strategy << "_" << profile_name << "_"
       << options.problem_spec().cache_token() << "_m"
       << options.accuracies.size() << "_p"
       << static_cast<int>(std::lround(std::log10(options.accuracies.back())))
       << "_i" << options.training_instances << "_s" << options.seed << "_sm"
-      << smoother_token(options);
+      << smoother_token(options) << "_co" << coarsening_token(options);
   return oss.str();
 }
 

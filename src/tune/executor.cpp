@@ -13,22 +13,52 @@ TunedExecutor::TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
                              grid::ScratchPool& pool,
                              trace::CycleTracer* tracer,
                              const solvers::RelaxTunables& relax,
-                             const grid::StencilHierarchy* ops)
+                             const grid::StencilHierarchy* ops,
+                             const grid::StencilHierarchy* ops_rap)
     : config_(config),
       sched_(sched),
       direct_(direct),
       pool_(pool),
       tracer_(tracer),
       relax_(relax),
-      ops_(ops) {
+      ops_(ops),
+      ops_rap_(ops_rap),
+      config_uses_rap_(config_uses_rap(config, config.max_level())) {
   solvers::validate_relax_tunables(relax_);
   PBMG_CHECK(ops_ == nullptr || ops_->top_level() >= 1,
              "TunedExecutor: empty operator hierarchy");
+  PBMG_CHECK(ops_rap_ == nullptr || ops_rap_->top_level() >= 1,
+             "TunedExecutor: empty RAP operator hierarchy");
 }
 
-grid::StencilOp TunedExecutor::op_at(int level) const {
+grid::StencilOp TunedExecutor::op_at(int level, grid::Coarsening coarsening,
+                                     const grid::StencilHierarchy* rap) const {
+  if (coarsening == grid::Coarsening::kRap) {
+    PBMG_CHECK(rap != nullptr,
+               "TunedExecutor: config cell tuned for RAP coarsening but no "
+               "RAP ladder was bound for its operator hierarchy");
+    return rap->at(level);
+  }
   return ops_ != nullptr ? ops_->at(level)
                          : grid::StencilOp::poisson(size_of_level(level));
+}
+
+const grid::StencilHierarchy* TunedExecutor::rap_for_top(int top_level) const {
+  if (ops_rap_ != nullptr) return ops_rap_;
+  if (ops_ != nullptr || !config_uses_rap_) return nullptr;
+  // Bare (Poisson fast path) executor with RAP cells in its tables: own
+  // the Galerkin ladder of the Poisson operator at this top, built once
+  // per distinct top level and shared by every subsequent solve.  Guarded
+  // so concurrent solves through one executor stay safe; the lock is per
+  // public entry, never inside the recursion.
+  std::lock_guard<std::mutex> lock(poisson_rap_mutex_);
+  auto& slot = poisson_rap_cache_[top_level];
+  if (slot == nullptr) {
+    slot = std::make_shared<const grid::StencilHierarchy>(
+        grid::StencilOp::poisson(size_of_level(top_level)),
+        grid::Coarsening::kRap);
+  }
+  return slot.get();
 }
 
 void TunedExecutor::trace(trace::Op op, int level, int detail) const {
@@ -38,41 +68,49 @@ void TunedExecutor::trace(trace::Op op, int level, int detail) const {
 void TunedExecutor::run_v(Grid2D& x, const Grid2D& b,
                           int accuracy_index) const {
   PBMG_CHECK(x.n() == b.n(), "run_v: grid size mismatch");
-  run_v_at(x, b, level_of_size(x.n()), accuracy_index);
+  const int level = level_of_size(x.n());
+  run_v_at(x, b, level, accuracy_index, rap_for_top(level));
 }
 
 void TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b,
                             int accuracy_index) const {
   PBMG_CHECK(x.n() == b.n(), "run_fmg: grid size mismatch");
-  run_fmg_at(x, b, level_of_size(x.n()), accuracy_index);
+  const int level = level_of_size(x.n());
+  run_fmg_at(x, b, level, accuracy_index, rap_for_top(level));
 }
 
 void TunedExecutor::recurse_body(Grid2D& x, const Grid2D& b,
                                  int sub_accuracy_index,
-                                 solvers::RelaxKind smoother) const {
+                                 solvers::RelaxKind smoother,
+                                 grid::Coarsening coarsening) const {
   PBMG_CHECK(x.n() == b.n(), "recurse_body: grid size mismatch");
-  recurse_body_at(x, b, level_of_size(x.n()), sub_accuracy_index, smoother);
+  const int level = level_of_size(x.n());
+  recurse_body_at(x, b, level, sub_accuracy_index, smoother, coarsening,
+                  rap_for_top(level));
 }
 
 void TunedExecutor::estimate(Grid2D& x, const Grid2D& b,
                              int estimate_accuracy_index) const {
   PBMG_CHECK(x.n() == b.n(), "estimate: grid size mismatch");
-  estimate_at(x, b, level_of_size(x.n()), estimate_accuracy_index);
+  const int level = level_of_size(x.n());
+  estimate_at(x, b, level, estimate_accuracy_index, rap_for_top(level));
 }
 
 void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
-                             int accuracy_index) const {
+                             int accuracy_index,
+                             const grid::StencilHierarchy* rap) const {
   const VEntry& entry = config_.v_entry(level, accuracy_index);
   PBMG_CHECK(entry.trained, "run_v: cell (" + std::to_string(level) + "," +
                                 std::to_string(accuracy_index) +
                                 ") was never trained");
   switch (entry.choice.kind) {
     case VKind::kDirect:
-      direct_.solve(op_at(level), b, x);
+      direct_.solve(op_at(level, grid::Coarsening::kAverage, rap), b, x);
       trace(trace::Op::kDirect, level);
       break;
     case VKind::kIterSor: {
-      const grid::StencilOp op = op_at(level);
+      const grid::StencilOp op =
+          op_at(level, grid::Coarsening::kAverage, rap);
       const double omega =
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
@@ -84,7 +122,7 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
     case VKind::kRecurse:
       for (int it = 0; it < entry.choice.iterations; ++it) {
         recurse_body_at(x, b, level, entry.choice.sub_accuracy,
-                        entry.choice.smoother);
+                        entry.choice.smoother, entry.choice.coarsening, rap);
       }
       break;
   }
@@ -92,7 +130,9 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
 
 void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
                                     int sub_accuracy_index,
-                                    solvers::RelaxKind smoother) const {
+                                    solvers::RelaxKind smoother,
+                                    grid::Coarsening coarsening,
+                                    const grid::StencilHierarchy* rap) const {
   PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
   PBMG_CHECK(sub_accuracy_index >= kClassicalCoarse &&
                  sub_accuracy_index < config_.accuracy_count(),
@@ -101,8 +141,10 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   // MULTIGRID-V_j, one post-relaxation.  The relaxation is the cell's
   // tuned smoother: point SOR at ω (the paper's 1.15 unless the
   // runtime-parameter search handed this executor a tuned value), or a
-  // line variant for operators where point relaxation stalls.
-  const grid::StencilOp op = op_at(level);
+  // line variant for operators where point relaxation stalls.  The
+  // operator comes from the cell's tuned ladder: averaged coefficients
+  // (the historical path) or the exact Galerkin RAP coarse operators.
+  const grid::StencilOp op = op_at(level, coarsening, rap);
   const double recurse_omega = relax_.recurse_omega;
   const auto relax_once = [&] {
     if (solvers::is_line_relax(smoother)) {
@@ -131,16 +173,17 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
     // Classical V-cycle coarse call: one recursion body per level (direct
     // at the base), never an accuracy-certified coarse solve.  Identical
     // to solvers::vcycle with ω = recurse ω, one pre/post sweep, and the
-    // cell's smoother at every level (the smoother travels down the
-    // classical ramp just as VCycleOptions::relaxation would).
+    // cell's smoother and coarsening at every level (both travel down the
+    // classical ramp just as VCycleOptions would carry them).
     if (level - 1 <= 1) {
-      direct_.solve(op_at(level - 1), rc, e);
+      direct_.solve(op_at(level - 1, coarsening, rap), rc, e);
       trace(trace::Op::kDirect, level - 1);
     } else {
-      recurse_body_at(e, rc, level - 1, kClassicalCoarse, smoother);
+      recurse_body_at(e, rc, level - 1, kClassicalCoarse, smoother,
+                      coarsening, rap);
     }
   } else {
-    run_v_at(e, rc, level - 1, sub_accuracy_index);
+    run_v_at(e, rc, level - 1, sub_accuracy_index, rap);
   }
 
   grid::interpolate_add(e, x, sched_);
@@ -151,19 +194,21 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
 }
 
 void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
-                               int accuracy_index) const {
+                               int accuracy_index,
+                               const grid::StencilHierarchy* rap) const {
   const FmgEntry& entry = config_.fmg_entry(level, accuracy_index);
   PBMG_CHECK(entry.trained, "run_fmg: cell (" + std::to_string(level) + "," +
                                 std::to_string(accuracy_index) +
                                 ") was never trained");
   switch (entry.choice.kind) {
     case FmgKind::kDirect:
-      direct_.solve(op_at(level), b, x);
+      direct_.solve(op_at(level, grid::Coarsening::kAverage, rap), b, x);
       trace(trace::Op::kDirect, level);
       break;
     case FmgKind::kEstimateThenSor: {
-      estimate_at(x, b, level, entry.choice.estimate_accuracy);
-      const grid::StencilOp op = op_at(level);
+      estimate_at(x, b, level, entry.choice.estimate_accuracy, rap);
+      const grid::StencilOp op =
+          op_at(level, grid::Coarsening::kAverage, rap);
       const double omega =
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
@@ -173,24 +218,30 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
       break;
     }
     case FmgKind::kEstimateThenRecurse:
-      estimate_at(x, b, level, entry.choice.estimate_accuracy);
+      estimate_at(x, b, level, entry.choice.estimate_accuracy, rap);
       for (int it = 0; it < entry.choice.iterations; ++it) {
         recurse_body_at(x, b, level, entry.choice.solve_accuracy,
-                        entry.choice.smoother);
+                        entry.choice.smoother, entry.choice.coarsening, rap);
       }
       break;
   }
 }
 
 void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
-                                int estimate_accuracy_index) const {
+                                int estimate_accuracy_index,
+                                const grid::StencilHierarchy* rap) const {
   PBMG_CHECK(level >= 2, "estimate: cannot restrict below level 2");
   // Paper §2.4 ESTIMATE_i: coarse-grid correction whose coarse solve is
-  // FULL-MULTIGRID_i one level down (no relaxations of its own).
+  // FULL-MULTIGRID_i one level down (no relaxations of its own).  The
+  // residual always uses the averaged ladder (exact at the hierarchy's
+  // top, the historical path below it); the coarsening axis applies to
+  // the RECURSE bodies, whose cells carry it, not to the estimate phase —
+  // training and execution share this rule, so measurements stay honest.
   const int n = x.n();
   auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();
-  grid::residual_op(op_at(level), x, b, r, sched_);
+  grid::residual_op(op_at(level, grid::Coarsening::kAverage, rap), x, b, r,
+                    sched_);
   const int nc = coarse_size(n);
   auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();
@@ -200,7 +251,7 @@ void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
   auto e_lease = pool_.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);
-  run_fmg_at(e, rc, level - 1, estimate_accuracy_index);
+  run_fmg_at(e, rc, level - 1, estimate_accuracy_index, rap);
 
   grid::interpolate_add(e, x, sched_);
   trace(trace::Op::kInterpolate, level);

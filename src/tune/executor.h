@@ -1,5 +1,9 @@
 #pragma once
 
+#include <map>
+#include <memory>
+#include <mutex>
+
 #include "grid/grid2d.h"
 #include "grid/scratch.h"
 #include "grid/stencil_op.h"
@@ -39,16 +43,24 @@ class TunedExecutor {
   /// different engines can run different searched weights; the default
   /// reads the process-wide tunables once, preserving the historical
   /// ScopedRelaxTunables behaviour for legacy callers.  `ops`, when
-  /// non-null, is the variable-coefficient operator hierarchy the tuned
+  /// non-null, is the averaged-coefficient operator hierarchy the tuned
   /// algorithms run against (it must outlive the executor and cover every
   /// level executed); null selects the constant-coefficient Poisson
-  /// operator, exactly as before.
+  /// operator, exactly as before.  `ops_rap`, when non-null, is the
+  /// Galerkin R·A·P ladder of the same fine operator: cells whose tuned
+  /// coarsening is grid::Coarsening::kRap relax and correct against it.
+  /// A bare executor (no hierarchies at all, the Poisson fast path)
+  /// serves RAP cells by lazily building the Poisson RAP ladder for each
+  /// invoked top level; an executor bound to an averaged hierarchy but
+  /// no RAP ladder throws when a RAP cell executes, because the fine
+  /// operator needed to build one is the caller's.
   TunedExecutor(const TunedConfig& config, rt::Scheduler& sched,
                 solvers::DirectSolver& direct, grid::ScratchPool& pool,
                 trace::CycleTracer* tracer = nullptr,
                 const solvers::RelaxTunables& relax =
                     solvers::relax_tunables(),
-                const grid::StencilHierarchy* ops = nullptr);
+                const grid::StencilHierarchy* ops = nullptr,
+                const grid::StencilHierarchy* ops_rap = nullptr);
 
   /// Runs MULTIGRID-V at `accuracy_index` on x (ring = Dirichlet data,
   /// interior = current guess).  The level is derived from x.n(), which
@@ -64,10 +76,16 @@ class TunedExecutor {
   /// level — point red-black SOR at the tuned RECURSE ω (the default,
   /// the paper's shape) or a line variant (solvers/line_relax.h); the
   /// coarse MULTIGRID-V_j call reads its own levels' tuned smoothers
-  /// from the tables.
+  /// from the tables.  `coarsening` selects the operator ladder the body
+  /// relaxes on and corrects against at this level (the coarse call's
+  /// cells again read their own tuned coarsening); at the hierarchy's top
+  /// level both ladders share the fine operator, so the choice is exact
+  /// there and an approximation below — which the trainer measures
+  /// honestly, since candidates race under the same rule.
   void recurse_body(
       Grid2D& x, const Grid2D& b, int sub_accuracy_index,
-      solvers::RelaxKind smoother = solvers::RelaxKind::kSor) const;
+      solvers::RelaxKind smoother = solvers::RelaxKind::kSor,
+      grid::Coarsening coarsening = grid::Coarsening::kAverage) const;
 
   /// One application of ESTIMATE_j at x's level (exposed for the trainer).
   void estimate(Grid2D& x, const Grid2D& b, int estimate_accuracy_index) const;
@@ -75,19 +93,37 @@ class TunedExecutor {
   const TunedConfig& config() const { return config_; }
 
  private:
-  void run_v_at(Grid2D& x, const Grid2D& b, int level,
-                int accuracy_index) const;
-  void run_fmg_at(Grid2D& x, const Grid2D& b, int level,
-                  int accuracy_index) const;
+  // Every private recursion carries `rap`, the RAP ladder resolved once
+  // at the public entry point for the invoked top level (see
+  // rap_for_top), so deep RECURSE bodies never re-derive it.
+  void run_v_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
+                const grid::StencilHierarchy* rap) const;
+  void run_fmg_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
+                  const grid::StencilHierarchy* rap) const;
   void recurse_body_at(Grid2D& x, const Grid2D& b, int level,
-                       int sub_accuracy_index,
-                       solvers::RelaxKind smoother) const;
+                       int sub_accuracy_index, solvers::RelaxKind smoother,
+                       grid::Coarsening coarsening,
+                       const grid::StencilHierarchy* rap) const;
   void estimate_at(Grid2D& x, const Grid2D& b, int level,
-                   int estimate_accuracy_index) const;
+                   int estimate_accuracy_index,
+                   const grid::StencilHierarchy* rap) const;
   void trace(trace::Op op, int level, int detail = 0) const;
 
-  /// Operator at `level`: hierarchy entry, or the Poisson fast path.
-  grid::StencilOp op_at(int level) const;
+  /// Operator at `level` in the requested ladder: the averaged hierarchy
+  /// (or the Poisson fast path when none was bound), or the resolved RAP
+  /// ladder.
+  grid::StencilOp op_at(int level, grid::Coarsening coarsening,
+                        const grid::StencilHierarchy* rap) const;
+
+  /// RAP ladder for a solve whose fine grid sits at `top_level`: the one
+  /// bound at construction when present; otherwise — for executors bound
+  /// to no hierarchy at all, i.e. the Poisson fast path — a lazily built,
+  /// cached Galerkin ladder of the Poisson operator at that top (only
+  /// when the config actually holds RAP cells).  An executor bound to an
+  /// explicit averaged hierarchy but no RAP ladder returns null; its RAP
+  /// cells then throw in op_at, because the fine operator needed to build
+  /// the ladder is the caller's, not ours to guess.
+  const grid::StencilHierarchy* rap_for_top(int top_level) const;
 
   const TunedConfig& config_;
   rt::Scheduler& sched_;
@@ -96,6 +132,11 @@ class TunedExecutor {
   trace::CycleTracer* tracer_;
   solvers::RelaxTunables relax_;
   const grid::StencilHierarchy* ops_;
+  const grid::StencilHierarchy* ops_rap_;
+  bool config_uses_rap_;
+  mutable std::mutex poisson_rap_mutex_;  ///< guards the lazy cache below
+  mutable std::map<int, std::shared_ptr<const grid::StencilHierarchy>>
+      poisson_rap_cache_;  ///< keyed by top level; bare-executor path only
 };
 
 }  // namespace pbmg::tune

@@ -1,5 +1,6 @@
 #include "tune/table.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -52,11 +53,25 @@ double finite_cap(double v) {
 /// Parses a serialized smoother name; a missing key (configs written
 /// before the line-smoother era) reads as the historical point SOR.  The
 /// cache key's v3 → v4 bump keeps stale *cache* entries from being loaded
-/// at all; this default is for explicitly saved config files.
+/// at all; this default is for explicitly saved config files.  An
+/// *unrecognised* name (e.g. from a future-version file) surfaces as
+/// ConfigError, which every cache loader treats as a clean miss.
 solvers::RelaxKind smoother_from_json(const Json& j) {
   const std::string name = j.get("smoother", std::string("point_rb"));
   try {
     return solvers::parse_relax_kind(name);
+  } catch (const InvalidArgument& e) {
+    throw ConfigError(std::string("tuned-config: ") + e.what());
+  }
+}
+
+/// Same contract for the coarsening field: missing reads as the legacy
+/// averaged ladder (configs written before Galerkin RAP existed), an
+/// unrecognised name is a ConfigError / clean cache miss.
+grid::Coarsening coarsening_from_json(const Json& j) {
+  const std::string name = j.get("coarsening", std::string("avg"));
+  try {
+    return grid::parse_coarsening(name);
   } catch (const InvalidArgument& e) {
     throw ConfigError(std::string("tuned-config: ") + e.what());
   }
@@ -68,6 +83,7 @@ Json v_entry_to_json(const VEntry& e) {
   j.set("sub_accuracy", e.choice.sub_accuracy);
   j.set("iterations", e.choice.iterations);
   j.set("smoother", solvers::to_string(e.choice.smoother));
+  j.set("coarsening", grid::to_string(e.choice.coarsening));
   j.set("expected_time", finite_cap(e.expected_time));
   j.set("measured_accuracy", finite_cap(e.measured_accuracy));
   j.set("trained", e.trained);
@@ -80,6 +96,7 @@ VEntry v_entry_from_json(const Json& j) {
   e.choice.sub_accuracy = static_cast<int>(j.at("sub_accuracy").as_int());
   e.choice.iterations = static_cast<int>(j.at("iterations").as_int());
   e.choice.smoother = smoother_from_json(j);
+  e.choice.coarsening = coarsening_from_json(j);
   e.expected_time = j.at("expected_time").as_double();
   e.measured_accuracy = j.at("measured_accuracy").as_double();
   e.trained = j.at("trained").as_bool();
@@ -93,6 +110,7 @@ Json fmg_entry_to_json(const FmgEntry& e) {
   j.set("solve_accuracy", e.choice.solve_accuracy);
   j.set("iterations", e.choice.iterations);
   j.set("smoother", solvers::to_string(e.choice.smoother));
+  j.set("coarsening", grid::to_string(e.choice.coarsening));
   j.set("expected_time", finite_cap(e.expected_time));
   j.set("measured_accuracy", finite_cap(e.measured_accuracy));
   j.set("trained", e.trained);
@@ -107,6 +125,7 @@ FmgEntry fmg_entry_from_json(const Json& j) {
   e.choice.solve_accuracy = static_cast<int>(j.at("solve_accuracy").as_int());
   e.choice.iterations = static_cast<int>(j.at("iterations").as_int());
   e.choice.smoother = smoother_from_json(j);
+  e.choice.coarsening = coarsening_from_json(j);
   e.expected_time = j.at("expected_time").as_double();
   e.measured_accuracy = j.at("measured_accuracy").as_double();
   e.trained = j.at("trained").as_bool();
@@ -303,6 +322,49 @@ std::vector<double> paper_accuracies() {
 
 namespace {
 
+/// Shared walker over the trained RECURSE-style cells (V kRecurse and
+/// FMG kEstimateThenRecurse — the cells that carry the smoother and
+/// coarsening axes): true when `pred` holds for any of them in levels
+/// [2, max_level].  One walker, so session prewarm / ladder
+/// materialization can never desynchronize from what the executor runs.
+template <typename Pred>
+bool any_recurse_cell(const TunedConfig& config, int max_level, Pred pred) {
+  const int top = std::min(max_level, config.max_level());
+  for (int level = 2; level <= top; ++level) {
+    for (int i = 0; i < config.accuracy_count(); ++i) {
+      const VEntry& v = config.v_entry(level, i);
+      if (v.trained && v.choice.kind == VKind::kRecurse &&
+          pred(v.choice.smoother, v.choice.coarsening)) {
+        return true;
+      }
+      const FmgEntry& f = config.fmg_entry(level, i);
+      if (f.trained && f.choice.kind == FmgKind::kEstimateThenRecurse &&
+          pred(f.choice.smoother, f.choice.coarsening)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool config_uses_rap(const TunedConfig& config, int max_level) {
+  return any_recurse_cell(
+      config, max_level, [](solvers::RelaxKind, grid::Coarsening coarsening) {
+        return coarsening == grid::Coarsening::kRap;
+      });
+}
+
+bool config_uses_line_smoothers(const TunedConfig& config, int max_level) {
+  return any_recurse_cell(
+      config, max_level, [](solvers::RelaxKind smoother, grid::Coarsening) {
+        return solvers::is_line_relax(smoother);
+      });
+}
+
+namespace {
+
 std::string accuracy_label(const TunedConfig& config, int index) {
   const double a = config.accuracies()[static_cast<std::size_t>(index)];
   const int exp = static_cast<int>(std::lround(std::log10(a)));
@@ -317,6 +379,12 @@ std::string smoother_tag(solvers::RelaxKind kind) {
   return kind == solvers::RelaxKind::kSor
              ? std::string()
              : " {" + solvers::to_string(kind) + "}";
+}
+
+std::string coarsening_tag(grid::Coarsening mode) {
+  return mode == grid::Coarsening::kAverage
+             ? std::string()
+             : " {" + grid::to_string(mode) + "}";
 }
 
 std::string render_call_stack(const TunedConfig& config, int level,
@@ -340,12 +408,14 @@ std::string render_call_stack(const TunedConfig& config, int level,
           // The rest of the stack is the classical V ramp: one body per
           // level down to the direct base case.
           out << "RECURSE[classic-V] x" << entry.choice.iterations
-              << smoother_tag(entry.choice.smoother) << "\n";
+              << smoother_tag(entry.choice.smoother)
+              << coarsening_tag(entry.choice.coarsening) << "\n";
           return out.str();
         }
         out << "RECURSE[" << accuracy_label(config, entry.choice.sub_accuracy)
             << "] x" << entry.choice.iterations
-            << smoother_tag(entry.choice.smoother) << "\n";
+            << smoother_tag(entry.choice.smoother)
+            << coarsening_tag(entry.choice.coarsening) << "\n";
         i = entry.choice.sub_accuracy;
         k -= 1;
         break;
@@ -377,7 +447,8 @@ std::string render_fmg_call_stack(const TunedConfig& config, int level,
         out << "ESTIMATE[" << accuracy_label(config, entry.choice.estimate_accuracy)
             << "] + RECURSE[" << accuracy_label(config, entry.choice.solve_accuracy)
             << "] x" << entry.choice.iterations
-            << smoother_tag(entry.choice.smoother) << "\n";
+            << smoother_tag(entry.choice.smoother)
+            << coarsening_tag(entry.choice.coarsening) << "\n";
         i = entry.choice.estimate_accuracy;
         k -= 1;
         break;

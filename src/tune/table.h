@@ -48,6 +48,12 @@ struct VChoice {
   /// axis of the choice space — so line smoothers are *discovered* for
   /// the anisotropic operator families rather than hard-coded.
   solvers::RelaxKind smoother = solvers::RelaxKind::kSor;
+  /// Which coarse-operator ladder the RECURSE body corrects against
+  /// (kRecurse only): the legacy averaged-coefficient 5-point ladder or
+  /// the exact Galerkin R·A·P 9-point ladder (grid/stencil_op.h).  The
+  /// second tuned axis this table carries; serialized as "coarsening"
+  /// with a missing field reading as the legacy kAverage.
+  grid::Coarsening coarsening = grid::Coarsening::kAverage;
 };
 
 /// The choices of FULL-MULTIGRID_i (paper §2.4): direct, or an ESTIMATE_j
@@ -68,6 +74,9 @@ struct FmgChoice {
   /// only); inherited from the V cell that tuned RECURSE_m at this level
   /// so the FMG candidate count stays unchanged (see trainer.cpp).
   solvers::RelaxKind smoother = solvers::RelaxKind::kSor;
+  /// Coarsening of the solve phase's RECURSE bodies, inherited from the
+  /// same V cell as the smoother; missing ⇒ legacy kAverage.
+  grid::Coarsening coarsening = grid::Coarsening::kAverage;
 };
 
 /// A tuned table cell together with the measurements that selected it.
@@ -137,10 +146,24 @@ class TunedConfig {
 /// {10, 10³, 10⁵, 10⁷, 10⁹}.
 std::vector<double> paper_accuracies();
 
+/// True when any trained cell at levels [2, max_level] corrects against
+/// the Galerkin RAP ladder — executors and sessions use this to decide
+/// whether the second operator hierarchy must be materialized at all.
+bool config_uses_rap(const TunedConfig& config, int max_level);
+
+/// True when any trained cell at levels [2, max_level] relaxes with a
+/// line smoother — sessions use this to prewarm the Thomas workspace
+/// grids next to the cycle temporaries.
+bool config_uses_line_smoothers(const TunedConfig& config, int max_level);
+
 /// " {line_x}"-style rendering suffix for non-default smoothers; empty
 /// for point SOR, so the historical point-only renderings are unchanged.
 /// Shared by the call-stack renderers and the trainer's progress log.
 std::string smoother_tag(solvers::RelaxKind kind);
+
+/// " {rap}"-style suffix for non-default coarsening; empty for the legacy
+/// averaged ladder, so historical renderings are unchanged.
+std::string coarsening_tag(grid::Coarsening mode);
 
 /// Renders the call-stack view of a tuned MULTIGRID-V_i (paper Figure 4):
 /// one line per recursion level showing which accuracy variant the tuned

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <tuple>
+#include <utility>
 
 #include "grid/grid_ops.h"
 #include "grid/level.h"
@@ -46,6 +48,11 @@ Trainer::Trainer(TrainerOptions options, Engine& engine)
     PBMG_CHECK(kind == solvers::RelaxKind::kSor || solvers::is_line_relax(kind),
                "Trainer: smoother candidates must be point_rb or a line "
                "variant");
+  }
+  PBMG_CHECK(!options_.coarsenings.empty(), "Trainer: empty coarsening list");
+  for (const grid::Coarsening mode : options_.coarsenings) {
+    // A deserialized byte is not necessarily a valid enumerator.
+    (void)grid::to_string(mode);
   }
 }
 
@@ -156,13 +163,15 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                             const std::vector<int>& allowed_sub_accuracies,
                             bool allow_sor,
                             const std::vector<solvers::RelaxKind>& smoothers,
-                            const grid::StencilHierarchy* ops) {
+                            const std::vector<grid::Coarsening>& coarsenings,
+                            const grid::StencilHierarchy* ops,
+                            const grid::StencilHierarchy* ops_rap) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
   const grid::StencilOp fine_op =
       ops != nullptr ? ops->at(level) : grid::StencilOp::poisson(n);
   TunedExecutor executor(config, sched_, engine_.direct(), engine_.scratch(),
-                         nullptr, engine_.relax(), ops);
+                         nullptr, engine_.relax(), ops, ops_rap);
 
   struct CandidateResult {
     VChoice choice;      // iterations filled per accuracy at selection time
@@ -183,33 +192,39 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                      kBudgetFloorSeconds;
   };
 
-  // 1. RECURSE_j candidates, smoother-major — the relaxation axis of the
-  //    choice space.  The smoother list's canonical order puts the zebra
-  //    line variants first so that a candidate which converges on *every*
-  //    operator family establishes the pruning budget before point SOR
-  //    burns its full iteration cap on strongly anisotropic operators
-  //    (where it stalls at ~0.999 per cycle).  Within a smoother, highest
-  //    sub-accuracy first (fewest iterations, tightest budget).
-  for (const solvers::RelaxKind smoother : smoothers) {
-    for (auto it = allowed_sub_accuracies.rbegin();
-         it != allowed_sub_accuracies.rend(); ++it) {
-      const int j = *it;
-      CandidateResult cand;
-      cand.choice.kind = VKind::kRecurse;
-      cand.choice.sub_accuracy = j;
-      cand.choice.smoother = smoother;
-      cand.meas = measure_iterative(
-          set, nullptr,
-          [&](Grid2D& x, const Grid2D& b) {
-            executor.recurse_body(x, b, j, smoother);
-          },
-          options_.max_recurse_iterations, budget());
-      const int top_needed = cand.meas.needed.back();
-      if (top_needed > 0) {
-        best_top_time =
-            std::min(best_top_time, cand.meas.time_per_step * top_needed);
+  // 1. RECURSE_j candidates, coarsening-major then smoother-major — the
+  //    two tuned axes of the recursion body.  Both candidate lists put
+  //    their robust member first (RAP ladders, zebra line smoothers) so
+  //    that a candidate which converges on *every* operator family
+  //    establishes the pruning budget before the fragile combinations
+  //    burn their full iteration caps on operators where they stall
+  //    (point SOR at strong axis anisotropy; averaged 5-point coarse
+  //    operators at rotated anisotropy).  Within a (coarsening, smoother)
+  //    pair, highest sub-accuracy first (fewest iterations, tightest
+  //    budget).
+  for (const grid::Coarsening coarsening : coarsenings) {
+    for (const solvers::RelaxKind smoother : smoothers) {
+      for (auto it = allowed_sub_accuracies.rbegin();
+           it != allowed_sub_accuracies.rend(); ++it) {
+        const int j = *it;
+        CandidateResult cand;
+        cand.choice.kind = VKind::kRecurse;
+        cand.choice.sub_accuracy = j;
+        cand.choice.smoother = smoother;
+        cand.choice.coarsening = coarsening;
+        cand.meas = measure_iterative(
+            set, nullptr,
+            [&](Grid2D& x, const Grid2D& b) {
+              executor.recurse_body(x, b, j, smoother, coarsening);
+            },
+            options_.max_recurse_iterations, budget());
+        const int top_needed = cand.meas.needed.back();
+        if (top_needed > 0) {
+          best_top_time =
+              std::min(best_top_time, cand.meas.time_per_step * top_needed);
+        }
+        candidates.push_back(std::move(cand));
       }
-      candidates.push_back(std::move(cand));
     }
   }
 
@@ -295,7 +310,8 @@ void Trainer::train_v_level(TunedConfig& config, int level,
                       best.choice.sub_accuracy)])
                << "] x" << best.choice.iterations;
         }
-        line << smoother_tag(best.choice.smoother);
+        line << smoother_tag(best.choice.smoother)
+             << coarsening_tag(best.choice.coarsening);
         break;
     }
     line << "  (" << best.expected_time * 1e3 << " ms)";
@@ -305,13 +321,14 @@ void Trainer::train_v_level(TunedConfig& config, int level,
 
 void Trainer::train_fmg_level(TunedConfig& config, int level,
                               const std::vector<TrainingInstance>& set,
-                              const grid::StencilHierarchy* ops) {
+                              const grid::StencilHierarchy* ops,
+                              const grid::StencilHierarchy* ops_rap) {
   const int m = config.accuracy_count();
   const int n = size_of_level(level);
   const grid::StencilOp fine_op =
       ops != nullptr ? ops->at(level) : grid::StencilOp::poisson(n);
   TunedExecutor executor(config, sched_, engine_.direct(), engine_.scratch(),
-                         nullptr, engine_.relax(), ops);
+                         nullptr, engine_.relax(), ops, ops_rap);
 
   struct CandidateResult {
     FmgChoice choice;
@@ -354,17 +371,18 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
     candidates.push_back(std::move(cand));
   }
 
-  // The smoother of an FMG solve phase's RECURSE_m bodies is inherited
-  // from the V cell that tuned RECURSE at (level, m) — the V pass runs
-  // first and already raced the smoother candidates on this exact
-  // operator and level, so re-enumerating them here would quadruple the
-  // FMG candidate count for no new information.  Cells that chose
-  // direct/SOR fall back to point SOR, the historical shape.
-  const auto solve_smoother_for = [&](int solve) {
+  // The smoother and coarsening of an FMG solve phase's RECURSE_m bodies
+  // are inherited from the V cell that tuned RECURSE at (level, m) — the
+  // V pass runs first and already raced both axes on this exact operator
+  // and level, so re-enumerating them here would multiply the FMG
+  // candidate count for no new information.  Cells that chose direct/SOR
+  // fall back to point SOR on the averaged ladder, the historical shape.
+  const auto solve_choice_for = [&](int solve) {
     const VEntry& v = config.v_entry(level, solve);
-    return (v.trained && v.choice.kind == VKind::kRecurse)
-               ? v.choice.smoother
-               : solvers::RelaxKind::kSor;
+    if (v.trained && v.choice.kind == VKind::kRecurse) {
+      return std::pair{v.choice.smoother, v.choice.coarsening};
+    }
+    return std::pair{solvers::RelaxKind::kSor, grid::Coarsening::kAverage};
   };
 
   // ESTIMATE_j followed by RECURSE_m or SOR.  Estimate phases are shared
@@ -391,10 +409,13 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
         cand.choice.kind = FmgKind::kEstimateThenRecurse;
         cand.choice.estimate_accuracy = j;
         cand.choice.solve_accuracy = solve;
-        cand.choice.smoother = solve_smoother_for(solve);
+        std::tie(cand.choice.smoother, cand.choice.coarsening) =
+            solve_choice_for(solve);
         const solvers::RelaxKind smoother = cand.choice.smoother;
-        step = [&executor, solve, smoother](Grid2D& x, const Grid2D& b) {
-          executor.recurse_body(x, b, solve, smoother);
+        const grid::Coarsening coarsening = cand.choice.coarsening;
+        step = [&executor, solve, smoother,
+                coarsening](Grid2D& x, const Grid2D& b) {
+          executor.recurse_body(x, b, solve, smoother, coarsening);
         };
         max_iterations = options_.max_recurse_iterations;
       }
@@ -460,7 +481,8 @@ void Trainer::train_fmg_level(TunedConfig& config, int level,
              << accuracy_tag(config.accuracies()[static_cast<std::size_t>(
                     best.choice.solve_accuracy)])
              << "] x" << best.choice.iterations
-             << smoother_tag(best.choice.smoother);
+             << smoother_tag(best.choice.smoother)
+             << coarsening_tag(best.choice.coarsening);
         break;
     }
     line << "  (" << best.expected_time * 1e3 << " ms)";
@@ -485,6 +507,9 @@ TunedConfig Trainer::train() {
   for (int i = 0; i < config.accuracy_count(); ++i) all_sub.push_back(i);
 
   const bool poisson = options_.op_family == OperatorFamily::kPoisson;
+  const bool want_rap =
+      std::find(options_.coarsenings.begin(), options_.coarsenings.end(),
+                grid::Coarsening::kRap) != options_.coarsenings.end();
   Rng rng(options_.seed);
   for (int level = 2; level <= options_.max_level; ++level) {
     const int n = size_of_level(level);
@@ -492,12 +517,19 @@ TunedConfig Trainer::train() {
     // discretised at this size with restricted coarse coefficients, i.e.
     // exactly what a SolveSession bound to (family, n) will execute.  The
     // Poisson family keeps the null-hierarchy fast path (and the DST
-    // oracle inside make_training_set's size overload).
+    // oracle inside make_training_set's size overload); its RAP ladder is
+    // materialized only when the coarsening axis is actually raced.
     grid::StencilHierarchy hier;
+    grid::StencilHierarchy hier_rap;
     if (!poisson) {
       hier = grid::StencilHierarchy(make_operator(n, options_.op_family));
     }
+    if (want_rap) {
+      hier_rap = grid::StencilHierarchy(make_operator(n, options_.op_family),
+                                        grid::Coarsening::kRap);
+    }
     const grid::StencilHierarchy* ops = poisson ? nullptr : &hier;
+    const grid::StencilHierarchy* ops_rap = want_rap ? &hier_rap : nullptr;
     const Rng level_rng = rng.split(static_cast<std::uint64_t>(level));
     const auto set =
         poisson ? make_training_set(n, options_.distribution, level_rng,
@@ -506,8 +538,10 @@ TunedConfig Trainer::train() {
                                     level_rng, options_.training_instances,
                                     sched_);
     train_v_level(config, level, set, all_sub, /*allow_sor=*/true,
-                  options_.smoothers, ops);
-    if (options_.train_fmg) train_fmg_level(config, level, set, ops);
+                  options_.smoothers, options_.coarsenings, ops, ops_rap);
+    if (options_.train_fmg) {
+      train_fmg_level(config, level, set, ops, ops_rap);
+    }
   }
   return config;
 }
@@ -560,9 +594,11 @@ TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {
                                     level_rng, options_.training_instances,
                                     sched_);
     // The Figure-7 heuristics reproduce the paper's restricted space
-    // exactly: Direct and point-SOR RECURSE only, no line smoothers.
+    // exactly: Direct and point-SOR RECURSE only, no line smoothers, the
+    // historical averaged coarse ladder.
     train_v_level(config, level, set, only_fixed, /*allow_sor=*/false,
-                  {solvers::RelaxKind::kSor}, ops);
+                  {solvers::RelaxKind::kSor}, {grid::Coarsening::kAverage},
+                  ops, nullptr);
   }
   return config;
 }

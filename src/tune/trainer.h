@@ -88,6 +88,18 @@ struct TrainerOptions {
       std::begin(solvers::kTunableSmoothers),
       std::end(solvers::kTunableSmoothers)};
 
+  /// Coarse-operator ladders the DP enumerates for the RECURSE bodies —
+  /// the coarsening axis of the choice space (grid/stencil_op.h): exact
+  /// Galerkin R·A·P versus the heuristic averaged-coefficient ladder.
+  /// RAP comes first for the same reason the zebra smoothers do: it is
+  /// the robust candidate on operators (rotated anisotropy) where the
+  /// 5-point averaged coarse operators misrepresent the dominant
+  /// coupling, so it establishes the pruning budget.  Restrict to
+  /// {Coarsening::kAverage} to reproduce the pre-RAP space (the fig20
+  /// baseline arm).  Part of the config-cache key, order included.
+  std::vector<grid::Coarsening> coarsenings{grid::Coarsening::kRap,
+                                            grid::Coarsening::kAverage};
+
   /// A candidate is abandoned once it has spent more than
   /// prune_factor × (best known time to the top accuracy) summed over the
   /// training instances.
@@ -143,20 +155,25 @@ class Trainer {
                         const std::vector<TrainingInstance>& set,
                         double& worst_accuracy);
 
-  /// `ops` is the coefficient hierarchy of the level being trained (null
-  /// for the Poisson family, preserving the historical code path).
-  /// `smoothers` is the RECURSE relaxation candidate list (the full
-  /// options_.smoothers for autotuning; point-only for the paper's
-  /// restricted heuristics).
+  /// `ops` is the averaged coefficient hierarchy of the level being
+  /// trained (null for the Poisson family, preserving the historical code
+  /// path) and `ops_rap` its Galerkin ladder (null when the coarsening
+  /// candidate list excludes kRap).  `smoothers` is the RECURSE relaxation
+  /// candidate list and `coarsenings` the coarse-ladder candidate list
+  /// (the full options_ lists for autotuning; point-only/average-only for
+  /// the paper's restricted heuristics).
   void train_v_level(TunedConfig& config, int level,
                      const std::vector<TrainingInstance>& set,
                      const std::vector<int>& allowed_sub_accuracies,
                      bool allow_sor,
                      const std::vector<solvers::RelaxKind>& smoothers,
-                     const grid::StencilHierarchy* ops);
+                     const std::vector<grid::Coarsening>& coarsenings,
+                     const grid::StencilHierarchy* ops,
+                     const grid::StencilHierarchy* ops_rap);
   void train_fmg_level(TunedConfig& config, int level,
                        const std::vector<TrainingInstance>& set,
-                       const grid::StencilHierarchy* ops);
+                       const grid::StencilHierarchy* ops,
+                       const grid::StencilHierarchy* ops_rap);
 
   /// Extrapolated direct-solve time at `level` from lower-level
   /// measurements (O(N⁴) ⇒ ×16 per level); +inf when unknown.

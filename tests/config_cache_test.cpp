@@ -200,13 +200,13 @@ TEST(ProblemSpecKey, OldPoissonOnlySchemaIsACleanMiss) {
 TEST(ProblemSpecKey, OldV3SmootherlessSchemaIsACleanMiss) {
   // v3 keys predate the smoother choice dimension (ISSUE 4): their tables
   // carry no per-cell smoother and their trainer raced a different
-  // candidate stream, so a v3 entry must never be loaded.  The v4 prefix
-  // (plus the new _sm token) guarantees the old filename simply never
+  // candidate stream, so a v3 entry must never be loaded.  The current
+  // prefix (plus the _sm token) guarantees the old filename simply never
   // matches: retrain, store beside the legacy file, leave it untouched.
   const auto dir = fresh_dir("pbmg_cc_v3schema");
   const TrainerOptions options = tiny_options();
   const std::string new_key = config_cache_key(options, "serial", "autotuned");
-  EXPECT_EQ(new_key.rfind("v4_", 0), 0u);
+  EXPECT_EQ(new_key.rfind("v5_", 0), 0u);
   EXPECT_NE(new_key.find("_sm"), std::string::npos);
   // The exact v3 layout for tiny_options (see PR 3's config_cache.cpp):
   // v3_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_s<seed>.
@@ -224,6 +224,53 @@ TEST(ProblemSpecKey, OldV3SmootherlessSchemaIsACleanMiss) {
   EXPECT_EQ(read_text_file(old_path.string()), old_content);
   EXPECT_TRUE(std::filesystem::exists(dir / (new_key + ".json")));
   std::filesystem::remove_all(dir);
+}
+
+TEST(ProblemSpecKey, OldV4CoarseninglessSchemaIsACleanMiss) {
+  // v4 keys predate the coarsening choice dimension (ISSUE 5): their
+  // tables carry no per-cell coarsening and their trainer never raced
+  // Galerkin-RAP candidates, so a v4 entry must read as a clean miss.
+  // The v5 prefix plus the new _co token guarantee the old filename
+  // never matches: retrain, store beside the legacy file, leave it
+  // untouched.
+  const auto dir = fresh_dir("pbmg_cc_v4schema");
+  const TrainerOptions options = tiny_options();
+  const std::string new_key = config_cache_key(options, "serial", "autotuned");
+  EXPECT_EQ(new_key.rfind("v5_", 0), 0u);
+  EXPECT_NE(new_key.find("_co"), std::string::npos);
+  // The exact v4 layout for tiny_options (see PR 4's config_cache.cpp):
+  // v4_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_
+  // s<seed>_sm<smoothers>.
+  const std::string old_key =
+      "v4_autotuned_serial_poisson_unbiased_L3_m5_p9_i1_s99_smzxyp";
+  ASSERT_NE(new_key, old_key);
+  const auto old_path = dir / (old_key + ".json");
+  const std::string old_content = handmade_config().to_json().dump(2) + "\n";
+  write_text_file(old_path.string(), old_content);
+
+  bool from_cache = true;
+  const TunedConfig config =
+      load_or_train(options, engine(), dir.string(), -1, &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(config.max_level(), options.max_level);
+  EXPECT_EQ(read_text_file(old_path.string()), old_content);
+  EXPECT_TRUE(std::filesystem::exists(dir / (new_key + ".json")));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProblemSpecKey, CoarseningListJoinsTheKey) {
+  // Average-only training (the fig20 baseline arm) and the default
+  // RAP-first space must never share tuned tables; the list's *order* is
+  // keyed too, since measurement order drives budget pruning.
+  const TrainerOptions base = tiny_options();
+  TrainerOptions avg_only = tiny_options();
+  avg_only.coarsenings = {grid::Coarsening::kAverage};
+  EXPECT_NE(config_cache_key(base, "serial", "autotuned"),
+            config_cache_key(avg_only, "serial", "autotuned"));
+  TrainerOptions reordered = tiny_options();
+  std::swap(reordered.coarsenings.front(), reordered.coarsenings.back());
+  EXPECT_NE(config_cache_key(base, "serial", "autotuned"),
+            config_cache_key(reordered, "serial", "autotuned"));
 }
 
 TEST(ProblemSpecKey, SmootherListJoinsTheKey) {
@@ -295,6 +342,29 @@ TEST_F(CorruptCacheTest, TruncatedDocument) {
 
 TEST_F(CorruptCacheTest, WrongSchema) {
   expect_miss_and_recover("schema", "[1, 2, 3]\n");
+}
+
+TEST_F(CorruptCacheTest, UnrecognisedSmootherName) {
+  // smoother_from_json defaults a *missing* key to point_rb, but an
+  // unrecognised name — e.g. written by a future version whose smoother
+  // set grew — must fail as a ConfigError that load_or_train treats as a
+  // clean miss, never as an exception escaping to the caller.
+  Json doc = handmade_config().to_json();
+  Json v_levels = doc.at("multigrid_v");
+  v_levels.as_array()[0].as_array()[0].set("smoother",
+                                           std::string("warp_drive"));
+  doc.set("multigrid_v", std::move(v_levels));
+  expect_miss_and_recover("badsmoother", doc.dump(2) + "\n");
+}
+
+TEST_F(CorruptCacheTest, UnrecognisedCoarseningName) {
+  // Same contract for the coarsening field introduced with Galerkin RAP.
+  Json doc = handmade_config().to_json();
+  Json v_levels = doc.at("multigrid_v");
+  v_levels.as_array()[0].as_array()[0].set("coarsening",
+                                           std::string("octree"));
+  doc.set("multigrid_v", std::move(v_levels));
+  expect_miss_and_recover("badcoarsening", doc.dump(2) + "\n");
 }
 
 TEST_F(CorruptCacheTest, OutOfRangeNumberLiteral) {
@@ -456,6 +526,59 @@ TEST(SearchedConfigCache, CorruptedTunablesFallBackToRetraining) {
   EXPECT_TRUE(from_cache);
   EXPECT_EQ(again.searched.to_json().dump(),
             recovered.searched.to_json().dump());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(SearchedConfigCache, UnrecognisedSmootherNameIsACleanMiss) {
+  // A searched-profile entry whose smoother carries a name this version
+  // does not know (e.g. written by a future version) must surface as a
+  // clean cache miss — re-search, retrain, overwrite — and never as an
+  // exception escaping load_or_search_train.
+  const auto dir = fresh_dir("pbmg_cc_badsmoothername");
+  const TrainerOptions options = tiny_options();
+  search::ProfileSearchOptions search_options;
+  search_options.base = rt::serial_profile();
+  search_options.level = 3;
+  search_options.instances = 1;
+  search_options.seed = 43;
+  search_options.population.population = 2;
+  search_options.population.mutants_per_elite = 1;
+  search_options.population.immigrants = 1;
+  search_options.population.generations = 1;
+
+  bool from_cache = true;
+  const SearchTrainResult first = load_or_search_train(
+      options, search_options, dir.string(), &from_cache);
+  ASSERT_FALSE(from_cache);
+
+  const auto path =
+      dir / (searched_config_cache_key(options, search_options) + ".json");
+  ASSERT_TRUE(std::filesystem::exists(path));
+  const auto corrupt_field = [&](const std::string& key,
+                                 const std::string& value) {
+    Json doc = Json::parse(read_text_file(path.string()));
+    Json searched = doc.at("searched_profile");
+    searched.set(key, value);
+    doc.set("searched_profile", std::move(searched));
+    write_text_file(path.string(), doc.dump(2) + "\n");
+  };
+
+  corrupt_field("smoother", "warp_drive");
+  SearchTrainResult recovered;
+  EXPECT_NO_THROW(recovered = load_or_search_train(
+                      options, search_options, dir.string(), &from_cache));
+  EXPECT_FALSE(from_cache);
+  EXPECT_NO_THROW(solvers::validate_relax_tunables(recovered.searched.relax));
+
+  // Same contract for the coarsening field introduced with Galerkin RAP.
+  corrupt_field("coarsening", "octree");
+  EXPECT_NO_THROW(recovered = load_or_search_train(
+                      options, search_options, dir.string(), &from_cache));
+  EXPECT_FALSE(from_cache);
+
+  const SearchTrainResult again = load_or_search_train(
+      options, search_options, dir.string(), &from_cache);
+  EXPECT_TRUE(from_cache);
   std::filesystem::remove_all(dir);
 }
 

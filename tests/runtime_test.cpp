@@ -1,7 +1,6 @@
 // Tests for the work-stealing scheduler: coverage of parallel_for and
 // parallel_reduce, nested parallelism, exception propagation, stealing,
-// machine profiles, the Spinlock primitive, and the deprecated
-// global-scheduler shim kept for out-of-tree callers.
+// machine profiles, and the Spinlock primitive.
 
 #include <atomic>
 #include <numeric>
@@ -10,7 +9,6 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/global.h"
 #include "runtime/machine_profile.h"
 #include "runtime/scheduler.h"
 #include "support/error.h"
@@ -234,26 +232,6 @@ TEST(Spinlock, TryLockReportsContention) {
   EXPECT_TRUE(lock.try_lock());
   lock.unlock();
 }
-
-// The deprecated shim must keep compiling and working for one release so
-// out-of-tree callers can migrate to pbmg::Engine.  Only the shim's own
-// surface is exercised here; in-tree code is barred from it by the
-// no_singleton_calls check.
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-#endif
-TEST(DeprecatedGlobalShim, ScopedProfileStillSwapsAndRestores) {
-  const MachineProfile original = global_profile();
-  {
-    ScopedProfile scoped(serial_profile());
-    EXPECT_EQ(global_profile().name, "serial");
-  }
-  EXPECT_EQ(global_profile().name, original.name);
-}
-#if defined(__GNUC__) || defined(__clang__)
-#pragma GCC diagnostic pop
-#endif
 
 }  // namespace
 }  // namespace pbmg::rt

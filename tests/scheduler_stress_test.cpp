@@ -8,7 +8,6 @@
 
 #include <gtest/gtest.h>
 
-#include "runtime/global.h"
 #include "runtime/scheduler.h"
 #include "support/error.h"
 #include "support/rng.h"

@@ -73,12 +73,27 @@ solvers::VCycleOptions family_cycle_options(OperatorFamily family) {
       options.relaxation = solvers::RelaxKind::kLineX;
       break;
     case OperatorFamily::kAnisoRotated:
+    case OperatorFamily::kAnisoTheta30:
+    case OperatorFamily::kAnisoTheta45:
       options.relaxation = solvers::RelaxKind::kLineZebraAlt;
       break;
     default:
       break;
   }
   return options;
+}
+
+/// Hierarchy this suite certifies per family: the genuinely rotated
+/// (9-point) families run on Galerkin RAP coarse operators — the ladder a
+/// tuned table discovers for them — because the averaged 5-point ladder
+/// drops their corner couplings and only limps to high accuracy;
+/// everything else keeps the historical averaged-coefficient ladder.
+grid::StencilHierarchy family_hierarchy(OperatorFamily family, int n) {
+  const grid::Coarsening mode = (family == OperatorFamily::kAnisoTheta30 ||
+                                 family == OperatorFamily::kAnisoTheta45)
+                                    ? grid::Coarsening::kRap
+                                    : grid::Coarsening::kAverage;
+  return grid::StencilHierarchy(make_operator(n, family), mode);
 }
 
 /// Per-family V-cycle contraction bound (error reduction per cycle) under
@@ -107,6 +122,13 @@ double contraction_bound(OperatorFamily family) {
     case OperatorFamily::kAnisotropic1000:
     case OperatorFamily::kAnisoRotated:
       return 0.65;
+    case OperatorFamily::kAnisoTheta30:
+    case OperatorFamily::kAnisoTheta45:
+      // Rotated anisotropy at ε = 10⁻²: alternating zebra lines cannot
+      // follow the characteristic exactly (it lies between the axes —
+      // worst at 45°), but Galerkin RAP coarse operators keep the
+      // correction honest; measured rates are ~0.3–0.7 per cycle.
+      return 0.9;
   }
   return 0.9;
 }
@@ -131,7 +153,7 @@ TEST_P(StencilConvergence, VCycleContractsError) {
   const int n = size_of_level(std::get<1>(GetParam()));
   const auto inst = make_instance(family, n, 2026'07'01);
   if (inst.initial_error == 0.0) GTEST_SKIP() << "degenerate zero instance";
-  const grid::StencilHierarchy ops(make_operator(n, family));
+  const grid::StencilHierarchy ops = family_hierarchy(family, n);
   // Near the rounding floor the ratio test is meaningless: once the error
   // is ~1e-12 of the start it is dominated by accumulation noise.
   const double floor = 1e-12 * inst.initial_error;
@@ -182,7 +204,7 @@ TEST_P(StencilConvergence, FmgThenVCyclesReachHighAccuracy) {
   const int n = size_of_level(std::get<1>(GetParam()));
   const auto inst = make_instance(family, n, 2026'07'02);
   if (inst.initial_error == 0.0) GTEST_SKIP() << "degenerate zero instance";
-  const grid::StencilHierarchy ops(make_operator(n, family));
+  const grid::StencilHierarchy ops = family_hierarchy(family, n);
   Grid2D x = inst.problem.x0;
   // One FMG ramp plus V-cycles: with the weakest certified per-cycle
   // contraction (0.9, see contraction_bound) 200 cycles still guarantee
@@ -351,8 +373,14 @@ TEST(ClassicalCoarse, RecurseClassicalCellIsBitwiseAClassicalVCycle) {
 TEST(StencilFastPath, PoissonSessionSolveIsBitwiseIdenticalToLegacyPath) {
   // Acceptance gate: a constant-coefficient solve routed through
   // StencilOp's fast path (session → executor → op-aware kernels) must be
-  // bit-for-bit what the pre-operator executor produced.
-  const tune::TunedConfig config = train_for(OperatorFamily::kPoisson);
+  // bit-for-bit what the pre-operator executor produced.  The parity
+  // contract is about the *fast path*, so the table is trained in the
+  // pre-RAP space (averaged coarsening only): a table with Galerkin-RAP
+  // cells runs genuinely different — 9-point — arithmetic by design.
+  tune::TrainerOptions legacy_options = tiny_training(OperatorFamily::kPoisson);
+  legacy_options.coarsenings = {grid::Coarsening::kAverage};
+  const tune::TunedConfig config =
+      tune::Trainer(legacy_options, engine()).train();
   const int n = size_of_level(4);
   const auto inst = make_instance(OperatorFamily::kPoisson, n, 2026'07'06);
   SolveSession session(engine(), config, n);  // Poisson fast path

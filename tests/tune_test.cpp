@@ -260,6 +260,9 @@ TEST(Trainer, ExpectedTimeIsMonotoneInAccuracy) {
 /// held-out instances (fresh seeds) at every trained level.
 TEST(Trainer, TunedVMeetsAccuracyOnHeldOutInputs) {
   const TunedConfig& config = trained();
+  // A fresh table may carry Galerkin-RAP cells (the coarsening axis is
+  // raced by default); a bare executor builds the Poisson RAP ladder for
+  // each executed top level on demand.
   TunedExecutor executor(config, sched(), engine().direct(),
                          engine().scratch());
   Rng rng(990001);
@@ -347,6 +350,15 @@ TEST(Trainer, ValidatesSmootherCandidateList) {
   EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
 }
 
+TEST(Trainer, ValidatesCoarseningCandidateList) {
+  TrainerOptions bad = small_options();
+  bad.coarsenings.clear();
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
+  bad = small_options();
+  bad.coarsenings = {static_cast<grid::Coarsening>(42)};  // stray byte
+  EXPECT_THROW(Trainer(bad, engine()), InvalidArgument);
+}
+
 TEST(Trainer, HeuristicTablesStayPointOnly) {
   // The Figure-7 heuristics reproduce the paper's restricted space
   // exactly; the smoother axis must not leak into them.
@@ -359,6 +371,10 @@ TEST(Trainer, HeuristicTablesStayPointOnly) {
     for (int i = 0; i < config.accuracy_count(); ++i) {
       EXPECT_EQ(config.v_entry(level, i).choice.smoother,
                 solvers::RelaxKind::kSor)
+          << "level " << level << " i " << i;
+      // Nor the coarsening axis: heuristics keep the averaged ladder.
+      EXPECT_EQ(config.v_entry(level, i).choice.coarsening,
+                grid::Coarsening::kAverage)
           << "level " << level << " i " << i;
     }
   }
