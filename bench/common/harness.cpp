@@ -5,6 +5,8 @@
 #include <iostream>
 #include <limits>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "grid/grid_ops.h"
 #include "grid/level.h"
@@ -33,6 +35,10 @@ std::mutex g_samples_mutex;
 SampleStats g_samples;
 
 void record_sample(double seconds) {
+  // Resolved once: registry accessors return stable addresses.
+  static obs::Histogram& trial_hist =
+      metrics().histogram("pbmg_bench_trial_seconds");
+  trial_hist.record(seconds);
   std::lock_guard<std::mutex> lock(g_samples_mutex);
   g_samples.add(seconds);
 }
@@ -44,8 +50,35 @@ SampleStats drain_samples() {
   return out;
 }
 
+/// Engines registered by track_engine; their runtime stats become
+/// labelled gauges at emission time.
+std::mutex g_engines_mutex;
+std::vector<std::pair<std::string, Engine*>> g_tracked_engines;
+
+void publish_tracked_engines() {
+  std::lock_guard<std::mutex> lock(g_engines_mutex);
+  obs::MetricsRegistry& registry = metrics();
+  for (const auto& [name, engine] : g_tracked_engines) {
+    const std::string label = "{engine=\"" + name + "\"}";
+    const auto pool = engine->scratch().stats();
+    registry.gauge("pbmg_scheduler_threads" + label)
+        .set(static_cast<double>(engine->profile().threads));
+    registry.gauge("pbmg_scheduler_steals" + label)
+        .set(static_cast<double>(engine->scheduler().steal_count()));
+    registry.gauge("pbmg_scratch_hit_rate" + label).set(pool.hit_rate());
+    registry.gauge("pbmg_scratch_pooled_bytes" + label)
+        .set(static_cast<double>(pool.pooled_bytes));
+    registry.gauge("pbmg_scratch_high_water_bytes" + label)
+        .set(static_cast<double>(pool.high_water_bytes));
+    registry.gauge("pbmg_scratch_trims" + label)
+        .set(static_cast<double>(pool.trims));
+  }
+}
+
 void write_bench_json(const Settings& settings, const std::string& name,
-                      const Json& doc) {
+                      Json doc) {
+  publish_tracked_engines();
+  doc.set("metrics", obs::to_json(metrics().snapshot()));
   std::error_code ec;
   std::filesystem::create_directories(settings.out_dir, ec);
   const auto path =
@@ -379,6 +412,22 @@ void emit_table(const Settings& settings, const std::string& name,
 void emit_bench_json(const Settings& settings, const std::string& name,
                      const Json& doc) {
   write_bench_json(settings, name, doc);
+}
+
+obs::MetricsRegistry& metrics() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+void track_engine(const std::string& name, Engine& engine) {
+  std::lock_guard<std::mutex> lock(g_engines_mutex);
+  for (auto& [existing, ptr] : g_tracked_engines) {
+    if (existing == name) {
+      ptr = &engine;
+      return;
+    }
+  }
+  g_tracked_engines.emplace_back(name, &engine);
 }
 
 void progress(const std::string& line) { std::cerr << line << '\n'; }

@@ -8,6 +8,7 @@
 
 #include "engine/engine.h"
 #include "grid/problem.h"
+#include "obs/metrics.h"
 #include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "support/argparse.h"
@@ -137,6 +138,19 @@ void emit_table(const Settings& settings, const std::string& name,
 /// with richer stats than a table, e.g. fig17's throughput scaling).
 void emit_bench_json(const Settings& settings, const std::string& name,
                      const Json& doc);
+
+/// Benchmark-wide metrics registry (obs/metrics.h).  Figures may record
+/// their own counters/histograms here; every timed trial from time_min
+/// lands in the `pbmg_bench_trial_seconds` histogram automatically, and
+/// emit_table / emit_bench_json embed the registry snapshot under the
+/// `metrics` key of every BENCH_*.json document.
+obs::MetricsRegistry& metrics();
+
+/// Registers `engine` so its scheduler/scratch statistics are published
+/// into the bench registry (as `{engine="name"}`-labelled gauges) right
+/// before every BENCH_*.json emission.  Re-tracking an existing name
+/// rebinds it.  The engine must outlive subsequent emissions.
+void track_engine(const std::string& name, Engine& engine);
 
 /// Benchmark-wide progress line (stderr, so stdout stays machine-readable).
 void progress(const std::string& line);

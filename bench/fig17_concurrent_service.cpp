@@ -9,13 +9,15 @@
 
 #include <atomic>
 #include <cmath>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "common/harness.h"
 #include "engine/solve_service.h"
 #include "grid/level.h"
-#include "support/stats.h"
+#include "obs/metrics.h"
+#include "obs/phase_profile.h"
 #include "support/timer.h"
 
 namespace {
@@ -35,10 +37,14 @@ int main_impl(int argc, const char* const* argv) {
   const int top_level = std::min(settings.max_level, 7);
 
   Engine engine(engine_options(settings, rt::harpertown_profile()));
+  track_engine("fig17", engine);
   const auto config =
       get_tuned_config(settings, engine, dist, top_level, /*train_fmg=*/false);
   const int acc_index = config.accuracy_index(1e5);
   SolveService service(engine, config);
+  // One PhaseProfile shared by every request: a multi-tenant per-level
+  // phase breakdown of where the service's wall time actually went.
+  auto phases = std::make_shared<obs::PhaseProfile>();
 
   // Mixed request sizes: the service binds one prepared session per size.
   std::vector<tune::TrainingInstance> instances;
@@ -59,13 +65,16 @@ int main_impl(int argc, const char* const* argv) {
     service.solve(x, inst.problem.b, request);
   }
 
-  TextTable table({"clients", "requests", "wall (s)", "req/s", "median (s)",
-                   "p90 (s)", "throughput scaling"});
+  TextTable table({"clients", "requests", "wall (s)", "req/s", "p50 (s)",
+                   "p90 (s)", "p99 (s)", "throughput scaling"});
   Json per_clients = Json::array();
   double base_rps = std::nan("");
   for (int clients : {1, 2, 4, 8}) {
-    std::vector<std::vector<double>> latencies(
-        static_cast<std::size_t>(clients));
+    // Per-run latency distribution from a real obs::Histogram: workers
+    // record lock-free while solving, and the percentiles below come from
+    // the bucketized distribution — the same machinery the service's own
+    // per-(n, accuracy) histograms use — rather than a sorted raw vector.
+    obs::Histogram run_hist;
     std::atomic<bool> go{false};
     std::vector<std::thread> workers;
     for (int c = 0; c < clients; ++c) {
@@ -78,8 +87,9 @@ int main_impl(int argc, const char* const* argv) {
           x.copy_from(inst.problem.x0);
           SolveRequest request;
           request.accuracy_index = acc_index;
+          request.profile = phases;
           const SolveStats stats = service.solve(x, inst.problem.b, request);
-          latencies[static_cast<std::size_t>(c)].push_back(stats.seconds);
+          run_hist.record(stats.seconds);
         }
       });
     }
@@ -88,24 +98,25 @@ int main_impl(int argc, const char* const* argv) {
     for (auto& worker : workers) worker.join();
     const double wall = now_seconds() - t0;
 
-    SampleStats all;
-    for (const auto& client : latencies) {
-      for (double s : client) all.add(s);
-    }
-    const double rps = static_cast<double>(all.count()) / wall;
+    const obs::HistogramSnapshot latency = run_hist.snapshot();
+    const double rps = static_cast<double>(latency.count) / wall;
     if (std::isnan(base_rps)) base_rps = rps;
     table.add_row({std::to_string(clients),
-                   std::to_string(all.count()), format_double(wall),
-                   format_double(rps), format_double(all.median()),
-                   format_double(all.percentile(90.0)),
+                   std::to_string(latency.count), format_double(wall),
+                   format_double(rps), format_double(latency.percentile(50.0)),
+                   format_double(latency.percentile(90.0)),
+                   format_double(latency.percentile(99.0)),
                    format_double(rps / base_rps, 3)});
     Json row = Json::object();
     row.set("clients", clients);
-    row.set("requests", static_cast<std::int64_t>(all.count()));
+    row.set("requests", latency.count);
     row.set("wall_s", wall);
     row.set("requests_per_second", rps);
-    row.set("latency_median_s", all.median());
-    row.set("latency_p90_s", all.percentile(90.0));
+    row.set("latency_p50_s", latency.percentile(50.0));
+    row.set("latency_p90_s", latency.percentile(90.0));
+    row.set("latency_p99_s", latency.percentile(99.0));
+    row.set("latency_mean_s", latency.mean());
+    row.set("latency_max_s", latency.max);
     row.set("throughput_scaling", rps / base_rps);
     per_clients.push_back(std::move(row));
     progress("fig17: clients=" + std::to_string(clients) + " done (" +
@@ -126,6 +137,12 @@ int main_impl(int argc, const char* const* argv) {
   doc.set("scratch_hit_rate", pool_stats.hit_rate());
   doc.set("scratch_high_water_bytes",
           static_cast<std::int64_t>(pool_stats.high_water_bytes));
+  // Where the service's solve time went, per multigrid level and phase
+  // (aggregated across every request of the whole sweep).
+  doc.set("phases", obs::to_json(*phases));
+  // The service's own registry: per-(n, accuracy) latency histograms plus
+  // request/failure counters and the engine gauges it publishes.
+  doc.set("service_metrics", obs::to_json(service.metrics_snapshot()));
   emit_bench_json(settings, "fig17_concurrent_service_scaling", doc);
 
   emit_table(settings, "fig17_concurrent_service",

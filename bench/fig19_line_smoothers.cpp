@@ -143,6 +143,7 @@ int main_impl(int argc, const char* const* argv) {
       cache_dir.empty() ? tune::default_cache_dir() : cache_dir;
 
   Engine engine(engine_options(settings, rt::MachineProfile{}));
+  track_engine("fig19", engine);
 
   const auto train_arm = [&](OperatorFamily family, bool point_only,
                              tune::TunedConfig& out) {

@@ -13,6 +13,7 @@
 #include "grid/problem.h"
 #include "linalg/band_matrix.h"
 #include "linalg/poisson_assembly.h"
+#include "obs/phase_profile.h"
 #include "solvers/direct.h"
 #include "solvers/multigrid.h"
 #include "solvers/relax.h"
@@ -153,6 +154,42 @@ void BM_VCycle(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_VCycle)->Arg(257)->Arg(1025);
+
+// Profiling-overhead pair: identical V-cycles with the obs::PhaseProfile
+// hook disabled (null sink — the production default) versus enabled.  CI
+// asserts the Off/On ratio stays within noise, i.e. that attaching the
+// scoped-timer hooks to the solver costs nothing when no profile is
+// requested.
+void BM_VCycleProfilingOff(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto problem = problem_for(n);
+  Grid2D x = problem.x0;
+  auto& sched = bench_engine().scheduler();
+  auto& direct = bench_engine().direct();
+  auto& pool = bench_engine().scratch();
+  solvers::VCycleOptions options;  // options.profile == nullptr
+  for (auto _ : state) {
+    solvers::vcycle(x, problem.b, options, sched, direct, pool);
+  }
+}
+BENCHMARK(BM_VCycleProfilingOff)->Arg(257);
+
+void BM_VCycleProfilingOn(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  auto problem = problem_for(n);
+  Grid2D x = problem.x0;
+  auto& sched = bench_engine().scheduler();
+  auto& direct = bench_engine().direct();
+  auto& pool = bench_engine().scratch();
+  obs::PhaseProfile profile;
+  solvers::VCycleOptions options;
+  options.profile = &profile;
+  for (auto _ : state) {
+    solvers::vcycle(x, problem.b, options, sched, direct, pool);
+  }
+  benchmark::DoNotOptimize(profile.total_seconds());
+}
+BENCHMARK(BM_VCycleProfilingOn)->Arg(257);
 
 void BM_ParallelForOverhead(benchmark::State& state) {
   auto& sched = bench_engine().scheduler();

@@ -36,6 +36,10 @@ namespace pbmg::tune {
 struct TrainerOptions;  // tune/trainer.h (included by engine.cpp only)
 }
 
+namespace pbmg::obs {
+class MetricsRegistry;  // obs/metrics.h (included by engine.cpp only)
+}
+
 namespace pbmg {
 
 /// Construction parameters of an Engine.
@@ -104,6 +108,13 @@ class Engine {
   tune::TunedConfig tuned_config(const tune::TrainerOptions& options,
                                  int heuristic_sub_accuracy = -1,
                                  bool* from_cache = nullptr);
+
+  /// Samples this engine's runtime health into `registry` gauges
+  /// (pbmg_scheduler_*, pbmg_scratch_*): work-steal count, thread count,
+  /// and the scratch pool's acquire/hit/miss/trim counters, pooled and
+  /// high-water bytes, and hit rate.  Call before snapshotting the
+  /// registry; safe to call concurrently with solves.
+  void publish_metrics(obs::MetricsRegistry& registry);
 
  private:
   solvers::RelaxTunables relax_;

@@ -1,11 +1,33 @@
 #include "engine/solve_service.h"
 
+#include <string>
 #include <utility>
 
 namespace pbmg {
 
 SolveService::SolveService(Engine& engine, tune::TunedConfig config)
-    : engine_(engine), config_(std::move(config)) {}
+    : engine_(engine),
+      config_(std::move(config)),
+      requests_total_(metrics_.counter("pbmg_solve_requests_total")),
+      failures_total_(metrics_.counter("pbmg_solve_failures_total")),
+      trims_total_(metrics_.counter("pbmg_scratch_trims_total")),
+      trim_bytes_total_(metrics_.counter("pbmg_scratch_trim_bytes_total")) {}
+
+obs::Histogram& SolveService::latency_histogram(int n, int accuracy_index) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = latency_.find({n, accuracy_index});
+    if (it != latency_.end()) return *it->second;
+  }
+  // Registry accessors hand out stable addresses, so resolving outside
+  // mutex_ is safe even when two threads race on one (n, acc) pair.
+  obs::Histogram& hist = metrics_.histogram(
+      "pbmg_solve_latency_seconds{n=\"" + std::to_string(n) + "\",acc=\"" +
+      std::to_string(accuracy_index) + "\"}");
+  std::lock_guard<std::mutex> lock(mutex_);
+  latency_.emplace(std::make_pair(n, accuracy_index), &hist);
+  return hist;
+}
 
 SolveSession& SolveService::session(int n) {
   {
@@ -28,18 +50,22 @@ SolveSession& SolveService::session(int n) {
 SolveStats SolveService::solve(Grid2D& x, const Grid2D& b,
                                const SolveRequest& request) {
   SolveStats stats;
+  int index = -1;
   try {
     SolveSession& bound = session(x.n());
-    const int index = request.accuracy_index >= 0
-                          ? request.accuracy_index
-                          : bound.accuracy_index(request.target_accuracy);
-    stats = request.fmg ? bound.solve_fmg(x, b, index)
-                        : bound.solve_v(x, b, index);
+    index = request.accuracy_index >= 0
+                ? request.accuracy_index
+                : bound.accuracy_index(request.target_accuracy);
+    stats = request.fmg ? bound.solve_fmg(x, b, index, request.profile)
+                        : bound.solve_v(x, b, index, request.profile);
   } catch (...) {
+    failures_total_.add(1);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.failures;
     throw;
   }
+  latency_histogram(stats.n, index).record(stats.seconds);
+  requests_total_.add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.requests;
   stats_.busy_seconds += stats.seconds;
@@ -47,10 +73,35 @@ SolveStats SolveService::solve(Grid2D& x, const Grid2D& b,
 }
 
 ServiceStats SolveService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return stats_;
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    out = stats_;
+  }
+  out.scratch_hit_rate = engine_.scratch().stats().hit_rate();
+  out.scheduler_steals = engine_.scheduler().steal_count();
+  return out;
 }
 
-std::size_t SolveService::trim() { return engine_.scratch().trim(); }
+std::size_t SolveService::trim() {
+  const std::size_t freed = engine_.scratch().trim();
+  trims_total_.add(1);
+  trim_bytes_total_.add(static_cast<std::int64_t>(freed));
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.trims;
+  stats_.trim_bytes += static_cast<std::int64_t>(freed);
+  return freed;
+}
+
+obs::RegistrySnapshot SolveService::metrics_snapshot() {
+  engine_.publish_metrics(metrics_);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    metrics_.gauge("pbmg_service_busy_seconds").set(stats_.busy_seconds);
+    metrics_.gauge("pbmg_service_sessions")
+        .set(static_cast<double>(sessions_.size()));
+  }
+  return metrics_.snapshot();
+}
 
 }  // namespace pbmg

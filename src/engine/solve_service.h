@@ -4,8 +4,10 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 
 #include "engine/solve_session.h"
+#include "obs/metrics.h"
 
 /// \file solve_service.h
 /// Multi-tenant front-end: concurrent solve requests onto one Engine.
@@ -18,6 +20,12 @@
 /// instead of fighting over oversubscribed thread pools — this is what
 /// makes aggregate throughput scale with client count
 /// (bench/fig17_concurrent_service).
+///
+/// The service also owns an obs::MetricsRegistry: every completed solve
+/// lands in a per-(grid size × accuracy) latency histogram
+/// (`pbmg_solve_latency_seconds{n="...",acc="..."}`), failures and trims
+/// feed counters, and metrics_snapshot() samples engine health (scheduler
+/// steals, scratch-pool hit rate) into gauges on the way out.
 
 namespace pbmg {
 
@@ -27,6 +35,10 @@ struct SolveRequest {
   int accuracy_index = -1;        ///< tuned-ladder index; < 0 uses target
   double target_accuracy = 0.0;   ///< used when accuracy_index < 0
   bool fmg = false;               ///< FULL-MULTIGRID instead of MULTIGRID-V
+  /// Optional per-(level, phase) time attribution: when set, the solve
+  /// records into it and SolveStats::phases returns it.  Requests may
+  /// share one profile to aggregate a workload-wide breakdown.
+  std::shared_ptr<obs::PhaseProfile> profile;
 };
 
 /// Service-level counters (monotonic since construction).
@@ -35,6 +47,10 @@ struct ServiceStats {
   std::int64_t failures = 0;     ///< solves that threw
   double busy_seconds = 0.0;     ///< sum of per-request solve seconds
   std::size_t sessions = 0;      ///< distinct grid sizes bound so far
+  std::int64_t trims = 0;        ///< trim() calls since construction
+  std::int64_t trim_bytes = 0;   ///< total bytes freed by those trims
+  double scratch_hit_rate = 0.0;    ///< pool hit rate, sampled at stats()
+  std::int64_t scheduler_steals = 0;  ///< work steals, sampled at stats()
 };
 
 /// Thread-safe solve front-end over one Engine + one tuned config.
@@ -53,23 +69,42 @@ class SolveService {
   /// The session bound to side `n`, created on first use.  Thread-safe.
   SolveSession& session(int n);
 
-  /// Counter snapshot.
+  /// Counter snapshot.  scratch_hit_rate and scheduler_steals are sampled
+  /// from the engine at call time; the rest are service counters.
   ServiceStats stats() const;
 
   /// Releases pooled scratch memory (idle shrink); sessions stay bound.
-  /// Returns bytes freed.
+  /// Returns bytes freed (also accumulated into ServiceStats::trim_bytes).
   std::size_t trim();
+
+  /// The service's metrics registry (live handles; see obs/metrics.h).
+  obs::MetricsRegistry& metrics() { return metrics_; }
+
+  /// Registry snapshot with engine health gauges refreshed first
+  /// (Engine::publish_metrics) — the one-call exposition entry point.
+  obs::RegistrySnapshot metrics_snapshot();
 
   Engine& engine() const { return engine_; }
   const tune::TunedConfig& config() const { return config_; }
 
  private:
+  /// Latency histogram for (n, accuracy index), resolved once per pair
+  /// and cached so the solve path never re-walks the registry map.
+  obs::Histogram& latency_histogram(int n, int accuracy_index);
+
   Engine& engine_;
   tune::TunedConfig config_;
 
-  mutable std::mutex mutex_;  // guards sessions_ and stats_
+  obs::MetricsRegistry metrics_;
+  obs::Counter& requests_total_;  // resolved once; stable addresses
+  obs::Counter& failures_total_;
+  obs::Counter& trims_total_;
+  obs::Counter& trim_bytes_total_;
+
+  mutable std::mutex mutex_;  // guards sessions_, stats_ and latency_
   std::map<int, std::unique_ptr<SolveSession>> sessions_;
   ServiceStats stats_;
+  std::map<std::pair<int, int>, obs::Histogram*> latency_;
 };
 
 }  // namespace pbmg

@@ -72,44 +72,58 @@ void SolveSession::check_operands(const Grid2D& x, const Grid2D& b) const {
                  std::to_string(n_) + ")");
 }
 
-SolveStats SolveSession::solve_v(Grid2D& x, const Grid2D& b,
-                                 int accuracy_index) const {
+SolveStats SolveSession::solve_v(
+    Grid2D& x, const Grid2D& b, int accuracy_index,
+    std::shared_ptr<obs::PhaseProfile> profile) const {
   check_operands(x, b);
   const double t0 = now_seconds();
-  executor_.run_v(x, b, accuracy_index);
-  return stats_for(now_seconds() - t0, accuracy_index, 0, true);
+  executor_.run_v(x, b, accuracy_index, profile.get());
+  SolveStats stats = stats_for(now_seconds() - t0, accuracy_index, 0, true);
+  stats.phases = std::move(profile);
+  return stats;
 }
 
-SolveStats SolveSession::solve_fmg(Grid2D& x, const Grid2D& b,
-                                   int accuracy_index) const {
+SolveStats SolveSession::solve_fmg(
+    Grid2D& x, const Grid2D& b, int accuracy_index,
+    std::shared_ptr<obs::PhaseProfile> profile) const {
   check_operands(x, b);
   const double t0 = now_seconds();
-  executor_.run_fmg(x, b, accuracy_index);
-  return stats_for(now_seconds() - t0, accuracy_index, 0, true);
+  executor_.run_fmg(x, b, accuracy_index, profile.get());
+  SolveStats stats = stats_for(now_seconds() - t0, accuracy_index, 0, true);
+  stats.phases = std::move(profile);
+  return stats;
 }
 
-SolveStats SolveSession::solve_reference_v(Grid2D& x, const Grid2D& b,
-                                           int max_cycles,
-                                           const solvers::StopFn& stop) const {
+SolveStats SolveSession::solve_reference_v(
+    Grid2D& x, const Grid2D& b, int max_cycles, const solvers::StopFn& stop,
+    std::shared_ptr<obs::PhaseProfile> profile) const {
   check_operands(x, b);
+  solvers::VCycleOptions options;
+  options.profile = profile.get();
   const double t0 = now_seconds();
   const auto outcome = solvers::solve_reference_v(
-      ops_, x, b, solvers::VCycleOptions{}, max_cycles, stop,
-      engine_.scheduler(), engine_.direct(), engine_.scratch());
-  return stats_for(now_seconds() - t0, -1, outcome.iterations,
-                   outcome.converged);
+      ops_, x, b, options, max_cycles, stop, engine_.scheduler(),
+      engine_.direct(), engine_.scratch());
+  SolveStats stats = stats_for(now_seconds() - t0, -1, outcome.iterations,
+                               outcome.converged);
+  stats.phases = std::move(profile);
+  return stats;
 }
 
 SolveStats SolveSession::solve_reference_fmg(
-    Grid2D& x, const Grid2D& b, int max_cycles,
-    const solvers::StopFn& stop) const {
+    Grid2D& x, const Grid2D& b, int max_cycles, const solvers::StopFn& stop,
+    std::shared_ptr<obs::PhaseProfile> profile) const {
   check_operands(x, b);
+  solvers::VCycleOptions options;
+  options.profile = profile.get();
   const double t0 = now_seconds();
   const auto outcome = solvers::solve_reference_fmg(
-      ops_, x, b, solvers::VCycleOptions{}, max_cycles, stop,
-      engine_.scheduler(), engine_.direct(), engine_.scratch());
-  return stats_for(now_seconds() - t0, -1, outcome.iterations,
-                   outcome.converged);
+      ops_, x, b, options, max_cycles, stop, engine_.scheduler(),
+      engine_.direct(), engine_.scratch());
+  SolveStats stats = stats_for(now_seconds() - t0, -1, outcome.iterations,
+                               outcome.converged);
+  stats.phases = std::move(profile);
+  return stats;
 }
 
 SolveStats SolveSession::solve_iterated_sor(Grid2D& x, const Grid2D& b,

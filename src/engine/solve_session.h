@@ -1,8 +1,11 @@
 #pragma once
 
+#include <memory>
+
 #include "engine/engine.h"
 #include "grid/grid2d.h"
 #include "grid/stencil_op.h"
+#include "obs/phase_profile.h"
 #include "solvers/multigrid.h"
 #include "tune/executor.h"
 #include "tune/table.h"
@@ -34,6 +37,10 @@ struct SolveStats {
   int accuracy_index = -1;  ///< tuned-ladder index (tuned solves; else -1)
   int iterations = 0;       ///< iterations run (reference drivers; else 0)
   bool converged = true;    ///< reference drivers: stop predicate fired
+  /// The per-(level, phase) breakdown the caller requested, or null when
+  /// the solve ran unprofiled (the default).  Shared so callers can keep
+  /// aggregating into the same profile across many solves.
+  std::shared_ptr<const obs::PhaseProfile> phases;
 };
 
 /// Binds an Engine and a tuned configuration to one grid size.
@@ -72,18 +79,29 @@ class SolveSession {
   }
 
   /// Tuned MULTIGRID-V_i at `accuracy_index` (x: Dirichlet ring + guess).
-  SolveStats solve_v(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+  /// `profile`, when non-null, receives the solve's per-(level, phase)
+  /// wall-time breakdown and is returned in SolveStats::phases; a shared
+  /// profile may aggregate across many solves (and threads).
+  SolveStats solve_v(Grid2D& x, const Grid2D& b, int accuracy_index,
+                     std::shared_ptr<obs::PhaseProfile> profile =
+                         nullptr) const;
 
   /// Tuned FULL-MULTIGRID_i at `accuracy_index`.
-  SolveStats solve_fmg(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+  SolveStats solve_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
+                       std::shared_ptr<obs::PhaseProfile> profile =
+                           nullptr) const;
 
   /// Reference V-cycles until `stop` or `max_cycles` (paper §4.2.2).
   SolveStats solve_reference_v(Grid2D& x, const Grid2D& b, int max_cycles,
-                               const solvers::StopFn& stop) const;
+                               const solvers::StopFn& stop,
+                               std::shared_ptr<obs::PhaseProfile> profile =
+                                   nullptr) const;
 
   /// Reference full multigrid: one FMG ramp, then V-cycles until `stop`.
   SolveStats solve_reference_fmg(Grid2D& x, const Grid2D& b, int max_cycles,
-                                 const solvers::StopFn& stop) const;
+                                 const solvers::StopFn& stop,
+                                 std::shared_ptr<obs::PhaseProfile> profile =
+                                     nullptr) const;
 
   /// Iterated Red-Black SOR at ω_opt(n) scaled by the engine's tunables.
   SolveStats solve_iterated_sor(Grid2D& x, const Grid2D& b, int max_sweeps,

@@ -1,0 +1,264 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "support/error.h"
+
+namespace pbmg::obs {
+
+namespace {
+
+/// Relaxed-CAS add for atomic doubles (fetch_add on floating atomics is
+/// C++20 but not yet universal across the toolchains CI runs).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value < cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double value) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (value > cur && !target.compare_exchange_weak(
+                            cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+/// Splits a Prometheus-convention name into (base, labels): the labels
+/// include the braces and are empty when the name carries none.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const auto brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  return {name.substr(0, brace), name.substr(brace)};
+}
+
+/// Formats a double the way Prometheus text exposition expects.
+std::string format_value(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  std::ostringstream oss;
+  oss << v;
+  return oss.str();
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ Histogram --
+
+double Histogram::relative_resolution() {
+  return std::pow(10.0, 1.0 / (2.0 * kBucketsPerDecade));
+}
+
+double Histogram::bucket_upper_bound(int i) {
+  if (i >= kBucketCount - 1) return std::numeric_limits<double>::infinity();
+  return std::pow(10.0, kMinExp + static_cast<double>(i + 1) /
+                                      kBucketsPerDecade);
+}
+
+double Histogram::bucket_midpoint(int i) {
+  if (i >= kBucketCount - 1) {
+    // Overflow bucket has no geometric midpoint; its lower bound is the
+    // best representative (snapshots clamp by the recorded max anyway).
+    return std::pow(10.0, kMaxExp);
+  }
+  return std::pow(10.0, kMinExp + (static_cast<double>(i) + 0.5) /
+                                      kBucketsPerDecade);
+}
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return 0;  // zero, negative, NaN → first bucket
+  const double position =
+      (std::log10(value) - kMinExp) * kBucketsPerDecade;
+  const int index = static_cast<int>(std::ceil(position)) - 1;
+  return std::clamp(index, 0, kBucketCount - 1);
+}
+
+void Histogram::record(double value) {
+  buckets_[static_cast<std::size_t>(bucket_index(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  atomic_add(sum_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_min(min_, value);
+  atomic_max(max_, value);
+}
+
+std::int64_t Histogram::count() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.resize(kBucketCount);
+  std::int64_t total = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    snap.buckets[static_cast<std::size_t>(i)] =
+        buckets_[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+    total += snap.buckets[static_cast<std::size_t>(i)];
+  }
+  // Count derives from the bucket reads so the snapshot is internally
+  // consistent even while writers keep recording.
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (total > 0) {
+    snap.min = min_.load(std::memory_order_relaxed);
+    snap.max = max_.load(std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count <= 0) return 0.0;
+  const double clamped = std::clamp(p, 0.0, 100.0);
+  const std::int64_t rank = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(clamped / 100.0 *
+                                             static_cast<double>(count))));
+  std::int64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    cumulative += buckets[i];
+    if (cumulative >= rank) {
+      const double estimate =
+          Histogram::bucket_midpoint(static_cast<int>(i));
+      return std::clamp(estimate, min, max);
+    }
+  }
+  return max;
+}
+
+// ----------------------------------------------------- MetricsRegistry --
+
+void MetricsRegistry::check_name_free(const std::string& name,
+                                      const char* wanted) const {
+  const bool taken = (wanted != std::string("counter") &&
+                      counters_.find(name) != counters_.end()) ||
+                     (wanted != std::string("gauge") &&
+                      gauges_.find(name) != gauges_.end()) ||
+                     (wanted != std::string("histogram") &&
+                      histograms_.find(name) != histograms_.end());
+  PBMG_CHECK(!taken, "MetricsRegistry: metric '" + name +
+                         "' already registered as a different kind than " +
+                         wanted);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    check_name_free(name, "counter");
+    it = counters_.emplace(name, std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    check_name_free(name, "gauge");
+    it = gauges_.emplace(name, std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    check_name_free(name, "histogram");
+    it = histograms_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace(name, counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace(name, gauge->value());
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace(name, histogram->snapshot());
+  }
+  return snap;
+}
+
+// ---------------------------------------------------------- exposition --
+
+Json to_json(const RegistrySnapshot& snapshot) {
+  Json doc = Json::object();
+  Json counters = Json::object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.set(name, value);
+  }
+  doc.set("counters", std::move(counters));
+  Json gauges = Json::object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.set(name, value);
+  }
+  doc.set("gauges", std::move(gauges));
+  Json histograms = Json::object();
+  for (const auto& [name, hist] : snapshot.histograms) {
+    Json h = Json::object();
+    h.set("count", hist.count);
+    h.set("sum", hist.sum);
+    if (hist.count > 0) {
+      h.set("mean", hist.mean());
+      h.set("min", hist.min);
+      h.set("max", hist.max);
+      h.set("p50", hist.percentile(50.0));
+      h.set("p90", hist.percentile(90.0));
+      h.set("p99", hist.percentile(99.0));
+    }
+    histograms.set(name, std::move(h));
+  }
+  doc.set("histograms", std::move(histograms));
+  return doc;
+}
+
+std::string to_text(const RegistrySnapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " counter\n";
+    out << base << labels << ' ' << value << '\n';
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " gauge\n";
+    out << base << labels << ' ' << format_value(value) << '\n';
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    const auto [base, labels] = split_labels(name);
+    out << "# TYPE " << base << " histogram\n";
+    // Splice `le` into an existing label set: {a="b"} → {a="b",le="..."}.
+    const auto bucket_labels = [&](double upper) {
+      std::string le = "le=\"" + format_value(upper) + "\"";
+      if (labels.empty()) return "{" + le + "}";
+      return labels.substr(0, labels.size() - 1) + "," + le + "}";
+    };
+    std::int64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.buckets.size(); ++i) {
+      if (hist.buckets[i] == 0 && i + 1 < hist.buckets.size()) continue;
+      cumulative += hist.buckets[i];
+      out << base << "_bucket"
+          << bucket_labels(Histogram::bucket_upper_bound(static_cast<int>(i)))
+          << ' ' << cumulative << '\n';
+    }
+    out << base << "_sum" << labels << ' ' << format_value(hist.sum) << '\n';
+    out << base << "_count" << labels << ' ' << hist.count << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace pbmg::obs

@@ -1,0 +1,182 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+/// \file metrics.h
+/// Unified metrics substrate: named counters, gauges, and log-scale
+/// latency histograms behind a thread-safe registry, with JSON and
+/// Prometheus-style text exposition.
+///
+/// Design constraints (this layer sits under a concurrent solve service
+/// whose hot path is tens of microseconds per sweep):
+///
+///   - recording is lock-free: counters and histogram buckets are relaxed
+///     atomics, so concurrent solves never serialize on a metrics mutex;
+///   - lookups are amortized away: registry accessors return references
+///     with stable addresses, resolved once at wiring time and then
+///     updated without touching the registry again;
+///   - snapshots are cheap and isolated: a snapshot is a plain value copy
+///     (relaxed reads), so exposition never blocks writers and a taken
+///     snapshot never changes under further recording.
+///
+/// The "Sustainable Performance Portability" framing in PAPERS.md is the
+/// motivation: detecting when a deployed tuned configuration drifts off
+/// its optimum requires continuous measurement, and this registry is the
+/// substrate the ROADMAP's drift-detection follow-on reads.
+
+namespace pbmg::obs {
+
+/// Monotonic relaxed-atomic counter.
+class Counter {
+ public:
+  void add(std::int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Last-write-wins gauge (a sampled level, not an accumulation).
+class Gauge {
+ public:
+  void set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Consistent value copy of one histogram (see Histogram::snapshot).
+struct HistogramSnapshot {
+  std::int64_t count = 0;  ///< total recorded samples (sum of buckets)
+  double sum = 0.0;        ///< sum of recorded values
+  double min = 0.0;        ///< smallest recorded value (0 when count == 0)
+  double max = 0.0;        ///< largest recorded value (0 when count == 0)
+  std::vector<std::int64_t> buckets;  ///< per-bucket counts (see Histogram)
+
+  double mean() const {
+    return count > 0 ? sum / static_cast<double>(count) : 0.0;
+  }
+
+  /// p-th percentile estimate, p in [0, 100]: the geometric midpoint of
+  /// the bucket holding the p-th sample, clamped to [min, max].  Accuracy
+  /// is bounded by the bucket resolution (Histogram::kRelativeResolution);
+  /// returns 0 when the histogram is empty.
+  double percentile(double p) const;
+};
+
+/// Fixed-bucket log-scale histogram for latency-shaped values (seconds).
+///
+/// Buckets are logarithmically spaced with kBucketsPerDecade buckets per
+/// decade from 10^kMinExp (values at or below the first boundary land in
+/// bucket 0) up to 10^kMaxExp, plus one overflow bucket.  Recording is one
+/// std::log10 plus one relaxed fetch_add — no locks, no allocation — so
+/// concurrent recording is lossless: every record lands in exactly one
+/// bucket and snapshot counts equal the number of record() calls that
+/// completed before the snapshot.
+class Histogram {
+ public:
+  static constexpr int kBucketsPerDecade = 8;
+  static constexpr int kMinExp = -7;  ///< first boundary 10^-7 s (100 ns)
+  static constexpr int kMaxExp = 2;   ///< last bounded boundary 100 s
+  static constexpr int kBucketCount =
+      (kMaxExp - kMinExp) * kBucketsPerDecade + 1;  ///< + overflow bucket
+
+  /// Worst-case relative error of percentile estimates: half a bucket in
+  /// log space, i.e. a factor of 10^(1/(2·kBucketsPerDecade)) ≈ 1.155.
+  static double relative_resolution();
+
+  /// Upper bound of bucket `i` (+inf for the overflow bucket).
+  static double bucket_upper_bound(int i);
+
+  /// Geometric midpoint of bucket `i` (percentile representative).
+  static double bucket_midpoint(int i);
+
+  /// Bucket index for `value` (non-finite and negative values clamp into
+  /// the boundary buckets rather than being dropped).
+  static int bucket_index(double value);
+
+  /// Records one sample.  Thread-safe, lock-free.
+  void record(double value);
+
+  /// Samples recorded so far.
+  std::int64_t count() const;
+
+  /// Value copy of the current state.  Relaxed reads: concurrent records
+  /// may or may not be included, but the snapshot itself is internally
+  /// consistent (count == sum of buckets) and immutable once taken.
+  HistogramSnapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBucketCount> buckets_{};
+  std::atomic<double> sum_{0.0};
+  // Sentinels collapse min/max updates to plain CAS loops; snapshots only
+  // report them once count > 0.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+  std::atomic<std::int64_t> count_{0};
+};
+
+/// Value copy of a whole registry (see MetricsRegistry::snapshot).
+struct RegistrySnapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// Thread-safe name → metric registry.  Accessors create on first use and
+/// return references whose addresses are stable for the registry's
+/// lifetime, so callers resolve a metric once and then update it without
+/// locking.  A name identifies exactly one metric kind; asking for the
+/// same name as a different kind throws InvalidArgument.
+///
+/// Names follow the Prometheus convention and may carry labels:
+/// `pbmg_solve_latency_seconds{n="129",acc="3"}`.  The exposition
+/// functions understand the brace form (text exposition splices the
+/// histogram `le` label into an existing label set).
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Cheap consistent snapshot: copies every metric's current value under
+  /// the registry lock (the lock orders only registration and snapshot —
+  /// recording never takes it).
+  RegistrySnapshot snapshot() const;
+
+ private:
+  void check_name_free(const std::string& name, const char* wanted) const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// JSON exposition: {"counters": {...}, "gauges": {...}, "histograms":
+/// {name: {count, sum, mean, min, max, p50, p90, p99}}}.  Designed to
+/// embed into BENCH_*.json documents and service snapshots.
+Json to_json(const RegistrySnapshot& snapshot);
+
+/// Prometheus-style text exposition (`# TYPE` lines, cumulative
+/// `_bucket{le="..."}` histogram series, `_sum`/`_count`).
+std::string to_text(const RegistrySnapshot& snapshot);
+
+}  // namespace pbmg::obs

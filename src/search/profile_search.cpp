@@ -239,11 +239,13 @@ SearchedProfile search_profile(const ProfileSearchOptions& options) {
     return kInf;  // never converged: the candidate is unusable
   };
 
-  CandidateTester tester(space, objective, std::move(instances),
-                         options.tester);
+  TesterOptions topts = options.tester;
+  if (topts.metrics == nullptr) topts.metrics = options.metrics;
+  CandidateTester tester(space, objective, std::move(instances), topts);
   PopulationOptions popts = options.population;
   popts.seed = options.seed;
   if (!popts.log && options.log) popts.log = options.log;
+  if (popts.metrics == nullptr) popts.metrics = options.metrics;
   PopulationSearch engine(space, tester, popts);
   const SearchResult result = engine.run();
 

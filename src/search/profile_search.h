@@ -93,6 +93,12 @@ struct ProfileSearchOptions {
   TesterOptions tester;          ///< pruning knobs
 
   std::function<void(const std::string&)> log;
+
+  /// Optional telemetry sink shared by the tester and the population
+  /// engine (candidates tested / DNFs / early abandons / best-so-far);
+  /// forwarded into population.metrics and tester.metrics unless those
+  /// are already set.  Must outlive the search.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Search outcome: concrete runtime parameters plus the provenance needed

@@ -18,17 +18,20 @@ grid::StencilOp op_at(const grid::StencilHierarchy* ops, int level, int n) {
 }
 
 void smooth(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
-            const VCycleOptions& options, int sweeps, rt::Scheduler& sched,
-            grid::ScratchPool& pool) {
+            const VCycleOptions& options, int sweeps, int level,
+            rt::Scheduler& sched, grid::ScratchPool& pool) {
+  obs::PhaseProfile* profile = options.profile;
   switch (options.relaxation) {
     case RelaxKind::kSor:
       for (int s = 0; s < sweeps; ++s) {
+        obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
         sor_sweep(op, x, b, options.omega, sched);
       }
       break;
     case RelaxKind::kJacobi: {
       auto scratch_lease = pool.acquire(x.n());
       for (int s = 0; s < sweeps; ++s) {
+        obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
         jacobi_sweep(op, x, b, kJacobiOmega, scratch_lease.get(), sched);
       }
       break;
@@ -39,6 +42,7 @@ void smooth(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
       // Line relaxation takes no ω: each line update is the exact block
       // Gauss-Seidel step (see line_relax.h).
       for (int s = 0; s < sweeps; ++s) {
+        obs::ScopedPhaseTimer timer(profile, obs::Phase::kLineSolve, level);
         line_relax_sweep(op, x, b, options.relaxation, sched, pool);
       }
       break;
@@ -50,33 +54,43 @@ void vcycle_impl(const grid::StencilHierarchy* ops, Grid2D& x,
                  rt::Scheduler& sched, DirectSolver& direct,
                  grid::ScratchPool& pool) {
   const grid::StencilOp op = op_at(ops, level, x.n());
+  obs::PhaseProfile* profile = options.profile;
   if (level <= options.direct_level) {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level);
     direct.solve(op, b, x);
     return;
   }
-  smooth(op, x, b, options, options.pre_relax, sched, pool);
+  smooth(op, x, b, options, options.pre_relax, level, sched, pool);
   const int n = x.n();
   auto r_lease = pool.acquire(n);
   Grid2D& r = r_lease.get();  // residual() writes every cell
-  grid::residual_op(op, x, b, r, sched);
   const int nc = coarse_size(n);
   auto rc_lease = pool.acquire(nc);
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
-  grid::restrict_full_weighting(r, rc, sched);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
+    grid::residual_op(op, x, b, r, sched);
+    grid::restrict_full_weighting(r, rc, sched);
+  }
   // Error equation on the coarse grid: zero initial guess, zero Dirichlet
   // ring (the error of a Dirichlet problem vanishes on the boundary).
   auto e_lease = pool.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);
   vcycle_impl(ops, e, rc, level - 1, options, sched, direct, pool);
-  grid::interpolate_add(e, x, sched);
-  smooth(op, x, b, options, options.post_relax, sched, pool);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kInterpolate, level);
+    grid::interpolate_add(e, x, sched);
+  }
+  smooth(op, x, b, options, options.post_relax, level, sched, pool);
 }
 
 void fmg_impl(const grid::StencilHierarchy* ops, Grid2D& x, const Grid2D& b,
               int level, const VCycleOptions& options, rt::Scheduler& sched,
               DirectSolver& direct, grid::ScratchPool& pool) {
+  obs::PhaseProfile* profile = options.profile;
   if (level <= options.direct_level) {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level);
     direct.solve(op_at(ops, level, x.n()), b, x);
     return;
   }
@@ -86,14 +100,20 @@ void fmg_impl(const grid::StencilHierarchy* ops, Grid2D& x, const Grid2D& b,
   const int nc = coarse_size(x.n());
   auto xc_lease = pool.acquire(nc);
   Grid2D& xc = xc_lease.get();  // injection writes every cell
-  grid::restrict_inject(x, xc, sched);
   auto bc_lease = pool.acquire(nc);
   Grid2D& bc = bc_lease.get();
-  grid::restrict_full_weighting(b, bc, sched);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
+    grid::restrict_inject(x, xc, sched);
+    grid::restrict_full_weighting(b, bc, sched);
+  }
   fmg_impl(ops, xc, bc, level - 1, options, sched, direct, pool);
   // Lift the coarse solution as the fine initial guess, then polish with
   // one V-cycle (classical FMG ramp).
-  grid::interpolate_assign(xc, x, sched);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kInterpolate, level);
+    grid::interpolate_assign(xc, x, sched);
+  }
   vcycle_impl(ops, x, b, level, options, sched, direct, pool);
 }
 

@@ -5,6 +5,7 @@
 #include "grid/grid2d.h"
 #include "grid/scratch.h"
 #include "grid/stencil_op.h"
+#include "obs/phase_profile.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/relax.h"
@@ -31,6 +32,9 @@ struct VCycleOptions {
   double omega = kRecurseOmega;  ///< relaxation weight (paper: 1.15)
   int direct_level = 1;          ///< recursion level solved directly (1 ⇒ N=3)
   RelaxKind relaxation = RelaxKind::kSor;  ///< smoother (paper: SOR)
+  /// Optional per-(level, phase) wall-time sink (obs/phase_profile.h);
+  /// null — the default — keeps the cycle free of clock reads.
+  obs::PhaseProfile* profile = nullptr;
 };
 
 /// One V-cycle on A·x = b (recursion down to options.direct_level).

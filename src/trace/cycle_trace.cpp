@@ -91,6 +91,22 @@ std::string render_cycle(const std::vector<Event>& events) {
   return out.str();
 }
 
+const char* to_string(Op op) {
+  switch (op) {
+    case Op::kRelax:
+      return "relax";
+    case Op::kRestrict:
+      return "restrict";
+    case Op::kInterpolate:
+      return "interpolate";
+    case Op::kDirect:
+      return "direct";
+    case Op::kIterative:
+      return "iterative";
+  }
+  return "unknown";
+}
+
 std::string summarize(const std::vector<Event>& events) {
   std::map<Op, int> counts;
   for (const Event& e : events) counts[e.op]++;
@@ -101,6 +117,18 @@ std::string summarize(const std::vector<Event>& events) {
       << " direct=" << counts[Op::kDirect]
       << " iterative=" << counts[Op::kIterative];
   return oss.str();
+}
+
+Json to_json(const std::vector<Event>& events) {
+  Json rows = Json::array();
+  for (const Event& e : events) {
+    Json row = Json::object();
+    row.set("op", std::string(to_string(e.op)));
+    row.set("level", e.level);
+    if (e.detail != 0) row.set("detail", e.detail);
+    rows.push_back(std::move(row));
+  }
+  return rows;
 }
 
 }  // namespace pbmg::trace

@@ -1,7 +1,12 @@
 #pragma once
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
+
+#include "support/error.h"
+#include "support/json.h"
 
 /// \file cycle_trace.h
 /// Event-level tracing of multigrid executions and ASCII rendering of the
@@ -22,6 +27,9 @@ enum class Op {
   kIterative,    ///< iterative (SOR) solve at `level`; detail = sweeps
 };
 
+/// Short stable identifier ("relax", "restrict", ...).
+const char* to_string(Op op);
+
 /// One trace event.  `level` is the multigrid recursion level
 /// (grid side 2^level + 1); `detail` carries op-specific data.
 struct Event {
@@ -31,21 +39,49 @@ struct Event {
 };
 
 /// Collects events during a traced execution.  Not thread-safe by design:
-/// traced runs are diagnostic, single-flow executions.
+/// traced runs are diagnostic, single-flow executions.  PBMG_ASSERTIONS
+/// builds enforce the contract: the first record() claims the tracer for
+/// its thread and a record() from any other thread throws (clear()
+/// releases the claim), so an accidentally shared tracer fails loudly in
+/// CI instead of silently corrupting its event vector.
 class CycleTracer {
  public:
   /// Appends an event.
   void record(Op op, int level, int detail = 0) {
+#if defined(PBMG_ASSERTIONS)
+    assert_single_flow();
+#endif
     events_.push_back(Event{op, level, detail});
   }
 
   /// All recorded events in order.
   const std::vector<Event>& events() const { return events_; }
 
-  /// Discards recorded events.
-  void clear() { events_.clear(); }
+  /// Discards recorded events (and releases the owner-thread claim).
+  void clear() {
+    events_.clear();
+#if defined(PBMG_ASSERTIONS)
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);
+#endif
+  }
 
  private:
+#if defined(PBMG_ASSERTIONS)
+  // PBMG_ASSERTIONS is a PUBLIC compile definition of the pbmg target, so
+  // every consumer sees the same layout for this conditional member.
+  void assert_single_flow() {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!owner_.compare_exchange_strong(expected, self,
+                                        std::memory_order_relaxed)) {
+      PBMG_CHECK(expected == self,
+                 "CycleTracer: record() from a second thread — tracers are "
+                 "single-flow diagnostics; give each flow its own tracer");
+    }
+  }
+
+  std::atomic<std::thread::id> owner_{};
+#endif
   std::vector<Event> events_;
 };
 
@@ -57,5 +93,9 @@ std::string render_cycle(const std::vector<Event>& events);
 
 /// One-line summary: counts of each op kind (useful in tests and logs).
 std::string summarize(const std::vector<Event>& events);
+
+/// JSON exposition: an array of {"op": "...", "level": L, "detail": d}
+/// rows in event order, embeddable next to obs:: metrics documents.
+Json to_json(const std::vector<Event>& events);
 
 }  // namespace pbmg::trace

@@ -43,7 +43,8 @@ grid::StencilOp TunedExecutor::op_at(int level, grid::Coarsening coarsening,
                          : grid::StencilOp::poisson(size_of_level(level));
 }
 
-const grid::StencilHierarchy* TunedExecutor::rap_for_top(int top_level) const {
+const grid::StencilHierarchy* TunedExecutor::rap_for_top(
+    int top_level, obs::PhaseProfile* profile) const {
   if (ops_rap_ != nullptr) return ops_rap_;
   if (ops_ != nullptr || !config_uses_rap_) return nullptr;
   // Bare (Poisson fast path) executor with RAP cells in its tables: own
@@ -54,6 +55,7 @@ const grid::StencilHierarchy* TunedExecutor::rap_for_top(int top_level) const {
   std::lock_guard<std::mutex> lock(poisson_rap_mutex_);
   auto& slot = poisson_rap_cache_[top_level];
   if (slot == nullptr) {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kRapSetup, top_level);
     slot = std::make_shared<const grid::StencilHierarchy>(
         grid::StencilOp::poisson(size_of_level(top_level)),
         grid::Coarsening::kRap);
@@ -65,55 +67,63 @@ void TunedExecutor::trace(trace::Op op, int level, int detail) const {
   if (tracer_ != nullptr) tracer_->record(op, level, detail);
 }
 
-void TunedExecutor::run_v(Grid2D& x, const Grid2D& b,
-                          int accuracy_index) const {
+void TunedExecutor::run_v(Grid2D& x, const Grid2D& b, int accuracy_index,
+                          obs::PhaseProfile* profile) const {
   PBMG_CHECK(x.n() == b.n(), "run_v: grid size mismatch");
   const int level = level_of_size(x.n());
-  run_v_at(x, b, level, accuracy_index, rap_for_top(level));
+  run_v_at(x, b, level, accuracy_index, rap_for_top(level, profile), profile);
 }
 
-void TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b,
-                            int accuracy_index) const {
+void TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
+                            obs::PhaseProfile* profile) const {
   PBMG_CHECK(x.n() == b.n(), "run_fmg: grid size mismatch");
   const int level = level_of_size(x.n());
-  run_fmg_at(x, b, level, accuracy_index, rap_for_top(level));
+  run_fmg_at(x, b, level, accuracy_index, rap_for_top(level, profile),
+             profile);
 }
 
 void TunedExecutor::recurse_body(Grid2D& x, const Grid2D& b,
                                  int sub_accuracy_index,
                                  solvers::RelaxKind smoother,
-                                 grid::Coarsening coarsening) const {
+                                 grid::Coarsening coarsening,
+                                 obs::PhaseProfile* profile) const {
   PBMG_CHECK(x.n() == b.n(), "recurse_body: grid size mismatch");
   const int level = level_of_size(x.n());
   recurse_body_at(x, b, level, sub_accuracy_index, smoother, coarsening,
-                  rap_for_top(level));
+                  rap_for_top(level, profile), profile);
 }
 
 void TunedExecutor::estimate(Grid2D& x, const Grid2D& b,
-                             int estimate_accuracy_index) const {
+                             int estimate_accuracy_index,
+                             obs::PhaseProfile* profile) const {
   PBMG_CHECK(x.n() == b.n(), "estimate: grid size mismatch");
   const int level = level_of_size(x.n());
-  estimate_at(x, b, level, estimate_accuracy_index, rap_for_top(level));
+  estimate_at(x, b, level, estimate_accuracy_index,
+              rap_for_top(level, profile), profile);
 }
 
 void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
                              int accuracy_index,
-                             const grid::StencilHierarchy* rap) const {
+                             const grid::StencilHierarchy* rap,
+                             obs::PhaseProfile* profile) const {
   const VEntry& entry = config_.v_entry(level, accuracy_index);
   PBMG_CHECK(entry.trained, "run_v: cell (" + std::to_string(level) + "," +
                                 std::to_string(accuracy_index) +
                                 ") was never trained");
   switch (entry.choice.kind) {
-    case VKind::kDirect:
+    case VKind::kDirect: {
+      obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level);
       direct_.solve(op_at(level, grid::Coarsening::kAverage, rap), b, x);
       trace(trace::Op::kDirect, level);
       break;
+    }
     case VKind::kIterSor: {
       const grid::StencilOp op =
           op_at(level, grid::Coarsening::kAverage, rap);
       const double omega =
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
+        obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
         solvers::sor_sweep(op, x, b, omega, sched_);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
@@ -122,7 +132,8 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
     case VKind::kRecurse:
       for (int it = 0; it < entry.choice.iterations; ++it) {
         recurse_body_at(x, b, level, entry.choice.sub_accuracy,
-                        entry.choice.smoother, entry.choice.coarsening, rap);
+                        entry.choice.smoother, entry.choice.coarsening, rap,
+                        profile);
       }
       break;
   }
@@ -132,7 +143,8 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
                                     int sub_accuracy_index,
                                     solvers::RelaxKind smoother,
                                     grid::Coarsening coarsening,
-                                    const grid::StencilHierarchy* rap) const {
+                                    const grid::StencilHierarchy* rap,
+                                    obs::PhaseProfile* profile) const {
   PBMG_CHECK(level >= 2, "recurse_body: cannot recurse below level 2");
   PBMG_CHECK(sub_accuracy_index >= kClassicalCoarse &&
                  sub_accuracy_index < config_.accuracy_count(),
@@ -146,7 +158,11 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   // (the historical path) or the exact Galerkin RAP coarse operators.
   const grid::StencilOp op = op_at(level, coarsening, rap);
   const double recurse_omega = relax_.recurse_omega;
+  const obs::Phase relax_phase = solvers::is_line_relax(smoother)
+                                     ? obs::Phase::kLineSolve
+                                     : obs::Phase::kRelax;
   const auto relax_once = [&] {
+    obs::ScopedPhaseTimer timer(profile, relax_phase, level);
     if (solvers::is_line_relax(smoother)) {
       solvers::line_relax_sweep(op, x, b, smoother, sched_, pool_);
     } else {
@@ -159,11 +175,14 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   const int n = x.n();
   auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();  // residual() writes every cell
-  grid::residual_op(op, x, b, r, sched_);
   const int nc = coarse_size(n);
   auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
-  grid::restrict_full_weighting(r, rc, sched_);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
+    grid::residual_op(op, x, b, r, sched_);
+    grid::restrict_full_weighting(r, rc, sched_);
+  }
   trace(trace::Op::kRestrict, level);
 
   auto e_lease = pool_.acquire(nc);
@@ -176,17 +195,21 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
     // cell's smoother and coarsening at every level (both travel down the
     // classical ramp just as VCycleOptions would carry them).
     if (level - 1 <= 1) {
+      obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level - 1);
       direct_.solve(op_at(level - 1, coarsening, rap), rc, e);
       trace(trace::Op::kDirect, level - 1);
     } else {
       recurse_body_at(e, rc, level - 1, kClassicalCoarse, smoother,
-                      coarsening, rap);
+                      coarsening, rap, profile);
     }
   } else {
-    run_v_at(e, rc, level - 1, sub_accuracy_index, rap);
+    run_v_at(e, rc, level - 1, sub_accuracy_index, rap, profile);
   }
 
-  grid::interpolate_add(e, x, sched_);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kInterpolate, level);
+    grid::interpolate_add(e, x, sched_);
+  }
   trace(trace::Op::kInterpolate, level);
 
   relax_once();
@@ -195,33 +218,38 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
 
 void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
                                int accuracy_index,
-                               const grid::StencilHierarchy* rap) const {
+                               const grid::StencilHierarchy* rap,
+                               obs::PhaseProfile* profile) const {
   const FmgEntry& entry = config_.fmg_entry(level, accuracy_index);
   PBMG_CHECK(entry.trained, "run_fmg: cell (" + std::to_string(level) + "," +
                                 std::to_string(accuracy_index) +
                                 ") was never trained");
   switch (entry.choice.kind) {
-    case FmgKind::kDirect:
+    case FmgKind::kDirect: {
+      obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level);
       direct_.solve(op_at(level, grid::Coarsening::kAverage, rap), b, x);
       trace(trace::Op::kDirect, level);
       break;
+    }
     case FmgKind::kEstimateThenSor: {
-      estimate_at(x, b, level, entry.choice.estimate_accuracy, rap);
+      estimate_at(x, b, level, entry.choice.estimate_accuracy, rap, profile);
       const grid::StencilOp op =
           op_at(level, grid::Coarsening::kAverage, rap);
       const double omega =
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
+        obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
         solvers::sor_sweep(op, x, b, omega, sched_);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
       break;
     }
     case FmgKind::kEstimateThenRecurse:
-      estimate_at(x, b, level, entry.choice.estimate_accuracy, rap);
+      estimate_at(x, b, level, entry.choice.estimate_accuracy, rap, profile);
       for (int it = 0; it < entry.choice.iterations; ++it) {
         recurse_body_at(x, b, level, entry.choice.solve_accuracy,
-                        entry.choice.smoother, entry.choice.coarsening, rap);
+                        entry.choice.smoother, entry.choice.coarsening, rap,
+                        profile);
       }
       break;
   }
@@ -229,7 +257,8 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
 
 void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
                                 int estimate_accuracy_index,
-                                const grid::StencilHierarchy* rap) const {
+                                const grid::StencilHierarchy* rap,
+                                obs::PhaseProfile* profile) const {
   PBMG_CHECK(level >= 2, "estimate: cannot restrict below level 2");
   // Paper §2.4 ESTIMATE_i: coarse-grid correction whose coarse solve is
   // FULL-MULTIGRID_i one level down (no relaxations of its own).  The
@@ -240,20 +269,26 @@ void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
   const int n = x.n();
   auto r_lease = pool_.acquire(n);
   Grid2D& r = r_lease.get();
-  grid::residual_op(op_at(level, grid::Coarsening::kAverage, rap), x, b, r,
-                    sched_);
   const int nc = coarse_size(n);
   auto rc_lease = pool_.acquire(nc);
   Grid2D& rc = rc_lease.get();
-  grid::restrict_full_weighting(r, rc, sched_);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
+    grid::residual_op(op_at(level, grid::Coarsening::kAverage, rap), x, b, r,
+                      sched_);
+    grid::restrict_full_weighting(r, rc, sched_);
+  }
   trace(trace::Op::kRestrict, level);
 
   auto e_lease = pool_.acquire(nc);
   Grid2D& e = e_lease.get();
   e.fill(0.0);
-  run_fmg_at(e, rc, level - 1, estimate_accuracy_index, rap);
+  run_fmg_at(e, rc, level - 1, estimate_accuracy_index, rap, profile);
 
-  grid::interpolate_add(e, x, sched_);
+  {
+    obs::ScopedPhaseTimer timer(profile, obs::Phase::kInterpolate, level);
+    grid::interpolate_add(e, x, sched_);
+  }
   trace(trace::Op::kInterpolate, level);
 }
 

@@ -7,6 +7,7 @@
 #include "grid/grid2d.h"
 #include "grid/scratch.h"
 #include "grid/stencil_op.h"
+#include "obs/phase_profile.h"
 #include "runtime/scheduler.h"
 #include "solvers/direct.h"
 #include "solvers/relax.h"
@@ -64,11 +65,16 @@ class TunedExecutor {
 
   /// Runs MULTIGRID-V at `accuracy_index` on x (ring = Dirichlet data,
   /// interior = current guess).  The level is derived from x.n(), which
-  /// must be a trained level of the config.
-  void run_v(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+  /// must be a trained level of the config.  `profile`, when non-null,
+  /// receives per-(level, phase) wall-time attribution at sweep
+  /// granularity (obs/phase_profile.h); the default null sink keeps the
+  /// solve path free of clock reads.
+  void run_v(Grid2D& x, const Grid2D& b, int accuracy_index,
+             obs::PhaseProfile* profile = nullptr) const;
 
   /// Runs FULL-MULTIGRID at `accuracy_index`; same contract as run_v.
-  void run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index) const;
+  void run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
+               obs::PhaseProfile* profile = nullptr) const;
 
   /// One application of the RECURSE_j body at x's level (exposed for the
   /// trainer, which needs to iterate it while measuring accuracy).
@@ -85,10 +91,12 @@ class TunedExecutor {
   void recurse_body(
       Grid2D& x, const Grid2D& b, int sub_accuracy_index,
       solvers::RelaxKind smoother = solvers::RelaxKind::kSor,
-      grid::Coarsening coarsening = grid::Coarsening::kAverage) const;
+      grid::Coarsening coarsening = grid::Coarsening::kAverage,
+      obs::PhaseProfile* profile = nullptr) const;
 
   /// One application of ESTIMATE_j at x's level (exposed for the trainer).
-  void estimate(Grid2D& x, const Grid2D& b, int estimate_accuracy_index) const;
+  void estimate(Grid2D& x, const Grid2D& b, int estimate_accuracy_index,
+                obs::PhaseProfile* profile = nullptr) const;
 
   const TunedConfig& config() const { return config_; }
 
@@ -97,16 +105,20 @@ class TunedExecutor {
   // at the public entry point for the invoked top level (see
   // rap_for_top), so deep RECURSE bodies never re-derive it.
   void run_v_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
-                const grid::StencilHierarchy* rap) const;
+                const grid::StencilHierarchy* rap,
+                obs::PhaseProfile* profile) const;
   void run_fmg_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
-                  const grid::StencilHierarchy* rap) const;
+                  const grid::StencilHierarchy* rap,
+                  obs::PhaseProfile* profile) const;
   void recurse_body_at(Grid2D& x, const Grid2D& b, int level,
                        int sub_accuracy_index, solvers::RelaxKind smoother,
                        grid::Coarsening coarsening,
-                       const grid::StencilHierarchy* rap) const;
+                       const grid::StencilHierarchy* rap,
+                       obs::PhaseProfile* profile) const;
   void estimate_at(Grid2D& x, const Grid2D& b, int level,
                    int estimate_accuracy_index,
-                   const grid::StencilHierarchy* rap) const;
+                   const grid::StencilHierarchy* rap,
+                   obs::PhaseProfile* profile) const;
   void trace(trace::Op op, int level, int detail = 0) const;
 
   /// Operator at `level` in the requested ladder: the averaged hierarchy
@@ -122,8 +134,10 @@ class TunedExecutor {
   /// when the config actually holds RAP cells).  An executor bound to an
   /// explicit averaged hierarchy but no RAP ladder returns null; its RAP
   /// cells then throw in op_at, because the fine operator needed to build
-  /// the ladder is the caller's, not ours to guess.
-  const grid::StencilHierarchy* rap_for_top(int top_level) const;
+  /// the ladder is the caller's, not ours to guess.  A lazy build is
+  /// attributed to `profile` as Phase::kRapSetup at `top_level`.
+  const grid::StencilHierarchy* rap_for_top(int top_level,
+                                            obs::PhaseProfile* profile) const;
 
   const TunedConfig& config_;
   rt::Scheduler& sched_;

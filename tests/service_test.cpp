@@ -5,6 +5,8 @@
 
 #include <atomic>
 #include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -12,6 +14,7 @@
 
 #include "engine/solve_service.h"
 #include "grid/level.h"
+#include "obs/phase_profile.h"
 #include "support/rng.h"
 #include "tune/accuracy.h"
 #include "tune/trainer.h"
@@ -196,6 +199,99 @@ TEST(SolveService, TrimUnderLoadFreesMemoryAndServiceRecovers) {
       x, problem.b, /*max_cycles=*/2,
       [](const Grid2D&, int it) { return it >= 2; });
   EXPECT_GT(local.scratch().pooled(), 0u);
+  // Satellite telemetry: the trim shows up in ServiceStats (count + bytes)
+  // and the sampled pool/scheduler gauges ride along.
+  const auto stats = service.stats();
+  EXPECT_EQ(stats.trims, 1);
+  EXPECT_GT(stats.trim_bytes, 0);
+  EXPECT_GT(stats.scratch_hit_rate, 0.0);
+  EXPECT_LE(stats.scratch_hit_rate, 1.0);
+  EXPECT_GE(stats.scheduler_steals, 0);
+}
+
+TEST(SolveService, MetricsSnapshotCountsEveryRequestPerSizeAndAccuracy) {
+  Engine local([] {
+    rt::MachineProfile p;
+    p.name = "service-metrics";
+    p.threads = 2;
+    p.grain_rows = 4;
+    return p;
+  }());
+  SolveService service(local, trained());
+  Rng rng(44);
+  const int solves_small = 3;
+  const int solves_big = 2;
+  const auto drive = [&](int level, int count, int acc) {
+    const int n = size_of_level(level);
+    auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+    SolveRequest request;
+    request.accuracy_index = acc;
+    for (int i = 0; i < count; ++i) {
+      Grid2D x(n, 0.0);
+      x.copy_from(problem.x0);
+      service.solve(x, problem.b, request);
+    }
+  };
+  drive(3, solves_small, 0);
+  drive(4, solves_big, 1);
+
+  const obs::RegistrySnapshot snapshot = service.metrics_snapshot();
+  EXPECT_EQ(snapshot.counters.at("pbmg_solve_requests_total"),
+            solves_small + solves_big);
+  EXPECT_EQ(snapshot.counters.at("pbmg_solve_failures_total"), 0);
+  const std::string small_series =
+      "pbmg_solve_latency_seconds{n=\"" + std::to_string(size_of_level(3)) +
+      "\",acc=\"0\"}";
+  const std::string big_series =
+      "pbmg_solve_latency_seconds{n=\"" + std::to_string(size_of_level(4)) +
+      "\",acc=\"1\"}";
+  ASSERT_TRUE(snapshot.histograms.count(small_series));
+  ASSERT_TRUE(snapshot.histograms.count(big_series));
+  EXPECT_EQ(snapshot.histograms.at(small_series).count, solves_small);
+  EXPECT_EQ(snapshot.histograms.at(big_series).count, solves_big);
+  EXPECT_GT(snapshot.histograms.at(small_series).sum, 0.0);
+  // Engine gauges are published into the same registry on snapshot.
+  EXPECT_EQ(snapshot.gauges.at("pbmg_service_sessions"), 2.0);
+  EXPECT_GT(snapshot.gauges.at("pbmg_service_busy_seconds"), 0.0);
+  ASSERT_TRUE(snapshot.gauges.count("pbmg_scratch_hit_rate"));
+  ASSERT_TRUE(snapshot.gauges.count("pbmg_scheduler_steals"));
+
+  // A rejected request lands in the failure counter, not the histograms.
+  Grid2D x(size_of_level(3), 0.0), b(size_of_level(3), 0.0);
+  SolveRequest bad;
+  bad.accuracy_index = trained().accuracy_count() + 3;
+  EXPECT_THROW(service.solve(x, b, bad), Error);
+  EXPECT_EQ(service.metrics_snapshot().counters.at("pbmg_solve_failures_total"),
+            1);
+}
+
+TEST(SolveService, RequestProfileAttachesPhaseBreakdownToStats) {
+  SolveService service(engine(), trained());
+  const int n = size_of_level(4);
+  Rng rng(77);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  Grid2D x(n, 0.0);
+  x.copy_from(problem.x0);
+
+  // Default request: profiling off, no phases attached.
+  SolveRequest plain;
+  plain.accuracy_index = trained().accuracy_count() - 1;
+  EXPECT_EQ(service.solve(x, problem.b, plain).phases, nullptr);
+
+  // Profiled request: the same shared profile comes back through stats and
+  // accumulates across requests.
+  SolveRequest profiled = plain;
+  profiled.profile = std::make_shared<obs::PhaseProfile>();
+  x.copy_from(problem.x0);
+  const SolveStats first = service.solve(x, problem.b, profiled);
+  ASSERT_NE(first.phases, nullptr);
+  EXPECT_EQ(first.phases.get(), profiled.profile.get());
+  const double after_one = first.phases->total_seconds();
+  EXPECT_GT(after_one, 0.0);
+  x.copy_from(problem.x0);
+  service.solve(x, problem.b, profiled);
+  EXPECT_GT(profiled.profile->total_seconds(), after_one);
+  EXPECT_FALSE(profiled.profile->entries().empty());
 }
 
 }  // namespace

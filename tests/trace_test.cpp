@@ -3,6 +3,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "support/error.h"
 #include "trace/cycle_trace.h"
 
 namespace pbmg::trace {
@@ -71,6 +76,52 @@ TEST(Render, ColumnsAdvanceMonotonically) {
   const auto first = row.find('*');
   ASSERT_NE(first, std::string::npos);
   EXPECT_NE(row.find('*', first + 1), std::string::npos);
+}
+
+#if defined(PBMG_ASSERTIONS)
+TEST(CycleTracer, SecondThreadRecordThrowsUnderAssertions) {
+  CycleTracer tracer;
+  tracer.record(Op::kRelax, 3);  // claims the tracer for this thread
+  bool threw = false;
+  std::thread other([&tracer, &threw] {
+    try {
+      tracer.record(Op::kRelax, 3);
+    } catch (const InvalidArgument&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  // clear() releases the claim: a different thread may then record.
+  tracer.clear();
+  std::thread fresh([&tracer] { tracer.record(Op::kDirect, 1); });
+  fresh.join();
+  EXPECT_EQ(tracer.events().size(), 1u);
+}
+#endif
+
+TEST(ToString, NamesEveryOp) {
+  EXPECT_STREQ(to_string(Op::kRelax), "relax");
+  EXPECT_STREQ(to_string(Op::kRestrict), "restrict");
+  EXPECT_STREQ(to_string(Op::kInterpolate), "interpolate");
+  EXPECT_STREQ(to_string(Op::kDirect), "direct");
+  EXPECT_STREQ(to_string(Op::kIterative), "iterative");
+}
+
+TEST(ToJson, EmitsEventRowsInOrder) {
+  std::vector<Event> events{
+      {Op::kRelax, 5, 0}, {Op::kRestrict, 5, 0}, {Op::kIterative, 4, 9},
+  };
+  const std::string json = to_json(events).dump();
+  EXPECT_NE(json.find("\"op\":\"relax\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"restrict\""), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"iterative\""), std::string::npos);
+  EXPECT_NE(json.find("\"detail\":9"), std::string::npos);
+  // Zero details are elided.
+  EXPECT_EQ(json.find("\"detail\":0"), std::string::npos);
+  // Relax (first event) precedes iterative (last).
+  EXPECT_LT(json.find("relax"), json.find("iterative"));
+  EXPECT_EQ(to_json({}).dump(), "[]");
 }
 
 TEST(Summarize, CountsAllOps) {
