@@ -52,6 +52,13 @@ SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
       warm.push_back(engine_.scratch().acquire(side));
     }
   }  // leases release here, stocking the free-list
+  // Sessions whose engine tuned the packed kernel layout pack every level
+  // here, once, for the same reason the coefficient ladders coarsen here:
+  // no solve ever pays the O(n²) pack on its timed path.
+  if (engine_.relax().kernels.layout == grid::StencilLayout::kPacked) {
+    ops_.prewarm_packed();
+    if (ops_rap_.top_level() >= 1) ops_rap_.prewarm_packed();
+  }
 }
 
 SolveStats SolveSession::stats_for(double seconds, int accuracy_index,

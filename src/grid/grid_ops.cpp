@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "grid/level.h"
+#include "grid/packed_kernels.h"
 
 namespace pbmg::grid {
 
@@ -161,12 +162,16 @@ void stencil_loop9(const StencilOp& op, const Grid2D& x, const Grid2D* b,
 }  // namespace
 
 void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
-              rt::Scheduler& sched) {
+              rt::Scheduler& sched, const KernelPolicy& kernels) {
   check_valid(x, "apply_op");
   check_same_size(x, out, "apply_op");
   PBMG_CHECK(op.n() == x.n(), "apply_op: operator/grid size mismatch");
   if (op.is_poisson()) {
     apply_poisson(x, out, sched);
+    return;
+  }
+  if (kernels.layout == StencilLayout::kPacked) {
+    packed_apply(op, x, out, sched, kernels.simd_width);
     return;
   }
   if (op.is_nine_point()) {
@@ -177,13 +182,18 @@ void apply_op(const StencilOp& op, const Grid2D& x, Grid2D& out,
 }
 
 void residual_op(const StencilOp& op, const Grid2D& x, const Grid2D& b,
-                 Grid2D& r, rt::Scheduler& sched) {
+                 Grid2D& r, rt::Scheduler& sched,
+                 const KernelPolicy& kernels) {
   check_valid(x, "residual_op");
   check_same_size(x, b, "residual_op");
   check_same_size(x, r, "residual_op");
   PBMG_CHECK(op.n() == x.n(), "residual_op: operator/grid size mismatch");
   if (op.is_poisson()) {
     residual(x, b, r, sched);
+    return;
+  }
+  if (kernels.layout == StencilLayout::kPacked) {
+    packed_residual(op, x, b, r, sched, kernels.simd_width);
     return;
   }
   if (op.is_nine_point()) {

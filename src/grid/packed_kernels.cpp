@@ -1,0 +1,401 @@
+#include "grid/packed_kernels.h"
+
+#include <algorithm>
+
+#include "grid/level.h"
+#include "grid/packed_rows.h"
+#include "grid/packed_stencil.h"
+
+// This TU is compiled with baseline flags only — all ISA-specific code
+// lives behind the explicit template instantiations in the per-width TUs
+// (packed_kernels_w*.cpp), which this file reaches through the
+// declarations in packed_rows.h.  Keep it that way: adding -mavx2 here
+// would let the compiler leak AVX2 into code that runs on any CPU.
+
+namespace pbmg::grid {
+
+namespace {
+
+void zero_boundary(Grid2D& g) {
+  const int n = g.n();
+  for (int j = 0; j < n; ++j) {
+    g(0, j) = 0.0;
+    g(n - 1, j) = 0.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    g(i, 0) = 0.0;
+    g(i, n - 1) = 0.0;
+  }
+}
+
+pk::View5 view5(const PackedStencil& p, int i) {
+  return {p.stream(i, PackedStencil::kAw), p.stream(i, PackedStencil::kAe),
+          p.stream(i, PackedStencil::kAn), p.stream(i, PackedStencil::kAs),
+          p.stream(i, PackedStencil::kDiag5)};
+}
+
+pk::View9 view9(const PackedStencil& p, int i) {
+  return {p.stream(i, PackedStencil::kAw), p.stream(i, PackedStencil::kAe),
+          p.stream(i, PackedStencil::kAn), p.stream(i, PackedStencil::kAs),
+          p.stream(i, PackedStencil::kNw), p.stream(i, PackedStencil::kNe),
+          p.stream(i, PackedStencil::kSw), p.stream(i, PackedStencil::kSe),
+          p.stream(i, PackedStencil::kCtr)};
+}
+
+/// Line-group geometry for one zebra parity: lines first, first+2, …,
+/// n−2 split into ceil(count / w) groups of up to w lanes.
+struct LineGroups {
+  int first = 0;
+  int count = 0;
+  int groups = 0;
+};
+
+LineGroups line_groups(int n, int parity, int w) {
+  LineGroups g;
+  g.first = parity == 1 ? 1 : 2;
+  g.count = g.first <= n - 2 ? (n - 2 - g.first) / 2 + 1 : 0;
+  g.groups = (g.count + w - 1) / w;
+  return g;
+}
+
+/// The Thomas workspaces lease one n×n grid each and hand group g the w
+/// consecutive rows starting at row g·w (cp/dp entry [k·W + lane]).  The
+/// highest row touched is groups·w − 1 <= count + w − 2 <= (n−1)/2 + w − 2,
+/// which fits inside the n rows for w = 4 whenever n >= 5 and for w = 2
+/// even at n = 3, so the line sweeps clamp w to 2 on the 3×3 coarsest
+/// grid.
+int clamp_line_width(int w, int n) {
+  return n < 5 ? std::min(w, 2) : w;
+}
+
+}  // namespace
+
+int packed_simd_width_supported() {
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+  return __builtin_cpu_supports("avx2") ? 4 : 2;
+#elif defined(__aarch64__)
+  // The 4-lane kernels compile to plain NEON register pairs (baseline on
+  // aarch64), so the widest request is always safe here.
+  return 4;
+#else
+  return 1;
+#endif
+}
+
+int clamp_simd_width(int width) {
+  PBMG_CHECK(width == 1 || width == 2 || width == 4,
+             "clamp_simd_width: width must be 1, 2 or 4");
+  const int supported = packed_simd_width_supported();
+  int w = width;
+  while (w > supported) w /= 2;
+  return w < 1 ? 1 : w;
+}
+
+namespace {
+
+void check_packed_operands(const StencilOp& op, const Grid2D& x,
+                           const char* what) {
+  PBMG_CHECK(!op.is_poisson(),
+             std::string(what) + ": Poisson fast path has no packed form");
+  PBMG_CHECK(is_valid_grid_size(x.n()),
+             std::string(what) + ": grid size must be 2^k+1");
+  PBMG_CHECK(op.n() == x.n(),
+             std::string(what) + ": operator/grid size mismatch");
+}
+
+void packed_stencil_sweep(const StencilOp& op, const Grid2D& x,
+                          const Grid2D* b, Grid2D& out, rt::Scheduler& sched,
+                          int simd_width) {
+  const PackedStencil& p = op.packed();
+  const int n = x.n();
+  const double inv_h2 = static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  const double c = op.c();
+  const int w = clamp_simd_width(simd_width);
+  const bool nine = p.nine_point();
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const double* rhs = b != nullptr ? b->row(i) : nullptr;
+          double* o = out.row(i);
+          if (nine) {
+            const pk::View9 v = view9(p, i);
+            switch (w) {
+              case 4: pk::stencil_row9<4>(v, up, mid, down, rhs, o, inv_h2,
+                                          c, n); break;
+              case 2: pk::stencil_row9<2>(v, up, mid, down, rhs, o, inv_h2,
+                                          c, n); break;
+              default: pk::stencil_row9<1>(v, up, mid, down, rhs, o, inv_h2,
+                                           c, n); break;
+            }
+          } else {
+            const pk::View5 v = view5(p, i);
+            switch (w) {
+              case 4: pk::stencil_row5<4>(v, up, mid, down, rhs, o, inv_h2,
+                                          c, n); break;
+              case 2: pk::stencil_row5<2>(v, up, mid, down, rhs, o, inv_h2,
+                                          c, n); break;
+              default: pk::stencil_row5<1>(v, up, mid, down, rhs, o, inv_h2,
+                                           c, n); break;
+            }
+          }
+        }
+      });
+  zero_boundary(out);
+}
+
+}  // namespace
+
+void packed_apply(const StencilOp& op, const Grid2D& x, Grid2D& out,
+                  rt::Scheduler& sched, int simd_width) {
+  check_packed_operands(op, x, "packed_apply");
+  PBMG_CHECK(x.n() == out.n(), "packed_apply: grid size mismatch");
+  packed_stencil_sweep(op, x, nullptr, out, sched, simd_width);
+}
+
+void packed_residual(const StencilOp& op, const Grid2D& x, const Grid2D& b,
+                     Grid2D& r, rt::Scheduler& sched, int simd_width) {
+  check_packed_operands(op, x, "packed_residual");
+  PBMG_CHECK(x.n() == b.n() && x.n() == r.n(),
+             "packed_residual: grid size mismatch");
+  packed_stencil_sweep(op, x, &b, r, sched, simd_width);
+}
+
+void packed_sor_sweep(const StencilOp& op, Grid2D& x, const Grid2D& b,
+                      double omega, rt::Scheduler& sched, int simd_width) {
+  check_packed_operands(op, x, "packed_sor_sweep");
+  PBMG_CHECK(x.n() == b.n(), "packed_sor_sweep: grid size mismatch");
+  const PackedStencil& p = op.packed();
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  const int w = clamp_simd_width(simd_width);
+  if (p.nine_point()) {
+    // Four colours, like the legacy 9-point sweep: corner neighbours of a
+    // (i mod 2, j mod 2) class are all in other classes, so same-colour
+    // points are independent and safe to vectorize across.
+    for (int color = 0; color < 4; ++color) {
+      const int pi = color >> 1;
+      const int pj = color & 1;
+      sched.parallel_for(
+          1, n - 1, sched.grain_for(n - 2, n - 2),
+          [&, pi, pj](std::int64_t ib, std::int64_t ie) {
+            for (int i = static_cast<int>(ib); i < static_cast<int>(ie);
+                 ++i) {
+              if ((i & 1) != pi) continue;
+              const pk::View9 v = view9(p, i);
+              const double* up = x.row(i - 1);
+              double* mid = x.row(i);
+              const double* down = x.row(i + 1);
+              const double* rhs = b.row(i);
+              const int j0 = 1 + ((1 + pj) & 1);
+              switch (w) {
+                case 4: pk::sor_row9<4>(v, up, mid, down, rhs, h2, ch2,
+                                        omega, keep, j0, n); break;
+                case 2: pk::sor_row9<2>(v, up, mid, down, rhs, h2, ch2,
+                                        omega, keep, j0, n); break;
+                default: pk::sor_row9<1>(v, up, mid, down, rhs, h2, ch2,
+                                         omega, keep, j0, n); break;
+              }
+            }
+          });
+    }
+    return;
+  }
+  for (int parity = 0; parity <= 1; ++parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            const pk::View5 v = view5(p, i);
+            const double* up = x.row(i - 1);
+            double* mid = x.row(i);
+            const double* down = x.row(i + 1);
+            const double* rhs = b.row(i);
+            const int j0 = 1 + ((i + 1 + parity) & 1);
+            switch (w) {
+              case 4: pk::sor_row5<4>(v, up, mid, down, rhs, h2, ch2, omega,
+                                      keep, j0, n); break;
+              case 2: pk::sor_row5<2>(v, up, mid, down, rhs, h2, ch2, omega,
+                                      keep, j0, n); break;
+              default: pk::sor_row5<1>(v, up, mid, down, rhs, h2, ch2,
+                                       omega, keep, j0, n); break;
+            }
+          }
+        });
+  }
+}
+
+void packed_jacobi_sweep(const StencilOp& op, Grid2D& x, const Grid2D& b,
+                         double omega, Grid2D& scratch, rt::Scheduler& sched,
+                         int simd_width) {
+  check_packed_operands(op, x, "packed_jacobi_sweep");
+  PBMG_CHECK(x.n() == b.n() && x.n() == scratch.n(),
+             "packed_jacobi_sweep: grid size mismatch");
+  const PackedStencil& p = op.packed();
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  const int w = clamp_simd_width(simd_width);
+  const bool nine = p.nine_point();
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          const double* up = x.row(i - 1);
+          const double* mid = x.row(i);
+          const double* down = x.row(i + 1);
+          const double* rhs = b.row(i);
+          double* out = scratch.row(i);
+          if (nine) {
+            const pk::View9 v = view9(p, i);
+            switch (w) {
+              case 4: pk::jacobi_row9<4>(v, up, mid, down, rhs, out, h2,
+                                         ch2, omega, keep, n); break;
+              case 2: pk::jacobi_row9<2>(v, up, mid, down, rhs, out, h2,
+                                         ch2, omega, keep, n); break;
+              default: pk::jacobi_row9<1>(v, up, mid, down, rhs, out, h2,
+                                          ch2, omega, keep, n); break;
+            }
+          } else {
+            const pk::View5 v = view5(p, i);
+            switch (w) {
+              case 4: pk::jacobi_row5<4>(v, up, mid, down, rhs, out, h2,
+                                         ch2, omega, keep, n); break;
+              case 2: pk::jacobi_row5<2>(v, up, mid, down, rhs, out, h2,
+                                         ch2, omega, keep, n); break;
+              default: pk::jacobi_row5<1>(v, up, mid, down, rhs, out, h2,
+                                          ch2, omega, keep, n); break;
+            }
+          }
+        }
+      });
+  scratch.copy_boundary_from(x);
+  x.swap(scratch);
+}
+
+void packed_line_x(const StencilOp& op, Grid2D& x, const Grid2D& b,
+                   rt::Scheduler& sched, ScratchPool& pool, int simd_width) {
+  check_packed_operands(op, x, "packed_line_x");
+  PBMG_CHECK(x.n() == b.n(), "packed_line_x: grid size mismatch");
+  const PackedStencil& p = op.packed();
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const int w = clamp_line_width(clamp_simd_width(simd_width), n);
+  const long pstride = 2 * p.row_stride();  // lane l: streams of row i0+2l
+  const long gstride = 2 * static_cast<long>(n);  // lane l: grid row i0+2l
+  const bool nine = p.nine_point();
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    const LineGroups lg = line_groups(n, parity, w);
+    if (lg.groups == 0) continue;
+    sched.parallel_for(
+        0, lg.groups,
+        sched.grain_for(lg.groups, static_cast<std::int64_t>(w) * (n - 2)),
+        [&](std::int64_t gb, std::int64_t ge) {
+          for (int g = static_cast<int>(gb); g < static_cast<int>(ge); ++g) {
+            const int i0 = lg.first + 2 * g * w;
+            const int lanes = std::min(w, lg.count - g * w);
+            double* cp = cpg.row(g * w);
+            double* dp = dpg.row(g * w);
+            const double* up = x.row(i0 - 1);
+            double* mid = x.row(i0);
+            const double* down = x.row(i0 + 1);
+            const double* rhs = b.row(i0);
+            if (nine) {
+              const pk::View9 v = view9(p, i0);
+              switch (w) {
+                case 4: pk::x_lines9<4>(v, pstride, up, mid, down, rhs,
+                                        gstride, lanes, cp, dp, h2, ch2, n);
+                        break;
+                case 2: pk::x_lines9<2>(v, pstride, up, mid, down, rhs,
+                                        gstride, lanes, cp, dp, h2, ch2, n);
+                        break;
+                default: pk::x_lines9<1>(v, pstride, up, mid, down, rhs,
+                                         gstride, lanes, cp, dp, h2, ch2, n);
+                         break;
+              }
+            } else {
+              const pk::View5 v = view5(p, i0);
+              switch (w) {
+                case 4: pk::x_lines5<4>(v, pstride, up, mid, down, rhs,
+                                        gstride, lanes, cp, dp, h2, ch2, n);
+                        break;
+                case 2: pk::x_lines5<2>(v, pstride, up, mid, down, rhs,
+                                        gstride, lanes, cp, dp, h2, ch2, n);
+                        break;
+                default: pk::x_lines5<1>(v, pstride, up, mid, down, rhs,
+                                         gstride, lanes, cp, dp, h2, ch2, n);
+                         break;
+              }
+            }
+          }
+        });
+  }
+}
+
+void packed_line_y(const StencilOp& op, Grid2D& x, const Grid2D& b,
+                   rt::Scheduler& sched, ScratchPool& pool, int simd_width) {
+  check_packed_operands(op, x, "packed_line_y");
+  PBMG_CHECK(x.n() == b.n(), "packed_line_y: grid size mismatch");
+  const PackedStencil& p = op.packed();
+  const int n = x.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const int w = clamp_line_width(clamp_simd_width(simd_width), n);
+  const bool nine = p.nine_point();
+  double* xb = x.row(0);
+  const double* bb = b.row(0);
+  const double* pbase = p.base();
+  const long prow = p.row_stride();
+  const long ppad = p.padded();
+  auto cp_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    const LineGroups lg = line_groups(n, parity, w);
+    if (lg.groups == 0) continue;
+    sched.parallel_for(
+        0, lg.groups,
+        sched.grain_for(lg.groups, static_cast<std::int64_t>(w) * (n - 2)),
+        [&](std::int64_t gb, std::int64_t ge) {
+          for (int g = static_cast<int>(gb); g < static_cast<int>(ge); ++g) {
+            const int j0 = lg.first + 2 * g * w;
+            const int lanes = std::min(w, lg.count - g * w);
+            double* cp = cpg.row(g * w);
+            double* dp = dpg.row(g * w);
+            if (nine) {
+              switch (w) {
+                case 4: pk::y_lines9<4>(xb, bb, pbase, prow, ppad, j0, lanes,
+                                        cp, dp, h2, ch2, n); break;
+                case 2: pk::y_lines9<2>(xb, bb, pbase, prow, ppad, j0, lanes,
+                                        cp, dp, h2, ch2, n); break;
+                default: pk::y_lines9<1>(xb, bb, pbase, prow, ppad, j0,
+                                         lanes, cp, dp, h2, ch2, n); break;
+              }
+            } else {
+              switch (w) {
+                case 4: pk::y_lines5<4>(xb, bb, pbase, prow, ppad, j0, lanes,
+                                        cp, dp, h2, ch2, n); break;
+                case 2: pk::y_lines5<2>(xb, bb, pbase, prow, ppad, j0, lanes,
+                                        cp, dp, h2, ch2, n); break;
+                default: pk::y_lines5<1>(xb, bb, pbase, prow, ppad, j0,
+                                         lanes, cp, dp, h2, ch2, n); break;
+              }
+            }
+          }
+        });
+  }
+}
+
+}  // namespace pbmg::grid

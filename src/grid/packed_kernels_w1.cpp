@@ -1,0 +1,5 @@
+// Scalar (W = 1) instantiation of the packed row kernels — the
+// always-available fallback every wider width must match bitwise.
+#include "grid/packed_kernels_body.h"
+
+PBMG_INSTANTIATE_PACKED_KERNELS(1)

@@ -1,0 +1,6 @@
+// 2-lane instantiation of the packed row kernels: SSE2 on x86-64
+// (baseline, no extra flags) or NEON on aarch64; generic lane array
+// elsewhere.
+#include "grid/packed_kernels_body.h"
+
+PBMG_INSTANTIATE_PACKED_KERNELS(2)

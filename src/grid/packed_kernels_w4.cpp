@@ -1,0 +1,9 @@
+// 4-lane instantiation of the packed row kernels.  On x86-64 this TU —
+// and only this TU — is compiled with -mavx2 (see CMakeLists.txt), which
+// turns on the AVX2 Vec<4> specialization in simd.h; the dispatcher
+// never calls into it unless __builtin_cpu_supports("avx2") at runtime.
+// On other targets the generic 4-lane struct compiles to baseline code
+// (e.g. NEON register pairs on aarch64), so width 4 is safe everywhere.
+#include "grid/packed_kernels_body.h"
+
+PBMG_INSTANTIATE_PACKED_KERNELS(4)

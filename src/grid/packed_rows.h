@@ -1,0 +1,118 @@
+#pragma once
+
+/// \file packed_rows.h
+/// Width-templated flat row kernels over a PackedStencil row block.
+///
+/// Everything here works on raw `double*` streams — no Grid2D, no
+/// scheduler, no StencilOp — so the per-width translation units
+/// (packed_kernels_w1/w2/w4.cpp) that define these templates can be
+/// compiled with different ISA flags without any shared inline code
+/// crossing TU boundaries (packed_kernels_w4.cpp is built with -mavx2 on
+/// x86; mixing ISAs in merged inline functions would be an ODR bug).
+/// Only declarations live here; packed_kernels_body.h holds the
+/// definitions and each width TU explicitly instantiates one W, so the
+/// dispatching TU (packed_kernels.cpp, compiled with baseline flags)
+/// links against exactly one copy per width.
+///
+/// Parity contract: every kernel reproduces the corresponding legacy
+/// loop's floating-point expression tree verbatim (same association,
+/// same negations), so for any W the results are bitwise identical to
+/// the scalar legacy sweep.  See simd.h for why that holds per lane.
+
+namespace pbmg::grid::pk {
+
+/// One interior row of 5-point streams, pre-shifted so entry [j] is what
+/// column j's update reads (PackedStencil::Stream order).
+struct View5 {
+  const double* aw;
+  const double* ae;
+  const double* an;
+  const double* as;
+  const double* diag;  ///< ((aW+aE)+aN)+aS, precomputed at pack time
+};
+
+/// One interior row of 9-point streams.
+struct View9 {
+  const double* aw;
+  const double* ae;
+  const double* an;
+  const double* as;
+  const double* nw;
+  const double* ne;
+  const double* sw;
+  const double* se;
+  const double* ctr;
+};
+
+/// Residual/apply over one interior row: out[j] = A·x (rhs == nullptr)
+/// or rhs[j] − A·x (residual).  Unit-stride W-wide inner loop + scalar
+/// tail; j runs over [1, n−2].
+template <int W>
+void stencil_row5(const View5& s, const double* up, const double* mid,
+                  const double* down, const double* rhs, double* out,
+                  double inv_h2, double c, int n);
+
+template <int W>
+void stencil_row9(const View9& s, const double* up, const double* mid,
+                  const double* down, const double* rhs, double* out,
+                  double inv_h2, double c, int n);
+
+/// One coloured Gauss–Seidel/SOR pass over a row: updates mid[j] in
+/// place for j = j0, j0+2, … (the row's active colour), vectorized
+/// across same-colour points with stride-2 gathers and per-lane scalar
+/// stores (no writes to the untouched colour).
+template <int W>
+void sor_row5(const View5& s, const double* up, double* mid,
+              const double* down, const double* rhs, double h2, double ch2,
+              double omega, double keep, int j0, int n);
+
+template <int W>
+void sor_row9(const View9& s, const double* up, double* mid,
+              const double* down, const double* rhs, double h2, double ch2,
+              double omega, double keep, int j0, int n);
+
+/// Weighted-Jacobi row: like SOR but out-of-place (reads mid, writes
+/// out) and over every interior column, so loads are unit-stride.
+template <int W>
+void jacobi_row5(const View5& s, const double* up, const double* mid,
+                 const double* down, const double* rhs, double* out,
+                 double h2, double ch2, double omega, double keep, int n);
+
+template <int W>
+void jacobi_row9(const View9& s, const double* up, const double* mid,
+                 const double* down, const double* rhs, double* out,
+                 double h2, double ch2, double omega, double keep, int n);
+
+/// Batched Thomas solve of W same-parity x-lines (grid rows).  Lane l
+/// works on grid row i0 + 2l: its streams sit at `s.* + l*pstride`
+/// (pstride = 2·PackedStencil::row_stride()) and its grid rows at
+/// `{up,mid,rhs,down} + l*gstride` (gstride = 2n).  `lanes` ≤ W active
+/// lanes; inactive tail lanes duplicate the last active line's loads and
+/// are never stored.  cp/dp are W-interleaved scratch (entry [k·W+l]),
+/// each at least (n−1)·W doubles.
+template <int W>
+void x_lines5(const View5& s, long pstride, const double* up, double* mid,
+              const double* down, const double* rhs, long gstride, int lanes,
+              double* cp, double* dp, double h2, double ch2, int n);
+
+template <int W>
+void x_lines9(const View9& s, long pstride, const double* up, double* mid,
+              const double* down, const double* rhs, long gstride, int lanes,
+              double* cp, double* dp, double h2, double ch2, int n);
+
+/// Batched Thomas solve of W same-parity y-lines (grid columns).  Lane l
+/// works on column j0 + 2l of the n×n grids xb (solution, updated in
+/// place) and bb (rhs).  Packed streams are addressed from the block
+/// base: stream `s` of grid row i is `pbase + (i−1)·prow + s·ppad`
+/// (stream slots follow PackedStencil::Stream).
+template <int W>
+void y_lines5(double* xb, const double* bb, const double* pbase, long prow,
+              long ppad, int j0, int lanes, double* cp, double* dp,
+              double h2, double ch2, int n);
+
+template <int W>
+void y_lines9(double* xb, const double* bb, const double* pbase, long prow,
+              long ppad, int j0, int lanes, double* cp, double* dp,
+              double h2, double ch2, int n);
+
+}  // namespace pbmg::grid::pk

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+
+/// \file packed_stencil.h
+/// Interleaved SoA-block layout of a StencilOp's coefficients — the
+/// "packed" side of the grid::StencilLayout choice dimension.
+///
+/// The legacy layout stores a 9-point level as five separate n×n grids
+/// (ax/ay/ase/asw/center); a sweep over row i then streams eight
+/// coefficient rows from five distinct allocations, several of them read
+/// at offsets j−1/j+1.  The packed layout regroups everything a row sweep
+/// needs into one contiguous block per interior row:
+///
+///     row 1:  [ aW | aE | aN | aS | … ]        one stream per coupling,
+///     row 2:  [ aW | aE | aN | aS | … ]        each padded to a 64-byte
+///       ⋮                                      multiple and indexed by j
+///
+/// Every stream is pre-shifted so entry [j] is the coefficient the update
+/// of column j reads (aW[j] = ax(i,j−1), aN[j] = ay(i−1,j), …): the inner
+/// loop becomes W-wide unit-stride loads with no cross-grid pointer
+/// chasing, which is what the SIMD kernels in packed_kernels.h vectorize
+/// over.  A 5-point operator packs five streams (the sum diagonal
+/// ((aW+aE)+aN)+aS is precomputed — exactly the accumulation order the
+/// legacy kernels use, so results stay bitwise identical); a 9-point
+/// operator packs nine.
+///
+/// Packing is a one-time cost per level: StencilOp caches the packed form
+/// next to its coefficient grids (copies share it) and
+/// StencilHierarchy::prewarm_packed() / SolveSession build it ahead of
+/// any timed sweep.
+namespace pbmg::grid {
+
+class StencilOp;
+
+/// The packed coefficients of one operator.  Move-only value; built by
+/// pack() and normally owned by the StencilOp's shared cache slot.
+class PackedStencil {
+ public:
+  /// Stream indices within a row block.  Both layouts share the four edge
+  /// streams; slot 4 is the precomputed diagonal for 5-point operators
+  /// and the first corner stream for 9-point ones.
+  enum Stream : int {
+    kAw = 0,    ///< aW[j] = ax(i, j−1)
+    kAe = 1,    ///< aE[j] = ax(i, j)
+    kAn = 2,    ///< aN[j] = ay(i−1, j)
+    kAs = 3,    ///< aS[j] = ay(i, j)
+    kDiag5 = 4, ///< 5-point only: ((aW+aE)+aN)+aS
+    kNw = 4,    ///< 9-point only: aNW[j] = ase(i−1, j−1)
+    kNe = 5,    ///< 9-point only: aNE[j] = asw(i−1, j+1)
+    kSw = 6,    ///< 9-point only: aSW[j] = asw(i, j)
+    kSe = 7,    ///< 9-point only: aSE[j] = ase(i, j)
+    kCtr = 8,   ///< 9-point only: explicit centre coefficient
+  };
+
+  /// Empty; assign from pack().
+  PackedStencil() = default;
+
+  /// Packs `op`'s coefficients.  Requires !op.is_poisson() — the fast
+  /// path stores no grids (callers dispatch Poisson to the legacy
+  /// kernels, which need no coefficients at all).
+  static PackedStencil pack(const StencilOp& op);
+
+  int n() const { return n_; }
+  bool nine_point() const { return streams_ == 9; }
+  int stream_count() const { return streams_; }
+
+  /// Doubles per stream: n rounded up to a multiple of 8 (64 bytes), so
+  /// every stream starts 64-byte aligned.  Entries outside [1, n−2] are
+  /// zero.
+  long padded() const { return padded_; }
+
+  /// Doubles between the blocks of consecutive interior rows
+  /// (= stream_count() · padded()).
+  long row_stride() const { return row_stride_; }
+
+  /// Stream `s` of interior grid row i (i in [1, n−2]); entry [j] is the
+  /// coefficient column j's update reads, valid for j in [1, n−2].
+  const double* stream(int i, int s) const {
+    return data_.get() + static_cast<long>(i - 1) * row_stride_ +
+           static_cast<long>(s) * padded_;
+  }
+
+  /// Block base (row 1, stream 0) for kernels that stride manually.
+  const double* base() const { return data_.get(); }
+
+ private:
+  struct FreeDeleter {
+    void operator()(double* p) const { std::free(p); }
+  };
+
+  double* mutable_stream(int i, int s) {
+    return data_.get() + static_cast<long>(i - 1) * row_stride_ +
+           static_cast<long>(s) * padded_;
+  }
+
+  int n_ = 0;
+  int streams_ = 0;
+  long padded_ = 0;
+  long row_stride_ = 0;
+  std::unique_ptr<double[], FreeDeleter> data_;
+};
+
+}  // namespace pbmg::grid

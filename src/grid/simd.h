@@ -1,0 +1,186 @@
+#pragma once
+
+/// \file simd.h
+/// Minimal portable SIMD vector over W doubles (W = 1, 2, 4) for the
+/// packed stencil kernels.
+///
+/// Only lane-wise +, −, ×, ÷ and a sign-flip negation are provided — all
+/// of them correctly rounded per IEEE-754, so a W-lane operation is
+/// bitwise identical to W scalar operations on the same inputs.  That is
+/// the whole parity story: as long as the *order* of operations per lane
+/// matches the scalar kernel (and FMA contraction is disabled — the build
+/// compiles with -ffp-contract=off, and this wrapper never emits fused
+/// ops), every vector width produces the same bits as the scalar
+/// fallback, preserving the deterministic-under-thread-count guarantee.
+///
+/// Specializations: SSE2 / NEON for W = 2, AVX2 for W = 4 (only where the
+/// including translation unit is compiled with AVX2 — see
+/// packed_kernels_w4.cpp); everything else falls back to a plain lane
+/// array, which the compiler may auto-vectorize freely (lane-wise ops
+/// stay correctly rounded either way).
+///
+/// This header is included by per-width translation units, one of which
+/// is built with -mavx2.  To keep ISA-specific code from leaking into
+/// functions shared across TUs (an ODR hazard), it includes nothing from
+/// the rest of the project and defines only the Vec template, whose
+/// instantiations are distinct types per W.
+
+#if defined(__x86_64__) || defined(__i386__) || defined(_M_X64)
+#include <immintrin.h>
+#define PBMG_SIMD_SSE2 1
+#elif defined(__aarch64__)
+#include <arm_neon.h>
+#define PBMG_SIMD_NEON 1
+#endif
+
+namespace pbmg::grid::simd {
+
+/// Generic lane-array fallback (and the W = 1 scalar case).  gather()
+/// reads lane l at p[min(l, lanes−1)·stride]: inactive tail lanes
+/// duplicate the last active lane so reads stay in bounds (their results
+/// are discarded by scatter()).  scatter() writes only the first `lanes`
+/// lanes, one scalar store each — concurrently relaxed columns between
+/// them are never touched, which keeps the stride-2 SOR stores race-free.
+template <int W>
+struct Vec {
+  double v[W];
+
+  static Vec load(const double* p) {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = p[l];
+    return r;
+  }
+  static Vec broadcast(double x) {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = x;
+    return r;
+  }
+  static Vec gather(const double* p, long stride, int lanes) {
+    Vec r;
+    for (int l = 0; l < W; ++l) {
+      r.v[l] = p[(l < lanes ? l : lanes - 1) * stride];
+    }
+    return r;
+  }
+  void store(double* p) const {
+    for (int l = 0; l < W; ++l) p[l] = v[l];
+  }
+  void scatter(double* p, long stride, int lanes) const {
+    for (int l = 0; l < lanes; ++l) p[l * stride] = v[l];
+  }
+  friend Vec operator+(Vec a, Vec b) {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = a.v[l] + b.v[l];
+    return r;
+  }
+  friend Vec operator-(Vec a, Vec b) {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = a.v[l] - b.v[l];
+    return r;
+  }
+  friend Vec operator*(Vec a, Vec b) {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = a.v[l] * b.v[l];
+    return r;
+  }
+  friend Vec operator/(Vec a, Vec b) {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = a.v[l] / b.v[l];
+    return r;
+  }
+  Vec operator-() const {
+    Vec r;
+    for (int l = 0; l < W; ++l) r.v[l] = -v[l];
+    return r;
+  }
+};
+
+#if defined(PBMG_SIMD_SSE2)
+
+template <>
+struct Vec<2> {
+  __m128d v;
+
+  static Vec load(const double* p) { return {_mm_loadu_pd(p)}; }
+  static Vec broadcast(double x) { return {_mm_set1_pd(x)}; }
+  static Vec gather(const double* p, long stride, int lanes) {
+    return {_mm_set_pd(p[(1 < lanes ? 1 : lanes - 1) * stride], p[0])};
+  }
+  void store(double* p) const { _mm_storeu_pd(p, v); }
+  void scatter(double* p, long stride, int lanes) const {
+    double tmp[2];
+    _mm_storeu_pd(tmp, v);
+    for (int l = 0; l < lanes; ++l) p[l * stride] = tmp[l];
+  }
+  friend Vec operator+(Vec a, Vec b) { return {_mm_add_pd(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm_sub_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm_mul_pd(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm_div_pd(a.v, b.v)}; }
+  Vec operator-() const {
+    // Sign-bit flip: exactly IEEE negation, matching scalar -x (0 − x
+    // would differ on signed zeros).
+    return {_mm_xor_pd(v, _mm_set1_pd(-0.0))};
+  }
+};
+
+#if defined(__AVX2__)
+
+template <>
+struct Vec<4> {
+  __m256d v;
+
+  static Vec load(const double* p) { return {_mm256_loadu_pd(p)}; }
+  static Vec broadcast(double x) { return {_mm256_set1_pd(x)}; }
+  static Vec gather(const double* p, long stride, int lanes) {
+    // Scalar composes beat microcoded hardware gathers at these strides.
+    const double a = p[0];
+    const double b = p[(1 < lanes ? 1 : lanes - 1) * stride];
+    const double c = p[(2 < lanes ? 2 : lanes - 1) * stride];
+    const double d = p[(3 < lanes ? 3 : lanes - 1) * stride];
+    return {_mm256_set_pd(d, c, b, a)};
+  }
+  void store(double* p) const { _mm256_storeu_pd(p, v); }
+  void scatter(double* p, long stride, int lanes) const {
+    double tmp[4];
+    _mm256_storeu_pd(tmp, v);
+    for (int l = 0; l < lanes; ++l) p[l * stride] = tmp[l];
+  }
+  friend Vec operator+(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {_mm256_sub_pd(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {_mm256_div_pd(a.v, b.v)}; }
+  Vec operator-() const {
+    return {_mm256_xor_pd(v, _mm256_set1_pd(-0.0))};
+  }
+};
+
+#endif  // __AVX2__
+
+#elif defined(PBMG_SIMD_NEON)
+
+template <>
+struct Vec<2> {
+  float64x2_t v;
+
+  static Vec load(const double* p) { return {vld1q_f64(p)}; }
+  static Vec broadcast(double x) { return {vdupq_n_f64(x)}; }
+  static Vec gather(const double* p, long stride, int lanes) {
+    const double tmp[2] = {p[0], p[(1 < lanes ? 1 : lanes - 1) * stride]};
+    return {vld1q_f64(tmp)};
+  }
+  void store(double* p) const { vst1q_f64(p, v); }
+  void scatter(double* p, long stride, int lanes) const {
+    double tmp[2];
+    vst1q_f64(tmp, v);
+    for (int l = 0; l < lanes; ++l) p[l * stride] = tmp[l];
+  }
+  friend Vec operator+(Vec a, Vec b) { return {vaddq_f64(a.v, b.v)}; }
+  friend Vec operator-(Vec a, Vec b) { return {vsubq_f64(a.v, b.v)}; }
+  friend Vec operator*(Vec a, Vec b) { return {vmulq_f64(a.v, b.v)}; }
+  friend Vec operator/(Vec a, Vec b) { return {vdivq_f64(a.v, b.v)}; }
+  Vec operator-() const { return {vnegq_f64(v)}; }
+};
+
+#endif  // PBMG_SIMD_SSE2 / PBMG_SIMD_NEON
+
+}  // namespace pbmg::grid::simd

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <mutex>
 
 #include "grid/level.h"
+#include "grid/packed_stencil.h"
 
 namespace pbmg::grid {
 
@@ -85,6 +87,45 @@ Coarsening parse_coarsening(const std::string& name) {
                         "' (expected avg|rap)");
 }
 
+std::string to_string(StencilLayout layout) {
+  switch (layout) {
+    case StencilLayout::kLegacy: return "legacy";
+    case StencilLayout::kPacked: return "packed";
+  }
+  throw InvalidArgument("to_string: invalid StencilLayout");
+}
+
+StencilLayout parse_stencil_layout(const std::string& name) {
+  if (name == "legacy") return StencilLayout::kLegacy;
+  if (name == "packed") return StencilLayout::kPacked;
+  throw InvalidArgument("unknown stencil layout '" + name +
+                        "' (expected legacy|packed)");
+}
+
+void validate_kernel_policy(const KernelPolicy& policy) {
+  // A deserialized byte is not necessarily a valid enumerator.
+  (void)to_string(policy.layout);
+  PBMG_CHECK(policy.simd_width == 1 || policy.simd_width == 2 ||
+                 policy.simd_width == 4,
+             "kernel policy: simd_width must be 1, 2 or 4");
+}
+
+/// Shared lazily-packed coefficients: every copy of a StencilOp holds the
+/// same slot, so a level is packed at most once process-wide no matter how
+/// many sessions, executors or search candidates sweep it.
+struct StencilOp::PackedSlot {
+  std::once_flag once;
+  PackedStencil packed;
+};
+
+const PackedStencil& StencilOp::packed() const {
+  PBMG_CHECK(packed_slot_ != nullptr,
+             "StencilOp::packed: Poisson fast path has nothing to pack");
+  std::call_once(packed_slot_->once,
+                 [this] { packed_slot_->packed = PackedStencil::pack(*this); });
+  return packed_slot_->packed;
+}
+
 StencilOp StencilOp::poisson(int n) {
   PBMG_CHECK(is_valid_grid_size(n), "StencilOp::poisson: n must be 2^k + 1");
   StencilOp op;
@@ -106,6 +147,7 @@ StencilOp StencilOp::variable(Grid2D ax, Grid2D ay, double c) {
   coeff->ax = std::move(ax);
   coeff->ay = std::move(ay);
   op.coeff_ = std::move(coeff);
+  op.packed_slot_ = std::make_shared<PackedSlot>();
   return op;
 }
 
@@ -131,6 +173,7 @@ StencilOp StencilOp::nine_point(Grid2D ax, Grid2D ay, Grid2D ase, Grid2D asw,
   corner->asw = std::move(asw);
   corner->center = std::move(center);
   op.corner_ = std::move(corner);
+  op.packed_slot_ = std::make_shared<PackedSlot>();
   return op;
 }
 
@@ -413,6 +456,16 @@ bool StencilHierarchy::is_poisson() const {
     if (!ops_[k].is_poisson()) return false;
   }
   return !ops_.empty();
+}
+
+void StencilHierarchy::prewarm_packed() const {
+  for (std::size_t k = 1; k < ops_.size(); ++k) {
+    // Poisson levels dispatch to the dedicated constant-coefficient
+    // kernels under either layout, so there is nothing to pack; every
+    // other level (including RAP coarsenings of a Poisson fine operator,
+    // which are 9-point) packs here.
+    if (!ops_[k].is_poisson()) (void)ops_[k].packed();
+  }
 }
 
 const StencilOp& StencilHierarchy::at(int level) const {

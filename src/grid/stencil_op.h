@@ -73,6 +73,8 @@
 
 namespace pbmg::grid {
 
+class PackedStencil;
+
 /// How coarse-grid operators are formed — a tuned choice dimension (see
 /// file comment).  Serialized in tuned tables as "avg" / "rap"; a missing
 /// field reads as the legacy kAverage.
@@ -87,6 +89,41 @@ std::string to_string(Coarsening mode);
 /// Parses the names produced by to_string; throws InvalidArgument for
 /// anything else.
 Coarsening parse_coarsening(const std::string& name);
+
+/// How the sweep kernels read a level's coefficients — a tuned choice
+/// dimension like Coarsening.  kLegacy streams the separate n×n grids;
+/// kPacked streams the interleaved SoA row blocks of grid::PackedStencil
+/// (see packed_stencil.h) with SIMD inner loops.  Both produce bitwise
+/// identical results; only the memory traffic differs, so the tuner picks
+/// per (machine × operator family × size).  Serialized as "legacy" /
+/// "packed"; a missing field reads as kLegacy.
+enum class StencilLayout {
+  kLegacy,  ///< separate coefficient grids, scalar sweeps (the seed path)
+  kPacked,  ///< interleaved SoA row blocks + SIMD sweeps
+};
+
+/// Stable names used in tuned tables and cache keys: "legacy", "packed".
+std::string to_string(StencilLayout layout);
+
+/// Parses the names produced by to_string; throws InvalidArgument for
+/// anything else.
+StencilLayout parse_stencil_layout(const std::string& name);
+
+/// The kernel-implementation choices a sweep runs under, carried alongside
+/// the algorithmic tunables (solvers::RelaxTunables holds one, VCycleOptions
+/// forwards it).  simd_width is the *requested* lane count in {1, 2, 4};
+/// the dispatcher clamps it to what the running CPU supports — safe because
+/// every width is bitwise identical, so clamping never changes results.
+/// Width only matters under kPacked (legacy sweeps ignore it).
+struct KernelPolicy {
+  StencilLayout layout = StencilLayout::kLegacy;
+  int simd_width = 1;
+};
+
+/// Throws InvalidArgument unless layout is a valid enumerator and
+/// simd_width ∈ {1, 2, 4}.  Shared by solvers::validate_relax_tunables and
+/// the search deserializers.
+void validate_kernel_policy(const KernelPolicy& policy);
 
 /// A variable-coefficient 5- or 9-point operator (see file comment).
 /// Value type: copies share the underlying coefficient grids.
@@ -216,6 +253,14 @@ class StencilOp {
   /// Dispatch helper: restricted() or galerkin_coarse() by mode.
   StencilOp coarsened(Coarsening mode) const;
 
+  /// The operator's packed (SoA-block) coefficients, built on first call
+  /// and cached in the slot every copy of this operator shares — so a
+  /// hierarchy packs each level at most once no matter how many sessions
+  /// run it.  Thread-safe (std::call_once); requires !is_poisson() (the
+  /// fast path dispatches to the legacy Poisson kernels before packing is
+  /// ever consulted).
+  const PackedStencil& packed() const;
+
  private:
   struct Coefficients {
     Grid2D ax;
@@ -226,11 +271,13 @@ class StencilOp {
     Grid2D asw;
     Grid2D center;
   };
+  struct PackedSlot;  // once_flag + PackedStencil, defined in the .cpp
 
   int n_ = 0;
   double c_ = 0.0;
   std::shared_ptr<const Coefficients> coeff_;  ///< null ⇒ Poisson fast path
   std::shared_ptr<const CornerCoefficients> corner_;  ///< null ⇒ 5-point
+  std::shared_ptr<PackedSlot> packed_slot_;  ///< null ⇒ Poisson fast path
 };
 
 /// Row-pointer view of a 9-point operator's coefficients around grid row
@@ -305,6 +352,12 @@ class StencilHierarchy {
 
   /// Operator at recursion level `level` in [1, top_level].
   const StencilOp& at(int level) const;
+
+  /// Packs every non-Poisson level's coefficients now (idempotent, shared
+  /// with every copy of the ladder), so a kPacked solve never pays the
+  /// packing cost inside a timed sweep.  Sessions and the profile-search
+  /// setup call this ahead of racing candidates.
+  void prewarm_packed() const;
 
  private:
   std::vector<StencilOp> ops_;  ///< ops_[k] at level k; [0] unused padding

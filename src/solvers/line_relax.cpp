@@ -1,6 +1,7 @@
 #include "solvers/line_relax.h"
 
 #include "grid/level.h"
+#include "grid/packed_kernels.h"
 
 namespace pbmg::solvers {
 
@@ -348,13 +349,23 @@ void line_relax_sweep(Grid2D& x, const Grid2D& b, RelaxKind kind,
 
 void line_relax_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
                       RelaxKind kind, rt::Scheduler& sched,
-                      grid::ScratchPool& pool) {
+                      grid::ScratchPool& pool,
+                      const grid::KernelPolicy& kernels) {
   if (op.is_poisson()) {
     line_relax_sweep(x, b, kind, sched, pool);
     return;
   }
   check_line_operands(x, b, kind);
   PBMG_CHECK(op.n() == x.n(), "line_relax_sweep: operator/grid size mismatch");
+  if (kernels.layout == grid::StencilLayout::kPacked) {
+    if (kind == RelaxKind::kLineX || kind == RelaxKind::kLineZebraAlt) {
+      grid::packed_line_x(op, x, b, sched, pool, kernels.simd_width);
+    }
+    if (kind == RelaxKind::kLineY || kind == RelaxKind::kLineZebraAlt) {
+      grid::packed_line_y(op, x, b, sched, pool, kernels.simd_width);
+    }
+    return;
+  }
   const bool nine = op.is_nine_point();
   if (kind == RelaxKind::kLineX || kind == RelaxKind::kLineZebraAlt) {
     if (nine) line_x_nine(op, x, b, sched, pool);

@@ -25,14 +25,15 @@ void smooth(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
     case RelaxKind::kSor:
       for (int s = 0; s < sweeps; ++s) {
         obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
-        sor_sweep(op, x, b, options.omega, sched);
+        sor_sweep(op, x, b, options.omega, sched, options.kernels);
       }
       break;
     case RelaxKind::kJacobi: {
       auto scratch_lease = pool.acquire(x.n());
       for (int s = 0; s < sweeps; ++s) {
         obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
-        jacobi_sweep(op, x, b, kJacobiOmega, scratch_lease.get(), sched);
+        jacobi_sweep(op, x, b, kJacobiOmega, scratch_lease.get(), sched,
+                     options.kernels);
       }
       break;
     }
@@ -43,7 +44,8 @@ void smooth(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
       // Gauss-Seidel step (see line_relax.h).
       for (int s = 0; s < sweeps; ++s) {
         obs::ScopedPhaseTimer timer(profile, obs::Phase::kLineSolve, level);
-        line_relax_sweep(op, x, b, options.relaxation, sched, pool);
+        line_relax_sweep(op, x, b, options.relaxation, sched, pool,
+                         options.kernels);
       }
       break;
   }
@@ -69,7 +71,7 @@ void vcycle_impl(const grid::StencilHierarchy* ops, Grid2D& x,
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
   {
     obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
-    grid::residual_op(op, x, b, r, sched);
+    grid::residual_op(op, x, b, r, sched, options.kernels);
     grid::restrict_full_weighting(r, rc, sched);
   }
   // Error equation on the coarse grid: zero initial guess, zero Dirichlet

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "grid/level.h"
+#include "grid/packed_kernels.h"
 
 namespace pbmg::solvers {
 
@@ -54,6 +55,7 @@ void validate_relax_tunables(const RelaxTunables& tunables) {
   // A deserialized byte is not necessarily a valid enumerator; to_string
   // throws for anything outside the enum.
   (void)to_string(tunables.smoother);
+  grid::validate_kernel_policy(tunables.kernels);
 }
 
 void set_relax_tunables(const RelaxTunables& tunables) {
@@ -212,7 +214,8 @@ void jacobi_sweep_nine(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
 }  // namespace
 
 void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
-               double omega, rt::Scheduler& sched) {
+               double omega, rt::Scheduler& sched,
+               const grid::KernelPolicy& kernels) {
   if (op.is_poisson()) {
     sor_sweep(x, b, omega, sched);
     return;
@@ -220,6 +223,10 @@ void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
   PBMG_CHECK(is_valid_grid_size(x.n()), "sor_sweep: grid size must be 2^k+1");
   PBMG_CHECK(x.n() == b.n(), "sor_sweep: grid size mismatch");
   PBMG_CHECK(op.n() == x.n(), "sor_sweep: operator/grid size mismatch");
+  if (kernels.layout == grid::StencilLayout::kPacked) {
+    grid::packed_sor_sweep(op, x, b, omega, sched, kernels.simd_width);
+    return;
+  }
   if (op.is_nine_point()) {
     sor_sweep_nine(op, x, b, omega, sched);
     return;
@@ -263,7 +270,8 @@ void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
 }
 
 void jacobi_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
-                  double omega, Grid2D& scratch, rt::Scheduler& sched) {
+                  double omega, Grid2D& scratch, rt::Scheduler& sched,
+                  const grid::KernelPolicy& kernels) {
   if (op.is_poisson()) {
     jacobi_sweep(x, b, omega, scratch, sched);
     return;
@@ -273,6 +281,11 @@ void jacobi_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
   PBMG_CHECK(x.n() == b.n() && x.n() == scratch.n(),
              "jacobi_sweep: grid size mismatch");
   PBMG_CHECK(op.n() == x.n(), "jacobi_sweep: operator/grid size mismatch");
+  if (kernels.layout == grid::StencilLayout::kPacked) {
+    grid::packed_jacobi_sweep(op, x, b, omega, scratch, sched,
+                              kernels.simd_width);
+    return;
+  }
   if (op.is_nine_point()) {
     jacobi_sweep_nine(op, x, b, omega, scratch, sched);
     return;

@@ -96,6 +96,12 @@ struct RelaxTunables {
   /// takes precedence; the paper-faithful reference drivers keep point
   /// SOR regardless.
   RelaxKind smoother = RelaxKind::kSor;
+  /// Searched kernel implementation policy (the "layout" / "simd_width"
+  /// axes of make_profile_space): legacy per-grid streaming vs the packed
+  /// SoA-block layout and its SIMD lane count.  Bitwise result-invariant —
+  /// this axis trades memory traffic only — so the tuner is free to race
+  /// it like any other runtime parameter.
+  grid::KernelPolicy kernels;
 };
 
 /// Currently active tunables (defaults reproduce the paper exactly).
@@ -150,13 +156,18 @@ void jacobi_sweep(Grid2D& x, const Grid2D& b, double omega, Grid2D& scratch,
 /// Red-black SOR sweep for a variable-coefficient operator: each update
 /// divides by the cell's true diagonal (aW+aE+aN+aS)/h² + c instead of the
 /// Poisson 4/h².  The Poisson fast path dispatches to sor_sweep above,
-/// bit-for-bit.  Requires x.n() == op.n().
+/// bit-for-bit.  A KernelPolicy selecting the packed layout runs the SoA
+/// SIMD sweep (grid/packed_kernels.h), bitwise identical to legacy.
+/// Requires x.n() == op.n().
 void sor_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
-               double omega, rt::Scheduler& sched);
+               double omega, rt::Scheduler& sched,
+               const grid::KernelPolicy& kernels = {});
 
 /// Weighted-Jacobi sweep for a variable-coefficient operator; same
-/// diagonal handling and fast-path contract as the SOR overload.
+/// diagonal handling, fast-path and kernel-policy contract as the SOR
+/// overload.
 void jacobi_sweep(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
-                  double omega, Grid2D& scratch, rt::Scheduler& sched);
+                  double omega, Grid2D& scratch, rt::Scheduler& sched,
+                  const grid::KernelPolicy& kernels = {});
 
 }  // namespace pbmg::solvers

@@ -49,14 +49,16 @@ std::string config_cache_key(const TrainerOptions& options,
                              const std::string& profile_name,
                              const std::string& strategy) {
   std::ostringstream oss;
-  // "v5": bump when runtime characteristics change enough to invalidate
+  // "v6": bump when runtime characteristics change enough to invalidate
   // previously tuned tables (v2 → v3: scenarios became first-class — the
   // operator family joined the key via ProblemSpec; v3 → v4: the smoother
   // became a tuned per-level choice; v4 → v5: coarsening became a tuned
-  // per-level choice — tables gained the Galerkin-RAP axis and the
-  // trainer's candidate stream changed, so every v4 entry is a clean miss
-  // and gets retrained with the coarsening dimension enabled).
-  oss << "v5_" << strategy << "_" << profile_name << "_"
+  // per-level choice — tables gained the Galerkin-RAP axis; v5 → v6: the
+  // kernel policy joined the searched-profile schema — the layout and
+  // simd_width axes change the candidate stream and the timings behind
+  // every stored table, so every v5 entry is a clean miss and gets
+  // retrained with the packed-kernel dimensions enabled).
+  oss << "v6_" << strategy << "_" << profile_name << "_"
       << options.problem_spec().cache_token() << "_m"
       << options.accuracies.size() << "_p"
       << static_cast<int>(std::lround(std::log10(options.accuracies.back())))

@@ -124,7 +124,7 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
         obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
-        solvers::sor_sweep(op, x, b, omega, sched_);
+        solvers::sor_sweep(op, x, b, omega, sched_, relax_.kernels);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
       break;
@@ -164,9 +164,10 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   const auto relax_once = [&] {
     obs::ScopedPhaseTimer timer(profile, relax_phase, level);
     if (solvers::is_line_relax(smoother)) {
-      solvers::line_relax_sweep(op, x, b, smoother, sched_, pool_);
+      solvers::line_relax_sweep(op, x, b, smoother, sched_, pool_,
+                                relax_.kernels);
     } else {
-      solvers::sor_sweep(op, x, b, recurse_omega, sched_);
+      solvers::sor_sweep(op, x, b, recurse_omega, sched_, relax_.kernels);
     }
   };
   relax_once();
@@ -180,7 +181,7 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   Grid2D& rc = rc_lease.get();  // restriction writes interior + zeros ring
   {
     obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
-    grid::residual_op(op, x, b, r, sched_);
+    grid::residual_op(op, x, b, r, sched_, relax_.kernels);
     grid::restrict_full_weighting(r, rc, sched_);
   }
   trace(trace::Op::kRestrict, level);
@@ -239,7 +240,7 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
           solvers::scaled_omega_opt(x.n(), relax_.omega_scale);
       for (int it = 0; it < entry.choice.iterations; ++it) {
         obs::ScopedPhaseTimer timer(profile, obs::Phase::kRelax, level);
-        solvers::sor_sweep(op, x, b, omega, sched_);
+        solvers::sor_sweep(op, x, b, omega, sched_, relax_.kernels);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
       break;
@@ -275,7 +276,7 @@ void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,
   {
     obs::ScopedPhaseTimer timer(profile, obs::Phase::kRestrict, level);
     grid::residual_op(op_at(level, grid::Coarsening::kAverage, rap), x, b, r,
-                      sched_);
+                      sched_, relax_.kernels);
     grid::restrict_full_weighting(r, rc, sched_);
   }
   trace(trace::Op::kRestrict, level);
