@@ -3,15 +3,82 @@
 #include <string>
 #include <utility>
 
+#include "grid/problem.h"
+#include "support/error.h"
+#include "support/timer.h"
+
 namespace pbmg {
 
 SolveService::SolveService(Engine& engine, tune::TunedConfig config)
     : engine_(engine),
-      config_(std::move(config)),
-      requests_total_(metrics_.counter("pbmg_solve_requests_total")),
+      requests_ok_(
+          metrics_.counter("pbmg_solve_requests_total{outcome=\"ok\"}")),
+      requests_unconverged_(metrics_.counter(
+          "pbmg_solve_requests_total{outcome=\"unconverged\"}")),
+      requests_error_(
+          metrics_.counter("pbmg_solve_requests_total{outcome=\"error\"}")),
       failures_total_(metrics_.counter("pbmg_solve_failures_total")),
       trims_total_(metrics_.counter("pbmg_scratch_trims_total")),
-      trim_bytes_total_(metrics_.counter("pbmg_scratch_trim_bytes_total")) {}
+      trim_bytes_total_(metrics_.counter("pbmg_scratch_trim_bytes_total")),
+      drift_windows_ok_(
+          metrics_.counter("pbmg_drift_windows_total{verdict=\"ok\"}")),
+      drift_windows_drifted_(
+          metrics_.counter("pbmg_drift_windows_total{verdict=\"drifted\"}")),
+      retunes_total_(metrics_.counter("pbmg_drift_retunes_total")),
+      retune_failures_total_(
+          metrics_.counter("pbmg_drift_retune_failures_total")),
+      generation_gauge_(metrics_.gauge("pbmg_config_generation")),
+      retune_gauge_(metrics_.gauge("pbmg_retune_in_progress")),
+      failure_seconds_(metrics_.histogram("pbmg_solve_failure_seconds")) {
+  current_ = std::make_shared<Generation>();
+  current_->engine = &engine_;
+  current_->config = std::move(config);
+  generation_gauge_.set(1.0);
+}
+
+SolveService::~SolveService() {
+  if (retune_thread_.joinable()) retune_thread_.join();
+}
+
+void SolveService::enable_drift_watch(obs::LatencyBaseline baseline,
+                                      obs::DriftPolicy policy,
+                                      RetuneFn retune) {
+  watcher_ = std::make_unique<obs::DriftWatcher>(std::move(baseline), policy);
+  retune_fn_ = std::move(retune);
+}
+
+void SolveService::install(tune::TunedConfig config,
+                           obs::LatencyBaseline baseline,
+                           std::shared_ptr<Engine> engine) {
+  auto fresh = std::make_shared<Generation>();
+  fresh->owned = std::move(engine);
+  fresh->config = std::move(config);
+  std::int64_t id = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    id = current_->id + 1;
+    fresh->id = id;
+    // A config-only install inherits the live engine; keeping the retired
+    // generation in retired_ keeps that engine (and every session
+    // reference ever handed out) alive for the service's lifetime.
+    fresh->engine = fresh->owned ? fresh->owned.get() : current_->engine;
+    retired_.push_back(current_);
+    current_ = std::move(fresh);
+    stats_.generation = id;
+  }
+  generation_id_.store(id, std::memory_order_release);
+  generation_gauge_.set(static_cast<double>(id));
+  // Rebase after the swap so live windows restart against the new
+  // baseline; samples still in flight on the old generation are filtered
+  // out by observe_drift's generation check.
+  if (watcher_) watcher_->rebase(std::move(baseline));
+}
+
+std::shared_ptr<SolveService::Generation> SolveService::current_generation()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return current_;
+}
 
 obs::Histogram& SolveService::latency_histogram(int n, int accuracy_index) {
   {
@@ -29,62 +96,162 @@ obs::Histogram& SolveService::latency_histogram(int n, int accuracy_index) {
   return hist;
 }
 
-SolveSession& SolveService::session(int n) {
+SolveSession& SolveService::session_in(Generation& gen, int n) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = sessions_.find(n);
-    if (it != sessions_.end()) return *it->second;
+    std::lock_guard<std::mutex> lock(gen.mutex);
+    auto it = gen.sessions.find(n);
+    if (it != gen.sessions.end()) return *it->second;
   }
   // Construct outside the lock: prewarming a large level hierarchy
   // allocates and zero-fills megabytes, and must not stall unrelated
   // in-flight solves of other sizes.  If two threads race to bind the
   // same size, emplace keeps the winner and the loser's session is
   // discarded (its prewarmed grids are already in the shared pool).
-  auto fresh = std::make_unique<SolveSession>(engine_, config_, n);
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = sessions_.emplace(n, std::move(fresh));
-  if (inserted) stats_.sessions = sessions_.size();
+  // The operator comes from the config's own family, so a service over
+  // non-Poisson tables solves the operator it was tuned for (the Poisson
+  // family takes StencilOp's constant-coefficient fast path, bit-for-bit
+  // the historical behaviour).
+  auto fresh = std::make_shared<SolveSession>(
+      *gen.engine, gen.config,
+      make_operator(n, parse_operator_family(gen.config.op_family)));
+  std::lock_guard<std::mutex> lock(gen.mutex);
+  auto [it, inserted] = gen.sessions.emplace(n, std::move(fresh));
   return *it->second;
+}
+
+SolveSession& SolveService::session(int n) {
+  const std::shared_ptr<Generation> gen = current_generation();
+  return session_in(*gen, n);
+}
+
+void SolveService::validate_request(const Generation& gen,
+                                    const SolveRequest& request) const {
+  if (request.accuracy_index >= gen.config.accuracy_count()) {
+    throw ConfigError(
+        "SolveService: accuracy_index " +
+        std::to_string(request.accuracy_index) +
+        " is outside the tuned ladder [0, " +
+        std::to_string(gen.config.accuracy_count()) + ")");
+  }
+  if (request.accuracy_index < 0 && request.target_accuracy <= 0.0) {
+    throw ConfigError(
+        "SolveService: request selects no accuracy — set accuracy_index to "
+        "a tuned ladder index or target_accuracy to a positive accuracy "
+        "level (the default-constructed request is deliberately invalid)");
+  }
 }
 
 SolveStats SolveService::solve(Grid2D& x, const Grid2D& b,
                                const SolveRequest& request) {
   SolveStats stats;
   int index = -1;
+  const std::shared_ptr<Generation> gen = current_generation();
+  const double t0 = now_seconds();
   try {
-    SolveSession& bound = session(x.n());
+    validate_request(*gen, request);
+    SolveSession& bound = session_in(*gen, x.n());
     index = request.accuracy_index >= 0
                 ? request.accuracy_index
                 : bound.accuracy_index(request.target_accuracy);
-    stats = request.fmg ? bound.solve_fmg(x, b, index, request.profile)
-                        : bound.solve_v(x, b, index, request.profile);
+    stats = request.fmg
+                ? bound.solve_fmg(x, b, index, request.profile,
+                                  request.residual)
+                : bound.solve_v(x, b, index, request.profile,
+                                request.residual);
+    stats.generation = gen->id;
   } catch (...) {
     failures_total_.add(1);
+    requests_error_.add(1);
+    // Failed solves cost wall-clock too; without this histogram a wave of
+    // fast-failing requests would be invisible in latency telemetry.
+    failure_seconds_.record(now_seconds() - t0);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.failures;
     throw;
   }
   latency_histogram(stats.n, index).record(stats.seconds);
-  requests_total_.add(1);
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++stats_.requests;
-  stats_.busy_seconds += stats.seconds;
+  (stats.converged ? requests_ok_ : requests_unconverged_).add(1);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    stats_.busy_seconds += stats.seconds;
+  }
+  observe_drift(gen, stats, index);
   return stats;
+}
+
+void SolveService::observe_drift(const std::shared_ptr<Generation>& gen,
+                                 const SolveStats& stats,
+                                 int accuracy_index) {
+  if (watcher_ == nullptr) return;
+  // Stragglers that bound a generation which has since been swapped out
+  // measured the *old* config; mixing them into the fresh baseline's
+  // windows would read as instant drift of the new generation.
+  if (gen->id != generation()) return;
+  // A solve that failed its residual audit is not a healthy latency
+  // sample — this is why the honest converged flag had to come first.
+  if (!stats.converged) return;
+  const obs::DriftObservation verdict =
+      watcher_->observe(stats.n, accuracy_index, stats.seconds);
+  if (verdict.window_complete) {
+    (verdict.drifted ? drift_windows_drifted_ : drift_windows_ok_).add(1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.drift_windows;
+    if (verdict.drifted) ++stats_.drifted_windows;
+  }
+  if (verdict.retune) start_retune();
+}
+
+void SolveService::start_retune() {
+  if (!retune_fn_) return;
+  bool expected = false;
+  if (!retune_in_progress_.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return;  // a retune is already running; the watcher will re-fire later
+  }
+  // The CAS read false, so any previous retune thread has published its
+  // result and is exiting; join reclaims it before the handle is reused.
+  if (retune_thread_.joinable()) retune_thread_.join();
+  retunes_total_.add(1);
+  retune_gauge_.set(1.0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.retunes;
+  }
+  retune_thread_ = std::thread([this] {
+    try {
+      RetuneResult result = retune_fn_();
+      install(std::move(result.config), std::move(result.baseline),
+              std::move(result.engine));
+    } catch (...) {
+      // A failed retune keeps serving the current generation; the watcher
+      // streak was reset when it fired, so it re-arms on continued drift.
+      retune_failures_total_.add(1);
+    }
+    retune_gauge_.set(0.0);
+    retune_in_progress_.store(false, std::memory_order_release);
+  });
 }
 
 ServiceStats SolveService::stats() const {
   ServiceStats out;
+  std::shared_ptr<Generation> gen;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     out = stats_;
+    gen = current_;
   }
-  out.scratch_hit_rate = engine_.scratch().stats().hit_rate();
-  out.scheduler_steals = engine_.scheduler().steal_count();
+  {
+    std::lock_guard<std::mutex> lock(gen->mutex);
+    out.sessions = gen->sessions.size();
+  }
+  out.scratch_hit_rate = gen->engine->scratch().stats().hit_rate();
+  out.scheduler_steals = gen->engine->scheduler().steal_count();
   return out;
 }
 
 std::size_t SolveService::trim() {
-  const std::size_t freed = engine_.scratch().trim();
+  const std::size_t freed = engine().scratch().trim();
   trims_total_.add(1);
   trim_bytes_total_.add(static_cast<std::int64_t>(freed));
   std::lock_guard<std::mutex> lock(mutex_);
@@ -93,13 +260,25 @@ std::size_t SolveService::trim() {
   return freed;
 }
 
+Engine& SolveService::engine() const { return *current_generation()->engine; }
+
+const tune::TunedConfig& SolveService::config() const {
+  // Safe to return by reference: generations are retained (retired_) for
+  // the service's lifetime, so the referent outlives every caller.
+  return current_generation()->config;
+}
+
 obs::RegistrySnapshot SolveService::metrics_snapshot() {
-  engine_.publish_metrics(metrics_);
+  const std::shared_ptr<Generation> gen = current_generation();
+  gen->engine->publish_metrics(metrics_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     metrics_.gauge("pbmg_service_busy_seconds").set(stats_.busy_seconds);
+  }
+  {
+    std::lock_guard<std::mutex> lock(gen->mutex);
     metrics_.gauge("pbmg_service_sessions")
-        .set(static_cast<double>(sessions_.size()));
+        .set(static_cast<double>(gen->sessions.size()));
   }
   return metrics_.snapshot();
 }

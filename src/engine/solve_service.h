@@ -1,12 +1,17 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <thread>
 #include <utility>
+#include <vector>
 
 #include "engine/solve_session.h"
+#include "obs/drift.h"
 #include "obs/metrics.h"
 
 /// \file solve_service.h
@@ -21,11 +26,24 @@
 /// makes aggregate throughput scale with client count
 /// (bench/fig17_concurrent_service).
 ///
-/// The service also owns an obs::MetricsRegistry: every completed solve
-/// lands in a per-(grid size × accuracy) latency histogram
-/// (`pbmg_solve_latency_seconds{n="...",acc="..."}`), failures and trims
-/// feed counters, and metrics_snapshot() samples engine health (scheduler
-/// steals, scratch-pool hit rate) into gauges on the way out.
+/// The service also owns an obs::MetricsRegistry: every solve lands in a
+/// per-(grid size × accuracy) latency histogram
+/// (`pbmg_solve_latency_seconds{n="...",acc="..."}`) on success or the
+/// `pbmg_solve_failure_seconds` histogram on a throw, every request
+/// increments `pbmg_solve_requests_total{outcome=...}` (ok / unconverged
+/// / error — the label sums to *all* requests, per the Prometheus
+/// `_total` convention), and metrics_snapshot() samples engine health
+/// (scheduler steals, scratch-pool hit rate) into gauges on the way out.
+///
+/// Config generations & drift-triggered retunes: the tuned config, its
+/// engine, and its sessions form one immutable *generation*.  When
+/// enable_drift_watch is armed, live latencies feed an obs::DriftWatcher
+/// against the tune-time baseline; sustained drift launches the retune
+/// callback on a background thread, and its result is installed as a new
+/// generation with one pointer swap — in-flight solves finish on the
+/// generation they bound (snapshotted at entry), new requests bind the
+/// fresh one.  Retired generations are kept alive for the service's
+/// lifetime, so session references handed out earlier never dangle.
 
 namespace pbmg {
 
@@ -39,6 +57,10 @@ struct SolveRequest {
   /// records into it and SolveStats::phases returns it.  Requests may
   /// share one profile to aggregate a workload-wide breakdown.
   std::shared_ptr<obs::PhaseProfile> profile;
+  /// Optional convergence audit (solve_session.h).  Off by default; the
+  /// drift bench/tests enable it so latency samples provably come from
+  /// solves that did their job, not from ones that diverged quickly.
+  ResidualPolicy residual;
 };
 
 /// Service-level counters (monotonic since construction).
@@ -46,31 +68,71 @@ struct ServiceStats {
   std::int64_t requests = 0;     ///< solves completed
   std::int64_t failures = 0;     ///< solves that threw
   double busy_seconds = 0.0;     ///< sum of per-request solve seconds
-  std::size_t sessions = 0;      ///< distinct grid sizes bound so far
+  std::size_t sessions = 0;      ///< grid sizes bound in the live generation
   std::int64_t trims = 0;        ///< trim() calls since construction
   std::int64_t trim_bytes = 0;   ///< total bytes freed by those trims
   double scratch_hit_rate = 0.0;    ///< pool hit rate, sampled at stats()
   std::int64_t scheduler_steals = 0;  ///< work steals, sampled at stats()
+  std::int64_t drift_windows = 0;   ///< comparison windows closed
+  std::int64_t drifted_windows = 0;  ///< windows that failed both tests
+  std::int64_t retunes = 0;      ///< background retunes launched
+  std::int64_t generation = 1;   ///< live config generation (starts at 1)
 };
 
 /// Thread-safe solve front-end over one Engine + one tuned config.
 class SolveService {
  public:
+  /// What a retune produces: fresh tables, their healthy-latency
+  /// baseline, and optionally a fresh Engine (a re-search usually finds
+  /// new runtime parameters; null keeps the current generation's engine).
+  struct RetuneResult {
+    tune::TunedConfig config;
+    obs::LatencyBaseline baseline;
+    std::shared_ptr<Engine> engine;
+  };
+  using RetuneFn = std::function<RetuneResult()>;
+
   /// The service keeps its own copy of `config`; `engine` must outlive it.
   SolveService(Engine& engine, tune::TunedConfig config);
+
+  /// Joins any in-flight background retune.
+  ~SolveService();
 
   SolveService(const SolveService&) = delete;
   SolveService& operator=(const SolveService&) = delete;
 
+  /// Arms drift detection: live solve latencies are compared against
+  /// `baseline` under `policy`, and sustained drift runs `retune` on a
+  /// background thread followed by an atomic install() of its result.
+  /// Call once, before serving traffic (the watcher pointer itself is
+  /// unsynchronized; everything behind it is thread-safe).  A null
+  /// `retune` detects and counts drift without ever swapping.
+  void enable_drift_watch(obs::LatencyBaseline baseline,
+                          obs::DriftPolicy policy, RetuneFn retune);
+
+  /// Atomically installs a new generation: new requests bind the fresh
+  /// config (and engine, when non-null — otherwise the live generation's
+  /// engine is inherited), in-flight solves finish where they started,
+  /// and the drift watcher — if armed — is rebased onto `baseline`.
+  /// Thread-safe; called by the background retune and usable directly.
+  void install(tune::TunedConfig config, obs::LatencyBaseline baseline = {},
+               std::shared_ptr<Engine> engine = nullptr);
+
   /// Solves one request on the calling thread.  Thread-safe; throws what
-  /// the underlying solve throws (after counting the failure).
+  /// the underlying solve throws (after counting the failure), and
+  /// ConfigError for an accuracy_index outside the tuned ladder or the
+  /// unset default (accuracy_index < 0 with target_accuracy <= 0).
   SolveStats solve(Grid2D& x, const Grid2D& b, const SolveRequest& request);
 
-  /// The session bound to side `n`, created on first use.  Thread-safe.
+  /// The live generation's session bound to side `n`, created on first
+  /// use.  Thread-safe.  The reference stays valid for the service's
+  /// lifetime even across installs (retired generations are retained),
+  /// but after a swap it no longer receives new solve() traffic.
   SolveSession& session(int n);
 
   /// Counter snapshot.  scratch_hit_rate and scheduler_steals are sampled
-  /// from the engine at call time; the rest are service counters.
+  /// from the live generation's engine at call time; the rest are service
+  /// counters.
   ServiceStats stats() const;
 
   /// Releases pooled scratch memory (idle shrink); sessions stay bound.
@@ -84,27 +146,73 @@ class SolveService {
   /// (Engine::publish_metrics) — the one-call exposition entry point.
   obs::RegistrySnapshot metrics_snapshot();
 
-  Engine& engine() const { return engine_; }
-  const tune::TunedConfig& config() const { return config_; }
+  /// Live generation id (1 until the first install).
+  std::int64_t generation() const {
+    return generation_id_.load(std::memory_order_acquire);
+  }
+
+  /// True while a background retune is running.
+  bool retune_in_progress() const {
+    return retune_in_progress_.load(std::memory_order_acquire);
+  }
+
+  /// The live generation's engine / tuned config.
+  Engine& engine() const;
+  const tune::TunedConfig& config() const;
 
  private:
+  /// One immutable (config, engine, sessions) unit.  `owned` is null for
+  /// the construction-time engine (caller-owned); `engine` always points
+  /// at the engine this generation executes on.
+  struct Generation {
+    std::int64_t id = 1;
+    std::shared_ptr<Engine> owned;
+    Engine* engine = nullptr;
+    tune::TunedConfig config;
+    std::mutex mutex;  // guards sessions
+    std::map<int, std::shared_ptr<SolveSession>> sessions;
+  };
+
+  std::shared_ptr<Generation> current_generation() const;
+  SolveSession& session_in(Generation& gen, int n);
+  void validate_request(const Generation& gen,
+                        const SolveRequest& request) const;
+  void observe_drift(const std::shared_ptr<Generation>& gen,
+                     const SolveStats& stats, int accuracy_index);
+  void start_retune();
+
   /// Latency histogram for (n, accuracy index), resolved once per pair
   /// and cached so the solve path never re-walks the registry map.
   obs::Histogram& latency_histogram(int n, int accuracy_index);
 
-  Engine& engine_;
-  tune::TunedConfig config_;
+  Engine& engine_;  ///< construction-time engine (generation 1)
 
   obs::MetricsRegistry metrics_;
-  obs::Counter& requests_total_;  // resolved once; stable addresses
+  obs::Counter& requests_ok_;  // resolved once; stable addresses
+  obs::Counter& requests_unconverged_;
+  obs::Counter& requests_error_;
   obs::Counter& failures_total_;
   obs::Counter& trims_total_;
   obs::Counter& trim_bytes_total_;
+  obs::Counter& drift_windows_ok_;
+  obs::Counter& drift_windows_drifted_;
+  obs::Counter& retunes_total_;
+  obs::Counter& retune_failures_total_;
+  obs::Gauge& generation_gauge_;
+  obs::Gauge& retune_gauge_;
+  obs::Histogram& failure_seconds_;
 
-  mutable std::mutex mutex_;  // guards sessions_, stats_ and latency_
-  std::map<int, std::unique_ptr<SolveSession>> sessions_;
+  mutable std::mutex mutex_;  // guards current_/retired_, stats_, latency_
+  std::shared_ptr<Generation> current_;
+  std::vector<std::shared_ptr<Generation>> retired_;
   ServiceStats stats_;
   std::map<std::pair<int, int>, obs::Histogram*> latency_;
+
+  std::atomic<std::int64_t> generation_id_{1};
+  std::unique_ptr<obs::DriftWatcher> watcher_;  // set once, before serving
+  RetuneFn retune_fn_;
+  std::atomic<bool> retune_in_progress_{false};
+  std::thread retune_thread_;  // joined before reuse and in the dtor
 };
 
 }  // namespace pbmg

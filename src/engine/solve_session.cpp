@@ -1,7 +1,9 @@
 #include "engine/solve_session.h"
 
+#include <cmath>
 #include <vector>
 
+#include "grid/grid_ops.h"
 #include "grid/level.h"
 #include "solvers/relax.h"
 #include "support/timer.h"
@@ -79,24 +81,64 @@ void SolveSession::check_operands(const Grid2D& x, const Grid2D& b) const {
                  std::to_string(n_) + ")");
 }
 
-SolveStats SolveSession::solve_v(
-    Grid2D& x, const Grid2D& b, int accuracy_index,
-    std::shared_ptr<obs::PhaseProfile> profile) const {
+double SolveSession::residual_norm(const Grid2D& x, const Grid2D& b) const {
+  auto lease = engine_.scratch().acquire(n_);
+  grid::residual_op(op(), x, b, lease.get(), engine_.scheduler(),
+                    engine_.relax().kernels);
+  return grid::norm2_interior(lease.get(), engine_.scheduler());
+}
+
+namespace {
+
+// final ≤ limit·initial, with the r0 == 0 edge (already-exact guess, or an
+// all-zero problem) demanding the solve kept it exact.
+bool residual_converged(double r0, double r1, double ratio_limit) {
+  if (!std::isfinite(r1)) return false;
+  if (r0 == 0.0) return r1 == 0.0;
+  return r1 <= ratio_limit * r0;
+}
+
+}  // namespace
+
+SolveStats SolveSession::solve_v(Grid2D& x, const Grid2D& b,
+                                 int accuracy_index,
+                                 std::shared_ptr<obs::PhaseProfile> profile,
+                                 const ResidualPolicy& check) const {
   check_operands(x, b);
+  const double r0 = check.enabled ? residual_norm(x, b) : 0.0;
   const double t0 = now_seconds();
-  executor_.run_v(x, b, accuracy_index, profile.get());
-  SolveStats stats = stats_for(now_seconds() - t0, accuracy_index, 0, true);
+  const int iterations = executor_.run_v(x, b, accuracy_index, profile.get());
+  const double seconds = now_seconds() - t0;
+  SolveStats stats = stats_for(seconds, accuracy_index, iterations, true);
+  if (check.enabled) {
+    stats.initial_residual = r0;
+    stats.final_residual = residual_norm(x, b);
+    stats.residual_checked = true;
+    stats.converged =
+        residual_converged(r0, stats.final_residual, check.ratio_limit);
+  }
   stats.phases = std::move(profile);
   return stats;
 }
 
-SolveStats SolveSession::solve_fmg(
-    Grid2D& x, const Grid2D& b, int accuracy_index,
-    std::shared_ptr<obs::PhaseProfile> profile) const {
+SolveStats SolveSession::solve_fmg(Grid2D& x, const Grid2D& b,
+                                   int accuracy_index,
+                                   std::shared_ptr<obs::PhaseProfile> profile,
+                                   const ResidualPolicy& check) const {
   check_operands(x, b);
+  const double r0 = check.enabled ? residual_norm(x, b) : 0.0;
   const double t0 = now_seconds();
-  executor_.run_fmg(x, b, accuracy_index, profile.get());
-  SolveStats stats = stats_for(now_seconds() - t0, accuracy_index, 0, true);
+  const int iterations =
+      executor_.run_fmg(x, b, accuracy_index, profile.get());
+  const double seconds = now_seconds() - t0;
+  SolveStats stats = stats_for(seconds, accuracy_index, iterations, true);
+  if (check.enabled) {
+    stats.initial_residual = r0;
+    stats.final_residual = residual_norm(x, b);
+    stats.residual_checked = true;
+    stats.converged =
+        residual_converged(r0, stats.final_residual, check.ratio_limit);
+  }
   stats.phases = std::move(profile);
   return stats;
 }

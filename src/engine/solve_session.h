@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 
 #include "engine/engine.h"
@@ -35,12 +36,38 @@ struct SolveStats {
   int n = 0;                ///< grid side solved
   int level = 0;            ///< recursion level (n = 2^level + 1)
   int accuracy_index = -1;  ///< tuned-ladder index (tuned solves; else -1)
-  int iterations = 0;       ///< iterations run (reference drivers; else 0)
-  bool converged = true;    ///< reference drivers: stop predicate fired
+  /// Iterations actually executed: the stop-predicate count for reference
+  /// drivers, the tuned plan's top-level iteration count (RECURSE bodies
+  /// or SOR sweeps; 1 for a direct solve) for solve_v/solve_fmg.
+  int iterations = 0;
+  /// Reference drivers: stop predicate fired.  Tuned solves: true unless
+  /// a requested residual check failed — a tuned plan runs a fixed
+  /// iteration budget, so without the check this only asserts the plan
+  /// completed, not that it met its trained accuracy.
+  bool converged = true;
+  double initial_residual = 0.0;  ///< ||b − A·x₀|| (residual_checked only)
+  double final_residual = 0.0;    ///< ||b − A·x₁|| (residual_checked only)
+  bool residual_checked = false;  ///< a ResidualPolicy check actually ran
+  /// Config generation that served the solve (SolveService fills this;
+  /// bare sessions leave 0).  Lets clients attribute samples across a
+  /// background-retune swap.
+  std::int64_t generation = 0;
   /// The per-(level, phase) breakdown the caller requested, or null when
   /// the solve ran unprofiled (the default).  Shared so callers can keep
   /// aggregating into the same profile across many solves.
   std::shared_ptr<const obs::PhaseProfile> phases;
+};
+
+/// Optional convergence audit for tuned solves.  When enabled, the session
+/// measures ||b − A·x|| before and after the solve (outside the timed
+/// window — SolveStats::seconds stays comparable with unchecked solves)
+/// and reports converged = final ≤ ratio_limit · initial.  The default
+/// ratio_limit of 1.0 only demands the solve did not diverge, which is
+/// the cheap honesty the drift watcher needs: latency samples from solves
+/// that blew up must not be mistaken for healthy load.
+struct ResidualPolicy {
+  bool enabled = false;
+  double ratio_limit = 1.0;
 };
 
 /// Binds an Engine and a tuned configuration to one grid size.
@@ -81,15 +108,17 @@ class SolveSession {
   /// Tuned MULTIGRID-V_i at `accuracy_index` (x: Dirichlet ring + guess).
   /// `profile`, when non-null, receives the solve's per-(level, phase)
   /// wall-time breakdown and is returned in SolveStats::phases; a shared
-  /// profile may aggregate across many solves (and threads).
+  /// profile may aggregate across many solves (and threads).  `check`
+  /// optionally audits convergence via pre/post residual norms (see
+  /// ResidualPolicy); both norms run outside the timed window.
   SolveStats solve_v(Grid2D& x, const Grid2D& b, int accuracy_index,
-                     std::shared_ptr<obs::PhaseProfile> profile =
-                         nullptr) const;
+                     std::shared_ptr<obs::PhaseProfile> profile = nullptr,
+                     const ResidualPolicy& check = {}) const;
 
-  /// Tuned FULL-MULTIGRID_i at `accuracy_index`.
+  /// Tuned FULL-MULTIGRID_i at `accuracy_index`; same contract as solve_v.
   SolveStats solve_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
-                       std::shared_ptr<obs::PhaseProfile> profile =
-                           nullptr) const;
+                       std::shared_ptr<obs::PhaseProfile> profile = nullptr,
+                       const ResidualPolicy& check = {}) const;
 
   /// Reference V-cycles until `stop` or `max_cycles` (paper §4.2.2).
   SolveStats solve_reference_v(Grid2D& x, const Grid2D& b, int max_cycles,
@@ -111,6 +140,8 @@ class SolveSession {
   SolveStats stats_for(double seconds, int accuracy_index, int iterations,
                        bool converged) const;
   void check_operands(const Grid2D& x, const Grid2D& b) const;
+  /// ||b − A·x|| over the interior, on a pool-leased scratch grid.
+  double residual_norm(const Grid2D& x, const Grid2D& b) const;
 
   Engine& engine_;
   tune::TunedConfig config_;

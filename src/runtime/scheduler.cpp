@@ -30,6 +30,7 @@ void TaskGroup::record_exception(std::exception_ptr e) {
 
 Scheduler::Scheduler(const MachineProfile& profile) : profile_(profile) {
   PBMG_CHECK(profile.threads >= 1, "scheduler requires >= 1 thread");
+  active_workers_.store(profile.threads, std::memory_order_release);
   workers_.reserve(static_cast<std::size_t>(profile.threads));
   for (int i = 0; i < profile.threads; ++i) {
     workers_.push_back(std::make_unique<Worker>());
@@ -50,6 +51,19 @@ Scheduler::~Scheduler() {
 }
 
 bool Scheduler::on_worker_thread() const { return tls_scheduler == this; }
+
+void Scheduler::set_active_workers(int count) {
+  if (count < 1) count = 1;
+  if (count > thread_count()) count = thread_count();
+  active_workers_.store(count, std::memory_order_release);
+  {
+    // Empty critical section: orders the store against the condvar waits
+    // so no worker can miss the limit change between its predicate check
+    // and its sleep.
+    std::lock_guard<std::mutex> lock(sleep_mutex_);
+  }
+  sleep_cv_.notify_all();
+}
 
 void Scheduler::inject_spawn_overhead() const {
   if (profile_.spawn_overhead_ns <= 0) return;
@@ -194,6 +208,17 @@ void Scheduler::worker_main(int index) {
   // would dominate small-grid kernels.
   constexpr int kSpinRounds = 65536;
   while (!stop_.load(std::memory_order_acquire)) {
+    // Throttled worker: park until the active-worker limit readmits this
+    // index.  Tasks left in (or round-robined into) this worker's deque
+    // stay stealable by the active workers, so parking never strands work.
+    if (index >= active_workers_.load(std::memory_order_acquire)) {
+      std::unique_lock<std::mutex> lock(sleep_mutex_);
+      sleep_cv_.wait(lock, [&] {
+        return stop_.load(std::memory_order_acquire) ||
+               index < active_workers_.load(std::memory_order_acquire);
+      });
+      continue;
+    }
     Task task;
     bool found = false;
     for (int round = 0; round < kSpinRounds && !found; ++round) {
@@ -204,12 +229,15 @@ void Scheduler::worker_main(int index) {
       execute(std::move(task));
       continue;
     }
-    // Nothing after spinning: sleep until a push or shutdown.
+    // Nothing after spinning: sleep until a push, a throttle change (the
+    // limit may have dropped below this index — re-check the park branch),
+    // or shutdown.
     std::unique_lock<std::mutex> lock(sleep_mutex_);
     sleeper_count_.fetch_add(1, std::memory_order_release);
     sleep_cv_.wait(lock, [&] {
       return stop_.load(std::memory_order_acquire) ||
-             ready_tasks_.load(std::memory_order_acquire) > 0;
+             ready_tasks_.load(std::memory_order_acquire) > 0 ||
+             index >= active_workers_.load(std::memory_order_acquire);
     });
     sleeper_count_.fetch_sub(1, std::memory_order_release);
   }

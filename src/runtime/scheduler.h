@@ -145,6 +145,22 @@ class Scheduler {
     return steal_count_.load(std::memory_order_relaxed);
   }
 
+  /// Limits how many of the pool's workers actively execute tasks
+  /// (clamped to [1, thread_count()]).  Workers at index >= `count` park
+  /// on the sleep condvar until the limit is raised again; tasks already
+  /// sitting in a parked worker's deque remain stealable, so nothing is
+  /// lost or stalled — the pool just runs narrower.  This deliberately
+  /// models a machine whose effective core count shrank under the service
+  /// (noisy neighbours, thermal throttling, a resized container): the
+  /// drift bench and tests use it to degrade latency mid-run without
+  /// rebuilding the engine.  Thread-safe.
+  void set_active_workers(int count);
+
+  /// Current active-worker limit (thread_count() unless throttled).
+  int active_workers() const {
+    return active_workers_.load(std::memory_order_acquire);
+  }
+
  private:
   struct Task {
     /// Allocation-free fast path used by parallel_for's range splitting:
@@ -185,6 +201,7 @@ class Scheduler {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::atomic<bool> stop_{false};
+  std::atomic<int> active_workers_{0};  // set to thread_count() in the ctor
   std::atomic<std::int64_t> ready_tasks_{0};
   std::atomic<std::int64_t> steal_count_{0};
   std::atomic<std::uint64_t> external_round_robin_{0};

@@ -49,7 +49,7 @@ std::string config_cache_key(const TrainerOptions& options,
                              const std::string& profile_name,
                              const std::string& strategy) {
   std::ostringstream oss;
-  // "v6": bump when runtime characteristics change enough to invalidate
+  // "v7": bump when runtime characteristics change enough to invalidate
   // previously tuned tables (v2 → v3: scenarios became first-class — the
   // operator family joined the key via ProblemSpec; v3 → v4: the smoother
   // became a tuned per-level choice; v4 → v5: coarsening became a tuned
@@ -57,8 +57,11 @@ std::string config_cache_key(const TrainerOptions& options,
   // kernel policy joined the searched-profile schema — the layout and
   // simd_width axes change the candidate stream and the timings behind
   // every stored table, so every v5 entry is a clean miss and gets
-  // retrained with the packed-kernel dimensions enabled).
-  oss << "v6_" << strategy << "_" << profile_name << "_"
+  // retrained with the packed-kernel dimensions enabled; v6 → v7:
+  // searched entries gained the "latency_baseline" section — the tuned
+  // tables' healthy latency distribution, which the serving-time drift
+  // watcher needs, so baseline-less v6 entries are clean misses).
+  oss << "v7_" << strategy << "_" << profile_name << "_"
       << options.problem_spec().cache_token() << "_m"
       << options.accuracies.size() << "_p"
       << static_cast<int>(std::lround(std::log10(options.accuracies.back())))
@@ -143,6 +146,11 @@ SearchTrainResult load_or_search_train(
       result.config = TunedConfig::from_json(doc);
       result.searched =
           search::SearchedProfile::from_json(doc.at("searched_profile"));
+      // The baseline is mandatory in schema v7: a searched entry without
+      // one cannot seed a drift watcher, so treat it as corrupt (a clean
+      // miss) rather than silently serving a blind service.
+      result.baseline =
+          obs::LatencyBaseline::from_json(doc.at("latency_baseline"));
       // Validate the deserialized runtime parameters *here*, symmetric
       // with load_or_train's schema validation: callers install
       // result.searched straight into an Engine, whose constructor throws
@@ -164,6 +172,7 @@ SearchTrainResult load_or_search_train(
   SearchTrainResult result = search_then_train(options, search_options);
   Json doc = result.config.to_json();
   doc.set("searched_profile", result.searched.to_json());
+  doc.set("latency_baseline", result.baseline.to_json());
   std::error_code ec;
   std::filesystem::create_directories(cache_dir, ec);
   if (!ec) write_text_file(path.string(), doc.dump(2) + "\n");

@@ -53,7 +53,9 @@ std::string searched_config_cache_key(
 
 /// Cached search-then-train (see tune::search_then_train): one JSON file
 /// holds the tuned tables plus a "searched_profile" section with the
-/// machine profile and relaxation weights the tables were trained under.
+/// machine profile and relaxation weights the tables were trained under,
+/// and (schema v7) a "latency_baseline" section with the tables' healthy
+/// per-(n × accuracy) latency distribution for drift detection.
 /// Corrupt entries are recomputed and overwritten, like load_or_train.
 SearchTrainResult load_or_search_train(
     const TrainerOptions& options,

@@ -67,19 +67,20 @@ void TunedExecutor::trace(trace::Op op, int level, int detail) const {
   if (tracer_ != nullptr) tracer_->record(op, level, detail);
 }
 
-void TunedExecutor::run_v(Grid2D& x, const Grid2D& b, int accuracy_index,
-                          obs::PhaseProfile* profile) const {
+int TunedExecutor::run_v(Grid2D& x, const Grid2D& b, int accuracy_index,
+                         obs::PhaseProfile* profile) const {
   PBMG_CHECK(x.n() == b.n(), "run_v: grid size mismatch");
   const int level = level_of_size(x.n());
-  run_v_at(x, b, level, accuracy_index, rap_for_top(level, profile), profile);
+  return run_v_at(x, b, level, accuracy_index, rap_for_top(level, profile),
+                  profile);
 }
 
-void TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
-                            obs::PhaseProfile* profile) const {
+int TunedExecutor::run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
+                           obs::PhaseProfile* profile) const {
   PBMG_CHECK(x.n() == b.n(), "run_fmg: grid size mismatch");
   const int level = level_of_size(x.n());
-  run_fmg_at(x, b, level, accuracy_index, rap_for_top(level, profile),
-             profile);
+  return run_fmg_at(x, b, level, accuracy_index, rap_for_top(level, profile),
+                    profile);
 }
 
 void TunedExecutor::recurse_body(Grid2D& x, const Grid2D& b,
@@ -102,10 +103,10 @@ void TunedExecutor::estimate(Grid2D& x, const Grid2D& b,
               rap_for_top(level, profile), profile);
 }
 
-void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
-                             int accuracy_index,
-                             const grid::StencilHierarchy* rap,
-                             obs::PhaseProfile* profile) const {
+int TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
+                            int accuracy_index,
+                            const grid::StencilHierarchy* rap,
+                            obs::PhaseProfile* profile) const {
   const VEntry& entry = config_.v_entry(level, accuracy_index);
   PBMG_CHECK(entry.trained, "run_v: cell (" + std::to_string(level) + "," +
                                 std::to_string(accuracy_index) +
@@ -115,7 +116,7 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
       obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level);
       direct_.solve(op_at(level, grid::Coarsening::kAverage, rap), b, x);
       trace(trace::Op::kDirect, level);
-      break;
+      return 1;
     }
     case VKind::kIterSor: {
       const grid::StencilOp op =
@@ -127,7 +128,7 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
         solvers::sor_sweep(op, x, b, omega, sched_, relax_.kernels);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
-      break;
+      return entry.choice.iterations;
     }
     case VKind::kRecurse:
       for (int it = 0; it < entry.choice.iterations; ++it) {
@@ -135,8 +136,9 @@ void TunedExecutor::run_v_at(Grid2D& x, const Grid2D& b, int level,
                         entry.choice.smoother, entry.choice.coarsening, rap,
                         profile);
       }
-      break;
+      return entry.choice.iterations;
   }
+  return 0;  // unreachable; silences -Wreturn-type
 }
 
 void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
@@ -217,10 +219,10 @@ void TunedExecutor::recurse_body_at(Grid2D& x, const Grid2D& b, int level,
   trace(trace::Op::kRelax, level);
 }
 
-void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
-                               int accuracy_index,
-                               const grid::StencilHierarchy* rap,
-                               obs::PhaseProfile* profile) const {
+int TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
+                              int accuracy_index,
+                              const grid::StencilHierarchy* rap,
+                              obs::PhaseProfile* profile) const {
   const FmgEntry& entry = config_.fmg_entry(level, accuracy_index);
   PBMG_CHECK(entry.trained, "run_fmg: cell (" + std::to_string(level) + "," +
                                 std::to_string(accuracy_index) +
@@ -230,7 +232,7 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
       obs::ScopedPhaseTimer timer(profile, obs::Phase::kDirect, level);
       direct_.solve(op_at(level, grid::Coarsening::kAverage, rap), b, x);
       trace(trace::Op::kDirect, level);
-      break;
+      return 1;
     }
     case FmgKind::kEstimateThenSor: {
       estimate_at(x, b, level, entry.choice.estimate_accuracy, rap, profile);
@@ -243,7 +245,7 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
         solvers::sor_sweep(op, x, b, omega, sched_, relax_.kernels);
       }
       trace(trace::Op::kIterative, level, entry.choice.iterations);
-      break;
+      return entry.choice.iterations;
     }
     case FmgKind::kEstimateThenRecurse:
       estimate_at(x, b, level, entry.choice.estimate_accuracy, rap, profile);
@@ -252,8 +254,9 @@ void TunedExecutor::run_fmg_at(Grid2D& x, const Grid2D& b, int level,
                         entry.choice.smoother, entry.choice.coarsening, rap,
                         profile);
       }
-      break;
+      return entry.choice.iterations;
   }
+  return 0;  // unreachable; silences -Wreturn-type
 }
 
 void TunedExecutor::estimate_at(Grid2D& x, const Grid2D& b, int level,

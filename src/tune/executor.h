@@ -68,13 +68,19 @@ class TunedExecutor {
   /// must be a trained level of the config.  `profile`, when non-null,
   /// receives per-(level, phase) wall-time attribution at sweep
   /// granularity (obs/phase_profile.h); the default null sink keeps the
-  /// solve path free of clock reads.
-  void run_v(Grid2D& x, const Grid2D& b, int accuracy_index,
-             obs::PhaseProfile* profile = nullptr) const;
+  /// solve path free of clock reads.  Returns the number of top-level
+  /// iterations the tuned plan actually executed — RECURSE bodies or SOR
+  /// sweeps at the entry level, or 1 for a direct solve — so callers
+  /// (SolveSession/SolveService) can report real cycle counts instead of
+  /// fabricating them.
+  int run_v(Grid2D& x, const Grid2D& b, int accuracy_index,
+            obs::PhaseProfile* profile = nullptr) const;
 
   /// Runs FULL-MULTIGRID at `accuracy_index`; same contract as run_v.
-  void run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
-               obs::PhaseProfile* profile = nullptr) const;
+  /// The returned count covers the solve phase at the entry level (the
+  /// ESTIMATE ramp's own iterations recurse through their own cells).
+  int run_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
+              obs::PhaseProfile* profile = nullptr) const;
 
   /// One application of the RECURSE_j body at x's level (exposed for the
   /// trainer, which needs to iterate it while measuring accuracy).
@@ -103,13 +109,15 @@ class TunedExecutor {
  private:
   // Every private recursion carries `rap`, the RAP ladder resolved once
   // at the public entry point for the invoked top level (see
-  // rap_for_top), so deep RECURSE bodies never re-derive it.
-  void run_v_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
-                const grid::StencilHierarchy* rap,
-                obs::PhaseProfile* profile) const;
-  void run_fmg_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
-                  const grid::StencilHierarchy* rap,
-                  obs::PhaseProfile* profile) const;
+  // rap_for_top), so deep RECURSE bodies never re-derive it.  The _at
+  // entry points return the executed iteration count at *their* level
+  // (the public methods surface the top level's).
+  int run_v_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
+               const grid::StencilHierarchy* rap,
+               obs::PhaseProfile* profile) const;
+  int run_fmg_at(Grid2D& x, const Grid2D& b, int level, int accuracy_index,
+                 const grid::StencilHierarchy* rap,
+                 obs::PhaseProfile* profile) const;
   void recurse_body_at(Grid2D& x, const Grid2D& b, int level,
                        int sub_accuracy_index, solvers::RelaxKind smoother,
                        grid::Coarsening coarsening,

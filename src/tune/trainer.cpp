@@ -11,6 +11,7 @@
 #include "grid/level.h"
 #include "solvers/relax.h"
 #include "support/timer.h"
+#include "tune/baseline.h"
 #include "tune/executor.h"
 
 namespace pbmg::tune {
@@ -557,7 +558,20 @@ SearchTrainResult search_then_train(
   Engine engine(result.searched.profile, result.searched.relax);
   Trainer trainer(options, engine);
   result.config = trainer.train();
+  // Capture what "healthy" latency looks like on the very engine state
+  // the tables were measured under — the reference a serving-time drift
+  // watcher compares against (tune/baseline.h).
+  result.baseline = measure_latency_baseline(engine, result.config);
   return result;
+}
+
+std::future<SearchTrainResult> search_then_train_async(
+    TrainerOptions options, search::ProfileSearchOptions search_options) {
+  return std::async(std::launch::async,
+                    [options = std::move(options),
+                     search_options = std::move(search_options)]() {
+                      return search_then_train(options, search_options);
+                    });
 }
 
 TunedConfig Trainer::train_heuristic(int fixed_sub_accuracy) {

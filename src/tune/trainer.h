@@ -1,12 +1,14 @@
 #pragma once
 
 #include <functional>
+#include <future>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "engine/engine.h"
 #include "grid/problem.h"
+#include "obs/drift.h"
 #include "runtime/scheduler.h"
 #include "search/profile_search.h"
 #include "solvers/direct.h"
@@ -191,6 +193,11 @@ class Trainer {
 struct SearchTrainResult {
   search::SearchedProfile searched;  ///< runtime parameters the DP ran under
   TunedConfig config;                ///< DP tables trained on that profile
+  /// Per-(n × accuracy) latency distribution of the tuned tables measured
+  /// right after training on the searched-profile engine (tune/baseline.h).
+  /// This is what "healthy" looks like: SolveService's drift watcher
+  /// compares live latencies against it.
+  obs::LatencyBaseline baseline;
 };
 
 /// The two-stage tuning mode: first a population search over runtime
@@ -201,8 +208,16 @@ struct SearchTrainResult {
 /// parameters to reproduce its expected times — run it on an
 /// Engine(result.searched.profile, result.searched.relax), or via
 /// load_or_search_train's cache which stores both halves together.
+/// Finishes by measuring the tables' latency baseline on that engine.
 SearchTrainResult search_then_train(
     const TrainerOptions& options,
     const search::ProfileSearchOptions& search_options);
+
+/// search_then_train on a worker thread (std::async): the retune entry
+/// point for a service that detected drift and wants fresh tables without
+/// stalling its solve path.  The future owns the thread; it joins when
+/// the result is consumed (or the future destroyed).
+std::future<SearchTrainResult> search_then_train_async(
+    TrainerOptions options, search::ProfileSearchOptions search_options);
 
 }  // namespace pbmg::tune

@@ -206,11 +206,40 @@ TEST(ProblemSpecKey, OldV3SmootherlessSchemaIsACleanMiss) {
   const auto dir = fresh_dir("pbmg_cc_v3schema");
   const TrainerOptions options = tiny_options();
   const std::string new_key = config_cache_key(options, "serial", "autotuned");
-  EXPECT_EQ(new_key.rfind("v6_", 0), 0u);
+  EXPECT_EQ(new_key.rfind("v7_", 0), 0u);
   EXPECT_NE(new_key.find("_sm"), std::string::npos);
   // The exact v3 layout for tiny_options (see PR 3's config_cache.cpp):
   // v3_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_s<seed>.
   const std::string old_key = "v3_autotuned_serial_poisson_unbiased_L3_m5_p9_i1_s99";
+  ASSERT_NE(new_key, old_key);
+  const auto old_path = dir / (old_key + ".json");
+  const std::string old_content = handmade_config().to_json().dump(2) + "\n";
+  write_text_file(old_path.string(), old_content);
+
+  bool from_cache = true;
+  const TunedConfig config =
+      load_or_train(options, engine(), dir.string(), -1, &from_cache);
+  EXPECT_FALSE(from_cache);
+  EXPECT_EQ(config.max_level(), options.max_level);
+  EXPECT_EQ(read_text_file(old_path.string()), old_content);
+  EXPECT_TRUE(std::filesystem::exists(dir / (new_key + ".json")));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ProblemSpecKey, OldV6BaselinelessSchemaIsACleanMiss) {
+  // v6 keys predate the latency-baseline section (ISSUE 8): their
+  // searched entries carry no "latency_baseline", so they cannot seed a
+  // drift watcher.  The v7 prefix guarantees the old filename never
+  // matches: retrain, store beside the legacy file, leave it untouched.
+  const auto dir = fresh_dir("pbmg_cc_v6schema");
+  const TrainerOptions options = tiny_options();
+  const std::string new_key = config_cache_key(options, "serial", "autotuned");
+  EXPECT_EQ(new_key.rfind("v7_", 0), 0u);
+  // The exact v6 layout for tiny_options (see PR 7's config_cache.cpp):
+  // v6_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_
+  // s<seed>_sm<smoothers>_co<coarsenings>.
+  const std::string old_key =
+      "v6_autotuned_serial_poisson_unbiased_L3_m5_p9_i1_s99_smzxyp_cora";
   ASSERT_NE(new_key, old_key);
   const auto old_path = dir / (old_key + ".json");
   const std::string old_content = handmade_config().to_json().dump(2) + "\n";
@@ -236,7 +265,7 @@ TEST(ProblemSpecKey, OldV4CoarseninglessSchemaIsACleanMiss) {
   const auto dir = fresh_dir("pbmg_cc_v4schema");
   const TrainerOptions options = tiny_options();
   const std::string new_key = config_cache_key(options, "serial", "autotuned");
-  EXPECT_EQ(new_key.rfind("v6_", 0), 0u);
+  EXPECT_EQ(new_key.rfind("v7_", 0), 0u);
   EXPECT_NE(new_key.find("_co"), std::string::npos);
   // The exact v4 layout for tiny_options (see PR 4's config_cache.cpp):
   // v4_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_
@@ -261,13 +290,13 @@ TEST(ProblemSpecKey, OldV4CoarseninglessSchemaIsACleanMiss) {
 TEST(ProblemSpecKey, OldV5KernelPolicylessSchemaIsACleanMiss) {
   // v5 keys predate the kernel-policy axes (packed stencil layout and
   // SIMD width): their searched profiles never raced the packed kernels,
-  // so the timings behind every stored table are stale.  The v6 prefix
-  // guarantees the old filename never matches: retrain, store beside the
-  // legacy file, leave it untouched.
+  // so the timings behind every stored table are stale.  The current
+  // prefix guarantees the old filename never matches: retrain, store
+  // beside the legacy file, leave it untouched.
   const auto dir = fresh_dir("pbmg_cc_v5schema");
   const TrainerOptions options = tiny_options();
   const std::string new_key = config_cache_key(options, "serial", "autotuned");
-  EXPECT_EQ(new_key.rfind("v6_", 0), 0u);
+  EXPECT_EQ(new_key.rfind("v7_", 0), 0u);
   // The exact v5 layout for tiny_options (see PR 5's config_cache.cpp):
   // v5_<strategy>_<profile>_<op>_<dist>_L<level>_m<rungs>_p<exp>_i<n>_
   // s<seed>_sm<smoothers>_co<coarsenings>.

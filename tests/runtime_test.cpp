@@ -183,6 +183,76 @@ TEST(Scheduler, SpawnOverheadInjectionSlowsSpawns) {
 
 // ------------------------------------------------------------ profiles --
 
+TEST(Scheduler, ActiveWorkerThrottleNarrowsAndRestoresThePool) {
+  Scheduler sched(test_profile(4));
+  EXPECT_EQ(sched.active_workers(), 4);
+
+  // Throttled to one worker, every index must still be covered exactly
+  // once — parked workers' tasks stay stealable, nothing is lost.
+  sched.set_active_workers(1);
+  EXPECT_EQ(sched.active_workers(), 1);
+  constexpr std::int64_t kN = 4096;
+  std::vector<std::atomic<int>> hits(kN);
+  sched.parallel_for(0, kN, 16, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+
+  // Out-of-range requests clamp instead of throwing: the throttle models
+  // a degraded machine, and a watchdog poking it must never kill the pool.
+  sched.set_active_workers(0);
+  EXPECT_EQ(sched.active_workers(), 1);
+  sched.set_active_workers(99);
+  EXPECT_EQ(sched.active_workers(), 4);
+
+  // Restored pool still covers ranges (workers woke back up).
+  std::vector<std::atomic<int>> again(kN);
+  sched.parallel_for(0, kN, 16, [&](std::int64_t b, std::int64_t e) {
+    for (std::int64_t i = b; i < e; ++i) {
+      again[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(again[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(Scheduler, ThrottleTogglesUnderConcurrentLoadWithoutLosingWork) {
+  // Race the throttle against live parallel work: a driver thread flips
+  // the active-worker limit while parallel_for regions run.  Every index
+  // must be covered exactly once regardless of where the toggles land.
+  Scheduler sched(test_profile(4));
+  std::atomic<bool> stop{false};
+  std::thread toggler([&] {
+    int width = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      sched.set_active_workers(width);
+      width = width == 1 ? 4 : 1;
+      std::this_thread::yield();
+    }
+  });
+  constexpr std::int64_t kN = 2048;
+  for (int round = 0; round < 20; ++round) {
+    std::vector<std::atomic<int>> hits(kN);
+    sched.parallel_for(0, kN, 8, [&](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) {
+        hits[static_cast<std::size_t>(i)].fetch_add(1);
+      }
+    });
+    for (std::int64_t i = 0; i < kN; ++i) {
+      ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+          << "round " << round << " index " << i;
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  toggler.join();
+  sched.set_active_workers(4);
+}
+
 TEST(MachineProfile, PresetsAreDistinctAndValid) {
   const auto names = profile_names();
   EXPECT_GE(names.size(), 4u);

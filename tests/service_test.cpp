@@ -236,9 +236,18 @@ TEST(SolveService, MetricsSnapshotCountsEveryRequestPerSizeAndAccuracy) {
   drive(4, solves_big, 1);
 
   const obs::RegistrySnapshot snapshot = service.metrics_snapshot();
-  EXPECT_EQ(snapshot.counters.at("pbmg_solve_requests_total"),
+  // Requests carry an outcome label whose series sum to *all* requests
+  // (Prometheus `_total` convention): so far everything succeeded.
+  EXPECT_EQ(snapshot.counters.at("pbmg_solve_requests_total{outcome=\"ok\"}"),
             solves_small + solves_big);
+  EXPECT_EQ(snapshot.counters.at(
+                "pbmg_solve_requests_total{outcome=\"unconverged\"}"),
+            0);
+  EXPECT_EQ(
+      snapshot.counters.at("pbmg_solve_requests_total{outcome=\"error\"}"),
+      0);
   EXPECT_EQ(snapshot.counters.at("pbmg_solve_failures_total"), 0);
+  EXPECT_EQ(snapshot.histograms.at("pbmg_solve_failure_seconds").count, 0);
   const std::string small_series =
       "pbmg_solve_latency_seconds{n=\"" + std::to_string(size_of_level(3)) +
       "\",acc=\"0\"}";
@@ -256,13 +265,19 @@ TEST(SolveService, MetricsSnapshotCountsEveryRequestPerSizeAndAccuracy) {
   ASSERT_TRUE(snapshot.gauges.count("pbmg_scratch_hit_rate"));
   ASSERT_TRUE(snapshot.gauges.count("pbmg_scheduler_steals"));
 
-  // A rejected request lands in the failure counter, not the histograms.
+  // A rejected request lands in the failure counter, the error-outcome
+  // request series, and the failure latency histogram — not the
+  // per-(n, acc) success histograms.
   Grid2D x(size_of_level(3), 0.0), b(size_of_level(3), 0.0);
   SolveRequest bad;
   bad.accuracy_index = trained().accuracy_count() + 3;
   EXPECT_THROW(service.solve(x, b, bad), Error);
-  EXPECT_EQ(service.metrics_snapshot().counters.at("pbmg_solve_failures_total"),
-            1);
+  const obs::RegistrySnapshot after = service.metrics_snapshot();
+  EXPECT_EQ(after.counters.at("pbmg_solve_failures_total"), 1);
+  EXPECT_EQ(
+      after.counters.at("pbmg_solve_requests_total{outcome=\"error\"}"), 1);
+  EXPECT_EQ(after.histograms.at("pbmg_solve_failure_seconds").count, 1);
+  EXPECT_EQ(after.histograms.at(small_series).count, solves_small);
 }
 
 TEST(SolveService, RequestProfileAttachesPhaseBreakdownToStats) {
