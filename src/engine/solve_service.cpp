@@ -1,7 +1,9 @@
 #include "engine/solve_service.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "grid/problem.h"
 #include "support/error.h"
@@ -9,8 +11,10 @@
 
 namespace pbmg {
 
-SolveService::SolveService(Engine& engine, tune::TunedConfig config)
+SolveService::SolveService(Engine& engine, tune::TunedConfig config,
+                           ServicePolicy policy)
     : engine_(engine),
+      policy_(policy),
       requests_ok_(
           metrics_.counter("pbmg_solve_requests_total{outcome=\"ok\"}")),
       requests_unconverged_(metrics_.counter(
@@ -18,6 +22,7 @@ SolveService::SolveService(Engine& engine, tune::TunedConfig config)
       requests_error_(
           metrics_.counter("pbmg_solve_requests_total{outcome=\"error\"}")),
       failures_total_(metrics_.counter("pbmg_solve_failures_total")),
+      session_evictions_(metrics_.counter("pbmg_session_evictions_total")),
       trims_total_(metrics_.counter("pbmg_scratch_trims_total")),
       trim_bytes_total_(metrics_.counter("pbmg_scratch_trim_bytes_total")),
       drift_windows_ok_(
@@ -29,7 +34,9 @@ SolveService::SolveService(Engine& engine, tune::TunedConfig config)
           metrics_.counter("pbmg_drift_retune_failures_total")),
       generation_gauge_(metrics_.gauge("pbmg_config_generation")),
       retune_gauge_(metrics_.gauge("pbmg_retune_in_progress")),
-      failure_seconds_(metrics_.histogram("pbmg_solve_failure_seconds")) {
+      session_bytes_gauge_(metrics_.gauge("pbmg_session_bytes")),
+      failure_seconds_(metrics_.histogram("pbmg_solve_failure_seconds")),
+      batch_size_(metrics_.histogram("pbmg_batch_size")) {
   current_ = std::make_shared<Generation>();
   current_->engine = &engine_;
   current_->config = std::move(config);
@@ -51,20 +58,25 @@ void SolveService::install(tune::TunedConfig config,
                            obs::LatencyBaseline baseline,
                            std::shared_ptr<Engine> engine) {
   auto fresh = std::make_shared<Generation>();
-  fresh->owned = std::move(engine);
   fresh->config = std::move(config);
   std::int64_t id = 0;
+  std::vector<std::shared_ptr<Generation>> reclaimed;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     id = current_->id + 1;
     fresh->id = id;
-    // A config-only install inherits the live engine; keeping the retired
-    // generation in retired_ keeps that engine (and every session
-    // reference ever handed out) alive for the service's lifetime.
+    // A config-only install inherits the live engine as a CO-OWNING
+    // shared_ptr (when the retiring generation owned one), never a raw
+    // pointer into the retired generation — reclaiming that generation
+    // must not pull the engine out from under the fresh one.  A null
+    // `owned` on both sides means the construction-time, caller-owned
+    // engine, which outlives the service by contract.
+    fresh->owned = engine ? std::move(engine) : current_->owned;
     fresh->engine = fresh->owned ? fresh->owned.get() : current_->engine;
     retired_.push_back(current_);
     current_ = std::move(fresh);
     stats_.generation = id;
+    reclaim_retired_locked(reclaimed);
   }
   generation_id_.store(id, std::memory_order_release);
   generation_gauge_.set(static_cast<double>(id));
@@ -72,6 +84,31 @@ void SolveService::install(tune::TunedConfig config,
   // baseline; samples still in flight on the old generation are filtered
   // out by observe_drift's generation check.
   if (watcher_) watcher_->rebase(std::move(baseline));
+  // `reclaimed` destructs here, outside every lock: tearing down session
+  // hierarchies (and possibly a generation-owned engine) is heavy.
+}
+
+void SolveService::reclaim_retired_locked(
+    std::vector<std::shared_ptr<Generation>>& out) {
+  // A retired generation with use_count 1 is pinned by nobody: no
+  // SessionRef holds its aliased pointer, no in-flight solve snapshotted
+  // it, only retired_ itself keeps it alive.  Its sessions — and its
+  // engine, when no later generation co-owns it — are dead weight.
+  auto it = retired_.begin();
+  while (it != retired_.end()) {
+    if (it->use_count() == 1) {
+      const std::size_t bytes = (*it)->resident_bytes;
+      if (bytes > 0) {
+        session_bytes_gauge_.set(static_cast<double>(
+            session_bytes_.fetch_sub(bytes, std::memory_order_acq_rel) -
+            bytes));
+      }
+      out.push_back(std::move(*it));
+      it = retired_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 std::shared_ptr<SolveService::Generation> SolveService::current_generation()
@@ -96,11 +133,16 @@ obs::Histogram& SolveService::latency_histogram(int n, int accuracy_index) {
   return hist;
 }
 
-SolveSession& SolveService::session_in(Generation& gen, int n) {
+SessionRef SolveService::session_in(const std::shared_ptr<Generation>& gen,
+                                    int n) {
   {
-    std::lock_guard<std::mutex> lock(gen.mutex);
-    auto it = gen.sessions.find(n);
-    if (it != gen.sessions.end()) return *it->second;
+    std::lock_guard<std::mutex> lock(gen->mutex);
+    auto it = gen->sessions.find(n);
+    if (it != gen->sessions.end()) {
+      it->second.last_used =
+          lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+      return SessionRef(it->second.session, gen);
+    }
   }
   // Construct outside the lock: prewarming a large level hierarchy
   // allocates and zero-fills megabytes, and must not stall unrelated
@@ -112,16 +154,69 @@ SolveSession& SolveService::session_in(Generation& gen, int n) {
   // family takes StencilOp's constant-coefficient fast path, bit-for-bit
   // the historical behaviour).
   auto fresh = std::make_shared<SolveSession>(
-      *gen.engine, gen.config,
-      make_operator(n, parse_operator_family(gen.config.op_family)));
-  std::lock_guard<std::mutex> lock(gen.mutex);
-  auto [it, inserted] = gen.sessions.emplace(n, std::move(fresh));
-  return *it->second;
+      *gen->engine, gen->config,
+      make_operator(n, parse_operator_family(gen->config.op_family)));
+  const std::size_t bytes = fresh->footprint_bytes();
+  SessionRef ref;
+  {
+    std::lock_guard<std::mutex> lock(gen->mutex);
+    auto [it, inserted] = gen->sessions.emplace(n, SessionSlot{});
+    if (inserted) {
+      it->second.session = std::move(fresh);
+      it->second.bytes = bytes;
+      gen->resident_bytes += bytes;
+      session_bytes_gauge_.set(static_cast<double>(
+          session_bytes_.fetch_add(bytes, std::memory_order_acq_rel) +
+          bytes));
+    }
+    it->second.last_used =
+        lru_tick_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Pin before enforcing, so the slot we are about to hand out is
+    // never its own eviction victim (use_count > 1 excludes it).
+    ref = SessionRef(it->second.session, gen);
+    if (inserted) enforce_policy_locked(*gen);
+  }
+  return ref;
 }
 
-SolveSession& SolveService::session(int n) {
-  const std::shared_ptr<Generation> gen = current_generation();
-  return session_in(*gen, n);
+void SolveService::enforce_policy_locked(Generation& gen) {
+  const auto over = [&] {
+    if (policy_.max_sessions > 0 &&
+        gen.sessions.size() > policy_.max_sessions) {
+      return true;
+    }
+    return policy_.max_session_bytes > 0 &&
+           session_bytes_.load(std::memory_order_acquire) >
+               policy_.max_session_bytes;
+  };
+  while (over()) {
+    // LRU among this generation's UNPINNED slots (use_count 1: only the
+    // cache itself holds the session — no SessionRef, no in-flight
+    // batch).  Pinned sessions are untouchable no matter how stale, so
+    // a workload that pins everything can exceed the budget; it drains
+    // back under it as pins drop and later binds re-enforce.
+    auto victim = gen.sessions.end();
+    for (auto it = gen.sessions.begin(); it != gen.sessions.end(); ++it) {
+      if (it->second.session.use_count() != 1) continue;
+      if (victim == gen.sessions.end() ||
+          it->second.last_used < victim->second.last_used) {
+        victim = it;
+      }
+    }
+    if (victim == gen.sessions.end()) return;  // everything pinned
+    const std::size_t bytes = victim->second.bytes;
+    gen.resident_bytes -= bytes;
+    gen.sessions.erase(victim);
+    session_bytes_gauge_.set(static_cast<double>(
+        session_bytes_.fetch_sub(bytes, std::memory_order_acq_rel) -
+        bytes));
+    session_evictions_.add(1);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+SessionRef SolveService::session(int n) {
+  return session_in(current_generation(), n);
 }
 
 void SolveService::validate_request(const Generation& gen,
@@ -149,15 +244,15 @@ SolveStats SolveService::solve(Grid2D& x, const Grid2D& b,
   const double t0 = now_seconds();
   try {
     validate_request(*gen, request);
-    SolveSession& bound = session_in(*gen, x.n());
+    const SessionRef bound = session_in(gen, x.n());
     index = request.accuracy_index >= 0
                 ? request.accuracy_index
-                : bound.accuracy_index(request.target_accuracy);
+                : bound->accuracy_index(request.target_accuracy);
     stats = request.fmg
-                ? bound.solve_fmg(x, b, index, request.profile,
-                                  request.residual)
-                : bound.solve_v(x, b, index, request.profile,
-                                request.residual);
+                ? bound->solve_fmg(x, b, index, request.profile,
+                                   request.residual)
+                : bound->solve_v(x, b, index, request.profile,
+                                 request.residual);
     stats.generation = gen->id;
   } catch (...) {
     failures_total_.add(1);
@@ -169,20 +264,96 @@ SolveStats SolveService::solve(Grid2D& x, const Grid2D& b,
     ++stats_.failures;
     throw;
   }
-  latency_histogram(stats.n, index).record(stats.seconds);
-  (stats.converged ? requests_ok_ : requests_unconverged_).add(1);
+  // Healthy and unhealthy latency split: the per-(n, acc) histograms are
+  // what the drift watcher (and any operator reading them) treats as
+  // healthy serving latency, and observe_drift already refuses
+  // unconverged samples — recording them here anyway would quietly skew
+  // the very distribution the watcher compares against.  A solve that
+  // failed its residual audit is accounted where thrown solves go.
+  if (stats.converged) {
+    latency_histogram(stats.n, index).record(stats.seconds);
+    requests_ok_.add(1);
+  } else {
+    failure_seconds_.record(stats.seconds);
+    requests_unconverged_.add(1);
+  }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.requests;
     stats_.busy_seconds += stats.seconds;
   }
-  observe_drift(gen, stats, index);
+  observe_drift(gen, stats, index, request.fmg);
   return stats;
 }
 
+std::vector<SolveStats> SolveService::solve_batch(std::span<Grid2D* const> xs,
+                                                  const Grid2D& b_template,
+                                                  const SolveRequest& request) {
+  std::vector<SolveStats> all;
+  if (xs.empty()) return all;
+  const auto count = static_cast<std::int64_t>(xs.size());
+  const std::shared_ptr<Generation> gen = current_generation();
+  const double t0 = now_seconds();
+  int index = -1;
+  try {
+    validate_request(*gen, request);
+    const SessionRef bound = session_in(gen, b_template.n());
+    index = request.accuracy_index >= 0
+                ? request.accuracy_index
+                : bound->accuracy_index(request.target_accuracy);
+    batch_size_.record(static_cast<double>(xs.size()));
+    if (request.fmg) {
+      // FULL-MULTIGRID has no fused multi-RHS walk (its ESTIMATE ramp is
+      // inherently per-iterate), so an FMG batch is a loop of solo
+      // solves — same results, no amortization.
+      all.reserve(xs.size());
+      for (Grid2D* x : xs) {
+        all.push_back(bound->solve_fmg(*x, b_template, index,
+                                       request.profile, request.residual));
+      }
+    } else {
+      all = bound->solve_batch_v(xs, b_template, index, request.profile,
+                                 request.residual);
+    }
+    for (SolveStats& stats : all) stats.generation = gen->id;
+  } catch (...) {
+    // A throw mid-walk fails every request in the batch.
+    failures_total_.add(count);
+    requests_error_.add(count);
+    failure_seconds_.record(now_seconds() - t0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.failures += count;
+    throw;
+  }
+  // One latency sample per batch: the fused walk has one wall-clock (the
+  // FMG loop's per-solve times sum to it), so per-RHS samples would
+  // overcount the histogram K-fold.  The sample is healthy only when
+  // EVERY RHS converged; outcome counters still split per RHS.  Batched
+  // samples never feed the drift watcher — batch wall-clock grows with K
+  // and is incomparable to the solo per-solve baseline.
+  std::int64_t converged = 0;
+  for (const SolveStats& stats : all) {
+    if (stats.converged) ++converged;
+  }
+  const double seconds = now_seconds() - t0;
+  if (converged == count) {
+    latency_histogram(b_template.n(), index).record(seconds);
+  } else {
+    failure_seconds_.record(seconds);
+  }
+  requests_ok_.add(converged);
+  requests_unconverged_.add(count - converged);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.requests += count;
+    stats_.busy_seconds += seconds;
+  }
+  return all;
+}
+
 void SolveService::observe_drift(const std::shared_ptr<Generation>& gen,
-                                 const SolveStats& stats,
-                                 int accuracy_index) {
+                                 const SolveStats& stats, int accuracy_index,
+                                 bool fmg) {
   if (watcher_ == nullptr) return;
   // Stragglers that bound a generation which has since been swapped out
   // measured the *old* config; mixing them into the fresh baseline's
@@ -191,8 +362,11 @@ void SolveService::observe_drift(const std::shared_ptr<Generation>& gen,
   // A solve that failed its residual audit is not a healthy latency
   // sample — this is why the honest converged flag had to come first.
   if (!stats.converged) return;
+  // V-cycle and FMG latencies live in separate baseline keys: FMG solves
+  // are legitimately slower (the ramp), and mixing the two modes into
+  // one window reads as drift whenever the workload mix shifts.
   const obs::DriftObservation verdict =
-      watcher_->observe(stats.n, accuracy_index, stats.seconds);
+      watcher_->observe(stats.n, accuracy_index, stats.seconds, fmg);
   if (verdict.window_complete) {
     (verdict.drifted ? drift_windows_drifted_ : drift_windows_ok_).add(1);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -239,19 +413,47 @@ ServiceStats SolveService::stats() const {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     out = stats_;
+    out.retired_generations = retired_.size();
     gen = current_;
   }
   {
     std::lock_guard<std::mutex> lock(gen->mutex);
     out.sessions = gen->sessions.size();
   }
+  out.evictions = evictions_.load(std::memory_order_relaxed);
+  out.session_bytes = session_bytes_.load(std::memory_order_acquire);
   out.scratch_hit_rate = gen->engine->scratch().stats().hit_rate();
   out.scheduler_steals = gen->engine->scheduler().steal_count();
   return out;
 }
 
 std::size_t SolveService::trim() {
-  const std::size_t freed = engine().scratch().trim();
+  // Trim EVERY retained generation's engine, deduplicated by identity —
+  // after an install the retired generation's engine still holds its
+  // prewarmed pool, and trimming only the live engine (the old bug) left
+  // those bytes resident until process exit.  Generations that share an
+  // engine (config-only installs) are trimmed once.
+  std::vector<std::shared_ptr<Generation>> gens;
+  std::vector<std::shared_ptr<Generation>> reclaimed;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Reclaim first: an unpinned retired generation's pool bytes are
+    // better returned by destruction than kept hot by a trim.
+    reclaim_retired_locked(reclaimed);
+    gens.reserve(retired_.size() + 1);
+    for (const auto& gen : retired_) gens.push_back(gen);
+    gens.push_back(current_);
+  }
+  reclaimed.clear();  // destruct retired sessions/engines outside mutex_
+  std::size_t freed = 0;
+  std::vector<Engine*> seen;
+  for (const auto& gen : gens) {
+    if (std::find(seen.begin(), seen.end(), gen->engine) != seen.end()) {
+      continue;
+    }
+    seen.push_back(gen->engine);
+    freed += gen->engine->scratch().trim();
+  }
   trims_total_.add(1);
   trim_bytes_total_.add(static_cast<std::int64_t>(freed));
   std::lock_guard<std::mutex> lock(mutex_);

@@ -6,6 +6,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -26,14 +27,17 @@
 /// makes aggregate throughput scale with client count
 /// (bench/fig17_concurrent_service).
 ///
-/// The service also owns an obs::MetricsRegistry: every solve lands in a
-/// per-(grid size × accuracy) latency histogram
-/// (`pbmg_solve_latency_seconds{n="...",acc="..."}`) on success or the
-/// `pbmg_solve_failure_seconds` histogram on a throw, every request
-/// increments `pbmg_solve_requests_total{outcome=...}` (ok / unconverged
-/// / error — the label sums to *all* requests, per the Prometheus
-/// `_total` convention), and metrics_snapshot() samples engine health
-/// (scheduler steals, scratch-pool hit rate) into gauges on the way out.
+/// The service also owns an obs::MetricsRegistry: every *converged*
+/// solve lands in a per-(grid size × accuracy) latency histogram
+/// (`pbmg_solve_latency_seconds{n="...",acc="..."}`); solves that threw
+/// OR failed their residual audit land in `pbmg_solve_failure_seconds`
+/// instead — the healthy histograms feed the drift watcher, and a
+/// latency sample from a solve that did not do its job is not healthy
+/// load.  Every request increments
+/// `pbmg_solve_requests_total{outcome=...}` (ok / unconverged / error —
+/// the label sums to *all* requests, per the Prometheus `_total`
+/// convention), and metrics_snapshot() samples engine health (scheduler
+/// steals, scratch-pool hit rate) into gauges on the way out.
 ///
 /// Config generations & drift-triggered retunes: the tuned config, its
 /// engine, and its sessions form one immutable *generation*.  When
@@ -42,8 +46,20 @@
 /// callback on a background thread, and its result is installed as a new
 /// generation with one pointer swap — in-flight solves finish on the
 /// generation they bound (snapshotted at entry), new requests bind the
-/// fresh one.  Retired generations are kept alive for the service's
-/// lifetime, so session references handed out earlier never dangle.
+/// fresh one.
+///
+/// Fleet-scale memory: sessions are the expensive resident state (packed
+/// coefficient streams, RAP ladders, prewarmed scratch), so the session
+/// cache is byte-budgeted.  ServicePolicy caps resident session bytes
+/// and/or session count; binding a size past the budget evicts the
+/// least-recently-used *unpinned* sessions
+/// (`pbmg_session_evictions_total`), and session() hands out a pinning
+/// SessionRef so a session in use is never destroyed under its caller.
+/// The same pin keeps the whole generation alive: a retired generation is
+/// reclaimed — sessions, and its engine when generation-owned — as soon
+/// as its last SessionRef drops and no solve is in flight on it, instead
+/// of being retained for the service's lifetime.  Resident bytes across
+/// all generations are exported as `pbmg_session_bytes`.
 
 namespace pbmg {
 
@@ -63,12 +79,28 @@ struct SolveRequest {
   ResidualPolicy residual;
 };
 
-/// Service-level counters (monotonic since construction).
+/// Admission/eviction budget for the session cache.  Zero means
+/// unlimited (the historical behaviour).  The byte budget counts
+/// SolveSession::footprint_bytes across every retained generation; a bind
+/// that would exceed it evicts LRU-first among the live generation's
+/// unpinned sessions.  A single session larger than the budget is still
+/// admitted (the service must be able to serve it) — the budget then
+/// empties everything else.
+struct ServicePolicy {
+  std::size_t max_session_bytes = 0;  ///< resident footprint cap (0 = off)
+  std::size_t max_sessions = 0;       ///< live-generation count cap (0 = off)
+};
+
+/// Service-level counters (monotonic since construction, except the
+/// gauges noted).
 struct ServiceStats {
-  std::int64_t requests = 0;     ///< solves completed
+  std::int64_t requests = 0;     ///< solves completed (batch counts each RHS)
   std::int64_t failures = 0;     ///< solves that threw
   double busy_seconds = 0.0;     ///< sum of per-request solve seconds
   std::size_t sessions = 0;      ///< grid sizes bound in the live generation
+  std::int64_t evictions = 0;    ///< sessions evicted by the cache budget
+  std::size_t session_bytes = 0;  ///< resident session bytes, all generations
+  std::size_t retired_generations = 0;  ///< retired gens still pinned alive
   std::int64_t trims = 0;        ///< trim() calls since construction
   std::int64_t trim_bytes = 0;   ///< total bytes freed by those trims
   double scratch_hit_rate = 0.0;    ///< pool hit rate, sampled at stats()
@@ -77,6 +109,32 @@ struct ServiceStats {
   std::int64_t drifted_windows = 0;  ///< windows that failed both tests
   std::int64_t retunes = 0;      ///< background retunes launched
   std::int64_t generation = 1;   ///< live config generation (starts at 1)
+};
+
+/// Pinning handle to a cached SolveSession.  While any SessionRef to a
+/// session exists, the eviction sweep will not destroy it, and the
+/// generation that owns it (config + engine + sibling sessions) stays
+/// alive even after being retired by an install().  Dropping the last
+/// ref makes the session evictable again and lets a retired generation's
+/// memory be reclaimed.  Copyable and cheap (two shared_ptrs); the
+/// session API behind it is const-thread-safe, so refs may be shared
+/// across threads.
+class SessionRef {
+ public:
+  SessionRef() = default;
+  SolveSession& operator*() const { return *session_; }
+  SolveSession* operator->() const { return session_.get(); }
+  SolveSession* get() const { return session_.get(); }
+  explicit operator bool() const { return session_ != nullptr; }
+
+ private:
+  friend class SolveService;
+  SessionRef(std::shared_ptr<SolveSession> session,
+             std::shared_ptr<void> generation)
+      : session_(std::move(session)), generation_(std::move(generation)) {}
+
+  std::shared_ptr<SolveSession> session_;
+  std::shared_ptr<void> generation_;  ///< keeps the owning generation alive
 };
 
 /// Thread-safe solve front-end over one Engine + one tuned config.
@@ -93,7 +151,10 @@ class SolveService {
   using RetuneFn = std::function<RetuneResult()>;
 
   /// The service keeps its own copy of `config`; `engine` must outlive it.
-  SolveService(Engine& engine, tune::TunedConfig config);
+  /// `policy` bounds the session cache (default: unlimited, the
+  /// historical behaviour).
+  SolveService(Engine& engine, tune::TunedConfig config,
+               ServicePolicy policy = {});
 
   /// Joins any in-flight background retune.
   ~SolveService();
@@ -124,11 +185,32 @@ class SolveService {
   /// unset default (accuracy_index < 0 with target_accuracy <= 0).
   SolveStats solve(Grid2D& x, const Grid2D& b, const SolveRequest& request);
 
+  /// Solves K iterates against one shared right-hand side `b_template`
+  /// in a single fused multi-RHS plan walk (SolveSession::solve_batch_v):
+  /// every relax/residual sweep loads each coefficient row once and
+  /// applies it to all K iterates, so throughput grows with K while each
+  /// xs[k] finishes bitwise identical to a solo solve(xs[k], b, request).
+  /// `request.fmg` batches degrade gracefully to a loop of solo FMG
+  /// solves (the ramp has no fused walk).  Returns one SolveStats per
+  /// iterate; for the fused V path their `seconds` all carry the batch
+  /// wall-clock, and the service records ONE latency sample per batch —
+  /// into the healthy histogram only when every RHS converged — plus a
+  /// `pbmg_batch_size` histogram sample.  Batched samples do not feed
+  /// the drift watcher: batch wall-clock is not comparable to the solo
+  /// per-solve baseline.  Thread-safe; throws like solve() (a throw
+  /// fails all K requests).
+  std::vector<SolveStats> solve_batch(std::span<Grid2D* const> xs,
+                                      const Grid2D& b_template,
+                                      const SolveRequest& request);
+
   /// The live generation's session bound to side `n`, created on first
-  /// use.  Thread-safe.  The reference stays valid for the service's
-  /// lifetime even across installs (retired generations are retained),
-  /// but after a swap it no longer receives new solve() traffic.
-  SolveSession& session(int n);
+  /// use (evicting LRU unpinned sessions if the bind exceeds the
+  /// policy budget).  Thread-safe.  The returned SessionRef pins the
+  /// session — and its whole generation — against eviction and
+  /// retired-generation reclaim; hold it only as long as needed.  After
+  /// an install() the ref stays valid but no longer receives new solve()
+  /// traffic.
+  SessionRef session(int n);
 
   /// Counter snapshot.  scratch_hit_rate and scheduler_steals are sampled
   /// from the live generation's engine at call time; the rest are service
@@ -136,7 +218,12 @@ class SolveService {
   ServiceStats stats() const;
 
   /// Releases pooled scratch memory (idle shrink); sessions stay bound.
-  /// Returns bytes freed (also accumulated into ServiceStats::trim_bytes).
+  /// Trims every retained generation's engine, not just the live one —
+  /// a post-install trim must free the *retired* engine's pool too, or a
+  /// config swap silently doubles resident scratch (engines shared
+  /// across generations are trimmed once).  Also reclaims retired
+  /// generations whose last pin has dropped.  Returns bytes freed (also
+  /// accumulated into ServiceStats::trim_bytes).
   std::size_t trim();
 
   /// The service's metrics registry (live handles; see obs/metrics.h).
@@ -156,29 +243,51 @@ class SolveService {
     return retune_in_progress_.load(std::memory_order_acquire);
   }
 
-  /// The live generation's engine / tuned config.
+  /// The live generation's engine / tuned config.  The references are
+  /// valid at least until that generation is retired by an install() AND
+  /// its last pin drops (retired generations are reclaimed); callers
+  /// that outlive installs should copy the config or hold a SessionRef.
   Engine& engine() const;
   const tune::TunedConfig& config() const;
 
  private:
-  /// One immutable (config, engine, sessions) unit.  `owned` is null for
-  /// the construction-time engine (caller-owned); `engine` always points
-  /// at the engine this generation executes on.
+  /// One cache entry: the session plus its eviction bookkeeping.
+  struct SessionSlot {
+    std::shared_ptr<SolveSession> session;
+    std::size_t bytes = 0;        ///< footprint_bytes() at bind time
+    std::uint64_t last_used = 0;  ///< global LRU tick of the last bind
+  };
+
+  /// One immutable (config, engine, sessions) unit.  `owned` is null
+  /// when the engine is caller-owned (generation 1, and config-only
+  /// installs that inherited it); `engine` always points at the engine
+  /// this generation executes on.  Installs inherit `owned` as a
+  /// shared_ptr — never a raw pointer into a retired generation — so
+  /// reclaiming a retired generation can release a generation-owned
+  /// engine exactly when its last co-owner goes.
   struct Generation {
     std::int64_t id = 1;
     std::shared_ptr<Engine> owned;
     Engine* engine = nullptr;
     tune::TunedConfig config;
-    std::mutex mutex;  // guards sessions
-    std::map<int, std::shared_ptr<SolveSession>> sessions;
+    std::mutex mutex;  // guards sessions + resident_bytes
+    std::map<int, SessionSlot> sessions;
+    std::size_t resident_bytes = 0;  ///< sum of slot bytes in this gen
   };
 
   std::shared_ptr<Generation> current_generation() const;
-  SolveSession& session_in(Generation& gen, int n);
+  SessionRef session_in(const std::shared_ptr<Generation>& gen, int n);
+  /// Evicts LRU unpinned slots from `gen` until the policy is satisfied
+  /// (or nothing evictable remains).  Caller must hold gen->mutex.
+  void enforce_policy_locked(Generation& gen);
+  /// Moves retired generations nobody pins into `out` for destruction
+  /// outside the lock.  Caller must hold mutex_.
+  void reclaim_retired_locked(
+      std::vector<std::shared_ptr<Generation>>& out);
   void validate_request(const Generation& gen,
                         const SolveRequest& request) const;
   void observe_drift(const std::shared_ptr<Generation>& gen,
-                     const SolveStats& stats, int accuracy_index);
+                     const SolveStats& stats, int accuracy_index, bool fmg);
   void start_retune();
 
   /// Latency histogram for (n, accuracy index), resolved once per pair
@@ -186,12 +295,14 @@ class SolveService {
   obs::Histogram& latency_histogram(int n, int accuracy_index);
 
   Engine& engine_;  ///< construction-time engine (generation 1)
+  ServicePolicy policy_;
 
   obs::MetricsRegistry metrics_;
   obs::Counter& requests_ok_;  // resolved once; stable addresses
   obs::Counter& requests_unconverged_;
   obs::Counter& requests_error_;
   obs::Counter& failures_total_;
+  obs::Counter& session_evictions_;
   obs::Counter& trims_total_;
   obs::Counter& trim_bytes_total_;
   obs::Counter& drift_windows_ok_;
@@ -200,7 +311,9 @@ class SolveService {
   obs::Counter& retune_failures_total_;
   obs::Gauge& generation_gauge_;
   obs::Gauge& retune_gauge_;
+  obs::Gauge& session_bytes_gauge_;
   obs::Histogram& failure_seconds_;
+  obs::Histogram& batch_size_;
 
   mutable std::mutex mutex_;  // guards current_/retired_, stats_, latency_
   std::shared_ptr<Generation> current_;
@@ -209,6 +322,12 @@ class SolveService {
   std::map<std::pair<int, int>, obs::Histogram*> latency_;
 
   std::atomic<std::int64_t> generation_id_{1};
+  std::atomic<std::uint64_t> lru_tick_{0};  ///< global session-use clock
+  /// Resident session bytes across all generations; atomic because binds
+  /// and evictions happen under per-generation mutexes, reclaim under
+  /// mutex_.  Mirrored into pbmg_session_bytes at every change.
+  std::atomic<std::size_t> session_bytes_{0};
+  std::atomic<std::int64_t> evictions_{0};
   std::unique_ptr<obs::DriftWatcher> watcher_;  // set once, before serving
   RetuneFn retune_fn_;
   std::atomic<bool> retune_in_progress_{false};

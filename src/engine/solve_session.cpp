@@ -46,8 +46,12 @@ SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
   // allocation-free on its first request.
   const int per_level =
       tune::config_uses_line_smoothers(config_, level_) ? 5 : 3;
+  std::size_t scratch_bytes = 0;
   for (int k = 1; k <= level_; ++k) {
     const int side = size_of_level(k);
+    scratch_bytes += static_cast<std::size_t>(per_level) *
+                     static_cast<std::size_t>(side) *
+                     static_cast<std::size_t>(side) * sizeof(double);
     std::vector<grid::ScratchPool::Lease> warm;
     warm.reserve(static_cast<std::size_t>(per_level));
     for (int c = 0; c < per_level; ++c) {
@@ -61,6 +65,11 @@ SolveSession::SolveSession(Engine& engine, tune::TunedConfig config,
     ops_.prewarm_packed();
     if (ops_rap_.top_level() >= 1) ops_rap_.prewarm_packed();
   }
+  // Footprint accounting happens last so the packed streams the prewarm
+  // just materialized are counted.  The scratch term is what the prewarm
+  // above stocked, an admission estimate (the pool shares grids across
+  // this engine's sessions).
+  footprint_bytes_ = ops_.bytes() + ops_rap_.bytes() + scratch_bytes;
 }
 
 SolveStats SolveSession::stats_for(double seconds, int accuracy_index,
@@ -119,6 +128,45 @@ SolveStats SolveSession::solve_v(Grid2D& x, const Grid2D& b,
   }
   stats.phases = std::move(profile);
   return stats;
+}
+
+std::vector<SolveStats> SolveSession::solve_batch_v(
+    std::span<Grid2D* const> xs, const Grid2D& b, int accuracy_index,
+    std::shared_ptr<obs::PhaseProfile> profile,
+    const ResidualPolicy& check) const {
+  std::vector<SolveStats> all;
+  if (xs.empty()) return all;
+  for (const Grid2D* x : xs) {
+    PBMG_CHECK(x != nullptr, "solve_batch_v: null iterate");
+    check_operands(*x, b);
+  }
+  std::vector<double> r0(xs.size(), 0.0);
+  if (check.enabled) {
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      r0[k] = residual_norm(*xs[k], b);
+    }
+  }
+  const std::vector<const Grid2D*> bs(xs.size(), &b);
+  const double t0 = now_seconds();
+  const int iterations =
+      executor_.run_v_multi(xs, bs, accuracy_index, profile.get());
+  const double seconds = now_seconds() - t0;
+  all.reserve(xs.size());
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    // Every entry carries the batch wall-clock (see the header: the K
+    // solves are one fused walk, there is no honest per-request share).
+    SolveStats stats = stats_for(seconds, accuracy_index, iterations, true);
+    if (check.enabled) {
+      stats.initial_residual = r0[k];
+      stats.final_residual = residual_norm(*xs[k], b);
+      stats.residual_checked = true;
+      stats.converged =
+          residual_converged(r0[k], stats.final_residual, check.ratio_limit);
+    }
+    stats.phases = profile;
+    all.push_back(std::move(stats));
+  }
+  return all;
 }
 
 SolveStats SolveSession::solve_fmg(Grid2D& x, const Grid2D& b,

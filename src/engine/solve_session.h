@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "engine/engine.h"
 #include "grid/grid2d.h"
@@ -105,6 +107,15 @@ class SolveSession {
     return config_.accuracy_index(target_accuracy);
   }
 
+  /// Resident bytes this session pins for its lifetime: the coefficient
+  /// ladders (averaged + RAP, packed streams included) plus the scratch
+  /// grids its solves cycle through.  The scratch term is the prewarm
+  /// estimate — pool grids are shared across sessions on one engine, so
+  /// this is an admission/eviction accounting figure (what binding the
+  /// session added to the fleet's footprint), not an exclusive-ownership
+  /// measurement.  Computed once at construction, after prewarming.
+  std::size_t footprint_bytes() const { return footprint_bytes_; }
+
   /// Tuned MULTIGRID-V_i at `accuracy_index` (x: Dirichlet ring + guess).
   /// `profile`, when non-null, receives the solve's per-(level, phase)
   /// wall-time breakdown and is returned in SolveStats::phases; a shared
@@ -119,6 +130,21 @@ class SolveSession {
   SolveStats solve_fmg(Grid2D& x, const Grid2D& b, int accuracy_index,
                        std::shared_ptr<obs::PhaseProfile> profile = nullptr,
                        const ResidualPolicy& check = {}) const;
+
+  /// Batched MULTIGRID-V: solves all K iterates xs[k] against the shared
+  /// right-hand side `b` in ONE fused plan walk (TunedExecutor::
+  /// run_v_multi), so per-sweep setup and every coefficient-stream load
+  /// are paid once for the whole batch instead of once per request.  Each
+  /// xs[k] finishes bitwise identical to solve_v(xs[k], b, ...) solo.
+  /// Returns one SolveStats per iterate; `seconds` on every entry is the
+  /// batch wall-clock (the K solves are inseparable by construction — a
+  /// per-request share would be fiction), which is why SolveService
+  /// records batch latency once per batch, not per RHS.  Residual audits,
+  /// when enabled, run per iterate outside the timed window as in solve_v.
+  std::vector<SolveStats> solve_batch_v(
+      std::span<Grid2D* const> xs, const Grid2D& b, int accuracy_index,
+      std::shared_ptr<obs::PhaseProfile> profile = nullptr,
+      const ResidualPolicy& check = {}) const;
 
   /// Reference V-cycles until `stop` or `max_cycles` (paper §4.2.2).
   SolveStats solve_reference_v(Grid2D& x, const Grid2D& b, int max_cycles,
@@ -151,6 +177,7 @@ class SolveSession {
   grid::StencilHierarchy ops_rap_;  // Galerkin ladder; empty unless a tuned
                                     // cell asks for rap coarsening
   tune::TunedExecutor executor_;    // bound to config_ (stable: non-movable)
+  std::size_t footprint_bytes_ = 0;  // see footprint_bytes()
 };
 
 }  // namespace pbmg

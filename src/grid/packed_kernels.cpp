@@ -164,6 +164,72 @@ void packed_residual(const StencilOp& op, const Grid2D& x, const Grid2D& b,
   packed_stencil_sweep(op, x, &b, r, sched, simd_width);
 }
 
+void packed_residual_multi(const StencilOp& op,
+                           std::span<const Grid2D* const> xs,
+                           std::span<const Grid2D* const> bs,
+                           std::span<Grid2D* const> rs, rt::Scheduler& sched,
+                           int simd_width) {
+  PBMG_CHECK(xs.size() == bs.size() && xs.size() == rs.size(),
+             "packed_residual_multi: span size mismatch");
+  if (xs.empty()) return;
+  check_packed_operands(op, *xs[0], "packed_residual_multi");
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    PBMG_CHECK(xs[k]->n() == op.n() && bs[k]->n() == op.n() &&
+                   rs[k]->n() == op.n(),
+               "packed_residual_multi: grid size mismatch");
+  }
+  const PackedStencil& p = op.packed();
+  const int n = op.n();
+  const double inv_h2 = static_cast<double>(n - 1) * static_cast<double>(n - 1);
+  const double c = op.c();
+  const int w = clamp_simd_width(simd_width);
+  const bool nine = p.nine_point();
+  sched.parallel_for(
+      1, n - 1, sched.grain_for(n - 2, n - 2),
+      [&](std::int64_t ib, std::int64_t ie) {
+        for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+          // View built once per row; the K inner sweeps stream the same
+          // coefficient block while it is hot.
+          if (nine) {
+            const pk::View9 v = view9(p, i);
+            for (std::size_t k = 0; k < xs.size(); ++k) {
+              const double* up = xs[k]->row(i - 1);
+              const double* mid = xs[k]->row(i);
+              const double* down = xs[k]->row(i + 1);
+              const double* rhs = bs[k]->row(i);
+              double* o = rs[k]->row(i);
+              switch (w) {
+                case 4: pk::stencil_row9<4>(v, up, mid, down, rhs, o, inv_h2,
+                                            c, n); break;
+                case 2: pk::stencil_row9<2>(v, up, mid, down, rhs, o, inv_h2,
+                                            c, n); break;
+                default: pk::stencil_row9<1>(v, up, mid, down, rhs, o,
+                                             inv_h2, c, n); break;
+              }
+            }
+          } else {
+            const pk::View5 v = view5(p, i);
+            for (std::size_t k = 0; k < xs.size(); ++k) {
+              const double* up = xs[k]->row(i - 1);
+              const double* mid = xs[k]->row(i);
+              const double* down = xs[k]->row(i + 1);
+              const double* rhs = bs[k]->row(i);
+              double* o = rs[k]->row(i);
+              switch (w) {
+                case 4: pk::stencil_row5<4>(v, up, mid, down, rhs, o, inv_h2,
+                                            c, n); break;
+                case 2: pk::stencil_row5<2>(v, up, mid, down, rhs, o, inv_h2,
+                                            c, n); break;
+                default: pk::stencil_row5<1>(v, up, mid, down, rhs, o,
+                                             inv_h2, c, n); break;
+              }
+            }
+          }
+        }
+      });
+  for (Grid2D* r : rs) zero_boundary(*r);
+}
+
 void packed_sor_sweep(const StencilOp& op, Grid2D& x, const Grid2D& b,
                       double omega, rt::Scheduler& sched, int simd_width) {
   check_packed_operands(op, x, "packed_sor_sweep");
@@ -224,6 +290,80 @@ void packed_sor_sweep(const StencilOp& op, Grid2D& x, const Grid2D& b,
                                       keep, j0, n); break;
               default: pk::sor_row5<1>(v, up, mid, down, rhs, h2, ch2,
                                        omega, keep, j0, n); break;
+            }
+          }
+        });
+  }
+}
+
+void packed_sor_sweep_multi(const StencilOp& op, std::span<Grid2D* const> xs,
+                            std::span<const Grid2D* const> bs, double omega,
+                            rt::Scheduler& sched, int simd_width) {
+  PBMG_CHECK(xs.size() == bs.size(),
+             "packed_sor_sweep_multi: span size mismatch");
+  if (xs.empty()) return;
+  check_packed_operands(op, *xs[0], "packed_sor_sweep_multi");
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    PBMG_CHECK(xs[k]->n() == op.n() && bs[k]->n() == op.n(),
+               "packed_sor_sweep_multi: grid size mismatch");
+  }
+  const PackedStencil& p = op.packed();
+  const int n = op.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const double keep = 1.0 - omega;
+  const int w = clamp_simd_width(simd_width);
+  if (p.nine_point()) {
+    for (int color = 0; color < 4; ++color) {
+      const int pi = color >> 1;
+      const int pj = color & 1;
+      sched.parallel_for(
+          1, n - 1, sched.grain_for(n - 2, n - 2),
+          [&, pi, pj](std::int64_t ib, std::int64_t ie) {
+            for (int i = static_cast<int>(ib); i < static_cast<int>(ie);
+                 ++i) {
+              if ((i & 1) != pi) continue;
+              const pk::View9 v = view9(p, i);
+              const int j0 = 1 + ((1 + pj) & 1);
+              for (std::size_t k = 0; k < xs.size(); ++k) {
+                const double* up = xs[k]->row(i - 1);
+                double* mid = xs[k]->row(i);
+                const double* down = xs[k]->row(i + 1);
+                const double* rhs = bs[k]->row(i);
+                switch (w) {
+                  case 4: pk::sor_row9<4>(v, up, mid, down, rhs, h2, ch2,
+                                          omega, keep, j0, n); break;
+                  case 2: pk::sor_row9<2>(v, up, mid, down, rhs, h2, ch2,
+                                          omega, keep, j0, n); break;
+                  default: pk::sor_row9<1>(v, up, mid, down, rhs, h2, ch2,
+                                           omega, keep, j0, n); break;
+                }
+              }
+            }
+          });
+    }
+    return;
+  }
+  for (int parity = 0; parity <= 1; ++parity) {
+    sched.parallel_for(
+        1, n - 1, sched.grain_for(n - 2, n - 2),
+        [&, parity](std::int64_t ib, std::int64_t ie) {
+          for (int i = static_cast<int>(ib); i < static_cast<int>(ie); ++i) {
+            const pk::View5 v = view5(p, i);
+            const int j0 = 1 + ((i + 1 + parity) & 1);
+            for (std::size_t k = 0; k < xs.size(); ++k) {
+              const double* up = xs[k]->row(i - 1);
+              double* mid = xs[k]->row(i);
+              const double* down = xs[k]->row(i + 1);
+              const double* rhs = bs[k]->row(i);
+              switch (w) {
+                case 4: pk::sor_row5<4>(v, up, mid, down, rhs, h2, ch2,
+                                        omega, keep, j0, n); break;
+                case 2: pk::sor_row5<2>(v, up, mid, down, rhs, h2, ch2,
+                                        omega, keep, j0, n); break;
+                default: pk::sor_row5<1>(v, up, mid, down, rhs, h2, ch2,
+                                         omega, keep, j0, n); break;
+              }
             }
           }
         });
@@ -391,6 +531,209 @@ void packed_line_y(const StencilOp& op, Grid2D& x, const Grid2D& b,
                                         cp, dp, h2, ch2, n); break;
                 default: pk::y_lines5<1>(xb, bb, pbase, prow, ppad, j0,
                                          lanes, cp, dp, h2, ch2, n); break;
+              }
+            }
+          }
+        });
+  }
+}
+
+void packed_line_x_multi(const StencilOp& op, std::span<Grid2D* const> xs,
+                         std::span<const Grid2D* const> bs,
+                         rt::Scheduler& sched, ScratchPool& pool,
+                         int simd_width) {
+  PBMG_CHECK(xs.size() == bs.size(),
+             "packed_line_x_multi: span size mismatch");
+  if (xs.empty()) return;
+  check_packed_operands(op, *xs[0], "packed_line_x_multi");
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    PBMG_CHECK(xs[k]->n() == op.n() && bs[k]->n() == op.n(),
+               "packed_line_x_multi: grid size mismatch");
+  }
+  const PackedStencil& p = op.packed();
+  const int n = op.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const int w = clamp_line_width(clamp_simd_width(simd_width), n);
+  const long pstride = 2 * p.row_stride();
+  const long gstride = 2 * static_cast<long>(n);
+  const bool nine = p.nine_point();
+  auto cp_lease = pool.acquire(n);
+  auto sub_lease = pool.acquire(n);
+  auto inv_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& subg = sub_lease.get();
+  Grid2D& invg = inv_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    const LineGroups lg = line_groups(n, parity, w);
+    if (lg.groups == 0) continue;
+    sched.parallel_for(
+        0, lg.groups,
+        sched.grain_for(lg.groups, static_cast<std::int64_t>(w) * (n - 2) *
+                                       static_cast<std::int64_t>(xs.size())),
+        [&](std::int64_t gb, std::int64_t ge) {
+          for (int g = static_cast<int>(gb); g < static_cast<int>(ge); ++g) {
+            const int i0 = lg.first + 2 * g * w;
+            const int lanes = std::min(w, lg.count - g * w);
+            double* cp = cpg.row(g * w);
+            double* sub = subg.row(g * w);
+            double* inv = invg.row(g * w);
+            double* dp = dpg.row(g * w);
+            // Factor once per group, replay per iterate: the factors (and
+            // coefficient streams) stay hot across all K rhs passes.
+            if (nine) {
+              const pk::View9 v = view9(p, i0);
+              switch (w) {
+                case 4: pk::x_factor9<4>(v, pstride, lanes, cp, sub, inv,
+                                         ch2, n); break;
+                case 2: pk::x_factor9<2>(v, pstride, lanes, cp, sub, inv,
+                                         ch2, n); break;
+                default: pk::x_factor9<1>(v, pstride, lanes, cp, sub, inv,
+                                          ch2, n); break;
+              }
+              for (std::size_t k = 0; k < xs.size(); ++k) {
+                const double* up = xs[k]->row(i0 - 1);
+                double* mid = xs[k]->row(i0);
+                const double* down = xs[k]->row(i0 + 1);
+                const double* rhs = bs[k]->row(i0);
+                switch (w) {
+                  case 4: pk::x_apply9<4>(v, pstride, up, mid, down, rhs,
+                                          gstride, lanes, cp, sub, inv, dp,
+                                          h2, n); break;
+                  case 2: pk::x_apply9<2>(v, pstride, up, mid, down, rhs,
+                                          gstride, lanes, cp, sub, inv, dp,
+                                          h2, n); break;
+                  default: pk::x_apply9<1>(v, pstride, up, mid, down, rhs,
+                                           gstride, lanes, cp, sub, inv, dp,
+                                           h2, n); break;
+                }
+              }
+            } else {
+              const pk::View5 v = view5(p, i0);
+              switch (w) {
+                case 4: pk::x_factor5<4>(v, pstride, lanes, cp, sub, inv,
+                                         ch2, n); break;
+                case 2: pk::x_factor5<2>(v, pstride, lanes, cp, sub, inv,
+                                         ch2, n); break;
+                default: pk::x_factor5<1>(v, pstride, lanes, cp, sub, inv,
+                                          ch2, n); break;
+              }
+              for (std::size_t k = 0; k < xs.size(); ++k) {
+                const double* up = xs[k]->row(i0 - 1);
+                double* mid = xs[k]->row(i0);
+                const double* down = xs[k]->row(i0 + 1);
+                const double* rhs = bs[k]->row(i0);
+                switch (w) {
+                  case 4: pk::x_apply5<4>(v, pstride, up, mid, down, rhs,
+                                          gstride, lanes, cp, sub, inv, dp,
+                                          h2, n); break;
+                  case 2: pk::x_apply5<2>(v, pstride, up, mid, down, rhs,
+                                          gstride, lanes, cp, sub, inv, dp,
+                                          h2, n); break;
+                  default: pk::x_apply5<1>(v, pstride, up, mid, down, rhs,
+                                           gstride, lanes, cp, sub, inv, dp,
+                                           h2, n); break;
+                }
+              }
+            }
+          }
+        });
+  }
+}
+
+void packed_line_y_multi(const StencilOp& op, std::span<Grid2D* const> xs,
+                         std::span<const Grid2D* const> bs,
+                         rt::Scheduler& sched, ScratchPool& pool,
+                         int simd_width) {
+  PBMG_CHECK(xs.size() == bs.size(),
+             "packed_line_y_multi: span size mismatch");
+  if (xs.empty()) return;
+  check_packed_operands(op, *xs[0], "packed_line_y_multi");
+  for (std::size_t k = 0; k < xs.size(); ++k) {
+    PBMG_CHECK(xs[k]->n() == op.n() && bs[k]->n() == op.n(),
+               "packed_line_y_multi: grid size mismatch");
+  }
+  const PackedStencil& p = op.packed();
+  const int n = op.n();
+  const double h2 = mesh_width(n) * mesh_width(n);
+  const double ch2 = op.c() * h2;
+  const int w = clamp_line_width(clamp_simd_width(simd_width), n);
+  const bool nine = p.nine_point();
+  const double* pbase = p.base();
+  const long prow = p.row_stride();
+  const long ppad = p.padded();
+  auto cp_lease = pool.acquire(n);
+  auto sub_lease = pool.acquire(n);
+  auto inv_lease = pool.acquire(n);
+  auto dp_lease = pool.acquire(n);
+  Grid2D& cpg = cp_lease.get();
+  Grid2D& subg = sub_lease.get();
+  Grid2D& invg = inv_lease.get();
+  Grid2D& dpg = dp_lease.get();
+  for (int parity = 1; parity >= 0; --parity) {
+    const LineGroups lg = line_groups(n, parity, w);
+    if (lg.groups == 0) continue;
+    sched.parallel_for(
+        0, lg.groups,
+        sched.grain_for(lg.groups, static_cast<std::int64_t>(w) * (n - 2) *
+                                       static_cast<std::int64_t>(xs.size())),
+        [&](std::int64_t gb, std::int64_t ge) {
+          for (int g = static_cast<int>(gb); g < static_cast<int>(ge); ++g) {
+            const int j0 = lg.first + 2 * g * w;
+            const int lanes = std::min(w, lg.count - g * w);
+            double* cp = cpg.row(g * w);
+            double* sub = subg.row(g * w);
+            double* inv = invg.row(g * w);
+            double* dp = dpg.row(g * w);
+            if (nine) {
+              switch (w) {
+                case 4: pk::y_factor9<4>(pbase, prow, ppad, j0, lanes, cp,
+                                         sub, inv, ch2, n); break;
+                case 2: pk::y_factor9<2>(pbase, prow, ppad, j0, lanes, cp,
+                                         sub, inv, ch2, n); break;
+                default: pk::y_factor9<1>(pbase, prow, ppad, j0, lanes, cp,
+                                          sub, inv, ch2, n); break;
+              }
+              for (std::size_t k = 0; k < xs.size(); ++k) {
+                double* xb = xs[k]->row(0);
+                const double* bb = bs[k]->row(0);
+                switch (w) {
+                  case 4: pk::y_apply9<4>(xb, bb, pbase, prow, ppad, j0,
+                                          lanes, cp, sub, inv, dp, h2, n);
+                          break;
+                  case 2: pk::y_apply9<2>(xb, bb, pbase, prow, ppad, j0,
+                                          lanes, cp, sub, inv, dp, h2, n);
+                          break;
+                  default: pk::y_apply9<1>(xb, bb, pbase, prow, ppad, j0,
+                                           lanes, cp, sub, inv, dp, h2, n);
+                           break;
+                }
+              }
+            } else {
+              switch (w) {
+                case 4: pk::y_factor5<4>(pbase, prow, ppad, j0, lanes, cp,
+                                         sub, inv, ch2, n); break;
+                case 2: pk::y_factor5<2>(pbase, prow, ppad, j0, lanes, cp,
+                                         sub, inv, ch2, n); break;
+                default: pk::y_factor5<1>(pbase, prow, ppad, j0, lanes, cp,
+                                          sub, inv, ch2, n); break;
+              }
+              for (std::size_t k = 0; k < xs.size(); ++k) {
+                double* xb = xs[k]->row(0);
+                const double* bb = bs[k]->row(0);
+                switch (w) {
+                  case 4: pk::y_apply5<4>(xb, bb, pbase, prow, ppad, j0,
+                                          lanes, cp, sub, inv, dp, h2, n);
+                          break;
+                  case 2: pk::y_apply5<2>(xb, bb, pbase, prow, ppad, j0,
+                                          lanes, cp, sub, inv, dp, h2, n);
+                          break;
+                  default: pk::y_apply5<1>(xb, bb, pbase, prow, ppad, j0,
+                                           lanes, cp, sub, inv, dp, h2, n);
+                           break;
+                }
               }
             }
           }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <span>
+
 #include "grid/grid2d.h"
 #include "grid/scratch.h"
 #include "grid/stencil_op.h"
@@ -50,11 +52,31 @@ void packed_apply(const StencilOp& op, const Grid2D& x, Grid2D& out,
 void packed_residual(const StencilOp& op, const Grid2D& x, const Grid2D& b,
                      Grid2D& r, rt::Scheduler& sched, int simd_width);
 
+/// Batched rs[k] = bs[k] − A·xs[k] under the packed layout: each packed
+/// coefficient row block is loaded once and swept across all K
+/// right-hand-sides before the next row (coefficient bandwidth amortized
+/// K-fold).  Each k runs the exact solo pk:: row kernel, so every slot is
+/// bitwise identical to K packed_residual calls.  Requires equal span
+/// sizes; see residual_op_multi for the caller-facing dispatch.
+void packed_residual_multi(const StencilOp& op,
+                           std::span<const Grid2D* const> xs,
+                           std::span<const Grid2D* const> bs,
+                           std::span<Grid2D* const> rs, rt::Scheduler& sched,
+                           int simd_width);
+
 /// One coloured SOR sweep under the packed layout (red-black for 5-point
 /// operators, four-colour for 9-point).  Matches solvers::sor_sweep's
 /// operator overload.
 void packed_sor_sweep(const StencilOp& op, Grid2D& x, const Grid2D& b,
                       double omega, rt::Scheduler& sched, int simd_width);
+
+/// Batched coloured SOR: one sweep of each xs[k] against bs[k], the K
+/// sweeps fused per colour × row so coefficient blocks are reused across
+/// right-hand-sides.  Bitwise identical per slot to K packed_sor_sweep
+/// calls (per-k update order is untouched; the RHS never couple).
+void packed_sor_sweep_multi(const StencilOp& op, std::span<Grid2D* const> xs,
+                            std::span<const Grid2D* const> bs, double omega,
+                            rt::Scheduler& sched, int simd_width);
 
 /// One weighted-Jacobi sweep under the packed layout; `scratch` holds the
 /// old iterate on return (contents swapped), like solvers::jacobi_sweep.
@@ -72,5 +94,23 @@ void packed_line_x(const StencilOp& op, Grid2D& x, const Grid2D& b,
 /// One y-line (column) zebra pass under the packed layout.
 void packed_line_y(const StencilOp& op, Grid2D& x, const Grid2D& b,
                    rt::Scheduler& sched, ScratchPool& pool, int simd_width);
+
+/// Batched x-line zebra pass: the Thomas forward-elimination pivots
+/// depend only on the operator, so each line group is factored once
+/// (pivot reciprocals + super-diagonal, including every divide) and the
+/// rhs recurrence replays per iterate against the cached factors — K
+/// right-hand sides per coefficient-stream load AND per pivot divide.
+/// Bitwise identical per slot to K packed_line_x calls: the apply pass
+/// multiplies by the exact inv values the solo elimination computes.
+void packed_line_x_multi(const StencilOp& op, std::span<Grid2D* const> xs,
+                         std::span<const Grid2D* const> bs,
+                         rt::Scheduler& sched, ScratchPool& pool,
+                         int simd_width);
+
+/// Batched y-line zebra pass; same factor-once/apply-per-RHS contract.
+void packed_line_y_multi(const StencilOp& op, std::span<Grid2D* const> xs,
+                         std::span<const Grid2D* const> bs,
+                         rt::Scheduler& sched, ScratchPool& pool,
+                         int simd_width);
 
 }  // namespace pbmg::grid

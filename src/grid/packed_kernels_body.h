@@ -450,6 +450,266 @@ void y_lines9(double* xb, const double* bb, const double* pbase, long prow,
   }
 }
 
+// ---------------------------------------------------------------------------
+// Multi-RHS Thomas split (see packed_rows.h)
+// ---------------------------------------------------------------------------
+
+// The factor kernels run the x_lines*/y_lines* coefficient subexpressions
+// verbatim — same gathers, same negations, same association — so the cp
+// and inv values a batch reuses carry the exact bits the solo solve
+// computes inline.  sub[1·W..] is never stored (the k = 1 row has no
+// sub-diagonal) and never loaded by the apply kernels.
+
+template <int W>
+void x_factor5(const View5& s, long pstride, int lanes, double* cp,
+               double* sub, double* inv, double ch2, int n) {
+  using V = simd::Vec<W>;
+  const V one = V::broadcast(1.0);
+  const V vch2 = V::broadcast(ch2);
+  const auto sv = [&](const double* p, int j) {
+    return V::gather(p + j, pstride, lanes);
+  };
+  {
+    const V iv = one / (sv(s.diag, 1) + vch2);
+    iv.store(inv + 1 * W);
+    (-sv(s.ae, 1) * iv).store(cp + 1 * W);
+  }
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = -sv(s.aw, k);
+    const V pivot = (sv(s.diag, k) + vch2) - sb * V::load(cp + (k - 1) * W);
+    const V iv = one / pivot;
+    sb.store(sub + k * W);
+    iv.store(inv + k * W);
+    (-sv(s.ae, k) * iv).store(cp + k * W);
+  }
+}
+
+template <int W>
+void x_factor9(const View9& s, long pstride, int lanes, double* cp,
+               double* sub, double* inv, double ch2, int n) {
+  using V = simd::Vec<W>;
+  const V one = V::broadcast(1.0);
+  const V vch2 = V::broadcast(ch2);
+  const auto sv = [&](const double* p, int j) {
+    return V::gather(p + j, pstride, lanes);
+  };
+  {
+    const V iv = one / (sv(s.ctr, 1) + vch2);
+    iv.store(inv + 1 * W);
+    (-sv(s.ae, 1) * iv).store(cp + 1 * W);
+  }
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = -sv(s.aw, k);
+    const V pivot = (sv(s.ctr, k) + vch2) - sb * V::load(cp + (k - 1) * W);
+    const V iv = one / pivot;
+    sb.store(sub + k * W);
+    iv.store(inv + k * W);
+    (-sv(s.ae, k) * iv).store(cp + k * W);
+  }
+}
+
+template <int W>
+void x_apply5(const View5& s, long pstride, const double* up, double* mid,
+              const double* down, const double* rhs, long gstride, int lanes,
+              const double* cp, const double* sub, const double* inv,
+              double* dp, double h2, int n) {
+  using V = simd::Vec<W>;
+  const V vh2 = V::broadcast(h2);
+  const auto sv = [&](const double* p, int j) {
+    return V::gather(p + j, pstride, lanes);
+  };
+  const auto gv = [&](const double* p, int j) {
+    return V::gather(p + j, gstride, lanes);
+  };
+  const auto band_rhs = [&](int j) {
+    V r = vh2 * gv(rhs, j) + sv(s.an, j) * gv(up, j) +
+          sv(s.as, j) * gv(down, j);
+    if (j == 1) r = r + sv(s.aw, 1) * gv(mid, 0);
+    if (j == n - 2) r = r + sv(s.ae, n - 2) * gv(mid, n - 1);
+    return r;
+  };
+  (band_rhs(1) * V::load(inv + 1 * W)).store(dp + 1 * W);
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = V::load(sub + k * W);
+    ((band_rhs(k) - sb * V::load(dp + (k - 1) * W)) * V::load(inv + k * W))
+        .store(dp + k * W);
+  }
+  V next = V::load(dp + (n - 2) * W);
+  next.scatter(mid + (n - 2), gstride, lanes);
+  for (int k = n - 3; k >= 1; --k) {
+    next = V::load(dp + k * W) - V::load(cp + k * W) * next;
+    next.store(dp + k * W);
+    next.scatter(mid + k, gstride, lanes);
+  }
+}
+
+template <int W>
+void x_apply9(const View9& s, long pstride, const double* up, double* mid,
+              const double* down, const double* rhs, long gstride, int lanes,
+              const double* cp, const double* sub, const double* inv,
+              double* dp, double h2, int n) {
+  using V = simd::Vec<W>;
+  const V vh2 = V::broadcast(h2);
+  const auto sv = [&](const double* p, int j) {
+    return V::gather(p + j, pstride, lanes);
+  };
+  const auto gv = [&](const double* p, int j) {
+    return V::gather(p + j, gstride, lanes);
+  };
+  const auto band_rhs = [&](int j) {
+    const V cross = sv(s.an, j) * gv(up, j) + sv(s.as, j) * gv(down, j) +
+                    sv(s.nw, j) * gv(up, j - 1) +
+                    sv(s.ne, j) * gv(up, j + 1) +
+                    sv(s.sw, j) * gv(down, j - 1) +
+                    sv(s.se, j) * gv(down, j + 1);
+    V r = vh2 * gv(rhs, j) + cross;
+    if (j == 1) r = r + sv(s.aw, 1) * gv(mid, 0);
+    if (j == n - 2) r = r + sv(s.ae, n - 2) * gv(mid, n - 1);
+    return r;
+  };
+  (band_rhs(1) * V::load(inv + 1 * W)).store(dp + 1 * W);
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = V::load(sub + k * W);
+    ((band_rhs(k) - sb * V::load(dp + (k - 1) * W)) * V::load(inv + k * W))
+        .store(dp + k * W);
+  }
+  V next = V::load(dp + (n - 2) * W);
+  next.scatter(mid + (n - 2), gstride, lanes);
+  for (int k = n - 3; k >= 1; --k) {
+    next = V::load(dp + k * W) - V::load(cp + k * W) * next;
+    next.store(dp + k * W);
+    next.scatter(mid + k, gstride, lanes);
+  }
+}
+
+template <int W>
+void y_factor5(const double* pbase, long prow, long ppad, int j0, int lanes,
+               double* cp, double* sub, double* inv, double ch2, int n) {
+  using V = simd::Vec<W>;
+  const V one = V::broadcast(1.0);
+  const V vch2 = V::broadcast(ch2);
+  const auto ps = [&](int i, int slot) {
+    return V::gather(pbase + static_cast<long>(i - 1) * prow + slot * ppad + j0,
+                     2, lanes);
+  };
+  {
+    const V iv = one / (ps(1, 4) + vch2);
+    iv.store(inv + 1 * W);
+    (-ps(1, 3) * iv).store(cp + 1 * W);
+  }
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = -ps(k, 2);
+    const V pivot = (ps(k, 4) + vch2) - sb * V::load(cp + (k - 1) * W);
+    const V iv = one / pivot;
+    sb.store(sub + k * W);
+    iv.store(inv + k * W);
+    (-ps(k, 3) * iv).store(cp + k * W);
+  }
+}
+
+template <int W>
+void y_factor9(const double* pbase, long prow, long ppad, int j0, int lanes,
+               double* cp, double* sub, double* inv, double ch2, int n) {
+  using V = simd::Vec<W>;
+  const V one = V::broadcast(1.0);
+  const V vch2 = V::broadcast(ch2);
+  const auto ps = [&](int i, int slot) {
+    return V::gather(pbase + static_cast<long>(i - 1) * prow + slot * ppad + j0,
+                     2, lanes);
+  };
+  {
+    const V iv = one / (ps(1, 8) + vch2);
+    iv.store(inv + 1 * W);
+    (-ps(1, 3) * iv).store(cp + 1 * W);
+  }
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = -ps(k, 2);
+    const V pivot = (ps(k, 8) + vch2) - sb * V::load(cp + (k - 1) * W);
+    const V iv = one / pivot;
+    sb.store(sub + k * W);
+    iv.store(inv + k * W);
+    (-ps(k, 3) * iv).store(cp + k * W);
+  }
+}
+
+template <int W>
+void y_apply5(double* xb, const double* bb, const double* pbase, long prow,
+              long ppad, int j0, int lanes, const double* cp,
+              const double* sub, const double* inv, double* dp, double h2,
+              int n) {
+  using V = simd::Vec<W>;
+  const V vh2 = V::broadcast(h2);
+  const auto ps = [&](int i, int slot) {
+    return V::gather(pbase + static_cast<long>(i - 1) * prow + slot * ppad + j0,
+                     2, lanes);
+  };
+  const auto gx = [&](int i, int dj) {
+    return V::gather(xb + static_cast<long>(i) * n + j0 + dj, 2, lanes);
+  };
+  const auto gb = [&](int i) {
+    return V::gather(bb + static_cast<long>(i) * n + j0, 2, lanes);
+  };
+  const auto band_rhs = [&](int i) {
+    V r = vh2 * gb(i) + ps(i, 0) * gx(i, -1) + ps(i, 1) * gx(i, +1);
+    if (i == 1) r = r + ps(1, 2) * gx(0, 0);
+    if (i == n - 2) r = r + ps(n - 2, 3) * gx(n - 1, 0);
+    return r;
+  };
+  (band_rhs(1) * V::load(inv + 1 * W)).store(dp + 1 * W);
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = V::load(sub + k * W);
+    ((band_rhs(k) - sb * V::load(dp + (k - 1) * W)) * V::load(inv + k * W))
+        .store(dp + k * W);
+  }
+  V next = V::load(dp + (n - 2) * W);
+  next.scatter(xb + static_cast<long>(n - 2) * n + j0, 2, lanes);
+  for (int k = n - 3; k >= 1; --k) {
+    next = V::load(dp + k * W) - V::load(cp + k * W) * next;
+    next.store(dp + k * W);
+    next.scatter(xb + static_cast<long>(k) * n + j0, 2, lanes);
+  }
+}
+
+template <int W>
+void y_apply9(double* xb, const double* bb, const double* pbase, long prow,
+              long ppad, int j0, int lanes, const double* cp,
+              const double* sub, const double* inv, double* dp, double h2,
+              int n) {
+  using V = simd::Vec<W>;
+  const V vh2 = V::broadcast(h2);
+  const auto ps = [&](int i, int slot) {
+    return V::gather(pbase + static_cast<long>(i - 1) * prow + slot * ppad + j0,
+                     2, lanes);
+  };
+  const auto gx = [&](int i, int dj) {
+    return V::gather(xb + static_cast<long>(i) * n + j0 + dj, 2, lanes);
+  };
+  const auto gb = [&](int i) {
+    return V::gather(bb + static_cast<long>(i) * n + j0, 2, lanes);
+  };
+  const auto band_rhs = [&](int i) {
+    V r = vh2 * gb(i) + ps(i, 0) * gx(i, -1) + ps(i, 1) * gx(i, +1) +
+          ps(i, 4) * gx(i - 1, -1) + ps(i, 5) * gx(i - 1, +1) +
+          ps(i, 6) * gx(i + 1, -1) + ps(i, 7) * gx(i + 1, +1);
+    if (i == 1) r = r + ps(1, 2) * gx(0, 0);
+    if (i == n - 2) r = r + ps(n - 2, 3) * gx(n - 1, 0);
+    return r;
+  };
+  (band_rhs(1) * V::load(inv + 1 * W)).store(dp + 1 * W);
+  for (int k = 2; k <= n - 2; ++k) {
+    const V sb = V::load(sub + k * W);
+    ((band_rhs(k) - sb * V::load(dp + (k - 1) * W)) * V::load(inv + k * W))
+        .store(dp + k * W);
+  }
+  V next = V::load(dp + (n - 2) * W);
+  next.scatter(xb + static_cast<long>(n - 2) * n + j0, 2, lanes);
+  for (int k = n - 3; k >= 1; --k) {
+    next = V::load(dp + k * W) - V::load(cp + k * W) * next;
+    next.store(dp + k * W);
+    next.scatter(xb + static_cast<long>(k) * n + j0, 2, lanes);
+  }
+}
+
 }  // namespace pbmg::grid::pk
 
 // One width TU invokes this to emit the only definitions of its W.
@@ -485,4 +745,26 @@ void y_lines9(double* xb, const double* bb, const double* pbase, long prow,
   template void y_lines9<W>(double*, const double*, const double*, long,      \
                             long, int, int, double*, double*, double, double, \
                             int);                                             \
+  template void x_factor5<W>(const View5&, long, int, double*, double*,       \
+                             double*, double, int);                           \
+  template void x_factor9<W>(const View9&, long, int, double*, double*,       \
+                             double*, double, int);                           \
+  template void x_apply5<W>(const View5&, long, const double*, double*,       \
+                            const double*, const double*, long, int,          \
+                            const double*, const double*, const double*,      \
+                            double*, double, int);                            \
+  template void x_apply9<W>(const View9&, long, const double*, double*,       \
+                            const double*, const double*, long, int,          \
+                            const double*, const double*, const double*,      \
+                            double*, double, int);                            \
+  template void y_factor5<W>(const double*, long, long, int, int, double*,    \
+                             double*, double*, double, int);                  \
+  template void y_factor9<W>(const double*, long, long, int, int, double*,    \
+                             double*, double*, double, int);                  \
+  template void y_apply5<W>(double*, const double*, const double*, long,      \
+                            long, int, int, const double*, const double*,     \
+                            const double*, double*, double, int);             \
+  template void y_apply9<W>(double*, const double*, const double*, long,      \
+                            long, int, int, const double*, const double*,     \
+                            const double*, double*, double, int);             \
   }

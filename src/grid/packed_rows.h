@@ -115,4 +115,53 @@ void y_lines9(double* xb, const double* bb, const double* pbase, long prow,
               long ppad, int j0, int lanes, double* cp, double* dp,
               double h2, double ch2, int n);
 
+/// Multi-RHS Thomas split.  The forward-elimination pivots are a pure
+/// function of the operator, so a batch of K right-hand sides factors
+/// each line group once and replays only the rhs recurrence per
+/// iterate.  x_factor*/y_factor* store cp exactly as x_lines*/y_lines*
+/// compute it, plus sub[k·W+l] = −sub-diagonal(k) and inv[k·W+l] =
+/// 1/pivot(k); x_apply*/y_apply* then reproduce the solo dp forward
+/// recurrence and back substitution operation-for-operation (same band
+/// rhs chain, multiplied by the identical stored inv), so every iterate
+/// of the batch is bitwise identical to its solo solve.
+template <int W>
+void x_factor5(const View5& s, long pstride, int lanes, double* cp,
+               double* sub, double* inv, double ch2, int n);
+
+template <int W>
+void x_factor9(const View9& s, long pstride, int lanes, double* cp,
+               double* sub, double* inv, double ch2, int n);
+
+template <int W>
+void x_apply5(const View5& s, long pstride, const double* up, double* mid,
+              const double* down, const double* rhs, long gstride, int lanes,
+              const double* cp, const double* sub, const double* inv,
+              double* dp, double h2, int n);
+
+template <int W>
+void x_apply9(const View9& s, long pstride, const double* up, double* mid,
+              const double* down, const double* rhs, long gstride, int lanes,
+              const double* cp, const double* sub, const double* inv,
+              double* dp, double h2, int n);
+
+template <int W>
+void y_factor5(const double* pbase, long prow, long ppad, int j0, int lanes,
+               double* cp, double* sub, double* inv, double ch2, int n);
+
+template <int W>
+void y_factor9(const double* pbase, long prow, long ppad, int j0, int lanes,
+               double* cp, double* sub, double* inv, double ch2, int n);
+
+template <int W>
+void y_apply5(double* xb, const double* bb, const double* pbase, long prow,
+              long ppad, int j0, int lanes, const double* cp,
+              const double* sub, const double* inv, double* dp, double h2,
+              int n);
+
+template <int W>
+void y_apply9(double* xb, const double* bb, const double* pbase, long prow,
+              long ppad, int j0, int lanes, const double* cp,
+              const double* sub, const double* inv, double* dp, double h2,
+              int n);
+
 }  // namespace pbmg::grid::pk

@@ -85,6 +85,15 @@ class PackedStencil {
   /// Block base (row 1, stream 0) for kernels that stride manually.
   const double* base() const { return data_.get(); }
 
+  /// Heap bytes held by the packed block (0 while empty).  Feeds the
+  /// per-session footprint accounting SolveService budgets against.
+  std::size_t bytes() const {
+    return data_ == nullptr
+               ? 0
+               : static_cast<std::size_t>(n_ - 2) *
+                     static_cast<std::size_t>(row_stride_) * sizeof(double);
+  }
+
  private:
   struct FreeDeleter {
     void operator()(double* p) const { std::free(p); }

@@ -48,7 +48,10 @@ std::size_t ScratchPool::trim() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     freed = stats_.pooled_bytes;
-    if (freed > 0 || stats_.pooled_grids > 0) ++stats_.trims;
+    // Every trim() call counts, including no-op trims on an empty pool:
+    // ServiceStats::trims counts calls, and the two counters must agree
+    // so "service trims != pool trims" can't read as a missed engine.
+    ++stats_.trims;
     dropped.swap(free_);  // destructors run outside the lock
     stats_.pooled_grids = 0;
     stats_.pooled_bytes = 0;

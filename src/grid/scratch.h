@@ -34,7 +34,7 @@ class ScratchPool {
     std::int64_t acquires = 0;   ///< total acquire() calls
     std::int64_t hits = 0;       ///< acquires served from the free-list
     std::int64_t misses = 0;     ///< acquires that allocated a fresh grid
-    std::int64_t trims = 0;      ///< trim() calls that freed at least a grid
+    std::int64_t trims = 0;      ///< trim() calls (no-op trims included)
     std::size_t pooled_grids = 0;      ///< grids currently in the free-list
     std::size_t pooled_bytes = 0;      ///< bytes currently in the free-list
     std::size_t high_water_bytes = 0;  ///< max pooled_bytes ever observed

@@ -1,6 +1,7 @@
 #include "grid/stencil_op.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <mutex>
 
@@ -116,14 +117,37 @@ void validate_kernel_policy(const KernelPolicy& policy) {
 struct StencilOp::PackedSlot {
   std::once_flag once;
   PackedStencil packed;
+  /// Published size of `packed`, readable without synchronizing on `once`
+  /// (footprint accounting must not race a concurrent first pack).
+  std::atomic<std::size_t> bytes{0};
 };
 
 const PackedStencil& StencilOp::packed() const {
   PBMG_CHECK(packed_slot_ != nullptr,
              "StencilOp::packed: Poisson fast path has nothing to pack");
-  std::call_once(packed_slot_->once,
-                 [this] { packed_slot_->packed = PackedStencil::pack(*this); });
+  std::call_once(packed_slot_->once, [this] {
+    packed_slot_->packed = PackedStencil::pack(*this);
+    packed_slot_->bytes.store(packed_slot_->packed.bytes(),
+                              std::memory_order_release);
+  });
   return packed_slot_->packed;
+}
+
+std::size_t StencilOp::bytes() const {
+  std::size_t total = 0;
+  if (coeff_ != nullptr) {
+    total += 2 * coeff_->ax.size() * sizeof(double);
+  }
+  if (corner_ != nullptr) {
+    total += 3 * corner_->ase.size() * sizeof(double);
+  }
+  // An unpacked legacy-layout operator genuinely holds no packed block
+  // yet, so bytes() may grow after the first packed sweep; sessions
+  // compute their footprint post-prewarm.
+  if (packed_slot_ != nullptr) {
+    total += packed_slot_->bytes.load(std::memory_order_acquire);
+  }
+  return total;
 }
 
 StencilOp StencilOp::poisson(int n) {
@@ -466,6 +490,12 @@ void StencilHierarchy::prewarm_packed() const {
     // which are 9-point) packs here.
     if (!ops_[k].is_poisson()) (void)ops_[k].packed();
   }
+}
+
+std::size_t StencilHierarchy::bytes() const {
+  std::size_t total = 0;
+  for (std::size_t k = 1; k < ops_.size(); ++k) total += ops_[k].bytes();
+  return total;
 }
 
 const StencilOp& StencilHierarchy::at(int level) const {

@@ -261,6 +261,12 @@ class StencilOp {
   /// ever consulted).
   const PackedStencil& packed() const;
 
+  /// Heap bytes held by this operator's coefficient grids plus its packed
+  /// block if one has been built (0 for the Poisson fast path).  Safe to
+  /// call concurrently with a first pack(); counts what is resident *now*,
+  /// so callers that budget against it should measure after prewarming.
+  std::size_t bytes() const;
+
  private:
   struct Coefficients {
     Grid2D ax;
@@ -358,6 +364,10 @@ class StencilHierarchy {
   /// packing cost inside a timed sweep.  Sessions and the profile-search
   /// setup call this ahead of racing candidates.
   void prewarm_packed() const;
+
+  /// Sum of StencilOp::bytes() over the ladder — the coefficient-side
+  /// footprint a session pays to keep this hierarchy resident.
+  std::size_t bytes() const;
 
  private:
   std::vector<StencilOp> ops_;  ///< ops_[k] at level k; [0] unused padding

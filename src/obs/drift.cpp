@@ -76,8 +76,11 @@ Json LatencyBaseline::to_json() const {
   Json entries = Json::array();
   for (const auto& [key, snapshot] : entries_) {
     Json entry = snapshot_to_json(snapshot);
-    entry.set("n", key.first);
-    entry.set("accuracy_index", key.second);
+    entry.set("n", key.n);
+    entry.set("accuracy_index", key.accuracy_index);
+    // Written only when true: v7 documents that predate the cycle-type
+    // split have no "fmg" field, and absent reads as false below.
+    if (key.fmg) entry.set("fmg", true);
     entries.push_back(std::move(entry));
   }
   Json json = Json::object();
@@ -90,7 +93,8 @@ LatencyBaseline LatencyBaseline::from_json(const Json& json) {
   for (const Json& entry : json.at("entries").as_array()) {
     baseline.set(static_cast<int>(entry.at("n").as_int()),
                  static_cast<int>(entry.at("accuracy_index").as_int()),
-                 snapshot_from_json(entry));
+                 snapshot_from_json(entry),
+                 entry.contains("fmg") && entry.at("fmg").as_bool());
   }
   return baseline;
 }
@@ -113,10 +117,10 @@ void record_into(HistogramSnapshot& window, double seconds) {
 }  // namespace
 
 DriftObservation DriftWatcher::observe(int n, int accuracy_index,
-                                       double seconds) {
+                                       double seconds, bool fmg) {
   DriftObservation obs;
   std::lock_guard<std::mutex> lock(mutex_);
-  const HistogramSnapshot* baseline = baseline_.find(n, accuracy_index);
+  const HistogramSnapshot* baseline = baseline_.find(n, accuracy_index, fmg);
   if (baseline == nullptr || baseline->count <= 0) {
     // Never-measured request shape: nothing to compare against.  Skipping
     // is honest — inventing a baseline from early live samples would make
@@ -124,7 +128,7 @@ DriftObservation DriftWatcher::observe(int n, int accuracy_index,
     return obs;
   }
   obs.baselined = true;
-  KeyState& state = windows_[{n, accuracy_index}];
+  KeyState& state = windows_[LatencyBaseline::Key{n, accuracy_index, fmg}];
   record_into(state.window, seconds);
   if (state.window.count < policy_.min_window_samples) return obs;
 

@@ -40,22 +40,35 @@ double ks_distance(const HistogramSnapshot& a, const HistogramSnapshot& b);
 Json snapshot_to_json(const HistogramSnapshot& snapshot);
 HistogramSnapshot snapshot_from_json(const Json& json);
 
-/// Baseline latency distributions keyed by (n, accuracy_index): what the
-/// service should expect per request shape when the machine behaves like
-/// it did at tune time.  Plain value type — measured by tune-side code,
-/// persisted in the config cache (schema v7), handed to DriftWatcher.
+/// Baseline latency distributions keyed by (n, accuracy_index, cycle
+/// type): what the service should expect per request shape when the
+/// machine behaves like it did at tune time.  V-cycle and FMG solves of
+/// the same (n, accuracy) have structurally different latencies, so
+/// mixing them in one key makes the baseline bimodal — KS distance then
+/// reads the mode mixture as drift (or masks real drift).  Plain value
+/// type — measured by tune-side code, persisted in the config cache
+/// (schema v7; the "fmg" field is optional so v7 documents written
+/// before the split still load), handed to DriftWatcher.
 class LatencyBaseline {
  public:
-  using Key = std::pair<int, int>;  ///< (grid side n, accuracy index)
+  /// (grid side n, accuracy index, FMG vs V-cycle).
+  struct Key {
+    int n = 0;
+    int accuracy_index = 0;
+    bool fmg = false;
+    auto operator<=>(const Key&) const = default;
+  };
 
-  void set(int n, int accuracy_index, HistogramSnapshot snapshot) {
-    entries_[{n, accuracy_index}] = std::move(snapshot);
+  void set(int n, int accuracy_index, HistogramSnapshot snapshot,
+           bool fmg = false) {
+    entries_[Key{n, accuracy_index, fmg}] = std::move(snapshot);
   }
 
   /// Baseline for one request shape, or null when that shape was never
   /// measured (the watcher skips such keys rather than guessing).
-  const HistogramSnapshot* find(int n, int accuracy_index) const {
-    auto it = entries_.find({n, accuracy_index});
+  const HistogramSnapshot* find(int n, int accuracy_index,
+                                bool fmg = false) const {
+    auto it = entries_.find(Key{n, accuracy_index, fmg});
     return it == entries_.end() ? nullptr : &it->second;
   }
 
@@ -63,7 +76,7 @@ class LatencyBaseline {
   std::size_t size() const { return entries_.size(); }
   const std::map<Key, HistogramSnapshot>& entries() const { return entries_; }
 
-  /// {"entries": [{"n", "accuracy_index", <snapshot fields>}]}.
+  /// {"entries": [{"n", "accuracy_index", ["fmg",] <snapshot fields>}]}.
   Json to_json() const;
   static LatencyBaseline from_json(const Json& json);
 
@@ -106,12 +119,15 @@ class DriftWatcher {
   DriftWatcher(LatencyBaseline baseline, DriftPolicy policy = {})
       : baseline_(std::move(baseline)), policy_(policy) {}
 
-  /// Records one live latency sample for (n, accuracy_index).  Returns
-  /// the verdict: retune=true means drift was sustained for the policy's
-  /// window count and the caller should start a background retune (the
-  /// watcher resets that key's streak so it will not re-fire every
-  /// window while the retune runs).
-  DriftObservation observe(int n, int accuracy_index, double seconds);
+  /// Records one live latency sample for (n, accuracy_index, cycle
+  /// type).  Returns the verdict: retune=true means drift was sustained
+  /// for the policy's window count and the caller should start a
+  /// background retune (the watcher resets that key's streak so it will
+  /// not re-fire every window while the retune runs).  FMG and V-cycle
+  /// samples accumulate into separate windows and compare against
+  /// separate baseline entries.
+  DriftObservation observe(int n, int accuracy_index, double seconds,
+                           bool fmg = false);
 
   /// Installs a fresh baseline (after a retune + config swap) and drops
   /// all in-flight windows and drift streaks.

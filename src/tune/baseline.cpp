@@ -32,7 +32,11 @@ obs::LatencyBaseline measure_latency_baseline(Engine& engine,
     const TrainingInstance inst = make_training_instance(
         session.op(), dist, level_rng, engine.scheduler());
     for (int acc = 0; acc < config.accuracy_count(); ++acc) {
+      // V-cycle and FMG land in separate baseline keys: one histogram
+      // holding both is bimodal, and the watcher's KS test would read
+      // the mode mixture itself as drift (or use it to mask real drift).
       obs::Histogram hist;
+      obs::Histogram hist_fmg;
       Grid2D x = inst.problem.x0;
       session.solve_v(x, inst.problem.b, acc);  // untimed warm-up
       for (int s = 0; s < options.samples; ++s) {
@@ -40,10 +44,13 @@ obs::LatencyBaseline measure_latency_baseline(Engine& engine,
         hist.record(session.solve_v(x, inst.problem.b, acc).seconds);
         if (options.include_fmg) {
           x.copy_from(inst.problem.x0);
-          hist.record(session.solve_fmg(x, inst.problem.b, acc).seconds);
+          hist_fmg.record(session.solve_fmg(x, inst.problem.b, acc).seconds);
         }
       }
       baseline.set(n, acc, hist.snapshot());
+      if (options.include_fmg) {
+        baseline.set(n, acc, hist_fmg.snapshot(), /*fmg=*/true);
+      }
     }
   }
   return baseline;

@@ -31,7 +31,7 @@ struct BaselineOptions {
   int samples = 5;           ///< timed solves per (level × accuracy) cell
   int min_level = 2;         ///< smallest measured level (side 2^k + 1)
   int max_level = 0;         ///< 0 = the config's trained top level
-  bool include_fmg = false;  ///< also time FMG solves into the same cells
+  bool include_fmg = false;  ///< also time FMG solves (own fmg=true keys)
   std::uint64_t seed = 20091114;  ///< RHS draw for the timed instances
 };
 

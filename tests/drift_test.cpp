@@ -239,6 +239,85 @@ TEST(DriftWatcher, RebaseDropsWindowsAndStreaks) {
   }
 }
 
+TEST(LatencyBaseline, FmgKeysAreSeparateAndSurviveJsonRoundTrip) {
+  obs::LatencyBaseline baseline;
+  baseline.set(33, 1, snapshot_at(1e-3, 4));
+  baseline.set(33, 1, snapshot_at(3e-3, 4), /*fmg=*/true);
+  ASSERT_EQ(baseline.size(), 2u);
+  ASSERT_NE(baseline.find(33, 1), nullptr);
+  ASSERT_NE(baseline.find(33, 1, /*fmg=*/true), nullptr);
+  EXPECT_NE(baseline.find(33, 1)->sum, baseline.find(33, 1, true)->sum);
+
+  const obs::LatencyBaseline copy =
+      obs::LatencyBaseline::from_json(baseline.to_json());
+  ASSERT_EQ(copy.size(), 2u);
+  EXPECT_DOUBLE_EQ(copy.find(33, 1)->sum, baseline.find(33, 1)->sum);
+  EXPECT_DOUBLE_EQ(copy.find(33, 1, true)->sum,
+                   baseline.find(33, 1, true)->sum);
+
+  // Documents written before the fmg key existed carry no "fmg" field;
+  // they must keep loading as V-cycle (fmg = false) entries.
+  obs::LatencyBaseline v_only;
+  v_only.set(17, 0, snapshot_at(1e-4, 2));
+  const obs::LatencyBaseline old_doc =
+      obs::LatencyBaseline::from_json(v_only.to_json());
+  ASSERT_NE(old_doc.find(17, 0), nullptr);
+  EXPECT_EQ(old_doc.find(17, 0, /*fmg=*/true), nullptr);
+}
+
+TEST(DriftWatcher, MixedVAndFmgWorkloadsKeepSeparateWindows) {
+  // FMG solves are legitimately slower than V-cycles (the ramp).  Keyed
+  // together — the old bug — a workload shifting between modes read as
+  // drift; keyed apart, each mode is judged against its own baseline.
+  obs::LatencyBaseline baseline;
+  baseline.set(33, 1, snapshot_at(1e-3, 32));
+  baseline.set(33, 1, snapshot_at(3e-3, 32), /*fmg=*/true);
+  obs::DriftWatcher watcher(std::move(baseline), tight_policy());
+  // Interleaved healthy traffic of both modes: no window ever drifts,
+  // even though the FMG samples are 3× the V baseline.
+  for (int i = 0; i < 64; ++i) {
+    const bool fmg = (i % 2) == 1;
+    const obs::DriftObservation obs =
+        watcher.observe(33, 1, fmg ? 3e-3 : 1e-3, fmg);
+    EXPECT_TRUE(obs.baselined);
+    EXPECT_FALSE(obs.drifted) << "i=" << i << " fmg=" << fmg;
+    EXPECT_FALSE(obs.retune);
+  }
+  // Drift in ONE mode fires without the healthy mode masking it: V-cycle
+  // latency inflates 5×, FMG stays at its baseline.
+  int retunes = 0;
+  for (int i = 0; i < 32; ++i) {
+    const bool fmg = (i % 2) == 1;
+    const obs::DriftObservation obs =
+        watcher.observe(33, 1, fmg ? 3e-3 : 5e-3, fmg);
+    if (fmg) EXPECT_FALSE(obs.drifted);
+    if (obs.retune) ++retunes;
+  }
+  EXPECT_EQ(retunes, 1);
+}
+
+TEST(LatencyBaseline, MeasuredBaselineSplitsFmgIntoOwnKeys) {
+  const obs::LatencyBaseline baseline = [] {
+    tune::BaselineOptions options;
+    options.samples = 1;
+    options.include_fmg = true;
+    return tune::measure_latency_baseline(engine(), trained(), options);
+  }();
+  const int cells = (kMaxLevel - 1) * trained().accuracy_count();
+  EXPECT_EQ(baseline.size(), static_cast<std::size_t>(2 * cells));
+  for (int level = 2; level <= kMaxLevel; ++level) {
+    for (int acc = 0; acc < trained().accuracy_count(); ++acc) {
+      const int n = size_of_level(level);
+      const obs::HistogramSnapshot* v = baseline.find(n, acc);
+      const obs::HistogramSnapshot* fmg = baseline.find(n, acc, true);
+      ASSERT_NE(v, nullptr) << "level " << level << " acc " << acc;
+      ASSERT_NE(fmg, nullptr) << "level " << level << " acc " << acc;
+      EXPECT_EQ(v->count, 1);
+      EXPECT_EQ(fmg->count, 1);
+    }
+  }
+}
+
 // ---------------------------------------------------- honest SolveStats --
 
 TEST(HonestStats, TunedSolveReportsRealIterationCounts) {
@@ -356,16 +435,16 @@ bool bitwise_equal(const Grid2D& a, const Grid2D& b) {
 TEST(ServiceDrift, InstallSwapsGenerationsAtomically) {
   SolveService service(engine(), trained());
   EXPECT_EQ(service.generation(), 1);
-  SolveSession& old_session = service.session(size_of_level(3));
+  const SessionRef old_session = service.session(size_of_level(3));
 
   service.install(trained());
   EXPECT_EQ(service.generation(), 2);
   EXPECT_EQ(service.stats().generation, 2);
-  // The new generation binds fresh sessions; the old reference stays
-  // valid (retired generations are retained for the service's lifetime).
-  SolveSession& fresh = service.session(size_of_level(3));
-  EXPECT_NE(&old_session, &fresh);
-  EXPECT_EQ(old_session.n(), size_of_level(3));
+  // The new generation binds fresh sessions; the old ref stays valid
+  // (it pins its retired generation against reclaim).
+  const SessionRef fresh = service.session(size_of_level(3));
+  EXPECT_NE(old_session.get(), fresh.get());
+  EXPECT_EQ(old_session->n(), size_of_level(3));
 
   // Post-swap solves carry the new generation id.
   const int n = size_of_level(3);

@@ -68,9 +68,11 @@ TEST(ScratchPool, TrimFreesPooledBytesButKeepsCounters) {
   EXPECT_EQ(stats.trims, 1);
   EXPECT_EQ(stats.pooled_bytes, 0u);
   EXPECT_EQ(stats.high_water_bytes, expected);  // high water is sticky
-  // Trimming an empty pool frees nothing and does not count as a trim.
+  // Trimming an empty pool frees nothing but still counts: trims counts
+  // CALLS, matching ServiceStats::trims, so pool- and service-level trim
+  // telemetry agree instead of silently diverging on no-op trims.
   EXPECT_EQ(pool.trim(), 0u);
-  EXPECT_EQ(pool.stats().trims, 1);
+  EXPECT_EQ(pool.stats().trims, 2);
   // The pool keeps working after a trim.
   { auto lease = pool.acquire(17); }
   EXPECT_EQ(pool.pooled(), 1u);

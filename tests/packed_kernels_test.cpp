@@ -344,6 +344,132 @@ TEST(PackedParity, PrewarmedHierarchyMatchesLazyPacking) {
   }
 }
 
+// ---------------------------------------------------------- multi-RHS --
+
+/// Solo-vs-batched check: runs `solo(x, b)` on each of K slots and
+/// `multi(xs, bs)` on identically-seeded copies; every slot must finish
+/// bitwise identical.  The fused multi-RHS kernels reorder only memory
+/// traffic (one coefficient-row load serves all K), never any single
+/// slot's accumulation order, so exact equality is the contract the
+/// batched serving path (SolveService::solve_batch) stands on.
+template <typename Solo, typename Multi>
+void expect_multi_matches_solo(int n, int k_count, std::uint64_t seed,
+                               const Solo& solo, const Multi& multi) {
+  std::vector<Grid2D> b_store;
+  std::vector<Grid2D> solo_store;
+  std::vector<Grid2D> multi_store;
+  for (int k = 0; k < k_count; ++k) {
+    b_store.push_back(random_grid(n, seed + 1000 + static_cast<unsigned>(k)));
+    solo_store.push_back(random_grid(n, seed + static_cast<unsigned>(k)));
+    multi_store.push_back(solo_store.back());
+  }
+  for (int k = 0; k < k_count; ++k) solo(solo_store[k], b_store[k]);
+  std::vector<Grid2D*> xs;
+  std::vector<const Grid2D*> bs;
+  for (int k = 0; k < k_count; ++k) {
+    xs.push_back(&multi_store[k]);
+    bs.push_back(&b_store[k]);
+  }
+  multi(xs, bs);
+  for (int k = 0; k < k_count; ++k) {
+    EXPECT_TRUE(bitwise_equal(solo_store[k], multi_store[k]))
+        << "slot " << k << " of " << k_count;
+  }
+}
+
+void expect_all_multi_parity(const StencilOp& op, const KernelPolicy& policy,
+                             int k_count, int threads, std::uint64_t seed) {
+  const int n = op.n();
+  Engine& eng = engine_with(threads);
+  rt::Scheduler& sched = eng.scheduler();
+  expect_multi_matches_solo(
+      n, k_count, seed,
+      [&](Grid2D& x, const Grid2D& b) {
+        Grid2D r(n, 1.0);
+        residual_op(op, x, b, r, sched, policy);
+        x = r;
+      },
+      [&](std::vector<Grid2D*>& xs, std::vector<const Grid2D*>& bs) {
+        std::vector<Grid2D> r_store(xs.size(), Grid2D(n, 1.0));
+        std::vector<Grid2D*> rs;
+        std::vector<const Grid2D*> xs_read;
+        for (std::size_t k = 0; k < xs.size(); ++k) {
+          rs.push_back(&r_store[k]);
+          xs_read.push_back(xs[k]);
+        }
+        residual_op_multi(op, xs_read, bs, rs, sched, policy);
+        for (std::size_t k = 0; k < xs.size(); ++k) *xs[k] = r_store[k];
+      });
+  expect_multi_matches_solo(
+      n, k_count, seed ^ 0x50F,
+      [&](Grid2D& x, const Grid2D& b) {
+        // Three chained sweeps: any drift compounds and must stay zero.
+        for (int s = 0; s < 3; ++s) {
+          solvers::sor_sweep(op, x, b, 1.15, sched, policy);
+        }
+      },
+      [&](std::vector<Grid2D*>& xs, std::vector<const Grid2D*>& bs) {
+        for (int s = 0; s < 3; ++s) {
+          solvers::sor_sweep_multi(op, xs, bs, 1.15, sched, policy);
+        }
+      });
+  expect_multi_matches_solo(
+      n, k_count, seed ^ 0x11E,
+      [&](Grid2D& x, const Grid2D& b) {
+        for (int s = 0; s < 2; ++s) {
+          solvers::line_relax_sweep(op, x, b,
+                                    solvers::RelaxKind::kLineZebraAlt,
+                                    sched, eng.scratch(), policy);
+        }
+      },
+      [&](std::vector<Grid2D*>& xs, std::vector<const Grid2D*>& bs) {
+        for (int s = 0; s < 2; ++s) {
+          solvers::line_relax_sweep_multi(op, xs, bs,
+                                          solvers::RelaxKind::kLineZebraAlt,
+                                          sched, eng.scratch(), policy);
+        }
+      });
+}
+
+TEST(MultiRhsParity, AllFamiliesWidthsAndLayoutsMatchSolo) {
+  const int n = 33;
+  std::uint64_t seed = 0x3A7C;
+  for (const OperatorFamily family : kParityFamilies) {
+    const StencilOp op = make_operator(n, family);
+    SCOPED_TRACE("family=" + to_string(family) + " legacy");
+    expect_all_multi_parity(op, KernelPolicy{}, /*k_count=*/4,
+                            /*threads=*/4, ++seed);
+    for (const int width : kWidths) {
+      SCOPED_TRACE("family=" + to_string(family) +
+                   " packed width=" + std::to_string(width));
+      expect_all_multi_parity(op, packed_policy(width), /*k_count=*/4,
+                              /*threads=*/4, ++seed);
+    }
+  }
+}
+
+TEST(MultiRhsParity, PoissonFastPathAndThreadCountsMatchSolo) {
+  const StencilOp op = StencilOp::poisson(33);
+  std::uint64_t seed = 0xF00D;
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expect_all_multi_parity(op, KernelPolicy{}, /*k_count=*/3, threads,
+                            ++seed);
+  }
+}
+
+TEST(MultiRhsParity, BatchSizesIncludingSingleAndOddMatchSolo) {
+  // K = 1 routes to the solo code path outright; K = 5 leaves a partial
+  // trailing element in any would-be unrolling.  Both must hold parity.
+  const StencilOp op = make_operator(17, OperatorFamily::kAnisoTheta45);
+  std::uint64_t seed = 0x0DD;
+  for (const int k_count : {1, 2, 5}) {
+    SCOPED_TRACE("k=" + std::to_string(k_count));
+    expect_all_multi_parity(op, packed_policy(4), k_count, /*threads=*/4,
+                            ++seed);
+  }
+}
+
 TEST(PackedParity, RepeatedRunsAreDeterministic) {
   // The packed sweeps keep the legacy determinism guarantee: identical
   // inputs give identical bits run over run under a threaded scheduler.

@@ -128,11 +128,11 @@ TEST(SolveService, ConcurrentMixedSolvesMatchSerialRunsBitwise) {
 
 TEST(SolveService, SessionsAreCachedPerSize) {
   SolveService service(engine(), trained());
-  SolveSession& a = service.session(size_of_level(4));
-  SolveSession& b = service.session(size_of_level(4));
-  SolveSession& c = service.session(size_of_level(3));
-  EXPECT_EQ(&a, &b);
-  EXPECT_NE(&a, &c);
+  const SessionRef a = service.session(size_of_level(4));
+  const SessionRef b = service.session(size_of_level(4));
+  const SessionRef c = service.session(size_of_level(3));
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
   EXPECT_EQ(service.stats().sessions, 2u);
 }
 
@@ -195,7 +195,7 @@ TEST(SolveService, TrimUnderLoadFreesMemoryAndServiceRecovers) {
   // legitimately be lease-free, e.g. an all-Direct table), so drive one
   // through the same session to watch the free-list re-stock.
   x.copy_from(problem.x0);
-  service.session(n).solve_reference_v(
+  service.session(n)->solve_reference_v(
       x, problem.b, /*max_cycles=*/2,
       [](const Grid2D&, int it) { return it >= 2; });
   EXPECT_GT(local.scratch().pooled(), 0u);
@@ -278,6 +278,109 @@ TEST(SolveService, MetricsSnapshotCountsEveryRequestPerSizeAndAccuracy) {
       after.counters.at("pbmg_solve_requests_total{outcome=\"error\"}"), 1);
   EXPECT_EQ(after.histograms.at("pbmg_solve_failure_seconds").count, 1);
   EXPECT_EQ(after.histograms.at(small_series).count, solves_small);
+}
+
+TEST(SolveService, UnconvergedSolvesLandInFailureHistogramNotHealthy) {
+  // The per-(n, acc) latency histograms are the healthy-serving
+  // distributions the drift watcher compares against; a solve that failed
+  // its residual audit must be accounted with the failures
+  // (pbmg_solve_failure_seconds), not mixed into them.
+  Engine local([] {
+    rt::MachineProfile p;
+    p.name = "service-unconverged";
+    p.threads = 2;
+    p.grain_rows = 4;
+    return p;
+  }());
+  SolveService service(local, trained());
+  const int n = size_of_level(3);
+  Rng rng(88);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  SolveRequest request;
+  request.accuracy_index = 0;
+  request.residual.enabled = true;
+  Grid2D x(n, 0.0);
+  x.copy_from(problem.x0);
+  ASSERT_TRUE(service.solve(x, problem.b, request).converged);
+
+  // An impossible audit bound makes an otherwise-fine solve unconverged.
+  request.residual.ratio_limit = 1e-300;
+  x.copy_from(problem.x0);
+  const SolveStats stats = service.solve(x, problem.b, request);
+  ASSERT_FALSE(stats.converged);
+
+  const obs::RegistrySnapshot snapshot = service.metrics_snapshot();
+  const std::string series = "pbmg_solve_latency_seconds{n=\"" +
+                             std::to_string(n) + "\",acc=\"0\"}";
+  EXPECT_EQ(snapshot.histograms.at(series).count, 1);  // only the healthy one
+  EXPECT_EQ(snapshot.histograms.at("pbmg_solve_failure_seconds").count, 1);
+  EXPECT_EQ(snapshot.counters.at("pbmg_solve_requests_total{outcome=\"ok\"}"),
+            1);
+  EXPECT_EQ(snapshot.counters.at(
+                "pbmg_solve_requests_total{outcome=\"unconverged\"}"),
+            1);
+}
+
+TEST(SolveService, TrimAfterInstallFreesRetiredGenerationsPool) {
+  // Regression: trim() used to shrink only the LIVE generation's engine,
+  // so after an install with a fresh engine the retired engine's prewarmed
+  // pool stayed resident until process exit.
+  Engine local([] {
+    rt::MachineProfile p;
+    p.name = "service-retired-trim";
+    p.threads = 2;
+    p.grain_rows = 4;
+    return p;
+  }());
+  SolveService service(local, trained());
+  const int n = size_of_level(4);
+  Rng rng(99);
+  auto problem = make_problem(n, InputDistribution::kUnbiased, rng);
+  SolveRequest request;
+  request.accuracy_index = 0;
+  Grid2D x(n, 0.0);
+  x.copy_from(problem.x0);
+  service.solve(x, problem.b, request);
+  ASSERT_GT(local.scratch().pooled(), 0u);
+
+  // Pin the retiring generation so reclaim cannot free the pool for us —
+  // the trim itself must reach the retired engine.
+  const SessionRef pin = service.session(n);
+  auto fresh_engine = std::make_shared<Engine>([] {
+    rt::MachineProfile p;
+    p.name = "service-retired-trim-gen2";
+    p.threads = 2;
+    p.grain_rows = 4;
+    return p;
+  }());
+  service.install(trained(), {}, fresh_engine);
+  ASSERT_GT(local.scratch().pooled(), 0u);  // retired pool still resident
+  EXPECT_GT(service.trim(), 0u);
+  EXPECT_EQ(local.scratch().pooled(), 0u);  // freed by the all-gen trim
+}
+
+TEST(SolveService, RetiredGenerationsAreReclaimedOnceUnpinned) {
+  Engine local([] {
+    rt::MachineProfile p;
+    p.name = "service-reclaim";
+    p.threads = 2;
+    p.grain_rows = 4;
+    return p;
+  }());
+  SolveService service(local, trained());
+  const int n = size_of_level(3);
+  {
+    const SessionRef pin = service.session(n);
+    ASSERT_GT(service.stats().session_bytes, 0u);
+    service.install(trained());
+    service.trim();  // sweep runs, but the pin holds the retired gen
+    EXPECT_EQ(service.stats().retired_generations, 1u);
+    EXPECT_GT(service.stats().session_bytes, 0u);
+    EXPECT_EQ(pin->n(), n);  // still fully usable while retired
+  }
+  service.trim();  // last pin dropped: the sweep reclaims the generation
+  EXPECT_EQ(service.stats().retired_generations, 0u);
+  EXPECT_EQ(service.stats().session_bytes, 0u);  // gen 2 has no sessions
 }
 
 TEST(SolveService, RequestProfileAttachesPhaseBreakdownToStats) {
