@@ -1,10 +1,12 @@
 #include "engine/solve_service.h"
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "grid/level.h"
 #include "grid/problem.h"
 #include "support/error.h"
 #include "support/timer.h"
@@ -32,11 +34,17 @@ SolveService::SolveService(Engine& engine, tune::TunedConfig config,
       retunes_total_(metrics_.counter("pbmg_drift_retunes_total")),
       retune_failures_total_(
           metrics_.counter("pbmg_drift_retune_failures_total")),
+      route_escalations_(metrics_.counter("pbmg_route_escalations_total")),
+      route_switches_(
+          metrics_.counter("pbmg_route_family_switches_total")),
+      family_retunes_total_(metrics_.counter("pbmg_family_retunes_total")),
       generation_gauge_(metrics_.gauge("pbmg_config_generation")),
       retune_gauge_(metrics_.gauge("pbmg_retune_in_progress")),
       session_bytes_gauge_(metrics_.gauge("pbmg_session_bytes")),
       failure_seconds_(metrics_.histogram("pbmg_solve_failure_seconds")),
-      batch_size_(metrics_.histogram("pbmg_batch_size")) {
+      batch_size_(metrics_.histogram("pbmg_batch_size")),
+      route_distance_(
+          metrics_.histogram("pbmg_route_fingerprint_distance")) {
   current_ = std::make_shared<Generation>();
   current_->engine = &engine_;
   current_->config = std::move(config);
@@ -364,9 +372,14 @@ void SolveService::observe_drift(const std::shared_ptr<Generation>& gen,
   if (!stats.converged) return;
   // V-cycle and FMG latencies live in separate baseline keys: FMG solves
   // are legitimately slower (the ramp), and mixing the two modes into
-  // one window reads as drift whenever the workload mix shifts.
-  const obs::DriftObservation verdict =
-      watcher_->observe(stats.n, accuracy_index, stats.seconds, fmg);
+  // one window reads as drift whenever the workload mix shifts.  The
+  // initial residual (when the request's audit measured one) feeds the
+  // watcher's input-distribution summary alongside the latency sample.
+  const obs::DriftObservation verdict = watcher_->observe(
+      stats.n, accuracy_index, stats.seconds, fmg,
+      stats.residual_checked
+          ? stats.initial_residual
+          : std::numeric_limits<double>::quiet_NaN());
   if (verdict.window_complete) {
     (verdict.drifted ? drift_windows_drifted_ : drift_windows_ok_).add(1);
     std::lock_guard<std::mutex> lock(mutex_);
@@ -405,6 +418,282 @@ void SolveService::start_retune() {
     retune_gauge_.set(0.0);
     retune_in_progress_.store(false, std::memory_order_release);
   });
+}
+
+void SolveService::enable_operator_routing(RoutePolicy policy,
+                                           FamilyRetuneFn retune) {
+  route_policy_ = policy;
+  family_retune_fn_ = std::move(retune);
+}
+
+obs::Counter& SolveService::route_counter(const std::string& family,
+                                          const std::string& outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = route_counters_.find({family, outcome});
+    if (it != route_counters_.end()) return *it->second;
+  }
+  obs::Counter& counter = metrics_.counter("pbmg_route_total{family=\"" +
+                                           family + "\",outcome=\"" +
+                                           outcome + "\"}");
+  std::lock_guard<std::mutex> lock(mutex_);
+  route_counters_.emplace(std::make_pair(family, outcome), &counter);
+  return counter;
+}
+
+void SolveService::install_family(tune::TunedConfig config) {
+  const std::string name = config.op_family;
+  auto fresh = std::make_shared<const tune::TunedConfig>(std::move(config));
+  const std::shared_ptr<Generation> gen = current_generation();
+  std::vector<std::shared_ptr<const OpBinding>> dropped;
+  {
+    std::lock_guard<std::mutex> lock(gen->mutex);
+    gen->family_configs[name] = std::move(fresh);
+    // Drop the bindings this install supersedes: operators whose nearest
+    // family is the one just trained but which were being served by a
+    // stand-in.  Their next request re-routes onto the new tables; every
+    // other binding — and every in-flight solve, which holds its own
+    // shared_ptr — is untouched.
+    auto it = gen->bindings.begin();
+    while (it != gen->bindings.end()) {
+      if (it->second->nearest_family == name &&
+          it->second->served_family != name) {
+        dropped.push_back(std::move(it->second));
+        it = gen->bindings.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // `dropped` destructs here, outside the lock: each binding tears down a
+  // DynamicSolver's coefficient hierarchies and executors.
+}
+
+std::shared_ptr<const SolveService::OpBinding> SolveService::binding_for(
+    const std::shared_ptr<Generation>& gen, const grid::StencilOp& op) {
+  const std::pair<const void*, int> key{op.identity(), op.n()};
+  for (;;) {
+    std::map<std::string, std::shared_ptr<const tune::TunedConfig>> table;
+    {
+      std::lock_guard<std::mutex> lock(gen->mutex);
+      auto it = gen->bindings.find(key);
+      if (it != gen->bindings.end()) return it->second;
+      table = gen->family_configs;
+    }
+    // Fingerprint + solver construction run outside the generation lock:
+    // the fingerprint sweep is O(n²) and the bind coarsens/prewarms a
+    // full hierarchy, neither of which may stall in-flight requests.
+    auto binding = std::make_shared<OpBinding>();
+    binding->op = op;  // pins identity() against allocator reuse
+    binding->fp = grid::fingerprint(op);
+    const std::vector<grid::FamilyMatch> ranked =
+        grid::rank_families(binding->fp);
+    binding->nearest = ranked.front().family;
+    binding->nearest_family = to_string(ranked.front().family);
+    binding->nearest_distance = ranked.front().distance;
+    // The construction config serves as the fallback tables for its own
+    // family unless an install_family extension superseded it.  Reading
+    // gen->config without the lock is safe: it is immutable for the
+    // generation's lifetime.
+    const std::string primary_family = gen->config.op_family;
+    if (table.find(primary_family) == table.end()) {
+      table[primary_family] =
+          std::shared_ptr<const tune::TunedConfig>(gen, &gen->config);
+    }
+    // Escalation ladder: every family with tables deep enough for this
+    // operator, nearest first.  The served family is the first rung.
+    const int level = level_of_size(op.n());
+    std::vector<tune::FamilyConfig> ladder;
+    for (const grid::FamilyMatch& match : ranked) {
+      const std::string name = to_string(match.family);
+      auto it = table.find(name);
+      if (it == table.end() || it->second->max_level() < level) continue;
+      if (ladder.empty()) {
+        binding->served_family = name;
+        binding->served_distance = match.distance;
+      }
+      ladder.push_back({name, it->second});
+    }
+    if (ladder.empty()) {
+      throw ConfigError(
+          "SolveService: no tuned family covers level " +
+          std::to_string(level) + " (n=" + std::to_string(op.n()) +
+          ") — train deeper tables before routing this size");
+    }
+    binding->matched =
+        binding->served_distance <= route_policy_.match_threshold;
+    binding->served_config = ladder.front().config;
+    binding->solver = std::make_shared<const tune::DynamicSolver>(
+        op, std::move(ladder), gen->engine->scheduler(),
+        gen->engine->direct(), gen->engine->scratch(),
+        gen->engine->relax());
+    {
+      std::lock_guard<std::mutex> lock(gen->mutex);
+      // install_family may have landed while this binding was building;
+      // if the freshly installed tables are exactly the ones this binding
+      // settled for a stand-in over, rebuild against the new map rather
+      // than caching a decision the install just invalidated.
+      if (binding->served_family != binding->nearest_family &&
+          gen->family_configs.count(binding->nearest_family) != 0 &&
+          table.count(binding->nearest_family) == 0) {
+        continue;
+      }
+      auto [it, inserted] = gen->bindings.emplace(key, std::move(binding));
+      // An emplace race keeps the winner; the loser's solver (and its
+      // prewarmed grids, already returned to the shared pool) is dropped.
+      return it->second;
+    }
+  }
+}
+
+bool SolveService::start_family_retune(OperatorFamily family) {
+  if (!family_retune_fn_) return false;
+  const std::string name = to_string(family);
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    if (retuned_families_.count(name) != 0) return false;
+  }
+  bool expected = false;
+  if (!retune_in_progress_.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    // A drift or family retune is mid-flight.  Deliberately do NOT mark
+    // this family handled: a later request for the same fingerprint
+    // retries once the thread frees up.
+    return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(route_mutex_);
+    if (!retuned_families_.insert(name).second) {
+      // Lost a race with another thread that marked it first.
+      retune_in_progress_.store(false, std::memory_order_release);
+      return false;
+    }
+  }
+  // The CAS read false, so any previous retune thread has published its
+  // result and is exiting; join reclaims it before the handle is reused.
+  if (retune_thread_.joinable()) retune_thread_.join();
+  family_retunes_total_.add(1);
+  retune_gauge_.set(1.0);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.family_retunes;
+  }
+  retune_thread_ = std::thread([this, family, name] {
+    try {
+      install_family(family_retune_fn_(family));
+    } catch (...) {
+      retune_failures_total_.add(1);
+      // A failed training run keeps serving the stand-in family and
+      // re-arms: the next request for this fingerprint retries.
+      std::lock_guard<std::mutex> lock(route_mutex_);
+      retuned_families_.erase(name);
+    }
+    retune_gauge_.set(0.0);
+    retune_in_progress_.store(false, std::memory_order_release);
+  });
+  return true;
+}
+
+SolveStats SolveService::solve_op(const grid::StencilOp& op, Grid2D& x,
+                                  const Grid2D& b,
+                                  const SolveRequest& request,
+                                  tune::DynamicResult* detail) {
+  SolveStats stats;
+  std::shared_ptr<const OpBinding> binding;
+  tune::DynamicResult result;
+  bool retune_fired = false;
+  const std::shared_ptr<Generation> gen = current_generation();
+  const double t0 = now_seconds();
+  try {
+    if (request.fmg) {
+      throw ConfigError(
+          "SolveService: solve_op drives tuned V variants; FMG requests "
+          "must go through solve() on a trained family");
+    }
+    binding = binding_for(gen, op);
+    if (!binding->matched) {
+      // Outside every tuned family's threshold: serve from the nearest
+      // stand-in, and train the real family in the background — once.
+      // (When the nearest family already has tables, the binding is
+      // served by them and there is nothing better to train.)
+      if (binding->served_family != binding->nearest_family) {
+        retune_fired = start_family_retune(binding->nearest);
+      }
+    }
+    double target = request.target_accuracy;
+    if (request.accuracy_index >= 0) {
+      if (request.accuracy_index >=
+          binding->served_config->accuracy_count()) {
+        throw ConfigError(
+            "SolveService: accuracy_index " +
+            std::to_string(request.accuracy_index) +
+            " is outside family '" + binding->served_family +
+            "' tuned ladder [0, " +
+            std::to_string(binding->served_config->accuracy_count()) + ")");
+      }
+      target = binding->served_config
+                   ->accuracies()[static_cast<std::size_t>(
+                       request.accuracy_index)];
+    } else if (request.target_accuracy <= 0.0) {
+      throw ConfigError(
+          "SolveService: request selects no accuracy — set accuracy_index "
+          "to a tuned ladder index or target_accuracy to a positive "
+          "accuracy level (the default-constructed request is deliberately "
+          "invalid)");
+    }
+    result = binding->solver->solve(x, b, target,
+                                    route_policy_.max_iterations,
+                                    request.profile.get());
+    stats.seconds = result.seconds;
+    stats.n = binding->solver->n();
+    stats.level = binding->solver->level();
+    stats.accuracy_index = result.final_accuracy_index;
+    stats.iterations = result.iterations;
+    stats.converged = result.converged;
+    stats.initial_residual = result.initial_residual;
+    stats.final_residual = result.final_residual;
+    stats.residual_checked = true;
+    stats.generation = gen->id;
+    stats.phases = request.profile;
+  } catch (...) {
+    failures_total_.add(1);
+    requests_error_.add(1);
+    failure_seconds_.record(now_seconds() - t0);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failures;
+    throw;
+  }
+  // Routing telemetry.  Outcome precedence: a request that fired a
+  // family retune is the interesting event even if it also escalated;
+  // an escalated request (cross-family switch mid-solve, or served
+  // outside the threshold) beats a plain match.
+  const char* outcome = retune_fired ? "retune"
+                        : (result.family_switches > 0 || !binding->matched)
+                            ? "escalated"
+                            : "matched";
+  route_counter(binding->served_family, outcome).add(1);
+  route_distance_.record(binding->served_distance);
+  if (result.escalations > 0) route_escalations_.add(result.escalations);
+  if (result.family_switches > 0) {
+    route_switches_.add(result.family_switches);
+  }
+  // Routed solves do not land in the per-(n, acc) latency histograms or
+  // the drift watcher: their adaptive invocation count makes the latency
+  // incomparable to the fixed-shape baseline distribution.
+  if (stats.converged) {
+    requests_ok_.add(1);
+  } else {
+    failure_seconds_.record(stats.seconds);
+    requests_unconverged_.add(1);
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    ++stats_.routed_requests;
+    stats_.busy_seconds += stats.seconds;
+  }
+  if (detail != nullptr) *detail = std::move(result);
+  return stats;
 }
 
 ServiceStats SolveService::stats() const {

@@ -6,14 +6,18 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "engine/solve_session.h"
+#include "grid/fingerprint.h"
 #include "obs/drift.h"
 #include "obs/metrics.h"
+#include "tune/dynamic.h"
 
 /// \file solve_service.h
 /// Multi-tenant front-end: concurrent solve requests onto one Engine.
@@ -48,6 +52,17 @@
 /// generation they bound (snapshotted at entry), new requests bind the
 /// fresh one.
 ///
+/// Operator routing (solve_op): arbitrary-coefficient requests are
+/// fingerprinted (grid/fingerprint.h), routed to the nearest tuned
+/// family, and served by a cached per-operator DynamicSolver with
+/// cross-family escalation (tune/dynamic.h).  Fingerprints outside every
+/// tuned family's match threshold fire a once-per-family background
+/// retune whose tables install as a generation *extension*
+/// (install_family) — the generation id and in-flight solves are
+/// untouched.  Route outcomes export as
+/// `pbmg_route_total{family,outcome=matched|escalated|retune}` plus a
+/// fingerprint-distance histogram.
+///
 /// Fleet-scale memory: sessions are the expensive resident state (packed
 /// coefficient streams, RAP ladders, prewarmed scratch), so the session
 /// cache is byte-budgeted.  ServicePolicy caps resident session bytes
@@ -77,6 +92,21 @@ struct SolveRequest {
   /// drift bench/tests enable it so latency samples provably come from
   /// solves that did their job, not from ones that diverged quickly.
   ResidualPolicy residual;
+};
+
+/// Operator-routing knobs (SolveService::solve_op).
+struct RoutePolicy {
+  /// A request whose fingerprint sits within this distance of the served
+  /// family's reference fingerprint counts as matched; beyond it the
+  /// request is served anyway (nearest family) but flagged escalated,
+  /// and — when the overall-nearest family has no tuned tables — a
+  /// background family retune fires.  0.75 sits under the smallest
+  /// inter-family reference gap that matters for routing (≈ 1.0 between
+  /// the rotated-tensor families) while absorbing discretization drift
+  /// of one family across grid sizes (≪ 0.1).
+  double match_threshold = 0.75;
+  /// Tuned-variant invocation budget per routed solve.
+  int max_iterations = 64;
 };
 
 /// Admission/eviction budget for the session cache.  Zero means
@@ -109,6 +139,8 @@ struct ServiceStats {
   std::int64_t drifted_windows = 0;  ///< windows that failed both tests
   std::int64_t retunes = 0;      ///< background retunes launched
   std::int64_t generation = 1;   ///< live config generation (starts at 1)
+  std::int64_t routed_requests = 0;  ///< solve_op requests completed
+  std::int64_t family_retunes = 0;   ///< background family retunes launched
 };
 
 /// Pinning handle to a cached SolveSession.  While any SessionRef to a
@@ -185,6 +217,53 @@ class SolveService {
   /// unset default (accuracy_index < 0 with target_accuracy <= 0).
   SolveStats solve(Grid2D& x, const Grid2D& b, const SolveRequest& request);
 
+  /// What a family retune produces: tuned tables for the requested
+  /// family (TunedConfig::op_family must name it).  Runs on a background
+  /// thread; throwing keeps serving the stand-in family and re-arms the
+  /// retune for later requests.
+  using FamilyRetuneFn = std::function<tune::TunedConfig(OperatorFamily)>;
+
+  /// Arms operator routing (solve_op): sets the match threshold /
+  /// iteration budget and the background retune callback invoked the
+  /// first time a request's fingerprint lands outside every tuned
+  /// family's threshold.  Call once, before serving routed traffic (the
+  /// policy fields themselves are unsynchronized).  A null `retune`
+  /// routes and escalates without ever training new families; solve_op
+  /// works without this call under the default policy, retune-less.
+  void enable_operator_routing(RoutePolicy policy, FamilyRetuneFn retune);
+
+  /// Extends the LIVE generation with tuned tables for one operator
+  /// family (keyed by config.op_family): future solve_op requests whose
+  /// fingerprint routes to that family serve from these tables.  Unlike
+  /// install(), this is a generation *extension* — the generation id,
+  /// its engine, its sessions, and every in-flight solve are untouched;
+  /// only routed bindings that were standing in for this family are
+  /// dropped so their next request re-routes.  Thread-safe; called by
+  /// the background family retune and usable directly.
+  void install_family(tune::TunedConfig config);
+
+  /// Serves one arbitrary-operator request: fingerprints `op` (cached
+  /// per operator identity × size), routes to the nearest tuned family
+  /// within the match threshold (escalating across families when the
+  /// input underperforms, tune/dynamic.h), and solves on the calling
+  /// thread.  A fingerprint outside every tuned family's threshold is
+  /// still served (nearest family) and — once per family — fires the
+  /// background retune armed by enable_operator_routing, whose result
+  /// installs via install_family.  `request.accuracy_index` selects the
+  /// target reduction from the served family's ladder (target_accuracy
+  /// is used directly when the index is unset); `request.fmg` is
+  /// rejected — routed solves drive tuned V variants.  The returned
+  /// stats carry the honest dynamic outcome (real variant invocations,
+  /// out-of-window residual audit); `detail`, when non-null, receives
+  /// the full per-variant breakdown.  Routed solves never feed the
+  /// latency histograms or the drift watcher (their adaptive iteration
+  /// count is not comparable to the fixed-shape baseline); they land in
+  /// pbmg_route_total{family,outcome} and the fingerprint-distance
+  /// histogram instead.  Thread-safe; throws like solve().
+  SolveStats solve_op(const grid::StencilOp& op, Grid2D& x, const Grid2D& b,
+                      const SolveRequest& request,
+                      tune::DynamicResult* detail = nullptr);
+
   /// Solves K iterates against one shared right-hand side `b_template`
   /// in a single fused multi-RHS plan walk (SolveSession::solve_batch_v):
   /// every relax/residual sweep loads each coefficient row once and
@@ -258,6 +337,24 @@ class SolveService {
     std::uint64_t last_used = 0;  ///< global LRU tick of the last bind
   };
 
+  /// One cached routing decision: an operator's fingerprint, the family
+  /// it routed to, and the bound DynamicSolver (prewarmed hierarchies +
+  /// executors).  Immutable once published; the StencilOp copy keeps the
+  /// coefficient storage — and with it the identity() cache key — alive
+  /// for the binding's lifetime.
+  struct OpBinding {
+    grid::StencilOp op;
+    grid::OperatorFingerprint fp;
+    std::string nearest_family;      ///< overall-nearest canonical family
+    OperatorFamily nearest = OperatorFamily::kPoisson;
+    double nearest_distance = 0.0;
+    std::string served_family;       ///< nearest family WITH tuned tables
+    double served_distance = 0.0;
+    bool matched = false;  ///< served_distance within the match threshold
+    std::shared_ptr<const tune::DynamicSolver> solver;
+    std::shared_ptr<const tune::TunedConfig> served_config;
+  };
+
   /// One immutable (config, engine, sessions) unit.  `owned` is null
   /// when the engine is caller-owned (generation 1, and config-only
   /// installs that inherited it); `engine` always points at the engine
@@ -270,9 +367,18 @@ class SolveService {
     std::shared_ptr<Engine> owned;
     Engine* engine = nullptr;
     tune::TunedConfig config;
-    std::mutex mutex;  // guards sessions + resident_bytes
+    std::mutex mutex;  // guards sessions + resident_bytes + the two maps
+                       // below (family_configs, bindings)
     std::map<int, SessionSlot> sessions;
     std::size_t resident_bytes = 0;  ///< sum of slot bytes in this gen
+    /// Generation extensions: per-family tuned tables installed after
+    /// this generation went live (install_family).  The construction
+    /// config stays the fallback for its own op_family.
+    std::map<std::string, std::shared_ptr<const tune::TunedConfig>>
+        family_configs;
+    /// Routed-operator cache keyed by (StencilOp::identity, n).
+    std::map<std::pair<const void*, int>, std::shared_ptr<const OpBinding>>
+        bindings;
   };
 
   std::shared_ptr<Generation> current_generation() const;
@@ -289,10 +395,23 @@ class SolveService {
   void observe_drift(const std::shared_ptr<Generation>& gen,
                      const SolveStats& stats, int accuracy_index, bool fmg);
   void start_retune();
+  /// The cached routing decision for `op` in `gen`, fingerprinting and
+  /// binding a DynamicSolver on first sight (construction happens outside
+  /// the generation lock; an emplace race keeps the winner).
+  std::shared_ptr<const OpBinding> binding_for(
+      const std::shared_ptr<Generation>& gen, const grid::StencilOp& op);
+  /// Launches the once-per-family background retune; returns true when
+  /// THIS call fired it (false: no callback, family already handled, or
+  /// another retune is mid-flight — the family stays unhandled so a
+  /// later request retries).
+  bool start_family_retune(OperatorFamily family);
 
   /// Latency histogram for (n, accuracy index), resolved once per pair
   /// and cached so the solve path never re-walks the registry map.
   obs::Histogram& latency_histogram(int n, int accuracy_index);
+  /// pbmg_route_total{family,outcome} counter, cached like latency_.
+  obs::Counter& route_counter(const std::string& family,
+                              const std::string& outcome);
 
   Engine& engine_;  ///< construction-time engine (generation 1)
   ServicePolicy policy_;
@@ -309,17 +428,23 @@ class SolveService {
   obs::Counter& drift_windows_drifted_;
   obs::Counter& retunes_total_;
   obs::Counter& retune_failures_total_;
+  obs::Counter& route_escalations_;
+  obs::Counter& route_switches_;
+  obs::Counter& family_retunes_total_;
   obs::Gauge& generation_gauge_;
   obs::Gauge& retune_gauge_;
   obs::Gauge& session_bytes_gauge_;
   obs::Histogram& failure_seconds_;
   obs::Histogram& batch_size_;
+  obs::Histogram& route_distance_;
 
-  mutable std::mutex mutex_;  // guards current_/retired_, stats_, latency_
+  mutable std::mutex mutex_;  // guards current_/retired_, stats_, latency_,
+                              // route_counters_
   std::shared_ptr<Generation> current_;
   std::vector<std::shared_ptr<Generation>> retired_;
   ServiceStats stats_;
   std::map<std::pair<int, int>, obs::Histogram*> latency_;
+  std::map<std::pair<std::string, std::string>, obs::Counter*> route_counters_;
 
   std::atomic<std::int64_t> generation_id_{1};
   std::atomic<std::uint64_t> lru_tick_{0};  ///< global session-use clock
@@ -332,6 +457,15 @@ class SolveService {
   RetuneFn retune_fn_;
   std::atomic<bool> retune_in_progress_{false};
   std::thread retune_thread_;  // joined before reuse and in the dtor
+
+  RoutePolicy route_policy_;        // set once, before routed traffic
+  FamilyRetuneFn family_retune_fn_;
+  std::mutex route_mutex_;  // guards retuned_families_
+  /// Families whose background retune has launched (and not failed):
+  /// the exactly-once guarantee for family retunes.  Deliberately NOT
+  /// per-generation — a drift install must not re-train every routed
+  /// family from scratch.
+  std::set<std::string> retuned_families_;
 };
 
 }  // namespace pbmg

@@ -1,0 +1,114 @@
+#include "grid/fingerprint.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "support/error.h"
+
+namespace pbmg::grid {
+
+namespace {
+
+/// Reference side the canonical family fingerprints are sampled at.  Any
+/// side works (the features are size-stable means/ratios); 65 keeps the
+/// once-per-process setup sweep at ~4k nodes per family.
+constexpr int kReferenceSide = 65;
+
+}  // namespace
+
+OperatorFingerprint fingerprint(const StencilOp& op) {
+  const int n = op.n();
+  PBMG_CHECK(n >= 3, "fingerprint: operator needs an interior (n >= 3)");
+  OperatorFingerprint fp;
+  // The constant-coefficient fast path is the definition of "no
+  // structure": every feature is identically zero, no sweep needed.
+  if (op.is_poisson()) return fp;
+
+  double sum_ex = 0.0;
+  double sum_ey = 0.0;
+  double sum_abs_log = 0.0;
+  double sum_rot = 0.0;
+  double sum_center = 0.0;
+  double min_m = std::numeric_limits<double>::infinity();
+  double max_m = 0.0;
+  for (int i = 1; i <= n - 2; ++i) {
+    for (int j = 1; j <= n - 2; ++j) {
+      const double aw = op.coupling(i, j, 0, -1);
+      const double ae = op.coupling(i, j, 0, 1);
+      const double an = op.coupling(i, j, -1, 0);
+      const double as = op.coupling(i, j, 1, 0);
+      const double ex = 0.5 * (aw + ae);
+      const double ey = 0.5 * (an + as);
+      sum_ex += ex;
+      sum_ey += ey;
+      sum_abs_log += std::abs(std::log10(ex / ey));
+      const double m = 0.5 * (ex + ey);
+      min_m = std::min(min_m, m);
+      max_m = std::max(max_m, m);
+      // Signed diagonal sums: the mixed derivative loads the two
+      // diagonals antisymmetrically (±a12/2), so their *difference* is a
+      // pure cross-term signal while symmetric corner couplings (RAP
+      // coarse operators) cancel exactly.
+      const double s1 = op.coupling(i, j, 1, 1) + op.coupling(i, j, -1, -1);
+      const double s2 = op.coupling(i, j, 1, -1) + op.coupling(i, j, -1, 1);
+      const double denom = ex + ey + std::abs(s1) + std::abs(s2);
+      if (denom > 0.0) sum_rot += (s2 - s1) / denom;
+      sum_center += op.center(i, j);
+    }
+  }
+  const double count = static_cast<double>(n - 2) * static_cast<double>(n - 2);
+  fp.anisotropy = std::log10(sum_ex / sum_ey);
+  fp.local_anisotropy = sum_abs_log / count;
+  fp.heterogeneity =
+      (min_m > 0.0 && max_m > 0.0) ? std::log10(max_m / min_m) : 0.0;
+  fp.rotation = sum_rot / count;
+  if (op.c() > 0.0) {
+    const double h = 1.0 / static_cast<double>(n - 1);
+    const double c_coupling = op.c() * h * h;  // reaction in coupling units
+    fp.reaction = c_coupling / (c_coupling + sum_center / count);
+  }
+  return fp;
+}
+
+double fingerprint_distance(const OperatorFingerprint& a,
+                            const OperatorFingerprint& b) {
+  const double da = a.anisotropy - b.anisotropy;
+  const double dl = a.local_anisotropy - b.local_anisotropy;
+  const double dh = a.heterogeneity - b.heterogeneity;
+  const double dr = 4.0 * (a.rotation - b.rotation);
+  const double dc = 2.0 * (a.reaction - b.reaction);
+  return std::sqrt(da * da + dl * dl + dh * dh + dr * dr + dc * dc);
+}
+
+std::vector<FamilyMatch> rank_families(const OperatorFingerprint& fp) {
+  static const auto references = [] {
+    std::array<std::pair<OperatorFamily, OperatorFingerprint>,
+               std::size(kAllOperatorFamilies)>
+        refs;
+    std::size_t i = 0;
+    for (const OperatorFamily family : kAllOperatorFamilies) {
+      refs[i++] = {family, fingerprint(make_operator(kReferenceSide, family))};
+    }
+    return refs;
+  }();
+  std::vector<FamilyMatch> ranked;
+  ranked.reserve(references.size());
+  for (const auto& [family, ref] : references) {
+    ranked.push_back({family, fingerprint_distance(fp, ref)});
+  }
+  // stable_sort + declaration-order input makes ties deterministic.
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const FamilyMatch& a, const FamilyMatch& b) {
+                     return a.distance < b.distance;
+                   });
+  return ranked;
+}
+
+FamilyMatch nearest_family(const OperatorFingerprint& fp) {
+  return rank_families(fp).front();
+}
+
+}  // namespace pbmg::grid

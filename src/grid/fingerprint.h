@@ -1,0 +1,85 @@
+#pragma once
+
+#include <vector>
+
+#include "grid/problem.h"
+#include "grid/stencil_op.h"
+
+/// \file fingerprint.h
+/// Operator fingerprinting: the request-time half of dynamic tuning.
+///
+/// A tuned table is only optimal for the operator family it was trained on
+/// (bench/fig18 measures the 1.3–2.4× retuning payoff), so a service that
+/// accepts arbitrary user-supplied coefficients must decide, per request,
+/// which trained family an incoming StencilOp most resembles.  The
+/// fingerprint condenses the coefficient structure the autotuner's choices
+/// actually respond to into five scale-invariant features:
+///
+///   anisotropy        signed log10 of mean x-coupling over mean
+///                     y-coupling — the global strength ratio, with sign
+///                     naming the strong axis (positive = x).
+///   local_anisotropy  mean |log10(ex/ey)| per node.  Distinguishes
+///                     direction-*varying* anisotropy (aniso-rot: strong
+///                     axis flips at x = ½, global ratio ≈ 1 but every
+///                     node is 1000:1) from genuinely isotropic operators.
+///   heterogeneity     log10 of max/min per-node coupling magnitude — the
+///                     coefficient-jump contrast (2.0 for the 100× jump
+///                     family, ≈ 0 for smooth operators).
+///   rotation          normalized signed difference of the two diagonal
+///                     coupling sums.  The mixed term −2·a12·u_xy puts
+///                     +a12/2 on one diagonal and −a12/2 on the other, so
+///                     only a genuine cross term moves this; Galerkin RAP
+///                     coarse Poisson operators (equal positive corners)
+///                     correctly read 0.
+///   reaction          c·h² / (c·h² + mean centre coupling) ∈ [0, 1) —
+///                     the reaction term's share of the diagonal.
+///
+/// Every feature is a ratio or a normalized difference, so scaling the
+/// whole operator (coefficients and c together) leaves the fingerprint
+/// bitwise-stable — the distance metric compares operator *shape*, not
+/// magnitude.  Computation is one O(n²) pass over the couplings; routing
+/// layers cache it per operator identity (StencilOp::identity), so it
+/// never lands on a hot solve path.
+
+namespace pbmg::grid {
+
+/// Scale-invariant structural summary of a StencilOp (see file comment).
+struct OperatorFingerprint {
+  double anisotropy = 0.0;        ///< signed log10(mean ex / mean ey)
+  double local_anisotropy = 0.0;  ///< mean |log10(ex/ey)| per node
+  double heterogeneity = 0.0;     ///< log10(max/min node coupling magnitude)
+  double rotation = 0.0;          ///< normalized diagonal-sum asymmetry
+  double reaction = 0.0;          ///< reaction share of the diagonal
+};
+
+/// Computes the fingerprint in one pass over the interior couplings.
+/// Requires n >= 3 (at least one interior node).  The Poisson fast path
+/// returns the all-zero fingerprint without sweeping.
+OperatorFingerprint fingerprint(const StencilOp& op);
+
+/// Weighted Euclidean distance between two fingerprints.  Rotation is
+/// weighted 4× and reaction 2× so their small numeric ranges (±0.5 and
+/// [0,1)) carry the same routing authority as the log-scaled features
+/// (ranges of several decades).  Symmetric, zero iff equal.
+double fingerprint_distance(const OperatorFingerprint& a,
+                            const OperatorFingerprint& b);
+
+/// One candidate routing target: a canonical family and how far the query
+/// fingerprint sits from that family's reference fingerprint.
+struct FamilyMatch {
+  OperatorFamily family = OperatorFamily::kPoisson;
+  double distance = 0.0;
+};
+
+/// All canonical operator families ordered by ascending distance to `fp`
+/// (ties broken by declaration order, so ranking is deterministic).  The
+/// reference fingerprints are computed once per process from
+/// make_operator at a fixed side (the features are means and ratios, so
+/// they are stable across grid sizes — routing_test pins self-matching
+/// from n = 17 up).
+std::vector<FamilyMatch> rank_families(const OperatorFingerprint& fp);
+
+/// rank_families(fp).front(): the nearest canonical family.
+FamilyMatch nearest_family(const OperatorFingerprint& fp);
+
+}  // namespace pbmg::grid

@@ -183,6 +183,13 @@ class StencilOp {
   /// True for the constant-coefficient Poisson fast path.
   bool is_poisson() const { return coeff_ == nullptr; }
 
+  /// Identity of the shared coefficient storage: two StencilOps have equal
+  /// identity iff they are copies of one operator (Poisson fast-path ops
+  /// all share the null identity — they have no coefficients to differ
+  /// in).  Routing caches key on (identity(), n()); holding a StencilOp
+  /// copy keeps the identity from being reused by a later allocation.
+  const void* identity() const { return coeff_.get(); }
+
   /// True when the operator carries corner couplings (9-point kernels).
   bool is_nine_point() const { return corner_ != nullptr; }
 
